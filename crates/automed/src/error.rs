@@ -1,0 +1,97 @@
+//! Errors for the transformation and integration substrate.
+
+use iql::ast::SchemeRef;
+use std::fmt;
+
+/// Errors raised by schema manipulation, pathway application, repository operations
+/// and query processing.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AutomedError {
+    /// The schema already contains an object with this scheme.
+    DuplicateObject { schema: String, scheme: SchemeRef },
+    /// The schema does not contain an object with this scheme.
+    UnknownObject { schema: String, scheme: SchemeRef },
+    /// A schema with this name already exists in the repository.
+    DuplicateSchema(String),
+    /// No schema with this name exists in the repository.
+    UnknownSchema(String),
+    /// No pathway connects the two schemas.
+    NoPathway { from: String, to: String },
+    /// A transformation could not be applied to the schema it was aimed at.
+    InvalidTransformation { detail: String },
+    /// Two schemas that were asserted identical (via `ident`) differ.
+    NotUnionCompatible { left: String, right: String, detail: String },
+    /// Query processing failed.
+    QueryProcessing(String),
+    /// An IQL evaluation error surfaced during query processing.
+    Eval(iql::EvalError),
+    /// An IQL parse error (e.g. when loading stored transformation queries).
+    Parse(String),
+    /// A modelling-language construct was used that the MDR does not define.
+    UnknownConstruct { language: String, construct: String },
+}
+
+impl fmt::Display for AutomedError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AutomedError::DuplicateObject { schema, scheme } => {
+                write!(f, "schema `{schema}` already contains {scheme}")
+            }
+            AutomedError::UnknownObject { schema, scheme } => {
+                write!(f, "schema `{schema}` has no object {scheme}")
+            }
+            AutomedError::DuplicateSchema(s) => write!(f, "schema `{s}` already registered"),
+            AutomedError::UnknownSchema(s) => write!(f, "unknown schema `{s}`"),
+            AutomedError::NoPathway { from, to } => {
+                write!(f, "no pathway from `{from}` to `{to}`")
+            }
+            AutomedError::InvalidTransformation { detail } => {
+                write!(f, "invalid transformation: {detail}")
+            }
+            AutomedError::NotUnionCompatible { left, right, detail } => {
+                write!(f, "schemas `{left}` and `{right}` are not union-compatible: {detail}")
+            }
+            AutomedError::QueryProcessing(detail) => write!(f, "query processing: {detail}"),
+            AutomedError::Eval(e) => write!(f, "evaluation error: {e}"),
+            AutomedError::Parse(e) => write!(f, "IQL parse error: {e}"),
+            AutomedError::UnknownConstruct { language, construct } => {
+                write!(f, "modelling language `{language}` has no construct `{construct}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AutomedError {}
+
+impl From<iql::EvalError> for AutomedError {
+    fn from(e: iql::EvalError) -> Self {
+        AutomedError::Eval(e)
+    }
+}
+
+impl From<iql::ParseError> for AutomedError {
+    fn from(e: iql::ParseError) -> Self {
+        AutomedError::Parse(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_context() {
+        let e = AutomedError::UnknownObject {
+            schema: "pedro".into(),
+            scheme: SchemeRef::table("protein"),
+        };
+        assert!(e.to_string().contains("pedro"));
+        assert!(e.to_string().contains("protein"));
+    }
+
+    #[test]
+    fn conversion_from_eval_error() {
+        let e: AutomedError = iql::EvalError::DivisionByZero.into();
+        assert!(matches!(e, AutomedError::Eval(_)));
+    }
+}

@@ -1,0 +1,46 @@
+//! # automed — the schema transformation and integration substrate
+//!
+//! This crate is a from-scratch Rust implementation of the AutoMed-style machinery the
+//! paper builds on:
+//!
+//! * [`object`] / [`schema`] — schema objects identified by *schemes*
+//!   (`⟨⟨t⟩⟩`, `⟨⟨t, c⟩⟩`) and schemas as named sets of such objects;
+//! * [`mdr`] — the Model Definitions Repository: how the constructs of a higher-level
+//!   modelling language (relational, simple XML trees) are defined in terms of the HDM;
+//! * [`transformation`] — the primitive schema transformations `add`, `delete`,
+//!   `extend`, `contract`, `rename` and `id`, each carrying an IQL query (or a
+//!   `Range q_l q_u` bound), plus provenance (manually defined vs tool-generated) and
+//!   the paper's *triviality* classification;
+//! * [`pathway`] — sequences of primitive transformations between schemas, their
+//!   application to schemas, composition, and **automatic reversal**;
+//! * [`repository`] — the Schemas & Transformations Repository (STR);
+//! * [`wrapper`] — wrapping relational sources into schemas and a registry of source
+//!   extents;
+//! * [`union_compat`] — the classical union-compatible integration flow of Figure 1;
+//! * [`qp`] — query processing: GAV unfolding, LAV view-based rewriting, BAV pathway
+//!   reformulation, and an end-to-end evaluator that answers queries posed on virtual
+//!   (integrated) schemas against the underlying data sources.
+//!
+//! The intersection-schema technique itself — the paper's contribution — lives in the
+//! `dataspace-core` crate and is built entirely on the public API of this crate.
+
+pub mod error;
+pub mod mdr;
+pub mod object;
+pub mod pathway;
+pub mod qp;
+pub mod repository;
+pub mod schema;
+pub mod transformation;
+pub mod union_compat;
+pub mod wrapper;
+
+pub use error::AutomedError;
+pub use object::{ConstructKind, SchemaObject};
+pub use pathway::Pathway;
+pub use repository::Repository;
+pub use schema::Schema;
+pub use transformation::{Provenance, Transformation};
+
+/// Re-export of the scheme type shared with IQL.
+pub use iql::ast::SchemeRef;

@@ -1,0 +1,180 @@
+//! BAV (Both-As-View) query reformulation along pathways.
+//!
+//! A BAV pathway mixes GAV-like steps (`add`/`extend`, whose queries define later
+//! objects in terms of earlier ones) and LAV-like steps (`delete`/`contract`, whose
+//! queries describe earlier objects in terms of later ones). To reformulate a query
+//! posed on one end of a pathway onto the other end, we walk the pathway step by step
+//! and apply the appropriate rule at each step:
+//!
+//! * traversing an `add(o, q)` *backwards* (target → source): substitute `o` by `q`;
+//! * traversing a `delete(o, q)` *backwards*: the object `o` exists at the source end,
+//!   so nothing needs to change — but traversing it *forwards* (source → target),
+//!   references to `o` are substituted by `q` (the LAV view read as a reconstruction);
+//! * `extend`/`contract` behave like `add`/`delete` but only their `Range` lower bound
+//!   is usable, yielding certain answers;
+//! * `rename` substitutes the new name by the old one (or vice versa);
+//! * `id` never changes a query.
+//!
+//! Reformulating target→source is exactly [`crate::qp::gav::unfold_along_pathway`];
+//! reformulating source→target is the same unfolding applied to the *reversed*
+//! pathway (automatic reversal turns every `delete` into an `add`, so the one rule
+//! covers both directions). This module packages both directions and reports whether
+//! the result is *complete* (every scheme resolved) or only partial.
+
+use crate::error::AutomedError;
+use crate::pathway::Pathway;
+use crate::qp::gav;
+use crate::schema::Schema;
+use iql::ast::Expr;
+use iql::rewrite;
+
+/// The outcome of a reformulation: the rewritten query plus the schemes that could not
+/// be resolved into the destination schema (empty when the reformulation is complete).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Reformulation {
+    /// The reformulated query.
+    pub query: Expr,
+    /// Schemes remaining in the query that are not objects of the destination schema.
+    pub unresolved: Vec<iql::ast::SchemeRef>,
+}
+
+impl Reformulation {
+    /// Whether every scheme reference was resolved into the destination schema.
+    pub fn is_complete(&self) -> bool {
+        self.unresolved.is_empty()
+    }
+}
+
+/// Reformulate a query posed on the pathway's *target* schema into one posed on its
+/// *source* schema. `destination` is the source schema, used to check completeness.
+pub fn reformulate_to_source(
+    query: &Expr,
+    pathway: &Pathway,
+    destination: &Schema,
+) -> Result<Reformulation, AutomedError> {
+    let rewritten = gav::unfold_along_pathway(query, pathway)?;
+    Ok(check_completeness(rewritten, destination))
+}
+
+/// Reformulate a query posed on the pathway's *source* schema into one posed on its
+/// *target* schema (uses the automatically reversed pathway).
+pub fn reformulate_to_target(
+    query: &Expr,
+    pathway: &Pathway,
+    destination: &Schema,
+) -> Result<Reformulation, AutomedError> {
+    let rewritten = gav::unfold_along_pathway(query, &pathway.reverse())?;
+    Ok(check_completeness(rewritten, destination))
+}
+
+fn check_completeness(query: Expr, destination: &Schema) -> Reformulation {
+    let unresolved = rewrite::collect_schemes(&query)
+        .into_iter()
+        .filter(|s| !destination.contains(s))
+        .collect();
+    Reformulation { query, unresolved }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SchemaObject;
+    use crate::transformation::Transformation;
+    use iql::ast::SchemeRef;
+    use iql::{parse, Evaluator, MapExtents};
+
+    /// pedro → I : adds of UProtein objects, deletes of the covered pedro objects,
+    /// contract of the uncovered column — the paper's canonical ES → I shape.
+    fn pedro_schema() -> Schema {
+        Schema::from_objects(
+            "pedro",
+            [
+                SchemaObject::table("protein"),
+                SchemaObject::column("protein", "accession_num"),
+                SchemaObject::column("protein", "organism"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn intersection_pathway() -> Pathway {
+        let mut p = Pathway::new("pedro", "I");
+        p.push(Transformation::add(
+            SchemaObject::table("UProtein"),
+            parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+        ));
+        p.push(Transformation::add(
+            SchemaObject::column("UProtein", "accession_num"),
+            parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap(),
+        ));
+        p.push(Transformation::delete(
+            SchemaObject::table("protein"),
+            parse("[k | {'PEDRO', k} <- <<UProtein>>]").unwrap(),
+        ));
+        p.push(Transformation::delete(
+            SchemaObject::column("protein", "accession_num"),
+            parse("[{k, x} | {'PEDRO', k, x} <- <<UProtein, accession_num>>]").unwrap(),
+        ));
+        p.push(Transformation::contract_void_any(SchemaObject::column(
+            "protein", "organism",
+        )));
+        p
+    }
+
+    fn intersection_schema() -> Schema {
+        intersection_pathway().apply_to(&pedro_schema()).unwrap()
+    }
+
+    #[test]
+    fn target_query_reformulates_completely_to_source() {
+        let q = parse("[x | {'PEDRO', k, x} <- <<UProtein, accession_num>>]").unwrap();
+        let r = reformulate_to_source(&q, &intersection_pathway(), &pedro_schema()).unwrap();
+        assert!(r.is_complete(), "unresolved: {:?}", r.unresolved);
+
+        let mut source = MapExtents::new();
+        source.insert_keys("protein", vec![1, 2]);
+        source.insert_pairs("protein,accession_num", vec![(1, "P100"), (2, "P200")]);
+        let v = Evaluator::new(&source).eval_closed(&r.query).unwrap();
+        assert_eq!(v.expect_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn source_query_reformulates_to_target_via_reversal() {
+        // A query over pedro's protein table, answered on the intersection schema.
+        let q = parse("count <<protein>>").unwrap();
+        let r = reformulate_to_target(&q, &intersection_pathway(), &intersection_schema()).unwrap();
+        assert!(r.is_complete(), "unresolved: {:?}", r.unresolved);
+
+        let mut target = MapExtents::new();
+        target.insert(
+            "UProtein",
+            iql::Bag::from_values(vec![
+                iql::Value::pair(iql::Value::str("PEDRO"), iql::Value::Int(1)),
+                iql::Value::pair(iql::Value::str("gpmDB"), iql::Value::Int(7)),
+            ]),
+        );
+        let v = Evaluator::new(&target).eval_closed(&r.query).unwrap();
+        // Only the PEDRO-tagged entry reconstructs pedro's protein extent.
+        assert_eq!(v, iql::Value::Int(1));
+    }
+
+    #[test]
+    fn contracted_objects_reformulate_to_empty_lower_bound() {
+        // organism was contracted with Range Void Any: a source query over it can only
+        // be answered with the empty (certain) lower bound.
+        let q = parse("count <<protein, organism>>").unwrap();
+        let r = reformulate_to_target(&q, &intersection_pathway(), &intersection_schema()).unwrap();
+        assert!(r.is_complete());
+        let v = Evaluator::new(iql::eval::NoExtents).eval_closed(&r.query).unwrap();
+        assert_eq!(v, iql::Value::Int(0));
+    }
+
+    #[test]
+    fn incomplete_reformulation_reports_unresolved_schemes() {
+        // A target query that references an object the pathway never defined.
+        let q = parse("count <<UPeptideHit>>").unwrap();
+        let r = reformulate_to_source(&q, &intersection_pathway(), &pedro_schema()).unwrap();
+        assert!(!r.is_complete());
+        assert_eq!(r.unresolved, vec![SchemeRef::table("UPeptideHit")]);
+    }
+}

@@ -1,0 +1,388 @@
+//! End-to-end query answering over virtual (integrated) schemas.
+//!
+//! A virtual schema object (an object of a federated, intersection or global schema)
+//! has no stored extent: its extent is *defined* by the `add` transformations that
+//! introduced it, one contribution per data source (plus possibly contributions
+//! derived from other virtual objects). Following the paper, the extent of such an
+//! object is the **bag union** of its contributions.
+//!
+//! [`VirtualExtents`] implements [`ExtentProvider`] on top of a [`SourceRegistry`] and
+//! a set of [`Contribution`]s per scheme, so the ordinary IQL [`Evaluator`] can answer
+//! any query posed on the integrated schema — this is GAV query processing by
+//! unfolding, performed lazily during evaluation. Results are memoised per scheme and
+//! recursion is cycle-checked.
+
+use crate::error::AutomedError;
+use crate::qp::Contribution;
+use crate::wrapper::SourceRegistry;
+use iql::ast::{Expr, SchemeRef};
+use iql::error::EvalError;
+use iql::eval::{Evaluator, ExtentProvider};
+use iql::value::{Bag, Value};
+use std::cell::RefCell;
+use std::collections::{BTreeMap, BTreeSet};
+
+/// The definitions of all virtual schema objects: scheme key → contributions.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct ViewDefinitions {
+    contributions: BTreeMap<String, Vec<Contribution>>,
+}
+
+impl ViewDefinitions {
+    /// Empty definitions.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a contribution for a scheme. Contributions accumulate (bag-union
+    /// semantics), in registration order.
+    pub fn add_contribution(&mut self, scheme: &SchemeRef, contribution: Contribution) {
+        self.contributions
+            .entry(scheme.key())
+            .or_default()
+            .push(contribution);
+    }
+
+    /// The contributions registered for a scheme.
+    pub fn contributions_for(&self, scheme: &SchemeRef) -> Option<&[Contribution]> {
+        self.contributions.get(&scheme.key()).map(Vec::as_slice)
+    }
+
+    /// Whether any contribution is registered for the scheme.
+    pub fn defines(&self, scheme: &SchemeRef) -> bool {
+        self.contributions.contains_key(&scheme.key())
+    }
+
+    /// Number of schemes with at least one contribution.
+    pub fn defined_scheme_count(&self) -> usize {
+        self.contributions.len()
+    }
+
+    /// Total number of contributions.
+    pub fn contribution_count(&self) -> usize {
+        self.contributions.values().map(Vec::len).sum()
+    }
+
+    /// Iterate over `(scheme key, contributions)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &[Contribution])> {
+        self.contributions
+            .iter()
+            .map(|(k, v)| (k.as_str(), v.as_slice()))
+    }
+
+    /// Merge another set of definitions into this one.
+    pub fn merge(&mut self, other: &ViewDefinitions) {
+        for (k, v) in &other.contributions {
+            self.contributions
+                .entry(k.clone())
+                .or_default()
+                .extend(v.iter().cloned());
+        }
+    }
+}
+
+/// An [`ExtentProvider`] for integrated schemas: resolves virtual schemes through
+/// their contributions and memoises results.
+pub struct VirtualExtents<'a> {
+    registry: &'a SourceRegistry,
+    definitions: &'a ViewDefinitions,
+    cache: RefCell<BTreeMap<String, Bag>>,
+    in_progress: RefCell<BTreeSet<String>>,
+    /// When set, schemes with no registered contribution are looked up in this source
+    /// (used for federated schemas where untouched source objects remain queryable).
+    fallback_sources: Vec<String>,
+}
+
+impl<'a> VirtualExtents<'a> {
+    /// Create a provider over the given sources and view definitions.
+    pub fn new(registry: &'a SourceRegistry, definitions: &'a ViewDefinitions) -> Self {
+        VirtualExtents {
+            registry,
+            definitions,
+            cache: RefCell::new(BTreeMap::new()),
+            in_progress: RefCell::new(BTreeSet::new()),
+            fallback_sources: Vec::new(),
+        }
+    }
+
+    /// Also resolve schemes with no contribution by probing the named sources in
+    /// order (first match wins).
+    pub fn with_fallback_sources<I, S>(mut self, sources: I) -> Self
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.fallback_sources = sources.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Answer a query posed on the integrated schema.
+    pub fn answer(&self, query: &Expr) -> Result<Value, AutomedError> {
+        Ok(Evaluator::new(self).eval_closed(query)?)
+    }
+
+    /// Answer a query and insist on a bag result.
+    pub fn answer_bag(&self, query: &Expr) -> Result<Bag, AutomedError> {
+        Ok(self.answer(query)?.expect_bag()?)
+    }
+
+    fn compute_extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        let Some(contributions) = self.definitions.contributions_for(scheme) else {
+            // Fall back to probing the configured sources directly.
+            for source in &self.fallback_sources {
+                if let Ok(db) = self.registry.database(source) {
+                    if let Ok(bag) = db.extent(scheme) {
+                        return Ok(bag);
+                    }
+                }
+            }
+            return Err(EvalError::UnknownScheme(scheme.clone()));
+        };
+        let mut result = Bag::empty();
+        for contribution in contributions {
+            let value = match &contribution.source {
+                Some(source) => {
+                    let db = self
+                        .registry
+                        .database(source)
+                        .map_err(|_| EvalError::UnknownScheme(scheme.clone()))?;
+                    // Queries over a named source may still reference other virtual
+                    // objects (e.g. an intersection object defined partly in terms of
+                    // the evolving global schema), so the source is layered over this
+                    // provider.
+                    let layered = LayeredProvider { primary: db, fallback: self };
+                    Evaluator::new(&layered).eval_closed(&contribution.query)?
+                }
+                None => Evaluator::new(self).eval_closed(&contribution.query)?,
+            };
+            match value {
+                Value::Void => {}
+                other => {
+                    let bag = other.expect_bag()?;
+                    result = result.union(&bag);
+                }
+            }
+        }
+        Ok(result)
+    }
+}
+
+impl ExtentProvider for VirtualExtents<'_> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        let key = scheme.key();
+        if let Some(cached) = self.cache.borrow().get(&key) {
+            return Ok(cached.clone());
+        }
+        if !self.in_progress.borrow_mut().insert(key.clone()) {
+            return Err(EvalError::TypeError {
+                context: format!("extent of {scheme}"),
+                found: "cyclic view definition".into(),
+            });
+        }
+        let result = self.compute_extent(scheme);
+        self.in_progress.borrow_mut().remove(&key);
+        if let Ok(bag) = &result {
+            self.cache.borrow_mut().insert(key, bag.clone());
+        }
+        result
+    }
+}
+
+/// Resolves schemes against a primary provider first, then a fallback.
+struct LayeredProvider<'a, P, F> {
+    primary: &'a P,
+    fallback: &'a F,
+}
+
+impl<P: ExtentProvider, F: ExtentProvider> ExtentProvider for LayeredProvider<'_, P, F> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        match self.primary.extent(scheme) {
+            Ok(bag) => Ok(bag),
+            Err(_) => self.fallback.extent(scheme),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql::parse;
+    use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+    use relational::Database;
+
+    fn pedro() -> Database {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("protein", vec![1.into(), "ACC1".into()]).unwrap();
+        db.insert("protein", vec![2.into(), "ACC2".into()]).unwrap();
+        db
+    }
+
+    fn gpmdb() -> Database {
+        let mut s = RelSchema::new("gpmdb");
+        s.add_table(
+            RelTable::new("proseq")
+                .with_column(RelColumn::new("proseqid", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["proseqid"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("proseq", vec![10.into(), "ACC2".into()]).unwrap();
+        db.insert("proseq", vec![11.into(), "ACC3".into()]).unwrap();
+        db
+    }
+
+    fn registry() -> SourceRegistry {
+        let mut r = SourceRegistry::new();
+        r.add_source(pedro()).unwrap();
+        r.add_source(gpmdb()).unwrap();
+        r
+    }
+
+    fn uprotein_definitions() -> ViewDefinitions {
+        let mut defs = ViewDefinitions::new();
+        let uprotein = SchemeRef::table("UProtein");
+        defs.add_contribution(
+            &uprotein,
+            Contribution::from_source("pedro", parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &uprotein,
+            Contribution::from_source("gpmdb", parse("[{'gpmDB', k} | k <- <<proseq>>]").unwrap()),
+        );
+        let acc = SchemeRef::column("UProtein", "accession_num");
+        defs.add_contribution(
+            &acc,
+            Contribution::from_source(
+                "pedro",
+                parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap(),
+            ),
+        );
+        defs.add_contribution(
+            &acc,
+            Contribution::from_source(
+                "gpmdb",
+                parse("[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]").unwrap(),
+            ),
+        );
+        // A derived object defined purely over the virtual schema.
+        defs.add_contribution(
+            &SchemeRef::table("SharedAccession"),
+            Contribution::derived(
+                parse(
+                    "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']",
+                )
+                .unwrap(),
+            ),
+        );
+        defs
+    }
+
+    #[test]
+    fn extent_is_bag_union_of_contributions() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let virt = VirtualExtents::new(&reg, &defs);
+        let bag = virt.extent(&SchemeRef::table("UProtein")).unwrap();
+        assert_eq!(bag.len(), 4); // 2 from pedro + 2 from gpmdb
+        assert!(bag.contains(&Value::pair(Value::str("PEDRO"), Value::Int(1))));
+        assert!(bag.contains(&Value::pair(Value::str("gpmDB"), Value::Int(11))));
+    }
+
+    #[test]
+    fn derived_objects_resolve_recursively() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let virt = VirtualExtents::new(&reg, &defs);
+        let q = parse("count <<SharedAccession>>").unwrap();
+        // ACC2 appears in both sources.
+        assert_eq!(virt.answer(&q).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn queries_over_virtual_schema_answerable() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let virt = VirtualExtents::new(&reg, &defs);
+        let q = parse("[x | {s, k, x} <- <<UProtein, accession_num>>; s = 'gpmDB']").unwrap();
+        let bag = virt.answer_bag(&q).unwrap();
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&Value::str("ACC3")));
+    }
+
+    #[test]
+    fn fallback_sources_expose_untouched_objects() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let virt =
+            VirtualExtents::new(&reg, &defs).with_fallback_sources(["pedro", "gpmdb"]);
+        // ⟨⟨proseq⟩⟩ has no contribution; it is resolved directly from gpmdb.
+        let q = parse("count <<proseq>>").unwrap();
+        assert_eq!(virt.answer(&q).unwrap(), Value::Int(2));
+        // Without fallback it is an unknown scheme.
+        let strict = VirtualExtents::new(&reg, &defs);
+        assert!(strict.answer(&q).is_err());
+    }
+
+    #[test]
+    fn results_are_cached_per_scheme() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let virt = VirtualExtents::new(&reg, &defs);
+        let q = parse("count <<UProtein>> + count <<UProtein>>").unwrap();
+        assert_eq!(virt.answer(&q).unwrap(), Value::Int(8));
+        assert!(virt.cache.borrow().contains_key("UProtein"));
+    }
+
+    #[test]
+    fn cyclic_definitions_are_detected() {
+        let reg = registry();
+        let mut defs = ViewDefinitions::new();
+        defs.add_contribution(
+            &SchemeRef::table("A"),
+            Contribution::derived(parse("[k | k <- <<B>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("B"),
+            Contribution::derived(parse("[k | k <- <<A>>]").unwrap()),
+        );
+        let virt = VirtualExtents::new(&reg, &defs);
+        assert!(virt.answer(&parse("count <<A>>").unwrap()).is_err());
+    }
+
+    #[test]
+    fn void_contributions_contribute_nothing() {
+        let reg = registry();
+        let mut defs = uprotein_definitions();
+        defs.add_contribution(
+            &SchemeRef::table("UProtein"),
+            Contribution::derived(Expr::range_void_any()),
+        );
+        let virt = VirtualExtents::new(&reg, &defs);
+        let bag = virt.extent(&SchemeRef::table("UProtein")).unwrap();
+        assert_eq!(bag.len(), 4);
+    }
+
+    #[test]
+    fn definitions_merge_and_count() {
+        let mut a = uprotein_definitions();
+        let mut b = ViewDefinitions::new();
+        b.add_contribution(
+            &SchemeRef::table("UPeptideHit"),
+            Contribution::from_source("pedro", parse("[k | k <- <<peptidehit>>]").unwrap()),
+        );
+        let before = a.contribution_count();
+        a.merge(&b);
+        assert_eq!(a.contribution_count(), before + 1);
+        assert!(a.defines(&SchemeRef::table("UPeptideHit")));
+        assert_eq!(a.iter().count(), a.defined_scheme_count());
+    }
+}

@@ -1,0 +1,190 @@
+//! GAV view unfolding along pathways.
+//!
+//! Given a query posed on the *target* schema of a pathway, unfolding walks the
+//! pathway backwards (from the last step to the first) and substitutes every scheme
+//! that was introduced by an `add` step with that step's defining query, every scheme
+//! introduced by an `extend` step with the step's lower-bound query, and undoes
+//! `rename` steps. The result is a query stated purely over the pathway's *source*
+//! schema (the paper's GAV query processing by query unfolding).
+
+use crate::error::AutomedError;
+use crate::pathway::Pathway;
+use crate::transformation::Transformation;
+use iql::ast::Expr;
+use iql::rewrite;
+use std::collections::BTreeMap;
+
+/// Upper bound on unfolding passes, to guard against pathological self-referential
+/// view definitions (which would otherwise loop forever).
+const MAX_PASSES: usize = 64;
+
+/// Unfold a query posed on `pathway.target` into a query posed on `pathway.source`.
+pub fn unfold_along_pathway(query: &Expr, pathway: &Pathway) -> Result<Expr, AutomedError> {
+    let mut current = query.clone();
+    // Walk the steps backwards: the last step's object is the "most derived".
+    for step in pathway.steps().iter().rev() {
+        current = unfold_step(&current, step)?;
+    }
+    Ok(current)
+}
+
+/// Apply the unfolding rule for a single (reverse-traversed) step.
+fn unfold_step(query: &Expr, step: &Transformation) -> Result<Expr, AutomedError> {
+    match step {
+        Transformation::Add { object, query: def, .. } => {
+            let mut subs = BTreeMap::new();
+            subs.insert(object.scheme.clone(), def.clone());
+            Ok(substitute_to_fixpoint(query, &subs)?)
+        }
+        Transformation::Extend { object, query: def, .. } => {
+            // Use the lower bound of the Range (certain answers); a bare query is used
+            // as-is.
+            let lower = match def {
+                Expr::Range { lower, .. } => (**lower).clone(),
+                other => other.clone(),
+            };
+            let mut subs = BTreeMap::new();
+            subs.insert(object.scheme.clone(), lower);
+            Ok(substitute_to_fixpoint(query, &subs)?)
+        }
+        Transformation::Rename { from, to, .. } => {
+            // The target schema calls the object `to`; the schema before this step
+            // calls it `from`.
+            let mut renames = BTreeMap::new();
+            renames.insert(to.clone(), from.clone());
+            Ok(rewrite::rename_schemes(query, &renames))
+        }
+        // delete/contract remove objects that no longer exist in the target schema, so
+        // a (well-formed) target query cannot reference them; id steps relate two
+        // schemas without changing either.
+        Transformation::Delete { .. }
+        | Transformation::Contract { .. }
+        | Transformation::Id { .. } => Ok(query.clone()),
+    }
+}
+
+/// Substitute repeatedly until no substituted scheme remains (view definitions may be
+/// stated in terms of other objects introduced by the same step sequence).
+fn substitute_to_fixpoint(
+    query: &Expr,
+    subs: &BTreeMap<iql::ast::SchemeRef, Expr>,
+) -> Result<Expr, AutomedError> {
+    let mut current = query.clone();
+    for _ in 0..MAX_PASSES {
+        let next = rewrite::substitute_schemes(&current, subs);
+        if next == current {
+            return Ok(current);
+        }
+        current = next;
+    }
+    Err(AutomedError::QueryProcessing(format!(
+        "view unfolding did not terminate after {MAX_PASSES} passes (self-referential view definition?)"
+    )))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SchemaObject;
+    use iql::ast::SchemeRef;
+    use iql::{parse, Evaluator, MapExtents};
+
+    fn pathway() -> Pathway {
+        let mut p = Pathway::new("pedro", "global");
+        p.push(Transformation::add(
+            SchemaObject::table("UProtein"),
+            parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+        ));
+        p.push(Transformation::add(
+            SchemaObject::column("UProtein", "accession_num"),
+            parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap(),
+        ));
+        p.push(Transformation::Rename {
+            from: SchemeRef::table("UProtein"),
+            to: SchemeRef::table("UniversalProtein"),
+            provenance: crate::transformation::Provenance::Manual,
+        });
+        p.push(Transformation::extend_void_any(SchemaObject::column(
+            "UniversalProtein",
+            "description",
+        )));
+        p
+    }
+
+    #[test]
+    fn unfolding_eliminates_global_schemes() {
+        let q = parse("count <<UniversalProtein>>").unwrap();
+        let unfolded = unfold_along_pathway(&q, &pathway()).unwrap();
+        let schemes = rewrite::collect_schemes(&unfolded);
+        assert!(schemes.contains(&SchemeRef::table("protein")));
+        assert!(!schemes.contains(&SchemeRef::table("UniversalProtein")));
+        assert!(!schemes.contains(&SchemeRef::table("UProtein")));
+    }
+
+    #[test]
+    fn unfolded_query_evaluates_against_the_source() {
+        let mut source = MapExtents::new();
+        source.insert_keys("protein", vec![1, 2, 3]);
+        source.insert_pairs("protein,accession_num", vec![(1, "P100"), (2, "P200"), (3, "P300")]);
+
+        let q = parse("[x | {s, k, x} <- <<UProtein, accession_num>>; s = 'PEDRO']").unwrap();
+        // Drop the rename/extend suffix so UProtein is the target name.
+        let mut p = Pathway::new("pedro", "global");
+        p.push(pathway().steps()[0].clone());
+        p.push(pathway().steps()[1].clone());
+        let unfolded = unfold_along_pathway(&q, &p).unwrap();
+        let v = Evaluator::new(&source).eval_closed(&unfolded).unwrap();
+        assert_eq!(v.expect_bag().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn extend_unfolds_to_lower_bound() {
+        let q = parse("count <<UniversalProtein, description>>").unwrap();
+        let unfolded = unfold_along_pathway(&q, &pathway()).unwrap();
+        // Range Void Any → lower bound Void → count Void = 0 when evaluated.
+        let v = Evaluator::new(iql::eval::NoExtents).eval_closed(&unfolded).unwrap();
+        assert_eq!(v, iql::Value::Int(0));
+    }
+
+    #[test]
+    fn rename_is_undone() {
+        let q = parse("[k | {s, k} <- <<UniversalProtein>>]").unwrap();
+        let unfolded = unfold_along_pathway(&q, &pathway()).unwrap();
+        assert!(!rewrite::collect_schemes(&unfolded)
+            .iter()
+            .any(|s| s.key().contains("UniversalProtein")));
+    }
+
+    #[test]
+    fn chained_view_definitions_unfold_transitively() {
+        // Second add defined over the first add's object.
+        let mut p = Pathway::new("src", "tgt");
+        p.push(Transformation::add(
+            SchemaObject::table("A"),
+            parse("[k | k <- <<base>>]").unwrap(),
+        ));
+        p.push(Transformation::add(
+            SchemaObject::table("B"),
+            parse("[k | k <- <<A>>; k > 1]").unwrap(),
+        ));
+        let q = parse("count <<B>>").unwrap();
+        let unfolded = unfold_along_pathway(&q, &p).unwrap();
+        let schemes = rewrite::collect_schemes(&unfolded);
+        assert_eq!(schemes.len(), 1);
+        assert!(schemes.contains(&SchemeRef::table("base")));
+    }
+
+    #[test]
+    fn self_referential_definition_detected() {
+        let mut p = Pathway::new("src", "tgt");
+        p.push(Transformation::add(
+            SchemaObject::table("Loop"),
+            parse("[k | k <- <<Loop>>]").unwrap(),
+        ));
+        let q = parse("count <<Loop>>").unwrap();
+        assert!(matches!(
+            unfold_along_pathway(&q, &p),
+            Err(AutomedError::QueryProcessing(_))
+        ));
+    }
+}

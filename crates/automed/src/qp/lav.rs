@@ -1,0 +1,248 @@
+//! LAV-style view inversion and rewriting.
+//!
+//! In a BAV pathway the `delete(o, q)` steps play the role of LAV mappings: they
+//! describe an object `o` of the *earlier* schema as a view `q` over the *later*
+//! schema. Answering a query stated over the earlier schema therefore requires
+//! rewriting it to use the later schema's objects, which in general is "answering
+//! queries using views".
+//!
+//! The view bodies produced by the intersection-schema tool have a restricted, regular
+//! shape — a single-generator comprehension whose head is a tuple of provenance-tag
+//! literals and pattern variables, e.g.
+//!
+//! ```text
+//! ⟨⟨UProtein, accession_num⟩⟩ = [{'PEDRO', k, x} | {k, x} <- ⟨⟨protein, accession_num⟩⟩]
+//! ```
+//!
+//! Such views are invertible *exactly*: the source object's extent is recovered by
+//! pattern-matching the view's extent on the tag,
+//!
+//! ```text
+//! ⟨⟨protein, accession_num⟩⟩ = [{k, x} | {'PEDRO', k, x} <- ⟨⟨UProtein, accession_num⟩⟩]
+//! ```
+//!
+//! [`invert_view`] computes that inverse (this is also what the Intersection Schema
+//! Tool uses to auto-generate reverse transformation queries), and [`rewrite_with_views`]
+//! applies a set of inverses to a query.
+
+use iql::ast::{Expr, Literal, Pattern, Qualifier, SchemeRef};
+use iql::rewrite;
+use std::collections::BTreeMap;
+
+/// A view definition: `view` is defined by `body` (a query over some other schema).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ViewDef {
+    /// The scheme of the view object.
+    pub view: SchemeRef,
+    /// The defining query.
+    pub body: Expr,
+}
+
+impl ViewDef {
+    /// Convenience constructor.
+    pub fn new(view: SchemeRef, body: Expr) -> Self {
+        ViewDef { view, body }
+    }
+}
+
+/// Attempt to invert a view definition of the restricted shape described in the module
+/// documentation.
+///
+/// Returns the scheme of the (single) base object the view ranges over together with
+/// an expression that reconstructs that base object's extent from the view's extent.
+/// Returns `None` when the body does not have the invertible shape (in which case the
+/// caller falls back to `Range Void Any`, exactly as the paper's tool does).
+pub fn invert_view(view: &SchemeRef, body: &Expr) -> Option<(SchemeRef, Expr)> {
+    let Expr::Comp { head, qualifiers } = body else {
+        return None;
+    };
+    // Exactly one generator over a scheme, no filters or bindings.
+    let [Qualifier::Generator { pattern, source }] = qualifiers.as_slice() else {
+        return None;
+    };
+    let Expr::Scheme(base) = source else {
+        return None;
+    };
+    // The generator pattern must bind plain variables (possibly inside one tuple).
+    let generator_vars: Vec<String> = match pattern {
+        Pattern::Var(v) => vec![v.clone()],
+        Pattern::Tuple(parts) => {
+            let mut vars = Vec::new();
+            for p in parts {
+                match p {
+                    Pattern::Var(v) => vars.push(v.clone()),
+                    _ => return None,
+                }
+            }
+            vars
+        }
+        _ => return None,
+    };
+    // The head must be a tuple (or single expression) of literals and variables, where
+    // every generator variable appears at least once.
+    let head_items: Vec<&Expr> = match head.as_ref() {
+        Expr::Tuple(items) => items.iter().collect(),
+        other => vec![other],
+    };
+    let mut head_pattern_parts = Vec::with_capacity(head_items.len());
+    let mut seen_vars = Vec::new();
+    for item in &head_items {
+        match item {
+            Expr::Lit(l) => head_pattern_parts.push(Pattern::Lit(l.clone())),
+            Expr::Var(v) => {
+                if generator_vars.contains(v) {
+                    seen_vars.push(v.clone());
+                    head_pattern_parts.push(Pattern::Var(v.clone()));
+                } else {
+                    return None;
+                }
+            }
+            _ => return None,
+        }
+    }
+    if !generator_vars.iter().all(|v| seen_vars.contains(v)) {
+        // Information is lost by the view; it cannot be inverted exactly.
+        return None;
+    }
+
+    // Reconstruction: [ <generator pattern as expr> | <head as pattern> <- <<view>> ].
+    let reconstruction_head = if generator_vars.len() == 1 && matches!(pattern, Pattern::Var(_)) {
+        Expr::Var(generator_vars[0].clone())
+    } else {
+        Expr::Tuple(generator_vars.iter().map(|v| Expr::Var(v.clone())).collect())
+    };
+    let reconstruction_pattern = if head_pattern_parts.len() == 1 {
+        head_pattern_parts.pop().expect("one element")
+    } else {
+        Pattern::Tuple(head_pattern_parts)
+    };
+    let reconstruction = Expr::Comp {
+        head: Box::new(reconstruction_head),
+        qualifiers: vec![Qualifier::Generator {
+            pattern: reconstruction_pattern,
+            source: Expr::Scheme(view.clone()),
+        }],
+    };
+    Some((base.clone(), reconstruction))
+}
+
+/// Rewrite `query` (stated over base objects) to use the given views instead, where
+/// possible: every base scheme for which some view is invertible is replaced by the
+/// reconstruction expression. Schemes with no invertible view are left in place; the
+/// second component reports them so the caller can decide whether the rewriting is
+/// complete.
+pub fn rewrite_with_views(query: &Expr, views: &[ViewDef]) -> (Expr, Vec<SchemeRef>) {
+    let mut substitutions: BTreeMap<SchemeRef, Expr> = BTreeMap::new();
+    for v in views {
+        if let Some((base, reconstruction)) = invert_view(&v.view, &v.body) {
+            substitutions.entry(base).or_insert(reconstruction);
+        }
+    }
+    let rewritten = rewrite::substitute_schemes(query, &substitutions);
+    let unresolved: Vec<SchemeRef> = rewrite::collect_schemes(&rewritten)
+        .into_iter()
+        .filter(|s| views.iter().all(|v| &v.view != s))
+        .collect();
+    (rewritten, unresolved)
+}
+
+/// Derive the reverse transformation query for an object `base` given the forward
+/// query that defines `view` in terms of `base` (and possibly other objects).
+///
+/// This is the Intersection Schema Tool's auto-generation rule: if the forward query
+/// is invertible the exact inverse is returned, otherwise `Range Void Any`.
+pub fn reverse_query_or_void_any(view: &SchemeRef, forward: &Expr, base: &SchemeRef) -> Expr {
+    match invert_view(view, forward) {
+        Some((inverted_base, reconstruction)) if &inverted_base == base => reconstruction,
+        _ => Expr::range_void_any(),
+    }
+}
+
+/// Literal helper used by tests and by the tool to create provenance tags.
+pub fn tag(value: &str) -> Expr {
+    Expr::Lit(Literal::Str(value.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql::{parse, Evaluator, MapExtents, Value};
+
+    #[test]
+    fn inverts_paper_style_tagging_view() {
+        let view = SchemeRef::column("UProtein", "accession_num");
+        let body = parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap();
+        let (base, reconstruction) = invert_view(&view, &body).unwrap();
+        assert_eq!(base, SchemeRef::column("protein", "accession_num"));
+
+        // The reconstruction recovers exactly the PEDRO-tagged pairs.
+        let mut m = MapExtents::new();
+        m.insert(
+            "UProtein,accession_num",
+            iql::Bag::from_values(vec![
+                Value::Tuple(vec![Value::str("PEDRO"), Value::Int(1), Value::str("P100")]),
+                Value::Tuple(vec![Value::str("gpmDB"), Value::Int(9), Value::str("G900")]),
+            ]),
+        );
+        let v = Evaluator::new(&m).eval_closed(&reconstruction).unwrap();
+        assert_eq!(
+            v.expect_bag().unwrap().items(),
+            &[Value::pair(Value::Int(1), Value::str("P100"))]
+        );
+    }
+
+    #[test]
+    fn inverts_single_variable_view() {
+        let view = SchemeRef::table("UProtein");
+        let body = parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap();
+        let (base, reconstruction) = invert_view(&view, &body).unwrap();
+        assert_eq!(base, SchemeRef::table("protein"));
+        let printed = iql::pretty::print(&reconstruction);
+        assert!(printed.contains("<<UProtein>>"));
+        assert!(printed.contains("'PEDRO'"));
+    }
+
+    #[test]
+    fn non_invertible_views_rejected() {
+        let view = SchemeRef::table("V");
+        // Join of two schemes — not a single-generator view.
+        assert!(invert_view(
+            &view,
+            &parse("[{k1, k2} | {k1, x} <- <<a>>; {k2, y} <- <<b>>; x = y]").unwrap()
+        )
+        .is_none());
+        // Head drops a generator variable — information lost.
+        assert!(invert_view(&view, &parse("[k | {k, x} <- <<a, b>>]").unwrap()).is_none());
+        // Head computes an expression.
+        assert!(invert_view(&view, &parse("[{k, x + 1} | {k, x} <- <<a, b>>]").unwrap()).is_none());
+        // Filtered views are not exactly invertible.
+        assert!(invert_view(&view, &parse("[{k, x} | {k, x} <- <<a, b>>; x > 3]").unwrap()).is_none());
+    }
+
+    #[test]
+    fn reverse_query_falls_back_to_range_void_any() {
+        let view = SchemeRef::table("V");
+        let base = SchemeRef::table("a");
+        let invertible = parse("[{'T', k} | k <- <<a>>]").unwrap();
+        assert!(!reverse_query_or_void_any(&view, &invertible, &base).is_range_void_any());
+        let complex = parse("[{k1, k2} | {k1, x} <- <<a>>; {k2, y} <- <<b>>; x = y]").unwrap();
+        assert!(reverse_query_or_void_any(&view, &complex, &base).is_range_void_any());
+        // Invertible but over a different base object than requested.
+        assert!(reverse_query_or_void_any(&view, &invertible, &SchemeRef::table("b"))
+            .is_range_void_any());
+    }
+
+    #[test]
+    fn rewrite_with_views_reports_unresolved_schemes() {
+        let views = vec![ViewDef::new(
+            SchemeRef::table("UProtein"),
+            parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+        )];
+        let q = parse("count <<protein>> + count <<peptidehit>>").unwrap();
+        let (rewritten, unresolved) = rewrite_with_views(&q, &views);
+        let schemes = rewrite::collect_schemes(&rewritten);
+        assert!(schemes.contains(&SchemeRef::table("UProtein")));
+        assert!(!schemes.contains(&SchemeRef::table("protein")));
+        assert_eq!(unresolved, vec![SchemeRef::table("peptidehit")]);
+    }
+}

@@ -1,0 +1,242 @@
+//! Classical data integration via union-compatible schemas (Figure 1 of the paper).
+//!
+//! The classical AutoMed workflow transforms each data source schema `DSi` into a
+//! union-compatible schema `USi` via a pathway of `add`/`delete`/`extend`/`contract`
+//! steps; the `USi` are verified to be syntactically identical, connected pairwise by
+//! `ident` transformations, and one of them is chosen for further improvement into the
+//! global schema. This module implements that flow; it is the *baseline methodology*
+//! the intersection-schema technique is compared against in the case study.
+
+use crate::error::AutomedError;
+use crate::pathway::Pathway;
+use crate::repository::Repository;
+use crate::schema::Schema;
+use crate::transformation::{ident, Transformation};
+
+/// The outcome of a classical union-compatible integration.
+#[derive(Debug, Clone)]
+pub struct UnionCompatIntegration {
+    /// The union-compatible schema produced for each source (all syntactically
+    /// identical; in source order).
+    pub union_schemas: Vec<Schema>,
+    /// The `ident` steps injected between consecutive union-compatible schemas.
+    pub ident_steps: Vec<Transformation>,
+    /// The selected global schema (a renamed copy of one of the union schemas).
+    pub global: Schema,
+    /// Total number of non-trivial transformations across all source pathways — the
+    /// paper's effort measure for the classical methodology.
+    pub nontrivial_transformations: usize,
+    /// Total number of manually-defined transformations across all source pathways.
+    pub manual_transformations: usize,
+}
+
+/// One source's input to the classical integration: its schema name (already in the
+/// repository) and the transformation steps taking it to the union-compatible schema.
+#[derive(Debug, Clone)]
+pub struct SourceIntegration {
+    /// Name of the (registered) data source schema.
+    pub source: String,
+    /// Steps of the pathway `DSi → USi`.
+    pub steps: Vec<Transformation>,
+}
+
+impl SourceIntegration {
+    /// Convenience constructor.
+    pub fn new(source: impl Into<String>, steps: Vec<Transformation>) -> Self {
+        SourceIntegration {
+            source: source.into(),
+            steps,
+        }
+    }
+}
+
+/// Run the classical union-compatible integration flow.
+///
+/// For each source, the pathway `DSi → USi` is applied and registered; the resulting
+/// union-compatible schemas are checked to be syntactically identical and connected by
+/// `ident` steps; the first one is selected and renamed to `global_name`.
+pub fn integrate_union_compatible(
+    repository: &mut Repository,
+    sources: &[SourceIntegration],
+    global_name: &str,
+) -> Result<UnionCompatIntegration, AutomedError> {
+    if sources.is_empty() {
+        return Err(AutomedError::InvalidTransformation {
+            detail: "union-compatible integration needs at least one source".into(),
+        });
+    }
+    let mut union_schemas = Vec::with_capacity(sources.len());
+    let mut nontrivial = 0usize;
+    let mut manual = 0usize;
+
+    for (i, source) in sources.iter().enumerate() {
+        let us_name = format!("{}_us{}", source.source, i + 1);
+        let pathway = Pathway::with_steps(source.source.clone(), us_name.clone(), source.steps.clone());
+        nontrivial += pathway.nontrivial_count();
+        manual += pathway.manual_count();
+        let produced = repository.derive_schema(pathway)?;
+        union_schemas.push(produced);
+    }
+
+    // Verify pairwise union-compatibility and inject ident steps.
+    let mut ident_steps = Vec::new();
+    for pair in union_schemas.windows(2) {
+        let ids = ident(&pair[0], &pair[1])?;
+        let mut p = Pathway::new(pair[0].name.clone(), pair[1].name.clone());
+        p.extend_steps(ids.iter().cloned());
+        repository.add_pathway_unchecked(p);
+        ident_steps.extend(ids);
+    }
+
+    // Select the first union-compatible schema as the global schema.
+    let global = union_schemas[0].renamed_schema(global_name);
+    repository.put_schema(global.clone());
+    let mut select = Pathway::new(union_schemas[0].name.clone(), global_name.to_string());
+    select.extend_steps(
+        ident(&union_schemas[0], &global)
+            .expect("renamed copy is syntactically identical")
+            .into_iter(),
+    );
+    repository.add_pathway_unchecked(select);
+
+    Ok(UnionCompatIntegration {
+        union_schemas,
+        ident_steps,
+        global,
+        nontrivial_transformations: nontrivial,
+        manual_transformations: manual,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::object::SchemaObject;
+    use iql::ast::SchemeRef;
+    use iql::parse;
+
+    fn repository_with_two_sources() -> Repository {
+        let mut repo = Repository::new();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "pedro",
+                [
+                    SchemaObject::table("protein"),
+                    SchemaObject::column("protein", "accession_num"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "gpmdb",
+                [
+                    SchemaObject::table("proseq"),
+                    SchemaObject::column("proseq", "label"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo
+    }
+
+    fn pedro_steps() -> Vec<Transformation> {
+        vec![
+            Transformation::add(
+                SchemaObject::table("UProtein"),
+                parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+            ),
+            Transformation::add(
+                SchemaObject::column("UProtein", "accession_num"),
+                parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap(),
+            ),
+            Transformation::delete(
+                SchemaObject::table("protein"),
+                parse("[k | {s, k} <- <<UProtein>>; s = 'PEDRO']").unwrap(),
+            ),
+            Transformation::delete(
+                SchemaObject::column("protein", "accession_num"),
+                parse("[{k, x} | {s, k, x} <- <<UProtein, accession_num>>; s = 'PEDRO']").unwrap(),
+            ),
+        ]
+    }
+
+    fn gpmdb_steps() -> Vec<Transformation> {
+        vec![
+            Transformation::add(
+                SchemaObject::table("UProtein"),
+                parse("[{'gpmDB', k} | k <- <<proseq>>]").unwrap(),
+            ),
+            Transformation::add(
+                SchemaObject::column("UProtein", "accession_num"),
+                parse("[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]").unwrap(),
+            ),
+            Transformation::delete(
+                SchemaObject::table("proseq"),
+                parse("[k | {s, k} <- <<UProtein>>; s = 'gpmDB']").unwrap(),
+            ),
+            Transformation::delete(
+                SchemaObject::column("proseq", "label"),
+                parse("[{k, x} | {s, k, x} <- <<UProtein, accession_num>>; s = 'gpmDB']").unwrap(),
+            ),
+        ]
+    }
+
+    #[test]
+    fn full_flow_produces_identical_union_schemas_and_global() {
+        let mut repo = repository_with_two_sources();
+        let result = integrate_union_compatible(
+            &mut repo,
+            &[
+                SourceIntegration::new("pedro", pedro_steps()),
+                SourceIntegration::new("gpmdb", gpmdb_steps()),
+            ],
+            "GS1",
+        )
+        .unwrap();
+        assert_eq!(result.union_schemas.len(), 2);
+        assert!(result.union_schemas[0].syntactically_identical(&result.union_schemas[1]));
+        assert_eq!(result.global.name, "GS1");
+        assert!(result.global.contains(&SchemeRef::table("UProtein")));
+        assert_eq!(result.nontrivial_transformations, 8);
+        assert_eq!(result.manual_transformations, 8);
+        // Repository now knows a pathway from each source to the global schema.
+        assert!(repo.pathway_between("pedro", "GS1").is_ok());
+        assert!(repo.pathway_between("gpmdb", "GS1").is_ok());
+    }
+
+    #[test]
+    fn incompatible_union_schemas_rejected() {
+        let mut repo = repository_with_two_sources();
+        // gpmdb's steps omit the accession_num column → not union-compatible.
+        let bad_gpmdb = vec![
+            Transformation::add(
+                SchemaObject::table("UProtein"),
+                parse("[{'gpmDB', k} | k <- <<proseq>>]").unwrap(),
+            ),
+            Transformation::delete(
+                SchemaObject::table("proseq"),
+                parse("[k | {s, k} <- <<UProtein>>; s = 'gpmDB']").unwrap(),
+            ),
+            Transformation::contract_void_any(SchemaObject::column("proseq", "label")),
+        ];
+        let err = integrate_union_compatible(
+            &mut repo,
+            &[
+                SourceIntegration::new("pedro", pedro_steps()),
+                SourceIntegration::new("gpmdb", bad_gpmdb),
+            ],
+            "GS1",
+        )
+        .unwrap_err();
+        assert!(matches!(err, AutomedError::NotUnionCompatible { .. }));
+    }
+
+    #[test]
+    fn empty_input_rejected() {
+        let mut repo = Repository::new();
+        assert!(integrate_union_compatible(&mut repo, &[], "G").is_err());
+    }
+}

@@ -1,0 +1,187 @@
+//! Wrapping data sources and the registry of source extents.
+//!
+//! Wrapping is the first step of every integration workflow: each data source is
+//! wrapped to produce a *data source schema* held in the repository, and the wrapper
+//! remains responsible for answering extent requests against the live source. The
+//! [`SourceRegistry`] owns the wrapped (in-memory) databases and hands out
+//! [`iql::eval::ExtentProvider`] views scoped to a single source — which is what the
+//! query processor needs, since transformation queries are always stated over a
+//! specific source schema.
+
+use crate::error::AutomedError;
+use crate::object::SchemaObject;
+use crate::schema::Schema;
+use iql::ast::SchemeRef;
+use iql::error::EvalError;
+use iql::eval::ExtentProvider;
+use iql::value::Bag;
+use relational::wrapper::{scheme_objects, RelConstruct};
+use relational::{Database, RelSchema};
+use std::collections::BTreeMap;
+
+/// Wrap a relational schema as a repository schema: one object per table and per
+/// column, using the abbreviated relational schemes of the paper.
+pub fn wrap_relational(schema: &RelSchema) -> Schema {
+    let objects = scheme_objects(schema).into_iter().map(|w| match w.construct {
+        RelConstruct::Table => SchemaObject::table(w.scheme.parts[0].clone()),
+        RelConstruct::Column => {
+            SchemaObject::column(w.scheme.parts[0].clone(), w.scheme.parts[1].clone())
+        }
+    });
+    Schema::from_objects(schema.name.clone(), objects)
+        .expect("relational schemas cannot contain duplicate schemes")
+}
+
+/// Owns the wrapped data sources and answers extent requests per source.
+#[derive(Debug, Default)]
+pub struct SourceRegistry {
+    sources: BTreeMap<String, Database>,
+}
+
+impl SourceRegistry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Register a database under its schema name and return its wrapped schema.
+    pub fn add_source(&mut self, database: Database) -> Result<Schema, AutomedError> {
+        let name = database.name().to_string();
+        if self.sources.contains_key(&name) {
+            return Err(AutomedError::DuplicateSchema(name));
+        }
+        let schema = wrap_relational(database.schema());
+        self.sources.insert(name, database);
+        Ok(schema)
+    }
+
+    /// The database registered under a source name.
+    pub fn database(&self, source: &str) -> Result<&Database, AutomedError> {
+        self.sources
+            .get(source)
+            .ok_or_else(|| AutomedError::UnknownSchema(source.to_string()))
+    }
+
+    /// Mutable access to a registered database (e.g. to load more rows).
+    pub fn database_mut(&mut self, source: &str) -> Result<&mut Database, AutomedError> {
+        self.sources
+            .get_mut(source)
+            .ok_or_else(|| AutomedError::UnknownSchema(source.to_string()))
+    }
+
+    /// Names of all registered sources, in order.
+    pub fn source_names(&self) -> impl Iterator<Item = &str> {
+        self.sources.keys().map(String::as_str)
+    }
+
+    /// Number of registered sources.
+    pub fn len(&self) -> usize {
+        self.sources.len()
+    }
+
+    /// Whether no sources are registered.
+    pub fn is_empty(&self) -> bool {
+        self.sources.is_empty()
+    }
+
+    /// The extent of a scheme within a specific source.
+    pub fn extent(&self, source: &str, scheme: &SchemeRef) -> Result<Bag, AutomedError> {
+        let db = self.database(source)?;
+        Ok(db.extent(scheme)?)
+    }
+
+    /// An [`ExtentProvider`] scoped to a single source.
+    pub fn provider_for(&self, source: &str) -> Result<ScopedProvider<'_>, AutomedError> {
+        let db = self.database(source)?;
+        Ok(ScopedProvider { db })
+    }
+}
+
+/// An extent provider that resolves schemes against one registered source.
+#[derive(Debug, Clone, Copy)]
+pub struct ScopedProvider<'a> {
+    db: &'a Database,
+}
+
+impl ExtentProvider for ScopedProvider<'_> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        self.db.extent(scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql::{parse, Evaluator};
+    use relational::schema::{DataType, RelColumn, RelTable};
+
+    fn pedro_db() -> Database {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("protein", vec![1.into(), "P100".into()]).unwrap();
+        db.insert("protein", vec![2.into(), "P200".into()]).unwrap();
+        db
+    }
+
+    #[test]
+    fn wrapping_produces_table_and_column_objects() {
+        let schema = wrap_relational(pedro_db().schema());
+        assert_eq!(schema.name, "pedro");
+        assert_eq!(schema.len(), 3);
+        assert!(schema.contains(&SchemeRef::table("protein")));
+        assert!(schema.contains(&SchemeRef::column("protein", "accession_num")));
+    }
+
+    #[test]
+    fn registry_round_trip() {
+        let mut reg = SourceRegistry::new();
+        let schema = reg.add_source(pedro_db()).unwrap();
+        assert_eq!(schema.len(), 3);
+        assert_eq!(reg.len(), 1);
+        assert_eq!(reg.source_names().collect::<Vec<_>>(), vec!["pedro"]);
+        let bag = reg.extent("pedro", &SchemeRef::table("protein")).unwrap();
+        assert_eq!(bag.len(), 2);
+        assert!(reg.extent("gpmdb", &SchemeRef::table("protein")).is_err());
+    }
+
+    #[test]
+    fn duplicate_source_rejected() {
+        let mut reg = SourceRegistry::new();
+        reg.add_source(pedro_db()).unwrap();
+        assert!(matches!(
+            reg.add_source(pedro_db()),
+            Err(AutomedError::DuplicateSchema(_))
+        ));
+    }
+
+    #[test]
+    fn scoped_provider_supports_iql_evaluation() {
+        let mut reg = SourceRegistry::new();
+        reg.add_source(pedro_db()).unwrap();
+        let provider = reg.provider_for("pedro").unwrap();
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = 1]").unwrap();
+        let v = Evaluator::new(provider).eval_closed(&q).unwrap();
+        assert_eq!(v.expect_bag().unwrap().items(), &[iql::Value::str("P100")]);
+    }
+
+    #[test]
+    fn database_mut_allows_loading_more_rows() {
+        let mut reg = SourceRegistry::new();
+        reg.add_source(pedro_db()).unwrap();
+        reg.database_mut("pedro")
+            .unwrap()
+            .insert("protein", vec![3.into(), "P300".into()])
+            .unwrap();
+        assert_eq!(
+            reg.extent("pedro", &SchemeRef::table("protein")).unwrap().len(),
+            3
+        );
+    }
+}

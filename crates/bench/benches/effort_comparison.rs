@@ -1,0 +1,49 @@
+//! E2 (§3 effort comparison): 26 manually-defined transformations (intersection
+//! schemas, query-driven) versus 95 non-trivial transformations (classical iSpider
+//! integration). Prints the comparison once and benchmarks the cost of constructing
+//! each integration.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteomics::case_study::compare_methodologies;
+use proteomics::classical_integration::run_classical_integration;
+use proteomics::intersection_integration::all_iterations;
+use proteomics::sources::CaseStudyScale;
+use std::time::Duration;
+
+fn effort_comparison(c: &mut Criterion) {
+    let (run, classical, comparison) =
+        compare_methodologies(&CaseStudyScale::tiny()).expect("case study runs");
+    eprintln!("\n[E2] methodology comparison:");
+    eprintln!("{}", comparison.render());
+    eprintln!(
+        "  intersection per-iteration manual counts: {:?}",
+        run.per_iteration_manual
+    );
+    eprintln!(
+        "  classical per-stage non-trivial counts:   {:?}",
+        classical
+            .stages
+            .iter()
+            .map(|s| s.nontrivial_total)
+            .collect::<Vec<_>>()
+    );
+
+    let mut group = c.benchmark_group("effort_comparison");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("build_intersection_specs", |b| {
+        b.iter(|| {
+            let iterations = all_iterations().expect("specs");
+            iterations
+                .iter()
+                .map(|(_, s)| s.manual_transformation_count())
+                .sum::<usize>()
+        })
+    });
+    group.bench_function("classical_integration_full", |b| {
+        b.iter(|| run_classical_integration().expect("classical runs").total_nontrivial)
+    });
+    group.finish();
+}
+
+criterion_group!(benches, effort_comparison);
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Supporting microbenchmarks: IQL parsing, evaluation of selections and joins over
+//! growing extents, and bag-union throughput — the primitives every dataspace query
+//! bottoms out in.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use iql::value::{Bag, Value};
+use iql::{parse, Evaluator, MapExtents};
+use std::time::Duration;
+
+fn fixture(rows: usize) -> MapExtents {
+    let mut m = MapExtents::new();
+    m.insert_keys("protein", (0..rows as i64).collect());
+    m.insert(
+        "protein,accession_num",
+        Bag::from_values(
+            (0..rows as i64)
+                .map(|k| Value::pair(Value::Int(k), Value::str(format!("ACC{:05}", k % 97))))
+                .collect(),
+        ),
+    );
+    m.insert(
+        "proseq,label",
+        Bag::from_values(
+            (0..rows as i64)
+                .map(|k| Value::pair(Value::Int(k + 10_000), Value::str(format!("ACC{:05}", k % 89))))
+                .collect(),
+        ),
+    );
+    m
+}
+
+fn iql_eval(c: &mut Criterion) {
+    let selection = "[x | {k, x} <- <<protein, accession_num>>; k < 100]";
+    let join = "[{k1, k2} | {k1, x} <- <<protein, accession_num>>; {k2, y} <- <<proseq, label>>; x = y]";
+    let aggregate = "count(distinct [x | {k, x} <- <<protein, accession_num>>])";
+
+    let mut parse_group = c.benchmark_group("iql_parse");
+    parse_group.sample_size(20).measurement_time(Duration::from_secs(2));
+    for (name, text) in [("selection", selection), ("join", join), ("aggregate", aggregate)] {
+        parse_group.bench_function(name, |b| b.iter(|| parse(text).expect("parses")));
+    }
+    parse_group.finish();
+
+    let mut eval_group = c.benchmark_group("iql_eval");
+    eval_group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for rows in [100usize, 400, 1600] {
+        let extents = fixture(rows);
+        for (name, text) in [("selection", selection), ("aggregate", aggregate)] {
+            let expr = parse(text).expect("parses");
+            eval_group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
+                b.iter(|| Evaluator::new(&extents).eval_closed(&expr).expect("evaluates"))
+            });
+        }
+        // The join is quadratic; keep it to the smaller sizes.
+        if rows <= 400 {
+            let expr = parse(join).expect("parses");
+            eval_group.bench_with_input(BenchmarkId::new("join", rows), &rows, |b, _| {
+                b.iter(|| Evaluator::new(&extents).eval_closed(&expr).expect("evaluates"))
+            });
+        }
+    }
+    eval_group.finish();
+
+    let mut bag_group = c.benchmark_group("bag_algebra");
+    bag_group.sample_size(20).measurement_time(Duration::from_secs(2));
+    let a = Bag::from_values((0..5_000).map(Value::Int).collect());
+    let b_bag = Bag::from_values((2_500..7_500).map(Value::Int).collect());
+    bag_group.bench_function("union_5k", |bench| bench.iter(|| a.union(&b_bag).len()));
+    bag_group.bench_function("difference_5k", |bench| bench.iter(|| a.difference(&b_bag).len()));
+    bag_group.bench_function("distinct_5k", |bench| bench.iter(|| a.union(&a).distinct().len()));
+    bag_group.finish();
+}
+
+criterion_group!(benches, iql_eval);
+criterion_main!(benches);

@@ -1,0 +1,84 @@
+//! E8 (ablation, §2.3 step 4): schema-matcher quality and throughput on the
+//! case-study schemas. Prints precision/recall against the known ground-truth
+//! correspondences once, then benchmarks name-only and instance-assisted matching.
+
+use automed::wrapper::{wrap_relational, SourceRegistry};
+use criterion::{criterion_group, criterion_main, Criterion};
+use iql::ast::SchemeRef;
+use matching::{MatchConfig, Matcher};
+use proteomics::sources::{generate_pedro, generate_pepseeker, pedro_schema, pepseeker_schema, CaseStudyScale};
+use std::time::Duration;
+
+fn ground_truth() -> Vec<(SchemeRef, SchemeRef)> {
+    vec![
+        (SchemeRef::table("peptidehit"), SchemeRef::table("peptidehit")),
+        (
+            SchemeRef::column("peptidehit", "sequence"),
+            SchemeRef::column("peptidehit", "pepseq"),
+        ),
+        (
+            SchemeRef::column("peptidehit", "score"),
+            SchemeRef::column("peptidehit", "score"),
+        ),
+        (
+            SchemeRef::column("peptidehit", "probability"),
+            SchemeRef::column("peptidehit", "expect"),
+        ),
+        (
+            SchemeRef::column("protein", "accession_num"),
+            SchemeRef::column("proteinhit", "ProteinID"),
+        ),
+        (
+            SchemeRef::column("proteinhit", "db_search"),
+            SchemeRef::column("proteinhit", "fileparameters"),
+        ),
+        (SchemeRef::table("proteinhit"), SchemeRef::table("proteinhit")),
+    ]
+}
+
+fn matcher_bench(c: &mut Criterion) {
+    let pedro = wrap_relational(&pedro_schema());
+    let pepseeker = wrap_relational(&pepseeker_schema());
+    let scale = CaseStudyScale::tiny();
+    let mut registry = SourceRegistry::new();
+    registry.add_source(generate_pedro(&scale)).expect("pedro");
+    registry.add_source(generate_pepseeker(&scale)).expect("pepseeker");
+
+    let matcher = Matcher::with_config(MatchConfig {
+        threshold: 0.55,
+        ..MatchConfig::default()
+    });
+    let name_only = Matcher::best_per_left(&matcher.match_names(&pedro, &pepseeker));
+    let with_instances =
+        Matcher::best_per_left(&matcher.match_with_instances(&pedro, &pepseeker, &registry));
+    let q_names = Matcher::evaluate(&name_only, &ground_truth());
+    let q_instances = Matcher::evaluate(&with_instances, &ground_truth());
+    eprintln!("\n[E8] matcher quality vs ground truth (pedro ↔ pepseeker):");
+    eprintln!(
+        "  name-only:        precision={:.2} recall={:.2} f1={:.2} ({} suggestions)",
+        q_names.precision,
+        q_names.recall,
+        q_names.f1,
+        name_only.len()
+    );
+    eprintln!(
+        "  with instances:   precision={:.2} recall={:.2} f1={:.2} ({} suggestions)",
+        q_instances.precision,
+        q_instances.recall,
+        q_instances.f1,
+        with_instances.len()
+    );
+
+    let mut group = c.benchmark_group("matcher");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("name_only", |b| {
+        b.iter(|| matcher.match_names(&pedro, &pepseeker).len())
+    });
+    group.bench_function("with_instances", |b| {
+        b.iter(|| matcher.match_with_instances(&pedro, &pepseeker, &registry).len())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, matcher_bench);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! E7 (§2.1 pathway machinery): automatic pathway reversal and pathway application,
+//! swept over pathway length.
+
+use automed::transformation::Transformation;
+use automed::{Pathway, Schema, SchemaObject};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+fn pathway_of_length(n: usize) -> (Schema, Pathway) {
+    let mut schema = Schema::new("base");
+    schema.add_object(SchemaObject::table("base")).expect("add");
+    let mut pathway = Pathway::new("base", "derived");
+    for i in 0..n {
+        pathway.push(Transformation::add(
+            SchemaObject::table(format!("t{i}")),
+            iql::parse(&format!("[{{'S', k}} | k <- <<{}>>]", if i == 0 { "base".into() } else { format!("t{}", i - 1) }))
+                .expect("parses"),
+        ));
+    }
+    (schema, pathway)
+}
+
+fn pathway_reversal(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pathway_reversal");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for n in [8usize, 64, 512] {
+        let (schema, pathway) = pathway_of_length(n);
+        group.bench_with_input(BenchmarkId::new("reverse", n), &n, |b, _| {
+            b.iter(|| pathway.reverse().len())
+        });
+        group.bench_with_input(BenchmarkId::new("apply", n), &n, |b, _| {
+            b.iter(|| pathway.apply_to(&schema).expect("applies").len())
+        });
+        group.bench_with_input(BenchmarkId::new("round_trip_restores_schema", n), &n, |b, _| {
+            b.iter(|| {
+                let forward = pathway.apply_to(&schema).expect("applies");
+                let back = pathway.reverse().apply_to(&forward).expect("reverses");
+                assert!(back.syntactically_identical(&schema));
+                back.len()
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, pathway_reversal);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! E3 (pay-as-you-go curve): cumulative manual effort versus the number of priority
+//! queries answerable after each iteration, plus the cost of running a complete
+//! incremental session.
+
+use bench::integrated_session;
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteomics::sources::CaseStudyScale;
+use std::time::Duration;
+
+fn pay_as_you_go(c: &mut Criterion) {
+    let scale = CaseStudyScale::tiny();
+    let session = integrated_session(&scale);
+    eprintln!("\n[E3] pay-as-you-go curve (cumulative manual effort vs answerable queries):");
+    for point in session.pay_as_you_go_curve() {
+        eprintln!(
+            "  iteration {:<2} {:<16} effort={:<3} answerable={}/7 {:?}",
+            point.iteration,
+            point.label,
+            point.cumulative_manual,
+            point.answerable_count(),
+            point.answerable_queries
+        );
+    }
+
+    let mut group = c.benchmark_group("pay_as_you_go");
+    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group.bench_function("full_incremental_session", |b| {
+        b.iter(|| {
+            let session = integrated_session(&scale);
+            assert!(session.all_queries_answerable());
+            session.pay_as_you_go_curve().len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, pay_as_you_go);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! E7 (BAV query processing): GAV unfolding and BAV reformulation of queries along
+//! pathways of increasing length, plus the LAV view-inversion rule used for automatic
+//! reverse-query generation.
+
+use automed::qp::{bav, gav, lav};
+use automed::transformation::Transformation;
+use automed::{Pathway, Schema, SchemaObject, SchemeRef};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::time::Duration;
+
+/// A pathway that renames/derives a chain of views over a base table.
+fn chained_pathway(n: usize) -> (Schema, Pathway) {
+    let mut source = Schema::new("src");
+    source.add_object(SchemaObject::table("base")).expect("add");
+    source
+        .add_object(SchemaObject::column("base", "value"))
+        .expect("add");
+    let mut pathway = Pathway::new("src", "tgt");
+    for i in 0..n {
+        let previous = if i == 0 { "base".to_string() } else { format!("v{}", i - 1) };
+        pathway.push(Transformation::add(
+            SchemaObject::table(format!("v{i}")),
+            iql::parse(&format!("[k | k <- <<{previous}>>]")).expect("parses"),
+        ));
+    }
+    (source, pathway)
+}
+
+fn query_reformulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("query_reformulation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    for n in [4usize, 16, 64] {
+        let (source, pathway) = chained_pathway(n);
+        let query = iql::parse(&format!("count <<v{}>>", n - 1)).expect("parses");
+        group.bench_with_input(BenchmarkId::new("gav_unfold", n), &n, |b, _| {
+            b.iter(|| gav::unfold_along_pathway(&query, &pathway).expect("unfolds"))
+        });
+        group.bench_with_input(BenchmarkId::new("bav_to_source", n), &n, |b, _| {
+            b.iter(|| {
+                let r = bav::reformulate_to_source(&query, &pathway, &source).expect("reformulates");
+                assert!(r.is_complete());
+                r.query
+            })
+        });
+    }
+
+    // LAV inversion of the paper-shaped tagging views.
+    let view = SchemeRef::column("UProtein", "accession_num");
+    let body = iql::parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").expect("parses");
+    group.bench_function("lav_invert_tagging_view", |b| {
+        b.iter(|| lav::invert_view(&view, &body).expect("invertible").0.key())
+    });
+    group.finish();
+}
+
+criterion_group!(benches, query_reformulation);
+criterion_main!(benches);

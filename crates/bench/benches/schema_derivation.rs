@@ -1,0 +1,78 @@
+//! E5 (Figures 2–4): the schema-level operations of the intersection-schema
+//! technique — federation, intersection construction, schema difference and global
+//! schema derivation — benchmarked individually.
+
+use bench::federated_dataspace;
+use criterion::{criterion_group, criterion_main, Criterion};
+use dataspace_core::difference::difference;
+use dataspace_core::federated::federate;
+use dataspace_core::global::derive_global;
+use dataspace_core::intersection::build_intersection;
+use proteomics::intersection_integration::{iteration_q1, iteration_q4};
+use proteomics::sources::CaseStudyScale;
+use std::time::Duration;
+
+fn schema_derivation(c: &mut Criterion) {
+    let ds = federated_dataspace(&CaseStudyScale::tiny());
+    let repo = ds.repository();
+    let members: Vec<&automed::Schema> = ds
+        .source_names()
+        .iter()
+        .map(|n| repo.schema(n).expect("member"))
+        .collect();
+    eprintln!(
+        "\n[E5] schema derivation over {} sources with {} federated objects",
+        members.len(),
+        ds.federated_schema().expect("federated").len()
+    );
+
+    let mut group = c.benchmark_group("schema_derivation");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+
+    group.bench_function("federate_three_sources", |b| {
+        b.iter(|| federate("F", members.iter().copied()).expect("federates").schema.len())
+    });
+
+    group.bench_function("build_intersection_q1", |b| {
+        b.iter(|| build_intersection(&iteration_q1(), repo).expect("builds").schema.len())
+    });
+
+    group.bench_function("build_intersection_q4", |b| {
+        b.iter(|| {
+            build_intersection(&iteration_q4().expect("spec"), repo)
+                .expect("builds")
+                .schema
+                .len()
+        })
+    });
+
+    let i1 = build_intersection(&iteration_q1(), repo).expect("builds");
+    group.bench_function("schema_difference_pedro_minus_i1", |b| {
+        let pedro = repo.schema("pedro").expect("pedro");
+        let pathway = i1.pathways.iter().find(|p| p.source == "pedro").expect("pathway");
+        b.iter(|| difference(pedro, pathway).expect("difference").schema.len())
+    });
+
+    group.bench_function("derive_global_with_redundancy_removal", |b| {
+        b.iter(|| {
+            derive_global("G", &members, &[&i1], true)
+                .expect("derives")
+                .schema
+                .len()
+        })
+    });
+
+    group.bench_function("derive_global_keeping_redundant", |b| {
+        b.iter(|| {
+            derive_global("G", &members, &[&i1], false)
+                .expect("derives")
+                .schema
+                .len()
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, schema_derivation);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! E1 (Table 1): the seven priority queries evaluated over the integrated dataspace.
+//!
+//! Regenerates the paper's Table 1 by printing each query's answer size once, then
+//! benchmarks the per-query evaluation latency and sweeps Q1 across data scales.
+
+use bench::{bench_scale, integrated_dataspace, scale_sweep};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use proteomics::queries::priority_queries;
+use std::time::Duration;
+
+fn table1(c: &mut Criterion) {
+    let ds = integrated_dataspace(&bench_scale());
+
+    // Print the Table-1-style rows once so the bench output doubles as the report.
+    eprintln!("\n[E1/Table 1] query answer sizes at the bench scale:");
+    for q in priority_queries() {
+        let n = ds.query(&q.iql).map(|b| b.len()).unwrap_or(0);
+        eprintln!("  {}: {} tuples — {}", q.name, n, q.description);
+    }
+
+    let mut group = c.benchmark_group("table1_queries");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    for q in priority_queries() {
+        let expr = iql::parse(&q.iql).expect("query parses");
+        group.bench_function(&q.name, |b| {
+            b.iter(|| {
+                let provider = ds.provider().expect("provider");
+                provider.answer(&expr).expect("query answers")
+            })
+        });
+    }
+    group.finish();
+
+    let mut sweep = c.benchmark_group("table1_q1_scale_sweep");
+    sweep.sample_size(10).measurement_time(Duration::from_secs(2));
+    for (factor, scale) in scale_sweep() {
+        let ds = integrated_dataspace(&scale);
+        let q1 = iql::parse(&priority_queries()[0].iql).expect("q1 parses");
+        sweep.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
+            b.iter(|| {
+                let provider = ds.provider().expect("provider");
+                provider.answer(&q1).expect("query answers")
+            })
+        });
+    }
+    sweep.finish();
+}
+
+criterion_group!(benches, table1);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! E4 (Figure 1): the classical union-compatible integration flow — wrapping,
+//! transformation to union-compatible schemas, ident injection and global-schema
+//! selection — benchmarked as a whole.
+
+use automed::transformation::Transformation;
+use automed::union_compat::{integrate_union_compatible, SourceIntegration};
+use automed::wrapper::wrap_relational;
+use automed::{Repository, SchemaObject};
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteomics::sources::{gpmdb_schema, pedro_schema};
+use std::time::Duration;
+
+fn source_steps(tag: &str, table: &str, column: &str, schema: &automed::Schema) -> Vec<Transformation> {
+    let mut steps = vec![
+        Transformation::add(
+            SchemaObject::table("UProtein"),
+            iql::parse(&format!("[{{'{tag}', k}} | k <- <<{table}>>]")).expect("parses"),
+        ),
+        Transformation::add(
+            SchemaObject::column("UProtein", "accession_num"),
+            iql::parse(&format!(
+                "[{{'{tag}', k, x}} | {{k, x}} <- <<{table}, {column}>>]"
+            ))
+            .expect("parses"),
+        ),
+    ];
+    steps.extend(schema.objects().map(|o| Transformation::contract_void_any(o.clone())));
+    steps
+}
+
+fn union_compatible(c: &mut Criterion) {
+    let pedro = wrap_relational(&pedro_schema());
+    let gpmdb = wrap_relational(&gpmdb_schema());
+    eprintln!(
+        "\n[E4] union-compatible integration over pedro ({} objects) and gpmdb ({} objects)",
+        pedro.len(),
+        gpmdb.len()
+    );
+
+    let mut group = c.benchmark_group("union_compatible");
+    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group.bench_function("figure1_flow", |b| {
+        b.iter(|| {
+            let mut repo = Repository::new();
+            repo.add_source_schema(pedro.clone()).expect("pedro");
+            repo.add_source_schema(gpmdb.clone()).expect("gpmdb");
+            let result = integrate_union_compatible(
+                &mut repo,
+                &[
+                    SourceIntegration::new("pedro", source_steps("PEDRO", "protein", "accession_num", &pedro)),
+                    SourceIntegration::new("gpmdb", source_steps("gpmDB", "proseq", "label", &gpmdb)),
+                ],
+                "GS",
+            )
+            .expect("integrates");
+            result.nontrivial_transformations
+        })
+    });
+    group.bench_function("wrap_relational_sources", |b| {
+        b.iter(|| {
+            let p = wrap_relational(&pedro_schema());
+            let g = wrap_relational(&gpmdb_schema());
+            p.len() + g.len()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, union_compatible);
+criterion_main!(benches);

@@ -1,0 +1,471 @@
+//! The `Dataspace` facade.
+//!
+//! A [`Dataspace`] ties together everything an application needs to run the paper's
+//! methodology end-to-end: the wrapped data sources, the schemas-and-transformations
+//! repository, the current federated and global schemas, the view definitions that
+//! make them queryable, and the effort bookkeeping. The typical lifecycle mirrors the
+//! workflow of §2.3:
+//!
+//! 1. [`Dataspace::add_source`] for each data source (wrapping, step 1);
+//! 2. [`Dataspace::federate`] — the zero-effort federated schema (step 2), which also
+//!    becomes the first global schema;
+//! 3. repeatedly [`Dataspace::integrate`] with an [`IntersectionSpec`] (steps 3–5),
+//!    each call re-deriving the global schema;
+//! 4. [`Dataspace::query`] at any point (step 6 / data services).
+
+use crate::error::CoreError;
+use crate::federated::{federate, Federation};
+use crate::global::{derive_global, GlobalDerivation};
+use crate::intersection::{build_intersection, IntersectionResult};
+use crate::mapping::IntersectionSpec;
+use crate::metrics::{EffortReport, IterationEffort};
+use automed::qp::evaluator::VirtualExtents;
+use automed::wrapper::SourceRegistry;
+use automed::{Repository, Schema};
+use iql::value::{Bag, Value};
+use relational::Database;
+
+/// Configuration of a dataspace.
+#[derive(Debug, Clone)]
+pub struct DataspaceConfig {
+    /// Whether redundant (covered) source objects are dropped from the global schema
+    /// after each iteration — the optional step 5 choice in the paper's workflow.
+    pub drop_redundant: bool,
+    /// Name given to the federated schema.
+    pub federated_name: String,
+    /// Prefix for the global schema names (`G0`, `G1`, … per iteration).
+    pub global_prefix: String,
+}
+
+impl Default for DataspaceConfig {
+    fn default() -> Self {
+        DataspaceConfig {
+            drop_redundant: true,
+            federated_name: "F".into(),
+            global_prefix: "G".into(),
+        }
+    }
+}
+
+/// The dataspace: sources, repository, current schemas and effort history.
+#[derive(Debug)]
+pub struct Dataspace {
+    registry: SourceRegistry,
+    repository: Repository,
+    member_names: Vec<String>,
+    federation: Option<Federation>,
+    intersections: Vec<IntersectionResult>,
+    global: Option<GlobalDerivation>,
+    effort: EffortReport,
+    config: DataspaceConfig,
+}
+
+impl Default for Dataspace {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Dataspace {
+    /// A dataspace with the default configuration.
+    pub fn new() -> Self {
+        Dataspace::with_config(DataspaceConfig::default())
+    }
+
+    /// A dataspace with a custom configuration.
+    pub fn with_config(config: DataspaceConfig) -> Self {
+        Dataspace {
+            registry: SourceRegistry::new(),
+            repository: Repository::new(),
+            member_names: Vec::new(),
+            federation: None,
+            intersections: Vec::new(),
+            global: None,
+            effort: EffortReport::default(),
+            config,
+        }
+    }
+
+    /// Wrap and register a data source (workflow step 1). Must be called before
+    /// [`Dataspace::federate`].
+    pub fn add_source(&mut self, database: Database) -> Result<&Schema, CoreError> {
+        if self.federation.is_some() {
+            return Err(CoreError::WorkflowOrder(
+                "sources must be added before federating".into(),
+            ));
+        }
+        let schema = self.registry.add_source(database)?;
+        let name = schema.name.clone();
+        self.repository.add_source_schema(schema)?;
+        self.member_names.push(name.clone());
+        self.repository.schema(&name).map_err(CoreError::from)
+    }
+
+    /// Build the federated schema over all registered sources (workflow step 2). The
+    /// federated schema doubles as the first version of the global schema and costs no
+    /// manual effort.
+    pub fn federate(&mut self) -> Result<&Schema, CoreError> {
+        if self.member_names.is_empty() {
+            return Err(CoreError::WorkflowOrder("no sources to federate".into()));
+        }
+        if self.federation.is_some() {
+            return Err(CoreError::WorkflowOrder("already federated".into()));
+        }
+        let members: Vec<&Schema> = self
+            .member_names
+            .iter()
+            .map(|n| self.repository.schema(n))
+            .collect::<Result<_, _>>()?;
+        let federation = federate(&self.config.federated_name, members)?;
+        self.repository.put_schema(federation.schema.clone());
+        self.federation = Some(federation);
+        self.rederive_global()?;
+        let size = self.global_schema()?.len();
+        self.effort.iterations.push(IterationEffort {
+            iteration: 0,
+            label: "federation".into(),
+            manual_transformations: 0,
+            auto_transformations: 0,
+            cumulative_manual: 0,
+            global_schema_size: size,
+        });
+        self.federated_schema()
+    }
+
+    /// Run one iteration of the integration workflow (steps 3–5): build the
+    /// intersection schema described by `spec`, register its pathways, and re-derive
+    /// the global schema.
+    pub fn integrate(&mut self, spec: IntersectionSpec) -> Result<IterationEffort, CoreError> {
+        if self.federation.is_none() {
+            return Err(CoreError::WorkflowOrder(
+                "federate() must be called before integrate()".into(),
+            ));
+        }
+        let result = build_intersection(&spec, &self.repository)?;
+        // Register the intersection schema and its pathways in the repository.
+        self.repository.put_schema(result.schema.clone());
+        for pathway in &result.pathways {
+            self.repository.add_pathway_unchecked(pathway.clone());
+        }
+        self.intersections.push(result);
+        self.rederive_global()?;
+
+        let latest = self.intersections.last().expect("just pushed");
+        let cumulative = self.effort.total_manual() + latest.manual_transformations;
+        let record = IterationEffort {
+            iteration: self.effort.iterations.len(),
+            label: spec.name.clone(),
+            manual_transformations: latest.manual_transformations,
+            auto_transformations: latest.auto_transformations,
+            cumulative_manual: cumulative,
+            global_schema_size: self.global_schema()?.len(),
+        };
+        self.effort.iterations.push(record.clone());
+        Ok(record)
+    }
+
+    fn rederive_global(&mut self) -> Result<(), CoreError> {
+        let members: Vec<&Schema> = self
+            .member_names
+            .iter()
+            .map(|n| self.repository.schema(n))
+            .collect::<Result<_, _>>()?;
+        let intersections: Vec<&IntersectionResult> = self.intersections.iter().collect();
+        let name = format!("{}{}", self.config.global_prefix, self.intersections.len());
+        let derivation = derive_global(&name, &members, &intersections, self.config.drop_redundant)?;
+        self.repository.put_schema(derivation.schema.clone());
+        self.global = Some(derivation);
+        Ok(())
+    }
+
+    /// The current federated schema.
+    pub fn federated_schema(&self) -> Result<&Schema, CoreError> {
+        self.federation
+            .as_ref()
+            .map(|f| &f.schema)
+            .ok_or_else(|| CoreError::WorkflowOrder("not federated yet".into()))
+    }
+
+    /// The current global schema.
+    pub fn global_schema(&self) -> Result<&Schema, CoreError> {
+        self.global
+            .as_ref()
+            .map(|g| &g.schema)
+            .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))
+    }
+
+    /// An extent provider answering queries over the current global schema.
+    pub fn provider(&self) -> Result<VirtualExtents<'_>, CoreError> {
+        let global = self
+            .global
+            .as_ref()
+            .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))?;
+        Ok(VirtualExtents::new(&self.registry, &global.definitions))
+    }
+
+    /// Parse and answer an IQL query over the current global schema, expecting a bag
+    /// result.
+    pub fn query(&self, query: &str) -> Result<Bag, CoreError> {
+        let expr = iql::parse(query)?;
+        Ok(self.provider()?.answer_bag(&expr)?)
+    }
+
+    /// Parse and answer an IQL query over the current global schema, returning any
+    /// value (useful for aggregates).
+    pub fn query_value(&self, query: &str) -> Result<Value, CoreError> {
+        let expr = iql::parse(query)?;
+        Ok(self.provider()?.answer(&expr)?)
+    }
+
+    /// Answer an already-parsed query.
+    pub fn query_expr(&self, query: &iql::Expr) -> Result<Value, CoreError> {
+        Ok(self.provider()?.answer(query)?)
+    }
+
+    /// Whether a query can currently be answered (parses, reformulates and evaluates
+    /// without error). Used to build pay-as-you-go curves.
+    pub fn can_answer(&self, query: &str) -> bool {
+        match iql::parse(query) {
+            Ok(expr) => self
+                .provider()
+                .map(|p| p.answer(&expr).is_ok())
+                .unwrap_or(false),
+            Err(_) => false,
+        }
+    }
+
+    /// Names of the registered member (source) schemas.
+    pub fn source_names(&self) -> &[String] {
+        &self.member_names
+    }
+
+    /// The intersections built so far.
+    pub fn intersections(&self) -> &[IntersectionResult] {
+        &self.intersections
+    }
+
+    /// The effort history.
+    pub fn effort_report(&self) -> &EffortReport {
+        &self.effort
+    }
+
+    /// The schemas-and-transformations repository.
+    pub fn repository(&self) -> &Repository {
+        &self.repository
+    }
+
+    /// The source registry.
+    pub fn registry(&self) -> &SourceRegistry {
+        &self.registry
+    }
+
+    /// The federated schemes dropped as redundant in the latest global derivation.
+    pub fn dropped_redundant(&self) -> &[iql::ast::SchemeRef] {
+        self.global
+            .as_ref()
+            .map(|g| g.dropped_redundant.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mapping::{ObjectMapping, SourceContribution};
+    use iql::ast::SchemeRef;
+    use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+
+    fn pedro() -> Database {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_column(RelColumn::nullable("organism", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("protein", vec![1.into(), "ACC1".into(), "Homo sapiens".into()])
+            .unwrap();
+        db.insert("protein", vec![2.into(), "ACC2".into(), "Mus musculus".into()])
+            .unwrap();
+        db
+    }
+
+    fn gpmdb() -> Database {
+        let mut s = RelSchema::new("gpmdb");
+        s.add_table(
+            RelTable::new("proseq")
+                .with_column(RelColumn::new("proseqid", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["proseqid"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("proseq", vec![10.into(), "ACC2".into()]).unwrap();
+        db.insert("proseq", vec![11.into(), "ACC3".into()]).unwrap();
+        db
+    }
+
+    fn uprotein_spec() -> IntersectionSpec {
+        IntersectionSpec::new("I1")
+            .with_mapping(
+                ObjectMapping::table("UProtein")
+                    .with_contribution(
+                        SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
+                            .unwrap(),
+                    )
+                    .with_contribution(
+                        SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
+                            .unwrap(),
+                    ),
+            )
+            .with_mapping(
+                ObjectMapping::column("UProtein", "accession_num")
+                    .with_contribution(
+                        SourceContribution::parsed(
+                            "pedro",
+                            "[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]",
+                            ["protein,accession_num"],
+                        )
+                        .unwrap(),
+                    )
+                    .with_contribution(
+                        SourceContribution::parsed(
+                            "gpmdb",
+                            "[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]",
+                            ["proseq,label"],
+                        )
+                        .unwrap(),
+                    ),
+            )
+    }
+
+    fn dataspace() -> Dataspace {
+        let mut ds = Dataspace::new();
+        ds.add_source(pedro()).unwrap();
+        ds.add_source(gpmdb()).unwrap();
+        ds.federate().unwrap();
+        ds
+    }
+
+    #[test]
+    fn workflow_order_enforced() {
+        let mut ds = Dataspace::new();
+        assert!(ds.federate().is_err());
+        assert!(ds.integrate(uprotein_spec()).is_err());
+        ds.add_source(pedro()).unwrap();
+        ds.federate().unwrap();
+        assert!(ds.add_source(gpmdb()).is_err());
+        assert!(ds.federate().is_err());
+    }
+
+    #[test]
+    fn federated_schema_is_queryable_without_effort() {
+        let ds = dataspace();
+        assert_eq!(ds.effort_report().total_manual(), 0);
+        let n = ds.query_value("count <<PEDRO_protein>>").unwrap();
+        assert_eq!(n, Value::Int(2));
+        assert!(ds.can_answer("count <<GPMDB_proseq, GPMDB_label>>"));
+        // Integrated concepts do not exist yet.
+        assert!(!ds.can_answer("count <<UProtein>>"));
+    }
+
+    #[test]
+    fn integration_iteration_produces_queryable_global_schema() {
+        let mut ds = dataspace();
+        let record = ds.integrate(uprotein_spec()).unwrap();
+        assert_eq!(record.manual_transformations, 4);
+        assert_eq!(record.cumulative_manual, 4);
+        // 2 (pedro) + 2 (gpmdb) = 4 UProtein entries.
+        assert_eq!(ds.query_value("count <<UProtein>>").unwrap(), Value::Int(4));
+        // Cross-source join through the integrated concept: ACC2 appears in both.
+        let shared = ds
+            .query(
+                "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']",
+            )
+            .unwrap();
+        assert_eq!(shared.len(), 1);
+    }
+
+    #[test]
+    fn redundant_objects_dropped_but_uncovered_ones_remain() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let global = ds.global_schema().unwrap();
+        assert!(global.contains(&SchemeRef::table("UProtein")));
+        assert!(!global.contains(&SchemeRef::table("PEDRO_protein")));
+        // organism was not covered, so it remains (prefixed) and stays queryable.
+        assert!(global.contains(&SchemeRef::column("PEDRO_protein", "PEDRO_organism")));
+        assert_eq!(
+            ds.query_value("count <<PEDRO_protein, PEDRO_organism>>").unwrap(),
+            Value::Int(2)
+        );
+        assert_eq!(ds.dropped_redundant().len(), 4);
+    }
+
+    #[test]
+    fn keep_redundant_configuration() {
+        let mut ds = Dataspace::with_config(DataspaceConfig {
+            drop_redundant: false,
+            ..DataspaceConfig::default()
+        });
+        ds.add_source(pedro()).unwrap();
+        ds.add_source(gpmdb()).unwrap();
+        ds.federate().unwrap();
+        ds.integrate(uprotein_spec()).unwrap();
+        let global = ds.global_schema().unwrap();
+        assert!(global.contains(&SchemeRef::table("PEDRO_protein")));
+        assert!(global.contains(&SchemeRef::table("UProtein")));
+        assert!(ds.dropped_redundant().is_empty());
+        // Redundant object still answers, and its extent matches the source.
+        assert_eq!(ds.query_value("count <<PEDRO_protein>>").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn effort_report_accumulates_over_iterations() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let spec2 = IntersectionSpec::new("I2").with_mapping(
+            ObjectMapping::column("UProtein", "organism").with_contribution(
+                SourceContribution::parsed(
+                    "pedro",
+                    "[{'PEDRO', k, x} | {k, x} <- <<protein, organism>>]",
+                    ["protein,organism"],
+                )
+                .unwrap(),
+            ),
+        );
+        let record2 = ds.integrate(spec2).unwrap();
+        assert_eq!(record2.manual_transformations, 1);
+        assert_eq!(record2.cumulative_manual, 5);
+        assert_eq!(ds.effort_report().iterations.len(), 3); // federation + 2
+        assert_eq!(ds.effort_report().total_manual(), 5);
+        assert_eq!(ds.query_value("count <<UProtein, organism>>").unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn repository_records_schemas_and_pathways() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let repo = ds.repository();
+        assert!(repo.has_schema("pedro"));
+        assert!(repo.has_schema("F"));
+        assert!(repo.has_schema("I1"));
+        assert!(repo.has_schema("G1"));
+        // A pathway exists from each source to the intersection schema.
+        assert!(repo.pathway_between("pedro", "I1").is_ok());
+        assert!(repo.pathway_between("gpmdb", "I1").is_ok());
+        // And therefore (via reversal/composition) between the two sources.
+        assert!(repo.pathway_between("pedro", "gpmdb").is_ok());
+    }
+
+    #[test]
+    fn query_errors_are_reported() {
+        let ds = dataspace();
+        assert!(matches!(ds.query("[oops"), Err(CoreError::Parse(_))));
+        assert!(ds.query("count <<NoSuchThing>>").is_err());
+        assert!(!ds.can_answer("count <<NoSuchThing>>"));
+    }
+}

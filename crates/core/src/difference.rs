@@ -1,0 +1,149 @@
+//! The schema difference operator `ES − I`.
+//!
+//! Given an extensional schema `ES` and the pathway `ES → I` that produced an
+//! intersection schema from it, `ES − I` removes from `ES` the objects that are
+//! semantically equivalent to (covered by) objects of `I`. Operationally (as defined
+//! in §2.2 of the paper): retain only those objects of `ES` that were removed in the
+//! pathway `ES → I` by a `contract` operation, i.e. drop the ones that were removed by
+//! a `delete` operation. The pathway `ES → ES − I` is derived automatically as one
+//! `contract(ci, Range Void Any)` per deleted object.
+
+use crate::error::CoreError;
+use automed::transformation::Transformation;
+use automed::{Pathway, Schema, SchemeRef};
+
+/// The result of computing `ES − I`.
+#[derive(Debug, Clone)]
+pub struct Difference {
+    /// The difference schema: the objects of `ES` not covered by the intersection.
+    pub schema: Schema,
+    /// The automatically derived pathway `ES → ES − I`.
+    pub pathway: Pathway,
+    /// The schemes of `ES` that were dropped (covered by the intersection).
+    pub dropped: Vec<SchemeRef>,
+}
+
+/// Compute `ES − I` from the extensional schema and the pathway `ES → I`.
+///
+/// The pathway's `delete` steps identify the covered objects; everything else of `ES`
+/// is retained.
+pub fn difference(es: &Schema, pathway_to_intersection: &Pathway) -> Result<Difference, CoreError> {
+    if pathway_to_intersection.source != es.name {
+        return Err(CoreError::InvalidSpec(format!(
+            "pathway starts at `{}`, not at extensional schema `{}`",
+            pathway_to_intersection.source, es.name
+        )));
+    }
+    let deleted: Vec<SchemeRef> = pathway_to_intersection
+        .steps()
+        .iter()
+        .filter_map(|t| match t {
+            Transformation::Delete { object, .. } => Some(object.scheme.clone()),
+            _ => None,
+        })
+        .collect();
+
+    let mut result = Schema::new(format!("{}-{}", es.name, pathway_to_intersection.target));
+    let mut derived = Pathway::new(es.name.clone(), result.name.clone());
+    let mut dropped = Vec::new();
+    for object in es.objects() {
+        if deleted.contains(&object.scheme) {
+            derived.push(Transformation::contract_void_any(object.clone()));
+            dropped.push(object.scheme.clone());
+        } else {
+            result
+                .add_object(object.clone())
+                .map_err(CoreError::from)?;
+        }
+    }
+    Ok(Difference {
+        schema: result,
+        pathway: derived,
+        dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automed::SchemaObject;
+    use iql::parse;
+
+    fn pedro() -> Schema {
+        Schema::from_objects(
+            "pedro",
+            [
+                SchemaObject::table("protein"),
+                SchemaObject::column("protein", "accession_num"),
+                SchemaObject::column("protein", "organism"),
+                SchemaObject::table("peptidehit"),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn pathway() -> Pathway {
+        let mut p = Pathway::new("pedro", "I1");
+        p.push(Transformation::add(
+            SchemaObject::table("UProtein"),
+            parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+        ));
+        p.push(Transformation::delete(
+            SchemaObject::table("protein"),
+            parse("[k | {'PEDRO', k} <- <<UProtein>>]").unwrap(),
+        ));
+        p.push(Transformation::delete(
+            SchemaObject::column("protein", "accession_num"),
+            parse("[{k, x} | {'PEDRO', k, x} <- <<UProtein, accession_num>>]").unwrap(),
+        ));
+        p.push(Transformation::contract_void_any(SchemaObject::column(
+            "protein", "organism",
+        )));
+        p.push(Transformation::contract_void_any(SchemaObject::table(
+            "peptidehit",
+        )));
+        p
+    }
+
+    #[test]
+    fn difference_keeps_only_uncovered_objects() {
+        let d = difference(&pedro(), &pathway()).unwrap();
+        assert_eq!(d.schema.len(), 2);
+        assert!(d.schema.contains(&SchemeRef::column("protein", "organism")));
+        assert!(d.schema.contains(&SchemeRef::table("peptidehit")));
+        assert!(!d.schema.contains(&SchemeRef::table("protein")));
+        assert_eq!(d.dropped.len(), 2);
+    }
+
+    #[test]
+    fn derived_pathway_contracts_exactly_the_deleted_objects() {
+        let d = difference(&pedro(), &pathway()).unwrap();
+        assert_eq!(d.pathway.len(), 2);
+        assert!(d.pathway.steps().iter().all(|t| t.kind() == "contract"));
+        // Applying the derived pathway to ES yields ES − I.
+        let produced = d.pathway.apply_to(&pedro()).unwrap();
+        assert!(produced.syntactically_identical(&d.schema));
+    }
+
+    #[test]
+    fn difference_with_no_deletes_is_identity() {
+        let mut p = Pathway::new("pedro", "I_empty");
+        p.push(Transformation::add(
+            SchemaObject::table("U"),
+            parse("[k | k <- <<protein>>]").unwrap(),
+        ));
+        let d = difference(&pedro(), &p).unwrap();
+        assert_eq!(d.schema.len(), pedro().len());
+        assert!(d.pathway.is_empty());
+        assert!(d.dropped.is_empty());
+    }
+
+    #[test]
+    fn mismatched_pathway_rejected() {
+        let p = Pathway::new("gpmdb", "I1");
+        assert!(matches!(
+            difference(&pedro(), &p),
+            Err(CoreError::InvalidSpec(_))
+        ));
+    }
+}

@@ -1,0 +1,220 @@
+//! Automatic derivation of the global schema.
+//!
+//! After each iteration the global schema is re-derived as
+//!
+//! ```text
+//! G = I1 ∪ … ∪ Im ∪ (ES1 − I) ∪ (ES2 − I) ∪ ES3 ∪ … ∪ ESn
+//! ```
+//!
+//! (Figure 4 of the paper): every intersection schema contributes its objects, and
+//! every extensional schema contributes the objects *not* covered by an intersection.
+//! Dropping the covered (semantically redundant) source objects is optional — the
+//! paper's tool offers it as a choice — so [`derive_global`] takes a flag and reports
+//! exactly which objects were dropped. Source objects keep their federated
+//! (provenance-prefixed) schemes so that same-named tables from different sources
+//! never clash.
+
+use crate::error::CoreError;
+use crate::federated::federated_scheme;
+use crate::intersection::IntersectionResult;
+use automed::qp::evaluator::ViewDefinitions;
+use automed::qp::Contribution;
+use automed::{Schema, SchemaObject, SchemeRef};
+use iql::ast::Expr;
+
+/// The result of deriving a global schema.
+#[derive(Debug, Clone)]
+pub struct GlobalDerivation {
+    /// The derived global schema.
+    pub schema: Schema,
+    /// View definitions making every global-schema object queryable.
+    pub definitions: ViewDefinitions,
+    /// Federated schemes of source objects that were dropped as redundant (empty when
+    /// redundancy removal was not requested).
+    pub dropped_redundant: Vec<SchemeRef>,
+}
+
+/// Derive the global schema from the extensional schemas and the intersection schemas
+/// built so far.
+pub fn derive_global(
+    name: &str,
+    members: &[&Schema],
+    intersections: &[&IntersectionResult],
+    drop_redundant: bool,
+) -> Result<GlobalDerivation, CoreError> {
+    let mut schema = Schema::new(name);
+    let mut definitions = ViewDefinitions::new();
+    let mut dropped = Vec::new();
+
+    // Intersection-schema objects come first: they are the integrated concepts.
+    for intersection in intersections {
+        for object in intersection.schema.objects() {
+            if !schema.contains(&object.scheme) {
+                schema.add_object(object.clone()).map_err(CoreError::from)?;
+            }
+        }
+        definitions.merge(&intersection.definitions);
+    }
+
+    // Extensional-schema objects, prefixed, minus (optionally) the covered ones.
+    for member in members {
+        for object in member.objects() {
+            let covered = intersections.iter().any(|i| {
+                i.covered
+                    .get(&member.name)
+                    .map(|c| c.contains(&object.scheme))
+                    .unwrap_or(false)
+            });
+            let fed_scheme = federated_scheme(&member.name, &object.scheme);
+            if covered && drop_redundant {
+                dropped.push(fed_scheme);
+                continue;
+            }
+            let fed_object = SchemaObject {
+                scheme: fed_scheme.clone(),
+                language: object.language.clone(),
+                construct: object.construct,
+            };
+            if !schema.contains(&fed_object.scheme) {
+                schema.add_object(fed_object).map_err(CoreError::from)?;
+            }
+            definitions.add_contribution(
+                &fed_scheme,
+                Contribution::from_source(member.name.clone(), Expr::Scheme(object.scheme.clone())),
+            );
+        }
+    }
+
+    Ok(GlobalDerivation {
+        schema,
+        definitions,
+        dropped_redundant: dropped,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::intersection::build_intersection;
+    use crate::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+    use automed::Repository;
+
+    fn repository() -> Repository {
+        let mut repo = Repository::new();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "pedro",
+                [
+                    SchemaObject::table("protein"),
+                    SchemaObject::column("protein", "accession_num"),
+                    SchemaObject::column("protein", "organism"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "gpmdb",
+                [
+                    SchemaObject::table("proseq"),
+                    SchemaObject::column("proseq", "label"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "pepseeker",
+                [
+                    SchemaObject::table("proteinhit"),
+                    SchemaObject::column("proteinhit", "proteinid"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo
+    }
+
+    fn intersection(repo: &Repository) -> IntersectionResult {
+        let spec = IntersectionSpec::new("I1").with_mapping(
+            ObjectMapping::table("UProtein")
+                .with_contribution(
+                    SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
+                        .unwrap(),
+                )
+                .with_contribution(
+                    SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
+                        .unwrap(),
+                ),
+        );
+        build_intersection(&spec, repo).unwrap()
+    }
+
+    #[test]
+    fn global_is_union_of_intersection_and_uncovered_objects() {
+        let repo = repository();
+        let i = intersection(&repo);
+        let members: Vec<&Schema> = ["pedro", "gpmdb", "pepseeker"]
+            .iter()
+            .map(|n| repo.schema(n).unwrap())
+            .collect();
+        let g = derive_global("G1", &members, &[&i], true).unwrap();
+        // Dropped: pedro.protein and gpmdb.proseq (covered).
+        assert_eq!(g.dropped_redundant.len(), 2);
+        assert!(g.schema.contains(&SchemeRef::table("UProtein")));
+        assert!(!g.schema.contains(&SchemeRef::table("PEDRO_protein")));
+        assert!(g.schema.contains(&SchemeRef::column("PEDRO_protein", "PEDRO_accession_num")));
+        assert!(g.schema.contains(&SchemeRef::table("PEPSEEKER_proteinhit")));
+        // 1 (UProtein) + pedro 2 remaining + gpmdb 1 remaining + pepseeker 2 = 6
+        assert_eq!(g.schema.len(), 6);
+    }
+
+    #[test]
+    fn redundant_objects_kept_when_not_dropping() {
+        let repo = repository();
+        let i = intersection(&repo);
+        let members: Vec<&Schema> = ["pedro", "gpmdb", "pepseeker"]
+            .iter()
+            .map(|n| repo.schema(n).unwrap())
+            .collect();
+        let g = derive_global("G1", &members, &[&i], false).unwrap();
+        assert!(g.dropped_redundant.is_empty());
+        assert!(g.schema.contains(&SchemeRef::table("PEDRO_protein")));
+        assert!(g.schema.contains(&SchemeRef::table("UProtein")));
+        assert_eq!(g.schema.len(), 8);
+    }
+
+    #[test]
+    fn definitions_cover_every_global_object() {
+        let repo = repository();
+        let i = intersection(&repo);
+        let members: Vec<&Schema> = ["pedro", "gpmdb", "pepseeker"]
+            .iter()
+            .map(|n| repo.schema(n).unwrap())
+            .collect();
+        let g = derive_global("G1", &members, &[&i], true).unwrap();
+        for object in g.schema.objects() {
+            assert!(
+                g.definitions.defines(&object.scheme),
+                "{} has no view definition",
+                object.scheme
+            );
+        }
+    }
+
+    #[test]
+    fn no_intersections_degenerates_to_federated_schema() {
+        let repo = repository();
+        let members: Vec<&Schema> = ["pedro", "gpmdb"]
+            .iter()
+            .map(|n| repo.schema(n).unwrap())
+            .collect();
+        let g = derive_global("G0", &members, &[], true).unwrap();
+        assert_eq!(g.schema.len(), 5);
+        assert!(g.dropped_redundant.is_empty());
+        assert!(g.schema.contains(&SchemeRef::table("PEDRO_protein")));
+    }
+}

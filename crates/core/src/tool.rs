@@ -1,0 +1,327 @@
+//! A headless equivalent of the graphical Intersection Schema Tool (Figure 5).
+//!
+//! The GUI in the paper presents three panels: the source schemas on the left (object
+//! selection), the transformation queries at the bottom (forward, then reverse), and
+//! the current global schema on the right. This module reproduces the *interaction
+//! contract* of that tool without a GUI:
+//!
+//! * select objects from two (or more) source schemas;
+//! * name the new intersection-schema object; if exactly one object is selected from a
+//!   source, a default forward query (the identity over that object, tagged with the
+//!   source name) is generated automatically, which the user may edit;
+//! * reverse queries are generated automatically where the forward query is
+//!   invertible, defaulting to `Range Void Any` otherwise, and may be overridden;
+//! * the accumulated decisions are turned into an [`IntersectionSpec`] and a
+//!   [`MappingTable`] that mirrors the bottom panel of the GUI.
+
+use crate::error::CoreError;
+use crate::mapping::{parse_scheme_key, IntersectionSpec, MappingTable, ObjectMapping, SourceContribution};
+use automed::{ConstructKind, Repository, SchemeRef};
+use iql::ast::{Expr, Literal, Pattern, Qualifier};
+
+/// One pending mapping being edited in the tool.
+#[derive(Debug, Clone)]
+struct PendingMapping {
+    target_key: String,
+    construct: ConstructKind,
+    contributions: Vec<SourceContribution>,
+    derived_query: Option<Expr>,
+}
+
+/// The headless Intersection Schema Tool.
+#[derive(Debug)]
+pub struct IntersectionSchemaTool<'a> {
+    repository: &'a Repository,
+    intersection_name: String,
+    pending: Vec<PendingMapping>,
+}
+
+impl<'a> IntersectionSchemaTool<'a> {
+    /// Open the tool for a new intersection schema over the given repository.
+    pub fn new(repository: &'a Repository, intersection_name: impl Into<String>) -> Self {
+        IntersectionSchemaTool {
+            repository,
+            intersection_name: intersection_name.into(),
+            pending: Vec::new(),
+        }
+    }
+
+    /// The objects of a source schema, as shown in the tool's left panel.
+    pub fn source_objects(&self, source: &str) -> Result<Vec<SchemeRef>, CoreError> {
+        Ok(self
+            .repository
+            .schema(source)?
+            .schemes()
+            .cloned()
+            .collect())
+    }
+
+    /// Begin a new intersection-schema object. `target_key` is the scheme key of the
+    /// new object (e.g. `"UProtein"` or `"UProtein,accession_num"`).
+    pub fn new_object(&mut self, target_key: &str, construct: ConstructKind) -> &mut Self {
+        self.pending.push(PendingMapping {
+            target_key: target_key.to_string(),
+            construct,
+            contributions: Vec::new(),
+            derived_query: None,
+        });
+        self
+    }
+
+    /// Select a single object from a source for the current target: the tool generates
+    /// the default forward query — the identity over the selected object, tagged with
+    /// the source's (upper-cased) name — which the user may later edit with
+    /// [`IntersectionSchemaTool::edit_forward_query`].
+    pub fn select_object(&mut self, source: &str, object_key: &str) -> Result<&mut Self, CoreError> {
+        let scheme = parse_scheme_key(object_key);
+        let source_schema = self.repository.schema(source)?;
+        if !source_schema.contains(&scheme) {
+            return Err(CoreError::InvalidSpec(format!(
+                "source `{source}` has no object {scheme}"
+            )));
+        }
+        let query = default_forward_query(source, &scheme);
+        let current = self.current_mapping_mut()?;
+        current.contributions.push(SourceContribution::new(
+            source,
+            query,
+            [object_key.to_string()],
+        ));
+        Ok(self)
+    }
+
+    /// Replace the forward query of the current target's contribution from `source`.
+    pub fn edit_forward_query(&mut self, source: &str, query: &str) -> Result<&mut Self, CoreError> {
+        let parsed = iql::parse(query)?;
+        let current = self.current_mapping_mut()?;
+        let contribution = current
+            .contributions
+            .iter_mut()
+            .rev()
+            .find(|c| c.source == source)
+            .ok_or_else(|| {
+                CoreError::InvalidSpec(format!("no contribution from `{source}` to edit"))
+            })?;
+        contribution.query = parsed;
+        Ok(self)
+    }
+
+    /// Supply a reverse query for the current target's contribution from `source`
+    /// (overriding automatic generation).
+    pub fn edit_reverse_query(&mut self, source: &str, query: &str) -> Result<&mut Self, CoreError> {
+        let parsed = iql::parse(query)?;
+        let current = self.current_mapping_mut()?;
+        let contribution = current
+            .contributions
+            .iter_mut()
+            .rev()
+            .find(|c| c.source == source)
+            .ok_or_else(|| {
+                CoreError::InvalidSpec(format!("no contribution from `{source}` to edit"))
+            })?;
+        contribution.reverse_override = Some(parsed);
+        Ok(self)
+    }
+
+    /// Define the current target by a query over the global schema (derived concept).
+    pub fn define_derived(&mut self, query: &str) -> Result<&mut Self, CoreError> {
+        let parsed = iql::parse(query)?;
+        self.current_mapping_mut()?.derived_query = Some(parsed);
+        Ok(self)
+    }
+
+    /// The mappings table as the tool's bottom panel would show it.
+    pub fn mapping_table(&self) -> Result<MappingTable, CoreError> {
+        Ok(MappingTable::from_spec(&self.build_spec()?))
+    }
+
+    /// Finish editing and produce the intersection specification (the user pressing
+    /// "create intersection schema" in the GUI).
+    pub fn finish(&self) -> Result<IntersectionSpec, CoreError> {
+        let spec = self.build_spec()?;
+        spec.validate()?;
+        Ok(spec)
+    }
+
+    fn build_spec(&self) -> Result<IntersectionSpec, CoreError> {
+        let mut spec = IntersectionSpec::new(self.intersection_name.clone());
+        for pending in &self.pending {
+            let mut mapping =
+                ObjectMapping::object(parse_scheme_key(&pending.target_key), pending.construct);
+            for c in &pending.contributions {
+                mapping = mapping.with_contribution(c.clone());
+            }
+            if let Some(d) = &pending.derived_query {
+                mapping = mapping.with_derived_query(d.clone());
+            }
+            spec.push(mapping);
+        }
+        Ok(spec)
+    }
+
+    fn current_mapping_mut(&mut self) -> Result<&mut PendingMapping, CoreError> {
+        self.pending.last_mut().ok_or_else(|| {
+            CoreError::WorkflowOrder("call new_object() before selecting objects".into())
+        })
+    }
+}
+
+/// The default forward query generated when a single object is selected: the identity
+/// over the object, tagged with the source's provenance prefix.
+///
+/// For a table-like scheme `⟨⟨t⟩⟩` the default is `[{ 'SRC', k } | k <- ⟨⟨t⟩⟩]`; for a
+/// column-like scheme `⟨⟨t, c⟩⟩` it is `[{ 'SRC', k, x } | {k, x} <- ⟨⟨t, c⟩⟩]`.
+pub fn default_forward_query(source: &str, scheme: &SchemeRef) -> Expr {
+    let tag = Expr::Lit(Literal::Str(crate::federated::member_prefix(source)));
+    if scheme.parts.len() <= 1 {
+        Expr::Comp {
+            head: Box::new(Expr::Tuple(vec![tag, Expr::var("k")])),
+            qualifiers: vec![Qualifier::Generator {
+                pattern: Pattern::Var("k".into()),
+                source: Expr::Scheme(scheme.clone()),
+            }],
+        }
+    } else {
+        Expr::Comp {
+            head: Box::new(Expr::Tuple(vec![tag, Expr::var("k"), Expr::var("x")])),
+            qualifiers: vec![Qualifier::Generator {
+                pattern: Pattern::Tuple(vec![Pattern::Var("k".into()), Pattern::Var("x".into())]),
+                source: Expr::Scheme(scheme.clone()),
+            }],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use automed::{Schema, SchemaObject};
+
+    fn repository() -> Repository {
+        let mut repo = Repository::new();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "pedro",
+                [
+                    SchemaObject::table("proteinhit"),
+                    SchemaObject::column("proteinhit", "db_search"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo.add_source_schema(
+            Schema::from_objects(
+                "pepseeker",
+                [
+                    SchemaObject::table("proteinhit"),
+                    SchemaObject::column("proteinhit", "fileparameters"),
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        repo
+    }
+
+    #[test]
+    fn figure5_interaction_reproduced() {
+        // The paper's §2.4 example: proteinhit.db_search (Pedro) and
+        // proteinhit.fileparameters (PepSeeker) are semantically equivalent and become
+        // UProteinHit.dbsearch in the intersection schema.
+        let repo = repository();
+        let mut tool = IntersectionSchemaTool::new(&repo, "I_proteinhit");
+        tool.new_object("UProteinHit,dbsearch", ConstructKind::Column);
+        tool.select_object("pedro", "proteinhit,db_search").unwrap();
+        tool.select_object("pepseeker", "proteinhit,fileparameters").unwrap();
+
+        let table = tool.mapping_table().unwrap();
+        assert_eq!(table.rows.len(), 2);
+        assert!(table.rows[0].forward.contains("'PEDRO'"));
+        assert!(table.rows[1].forward.contains("'PEPSEEKER'"));
+        // Default forward queries are invertible, so reverse queries are generated.
+        assert!(table.rows.iter().all(|r| r.reverse_auto_generated));
+
+        let spec = tool.finish().unwrap();
+        assert_eq!(spec.mappings.len(), 1);
+        assert_eq!(spec.manual_transformation_count(), 2);
+        assert_eq!(spec.participating_sources(), vec!["pedro", "pepseeker"]);
+    }
+
+    #[test]
+    fn left_panel_lists_source_objects() {
+        let repo = repository();
+        let tool = IntersectionSchemaTool::new(&repo, "I");
+        let objs = tool.source_objects("pedro").unwrap();
+        assert_eq!(objs.len(), 2);
+        assert!(tool.source_objects("nonexistent").is_err());
+    }
+
+    #[test]
+    fn forward_query_can_be_edited() {
+        let repo = repository();
+        let mut tool = IntersectionSchemaTool::new(&repo, "I");
+        tool.new_object("UProteinHit", ConstructKind::Table);
+        tool.select_object("pedro", "proteinhit").unwrap();
+        tool.edit_forward_query("pedro", "[{'PEDRO', k} | k <- <<proteinhit>>; k > 0]")
+            .unwrap();
+        let spec = tool.finish().unwrap();
+        let q = &spec.mappings[0].contributions[0].query;
+        assert!(iql::pretty::print(q).contains("k > 0"));
+    }
+
+    #[test]
+    fn reverse_override_counts_as_manual() {
+        let repo = repository();
+        let mut tool = IntersectionSchemaTool::new(&repo, "I");
+        tool.new_object("UProteinHit", ConstructKind::Table);
+        tool.select_object("pepseeker", "proteinhit").unwrap();
+        tool.edit_reverse_query("pepseeker", "[k | {'PEPSEEKER', k} <- <<UProteinHit>>]")
+            .unwrap();
+        let spec = tool.finish().unwrap();
+        assert_eq!(spec.manual_transformation_count(), 2);
+    }
+
+    #[test]
+    fn selecting_unknown_object_or_without_target_fails() {
+        let repo = repository();
+        let mut tool = IntersectionSchemaTool::new(&repo, "I");
+        assert!(matches!(
+            tool.select_object("pedro", "proteinhit"),
+            Err(CoreError::WorkflowOrder(_))
+        ));
+        tool.new_object("U", ConstructKind::Table);
+        assert!(matches!(
+            tool.select_object("pedro", "nonexistent"),
+            Err(CoreError::InvalidSpec(_))
+        ));
+    }
+
+    #[test]
+    fn derived_objects_supported() {
+        let repo = repository();
+        let mut tool = IntersectionSchemaTool::new(&repo, "I");
+        tool.new_object("uPeptideHitToProteinHit_mm", ConstructKind::Table);
+        tool.define_derived(
+            "[{k1, k2} | {k1, x} <- <<UPeptideHit, dbsearch>>; {k2, y} <- <<UProteinHit, dbsearch>>; x = y]",
+        )
+        .unwrap();
+        let spec = tool.finish().unwrap();
+        assert!(spec.mappings[0].derived_query.is_some());
+        assert_eq!(spec.manual_transformation_count(), 1);
+    }
+
+    #[test]
+    fn default_query_shapes() {
+        let table_q = default_forward_query("pedro", &SchemeRef::table("proteinhit"));
+        assert_eq!(
+            iql::pretty::print(&table_q),
+            "[{'PEDRO', k} | k <- <<proteinhit>>]"
+        );
+        let col_q = default_forward_query("pepseeker", &SchemeRef::column("proteinhit", "fileparameters"));
+        assert_eq!(
+            iql::pretty::print(&col_q),
+            "[{'PEPSEEKER', k, x} | {k, x} <- <<proteinhit, fileparameters>>]"
+        );
+    }
+}

@@ -1,0 +1,94 @@
+//! Error types for HDM schema and instance manipulation.
+
+use std::fmt;
+
+/// Errors raised while building or validating HDM schemas and instances.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum HdmError {
+    /// A node with the same name already exists in the schema.
+    DuplicateNode(String),
+    /// An edge with the same identity already exists in the schema.
+    DuplicateEdge(String),
+    /// A referenced node does not exist in the schema.
+    UnknownNode(String),
+    /// A referenced edge does not exist in the schema.
+    UnknownEdge(String),
+    /// The node is still referenced by an edge and cannot be removed.
+    NodeInUse { node: String, edge: String },
+    /// The edge is still referenced by another edge or constraint and cannot be removed.
+    EdgeInUse { edge: String, referrer: String },
+    /// An edge was declared with fewer than one participant.
+    EmptyEdge(String),
+    /// A constraint refers to a schema element that does not exist.
+    DanglingConstraint { constraint: String, element: String },
+    /// An instance extent has tuples of the wrong arity for the edge it populates.
+    ArityMismatch {
+        element: String,
+        expected: usize,
+        found: usize,
+    },
+    /// A constraint is violated by the instance data.
+    ConstraintViolation { constraint: String, detail: String },
+}
+
+impl fmt::Display for HdmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HdmError::DuplicateNode(n) => write!(f, "duplicate HDM node `{n}`"),
+            HdmError::DuplicateEdge(e) => write!(f, "duplicate HDM edge `{e}`"),
+            HdmError::UnknownNode(n) => write!(f, "unknown HDM node `{n}`"),
+            HdmError::UnknownEdge(e) => write!(f, "unknown HDM edge `{e}`"),
+            HdmError::NodeInUse { node, edge } => {
+                write!(f, "node `{node}` is still used by edge `{edge}`")
+            }
+            HdmError::EdgeInUse { edge, referrer } => {
+                write!(f, "edge `{edge}` is still used by `{referrer}`")
+            }
+            HdmError::EmptyEdge(e) => write!(f, "edge `{e}` has no participants"),
+            HdmError::DanglingConstraint { constraint, element } => {
+                write!(f, "constraint `{constraint}` refers to missing element `{element}`")
+            }
+            HdmError::ArityMismatch {
+                element,
+                expected,
+                found,
+            } => write!(
+                f,
+                "extent of `{element}` has arity {found}, expected {expected}"
+            ),
+            HdmError::ConstraintViolation { constraint, detail } => {
+                write!(f, "constraint `{constraint}` violated: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for HdmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = HdmError::NodeInUse {
+            node: "protein".into(),
+            edge: "protein_accession".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("protein"));
+        assert!(msg.contains("protein_accession"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            HdmError::UnknownNode("x".into()),
+            HdmError::UnknownNode("x".into())
+        );
+        assert_ne!(
+            HdmError::UnknownNode("x".into()),
+            HdmError::UnknownEdge("x".into())
+        );
+    }
+}

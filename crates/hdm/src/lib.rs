@@ -1,0 +1,50 @@
+//! # HDM — the Hypergraph Data Model
+//!
+//! The Hypergraph Data Model (HDM) is the low-level *common data model* on which the
+//! AutoMed-style integration substrate of this workspace is built. Higher-level
+//! modelling languages (relational, XML-like trees, …) are defined in terms of the HDM
+//! by the Model Definitions Repository in the `automed` crate.
+//!
+//! An HDM schema is a triple `⟨Nodes, Edges, Constraints⟩`:
+//!
+//! * a **node** represents a named extensional concept and carries a bag of scalar
+//!   values as its extent;
+//! * an **edge** is a (possibly named) hyperedge over nodes and other edges and carries
+//!   a bag of value tuples as its extent;
+//! * a **constraint** restricts the allowable extents (inclusion, exclusion, union,
+//!   mandatory and unique participation, reflexivity).
+//!
+//! The crate also provides [`instance::HdmInstance`], an in-memory store of HDM-level
+//! extents used by tests and by the relational wrapper when it lowers a relational
+//! database into the HDM.
+//!
+//! ```
+//! use hdm::{HdmSchema, Node, Edge, HdmRef};
+//!
+//! let mut schema = HdmSchema::new("example");
+//! schema.add_node(Node::new("protein")).unwrap();
+//! schema.add_node(Node::new("accession")).unwrap();
+//! schema
+//!     .add_edge(Edge::new(
+//!         Some("protein_accession"),
+//!         vec![HdmRef::node("protein"), HdmRef::node("accession")],
+//!     ))
+//!     .unwrap();
+//! assert!(schema.validate().is_ok());
+//! ```
+
+pub mod constraint;
+pub mod edge;
+pub mod error;
+pub mod instance;
+pub mod node;
+pub mod schema;
+pub mod value;
+
+pub use constraint::Constraint;
+pub use edge::{Edge, HdmRef};
+pub use error::HdmError;
+pub use instance::HdmInstance;
+pub use node::Node;
+pub use schema::HdmSchema;
+pub use value::{HdmTuple, HdmValue};

@@ -1,0 +1,297 @@
+//! Built-in function library.
+//!
+//! IQL is a small functional language; its standard library is a fixed set of
+//! first-order functions over scalars and bags. The parser uses [`is_builtin`] to
+//! decide whether an identifier in application position denotes a function call or a
+//! plain variable reference.
+
+use crate::error::EvalError;
+use crate::value::{Bag, Value};
+
+/// The names of all built-in functions.
+pub const BUILTINS: &[&str] = &[
+    "count",
+    "sum",
+    "avg",
+    "max",
+    "min",
+    "distinct",
+    "member",
+    "isEmpty",
+    "first",
+    "flatten",
+    "fst",
+    "snd",
+    "nth",
+    "toString",
+    "abs",
+];
+
+/// Whether `name` is a built-in function.
+pub fn is_builtin(name: &str) -> bool {
+    BUILTINS.contains(&name)
+}
+
+fn expect_args(function: &str, args: &[Value], expected: usize) -> Result<(), EvalError> {
+    if args.len() != expected {
+        Err(EvalError::ArityError {
+            function: function.to_string(),
+            expected,
+            found: args.len(),
+        })
+    } else {
+        Ok(())
+    }
+}
+
+/// Apply a built-in function to already-evaluated arguments.
+pub fn apply(function: &str, args: &[Value]) -> Result<Value, EvalError> {
+    match function {
+        "count" => {
+            expect_args(function, args, 1)?;
+            Ok(Value::Int(args[0].expect_bag()?.len() as i64))
+        }
+        "sum" => {
+            expect_args(function, args, 1)?;
+            let bag = args[0].expect_bag()?;
+            let mut int_sum: i64 = 0;
+            let mut float_sum: f64 = 0.0;
+            let mut any_float = false;
+            for v in bag.iter() {
+                match v {
+                    Value::Int(i) => int_sum += i,
+                    Value::Float(f) => {
+                        any_float = true;
+                        float_sum += f;
+                    }
+                    other => {
+                        return Err(EvalError::TypeError {
+                            context: "sum".into(),
+                            found: other.type_name().into(),
+                        })
+                    }
+                }
+            }
+            if any_float {
+                Ok(Value::Float(float_sum + int_sum as f64))
+            } else {
+                Ok(Value::Int(int_sum))
+            }
+        }
+        "avg" => {
+            expect_args(function, args, 1)?;
+            let bag = args[0].expect_bag()?;
+            if bag.is_empty() {
+                return Err(EvalError::EmptyAggregate("avg".into()));
+            }
+            let mut total = 0.0;
+            for v in bag.iter() {
+                total += v.as_f64().ok_or_else(|| EvalError::TypeError {
+                    context: "avg".into(),
+                    found: v.type_name().into(),
+                })?;
+            }
+            Ok(Value::Float(total / bag.len() as f64))
+        }
+        "max" | "min" => {
+            expect_args(function, args, 1)?;
+            let bag = args[0].expect_bag()?;
+            if bag.is_empty() {
+                return Err(EvalError::EmptyAggregate(function.into()));
+            }
+            let mut it = bag.iter();
+            let mut best = it.next().expect("non-empty").clone();
+            for v in it {
+                let better = if function == "max" { v > &best } else { v < &best };
+                if better {
+                    best = v.clone();
+                }
+            }
+            Ok(best)
+        }
+        "distinct" => {
+            expect_args(function, args, 1)?;
+            Ok(Value::Bag(args[0].expect_bag()?.distinct()))
+        }
+        "member" => {
+            expect_args(function, args, 2)?;
+            let bag = args[0].expect_bag()?;
+            Ok(Value::Bool(bag.contains(&args[1])))
+        }
+        "isEmpty" => {
+            expect_args(function, args, 1)?;
+            Ok(Value::Bool(args[0].expect_bag()?.is_empty()))
+        }
+        "first" => {
+            expect_args(function, args, 1)?;
+            let bag = args[0].expect_bag()?;
+            let first = bag.iter().next().cloned();
+            first.ok_or(EvalError::EmptyAggregate("first".into()))
+        }
+        "flatten" => {
+            expect_args(function, args, 1)?;
+            let outer = args[0].expect_bag()?;
+            let mut out = Bag::empty();
+            for v in outer.iter() {
+                for inner in v.expect_bag()?.iter() {
+                    out.push(inner.clone());
+                }
+            }
+            Ok(Value::Bag(out))
+        }
+        "fst" => {
+            expect_args(function, args, 1)?;
+            tuple_component(&args[0], 0, "fst")
+        }
+        "snd" => {
+            expect_args(function, args, 1)?;
+            tuple_component(&args[0], 1, "snd")
+        }
+        "nth" => {
+            expect_args(function, args, 2)?;
+            let idx = match &args[1] {
+                Value::Int(i) if *i >= 0 => *i as usize,
+                other => {
+                    return Err(EvalError::TypeError {
+                        context: "nth index".into(),
+                        found: other.type_name().into(),
+                    })
+                }
+            };
+            tuple_component(&args[0], idx, "nth")
+        }
+        "toString" => {
+            expect_args(function, args, 1)?;
+            Ok(Value::Str(match &args[0] {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            }))
+        }
+        "abs" => {
+            expect_args(function, args, 1)?;
+            match &args[0] {
+                Value::Int(i) => Ok(Value::Int(i.abs())),
+                Value::Float(f) => Ok(Value::Float(f.abs())),
+                other => Err(EvalError::TypeError {
+                    context: "abs".into(),
+                    found: other.type_name().into(),
+                }),
+            }
+        }
+        other => Err(EvalError::UnknownFunction(other.to_string())),
+    }
+}
+
+fn tuple_component(value: &Value, index: usize, context: &str) -> Result<Value, EvalError> {
+    match value {
+        Value::Tuple(items) => items.get(index).cloned().ok_or_else(|| EvalError::TypeError {
+            context: context.to_string(),
+            found: format!("tuple of arity {}", items.len()),
+        }),
+        other => Err(EvalError::TypeError {
+            context: context.to_string(),
+            found: other.type_name().into(),
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_bag(vals: &[i64]) -> Value {
+        Value::Bag(Bag::from_values(vals.iter().map(|v| Value::Int(*v)).collect()))
+    }
+
+    #[test]
+    fn count_sum_avg() {
+        assert_eq!(apply("count", &[int_bag(&[1, 2, 2])]).unwrap(), Value::Int(3));
+        assert_eq!(apply("sum", &[int_bag(&[1, 2, 3])]).unwrap(), Value::Int(6));
+        assert_eq!(apply("avg", &[int_bag(&[1, 2, 3])]).unwrap(), Value::Float(2.0));
+        assert!(matches!(
+            apply("avg", &[Value::Bag(Bag::empty())]),
+            Err(EvalError::EmptyAggregate(_))
+        ));
+    }
+
+    #[test]
+    fn sum_promotes_to_float() {
+        let mixed = Value::Bag(Bag::from_values(vec![Value::Int(1), Value::Float(0.5)]));
+        assert_eq!(apply("sum", &[mixed]).unwrap(), Value::Float(1.5));
+    }
+
+    #[test]
+    fn max_min_first() {
+        assert_eq!(apply("max", &[int_bag(&[3, 9, 1])]).unwrap(), Value::Int(9));
+        assert_eq!(apply("min", &[int_bag(&[3, 9, 1])]).unwrap(), Value::Int(1));
+        assert_eq!(apply("first", &[int_bag(&[5, 6])]).unwrap(), Value::Int(5));
+    }
+
+    #[test]
+    fn member_and_is_empty() {
+        assert_eq!(
+            apply("member", &[int_bag(&[1, 2]), Value::Int(2)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            apply("member", &[int_bag(&[1, 2]), Value::Int(5)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            apply("isEmpty", &[Value::Void]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn distinct_and_flatten() {
+        assert_eq!(
+            apply("distinct", &[int_bag(&[1, 1, 2])]).unwrap(),
+            int_bag(&[1, 2])
+        );
+        let nested = Value::Bag(Bag::from_values(vec![int_bag(&[1]), int_bag(&[2, 3])]));
+        assert_eq!(apply("flatten", &[nested]).unwrap(), int_bag(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn tuple_accessors() {
+        let pair = Value::pair(Value::Int(1), Value::str("a"));
+        assert_eq!(apply("fst", &[pair.clone()]).unwrap(), Value::Int(1));
+        assert_eq!(apply("snd", &[pair.clone()]).unwrap(), Value::str("a"));
+        assert_eq!(
+            apply("nth", &[pair.clone(), Value::Int(1)]).unwrap(),
+            Value::str("a")
+        );
+        assert!(apply("nth", &[pair, Value::Int(5)]).is_err());
+    }
+
+    #[test]
+    fn arity_and_type_errors() {
+        assert!(matches!(
+            apply("count", &[]),
+            Err(EvalError::ArityError { .. })
+        ));
+        assert!(matches!(
+            apply("sum", &[Value::Bag(Bag::from_values(vec![Value::str("x")]))]),
+            Err(EvalError::TypeError { .. })
+        ));
+        assert!(matches!(
+            apply("noSuchFunction", &[Value::Int(1)]),
+            Err(EvalError::UnknownFunction(_))
+        ));
+    }
+
+    #[test]
+    fn builtin_registry_is_consistent() {
+        assert!(is_builtin("count"));
+        assert!(!is_builtin("protein"));
+        // every listed builtin is callable (arity errors are fine, unknown-function is not)
+        for name in BUILTINS {
+            let r = apply(name, &[]);
+            assert!(
+                !matches!(r, Err(EvalError::UnknownFunction(_))),
+                "builtin `{name}` not dispatched"
+            );
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! Lexical environments and pattern matching.
+
+use crate::ast::{Literal, Pattern};
+use crate::error::EvalError;
+use crate::value::Value;
+use std::collections::BTreeMap;
+
+/// A lexical environment mapping variable names to values.
+///
+/// Environments are small (comprehension-scoped), so a persistent chain of clones is
+/// simpler and fast enough; the evaluator clones an environment per generator binding.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    bindings: BTreeMap<String, Value>,
+}
+
+impl Env {
+    /// The empty environment.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Look up a variable.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.get(name)
+    }
+
+    /// Bind a variable, shadowing any previous binding.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        self.bindings.insert(name.into(), value);
+    }
+
+    /// A copy of this environment with an extra binding.
+    pub fn with(&self, name: impl Into<String>, value: Value) -> Env {
+        let mut e = self.clone();
+        e.bind(name, value);
+        e
+    }
+
+    /// Names bound in this environment, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.bindings.keys().map(String::as_str)
+    }
+
+    /// Number of bindings.
+    pub fn len(&self) -> usize {
+        self.bindings.len()
+    }
+
+    /// Whether the environment is empty.
+    pub fn is_empty(&self) -> bool {
+        self.bindings.is_empty()
+    }
+}
+
+/// Attempt to match `value` against `pattern`, extending `env` with the bindings.
+///
+/// Returns `Ok(true)` if the pattern matches, `Ok(false)` if it does not (e.g. a
+/// literal pattern over a different value — the element is simply skipped by the
+/// comprehension), and `Err` only for structural mismatches that indicate a programming
+/// error (destructuring a non-tuple with a tuple pattern of different shape is treated
+/// as a non-match, not an error, to follow comprehension filtering semantics).
+pub fn match_pattern(pattern: &Pattern, value: &Value, env: &mut Env) -> Result<bool, EvalError> {
+    match pattern {
+        Pattern::Wildcard => Ok(true),
+        Pattern::Var(name) => {
+            env.bind(name.clone(), value.clone());
+            Ok(true)
+        }
+        Pattern::Lit(lit) => Ok(&literal_value(lit) == value),
+        Pattern::Tuple(parts) => match value {
+            Value::Tuple(items) if items.len() == parts.len() => {
+                for (p, v) in parts.iter().zip(items.iter()) {
+                    if !match_pattern(p, v, env)? {
+                        return Ok(false);
+                    }
+                }
+                Ok(true)
+            }
+            _ => Ok(false),
+        },
+    }
+}
+
+/// Convert a literal AST node to its runtime value.
+pub fn literal_value(lit: &Literal) -> Value {
+    match lit {
+        Literal::Int(i) => Value::Int(*i),
+        Literal::Float(f) => Value::Float(*f),
+        Literal::Str(s) => Value::Str(s.clone()),
+        Literal::Bool(b) => Value::Bool(*b),
+        Literal::Null => Value::Null,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn var_pattern_binds() {
+        let mut env = Env::new();
+        assert!(match_pattern(&Pattern::Var("x".into()), &Value::Int(3), &mut env).unwrap());
+        assert_eq!(env.get("x"), Some(&Value::Int(3)));
+    }
+
+    #[test]
+    fn tuple_pattern_destructures() {
+        let mut env = Env::new();
+        let pat = Pattern::Tuple(vec![Pattern::Var("k".into()), Pattern::Var("v".into())]);
+        let val = Value::pair(Value::Int(1), Value::str("P100"));
+        assert!(match_pattern(&pat, &val, &mut env).unwrap());
+        assert_eq!(env.get("k"), Some(&Value::Int(1)));
+        assert_eq!(env.get("v"), Some(&Value::str("P100")));
+    }
+
+    #[test]
+    fn arity_mismatch_is_a_non_match() {
+        let mut env = Env::new();
+        let pat = Pattern::Tuple(vec![Pattern::Var("k".into()), Pattern::Var("v".into())]);
+        assert!(!match_pattern(&pat, &Value::Tuple(vec![Value::Int(1)]), &mut env).unwrap());
+        assert!(!match_pattern(&pat, &Value::Int(1), &mut env).unwrap());
+    }
+
+    #[test]
+    fn literal_pattern_filters() {
+        let mut env = Env::new();
+        let pat = Pattern::Tuple(vec![
+            Pattern::Lit(Literal::Str("PEDRO".into())),
+            Pattern::Var("k".into()),
+        ]);
+        let yes = Value::pair(Value::str("PEDRO"), Value::Int(7));
+        let no = Value::pair(Value::str("gpmDB"), Value::Int(7));
+        assert!(match_pattern(&pat, &yes, &mut env).unwrap());
+        assert!(!match_pattern(&pat, &no, &mut env).unwrap());
+    }
+
+    #[test]
+    fn with_does_not_mutate_original() {
+        let env = Env::new();
+        let env2 = env.with("x", Value::Int(1));
+        assert!(env.get("x").is_none());
+        assert_eq!(env2.get("x"), Some(&Value::Int(1)));
+        assert_eq!(env2.len(), 1);
+        assert!(env.is_empty());
+    }
+}

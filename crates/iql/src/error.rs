@@ -1,0 +1,114 @@
+//! Parse- and evaluation-time errors.
+
+use crate::ast::SchemeRef;
+use std::fmt;
+
+/// An error produced while lexing or parsing IQL surface syntax.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Human-readable description of the problem.
+    pub message: String,
+    /// Byte offset into the input at which the problem was detected.
+    pub position: usize,
+}
+
+impl ParseError {
+    /// Create a parse error at the given byte offset.
+    pub fn new(message: impl Into<String>, position: usize) -> Self {
+        ParseError {
+            message: message.into(),
+            position,
+        }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at byte {}: {}", self.position, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// An error produced while evaluating an IQL expression.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EvalError {
+    /// A variable was referenced that is not bound in the environment.
+    UnboundVariable(String),
+    /// A scheme reference could not be resolved to an extent.
+    UnknownScheme(SchemeRef),
+    /// A built-in function was called that does not exist.
+    UnknownFunction(String),
+    /// A built-in function was called with the wrong number of arguments.
+    ArityError {
+        function: String,
+        expected: usize,
+        found: usize,
+    },
+    /// An operator or function was applied to values of an unsupported type.
+    TypeError { context: String, found: String },
+    /// A tuple pattern did not match the shape of the value being destructured.
+    PatternMismatch { pattern: String, value: String },
+    /// Division by zero.
+    DivisionByZero,
+    /// An aggregate over an empty bag that has no defined result (e.g. `max []`).
+    EmptyAggregate(String),
+    /// Evaluation of an `Any`-bounded expression was requested; `Any` has no
+    /// materialisable extent.
+    UnboundedExtent,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::UnknownScheme(s) => write!(f, "no extent for scheme {s}"),
+            EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
+            EvalError::ArityError {
+                function,
+                expected,
+                found,
+            } => write!(
+                f,
+                "function `{function}` expects {expected} argument(s), got {found}"
+            ),
+            EvalError::TypeError { context, found } => {
+                write!(f, "type error in {context}: unexpected {found}")
+            }
+            EvalError::PatternMismatch { pattern, value } => {
+                write!(f, "pattern `{pattern}` does not match value {value}")
+            }
+            EvalError::DivisionByZero => write!(f, "division by zero"),
+            EvalError::EmptyAggregate(func) => {
+                write!(f, "aggregate `{func}` applied to an empty bag")
+            }
+            EvalError::UnboundedExtent => {
+                write!(f, "cannot materialise the extent of `Any`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_error_display() {
+        let e = ParseError::new("unexpected token", 12);
+        assert!(e.to_string().contains("byte 12"));
+    }
+
+    #[test]
+    fn eval_error_display() {
+        let e = EvalError::ArityError {
+            function: "count".into(),
+            expected: 1,
+            found: 2,
+        };
+        assert!(e.to_string().contains("count"));
+        assert!(EvalError::DivisionByZero.to_string().contains("zero"));
+    }
+}

@@ -1,0 +1,432 @@
+//! The IQL evaluator.
+
+use crate::ast::{BinOp, Expr, Qualifier, SchemeRef, UnOp};
+use crate::builtins;
+use crate::env::{literal_value, match_pattern, Env};
+use crate::error::EvalError;
+use crate::value::{Bag, Value};
+
+/// A source of extents for scheme references.
+///
+/// The evaluator is agnostic about where extents come from: the `relational` crate
+/// implements this for wrapped databases, the `automed` query processor implements it
+/// for *virtual* global-schema objects by reformulating queries down to the sources,
+/// and [`crate::MapExtents`] implements it for in-memory test fixtures.
+pub trait ExtentProvider {
+    /// Return the extent (a bag) of the schema object named by `scheme`.
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError>;
+}
+
+/// Blanket implementation so `&P` can be used wherever a provider is expected.
+impl<P: ExtentProvider + ?Sized> ExtentProvider for &P {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        (**self).extent(scheme)
+    }
+}
+
+/// An [`ExtentProvider`] with no extents at all; every scheme reference fails.
+/// Useful for evaluating closed expressions (no scheme references).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoExtents;
+
+impl ExtentProvider for NoExtents {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        Err(EvalError::UnknownScheme(scheme.clone()))
+    }
+}
+
+/// Evaluates IQL expressions against an [`ExtentProvider`].
+pub struct Evaluator<P> {
+    provider: P,
+}
+
+impl<P: ExtentProvider> Evaluator<P> {
+    /// Create an evaluator over the given extent provider.
+    pub fn new(provider: P) -> Self {
+        Evaluator { provider }
+    }
+
+    /// Evaluate an expression in an empty environment.
+    pub fn eval_closed(&self, expr: &Expr) -> Result<Value, EvalError> {
+        self.eval(expr, &Env::new())
+    }
+
+    /// Evaluate an expression in the given environment.
+    pub fn eval(&self, expr: &Expr, env: &Env) -> Result<Value, EvalError> {
+        match expr {
+            Expr::Lit(lit) => Ok(literal_value(lit)),
+            Expr::Var(name) => env
+                .get(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::Scheme(scheme) => Ok(Value::Bag(self.provider.extent(scheme)?)),
+            Expr::Tuple(items) => {
+                let mut vals = Vec::with_capacity(items.len());
+                for item in items {
+                    vals.push(self.eval(item, env)?);
+                }
+                Ok(Value::Tuple(vals))
+            }
+            Expr::Bag(items) => {
+                let mut bag = Bag::empty();
+                for item in items {
+                    bag.push(self.eval(item, env)?);
+                }
+                Ok(Value::Bag(bag))
+            }
+            Expr::Comp { head, qualifiers } => {
+                let mut out = Bag::empty();
+                self.eval_comprehension(head, qualifiers, env, &mut out)?;
+                Ok(Value::Bag(out))
+            }
+            Expr::Apply { function, args } => {
+                let mut vals = Vec::with_capacity(args.len());
+                for a in args {
+                    vals.push(self.eval(a, env)?);
+                }
+                builtins::apply(function, &vals)
+            }
+            Expr::BinOp { op, lhs, rhs } => self.eval_binop(*op, lhs, rhs, env),
+            Expr::UnOp { op, expr } => {
+                let v = self.eval(expr, env)?;
+                match op {
+                    UnOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(EvalError::TypeError {
+                            context: "negation".into(),
+                            found: other.type_name().into(),
+                        }),
+                    },
+                    UnOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                }
+            }
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                if self.eval(cond, env)?.as_bool()? {
+                    self.eval(then, env)
+                } else {
+                    self.eval(otherwise, env)
+                }
+            }
+            Expr::Let {
+                pattern,
+                value,
+                body,
+            } => {
+                let v = self.eval(value, env)?;
+                let mut inner = env.clone();
+                if !match_pattern(pattern, &v, &mut inner)? {
+                    return Err(EvalError::PatternMismatch {
+                        pattern: pattern.to_string(),
+                        value: v.to_string(),
+                    });
+                }
+                self.eval(body, &inner)
+            }
+            Expr::Void => Ok(Value::Void),
+            Expr::Any => Ok(Value::Any),
+            // Evaluating a Range materialises its *lower bound*: this is the sound
+            // choice for query answering over extents that are not fully derivable
+            // (certain-answer semantics). The upper bound is only consulted by the
+            // query processor when reasoning about containment.
+            Expr::Range { lower, .. } => self.eval(lower, env),
+        }
+    }
+
+    fn eval_comprehension(
+        &self,
+        head: &Expr,
+        qualifiers: &[Qualifier],
+        env: &Env,
+        out: &mut Bag,
+    ) -> Result<(), EvalError> {
+        match qualifiers.split_first() {
+            None => {
+                out.push(self.eval(head, env)?);
+                Ok(())
+            }
+            Some((Qualifier::Filter(cond), rest)) => {
+                if self.eval(cond, env)?.as_bool()? {
+                    self.eval_comprehension(head, rest, env, out)?;
+                }
+                Ok(())
+            }
+            Some((Qualifier::Binding { pattern, value }, rest)) => {
+                let v = self.eval(value, env)?;
+                let mut inner = env.clone();
+                if match_pattern(pattern, &v, &mut inner)? {
+                    self.eval_comprehension(head, rest, &inner, out)?;
+                }
+                Ok(())
+            }
+            Some((Qualifier::Generator { pattern, source }, rest)) => {
+                let bag = self.eval(source, env)?.expect_bag()?;
+                for element in bag.iter() {
+                    let mut inner = env.clone();
+                    if match_pattern(pattern, element, &mut inner)? {
+                        self.eval_comprehension(head, rest, &inner, out)?;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    fn eval_binop(
+        &self,
+        op: BinOp,
+        lhs: &Expr,
+        rhs: &Expr,
+        env: &Env,
+    ) -> Result<Value, EvalError> {
+        // Short-circuiting boolean operators.
+        if op == BinOp::And {
+            return Ok(Value::Bool(
+                self.eval(lhs, env)?.as_bool()? && self.eval(rhs, env)?.as_bool()?,
+            ));
+        }
+        if op == BinOp::Or {
+            return Ok(Value::Bool(
+                self.eval(lhs, env)?.as_bool()? || self.eval(rhs, env)?.as_bool()?,
+            ));
+        }
+        let l = self.eval(lhs, env)?;
+        let r = self.eval(rhs, env)?;
+        match op {
+            BinOp::Eq => Ok(Value::Bool(l == r)),
+            BinOp::Neq => Ok(Value::Bool(l != r)),
+            BinOp::Lt => Ok(Value::Bool(l < r)),
+            BinOp::Le => Ok(Value::Bool(l <= r)),
+            BinOp::Gt => Ok(Value::Bool(l > r)),
+            BinOp::Ge => Ok(Value::Bool(l >= r)),
+            BinOp::BagUnion => Ok(Value::Bag(l.expect_bag()?.union(&r.expect_bag()?))),
+            BinOp::BagDiff => Ok(Value::Bag(l.expect_bag()?.difference(&r.expect_bag()?))),
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div => self.eval_arith(op, &l, &r),
+            BinOp::And | BinOp::Or => unreachable!("handled above"),
+        }
+    }
+
+    fn eval_arith(&self, op: BinOp, l: &Value, r: &Value) -> Result<Value, EvalError> {
+        // String concatenation with `+`.
+        if op == BinOp::Add {
+            if let (Value::Str(a), Value::Str(b)) = (l, r) {
+                return Ok(Value::Str(format!("{a}{b}")));
+            }
+        }
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => match op {
+                BinOp::Add => Ok(Value::Int(a + b)),
+                BinOp::Sub => Ok(Value::Int(a - b)),
+                BinOp::Mul => Ok(Value::Int(a * b)),
+                BinOp::Div => {
+                    if *b == 0 {
+                        Err(EvalError::DivisionByZero)
+                    } else {
+                        Ok(Value::Int(a / b))
+                    }
+                }
+                _ => unreachable!(),
+            },
+            _ => {
+                let (a, b) = match (l.as_f64(), r.as_f64()) {
+                    (Some(a), Some(b)) => (a, b),
+                    _ => {
+                        return Err(EvalError::TypeError {
+                            context: format!("arithmetic `{}`", op.symbol()),
+                            found: format!("{} and {}", l.type_name(), r.type_name()),
+                        })
+                    }
+                };
+                match op {
+                    BinOp::Add => Ok(Value::Float(a + b)),
+                    BinOp::Sub => Ok(Value::Float(a - b)),
+                    BinOp::Mul => Ok(Value::Float(a * b)),
+                    BinOp::Div => {
+                        if b == 0.0 {
+                            Err(EvalError::DivisionByZero)
+                        } else {
+                            Ok(Value::Float(a / b))
+                        }
+                    }
+                    _ => unreachable!(),
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{parse, MapExtents};
+
+    fn fixture() -> MapExtents {
+        let mut m = MapExtents::new();
+        m.insert_keys("protein", vec![1, 2, 3]);
+        m.insert_pairs(
+            "protein,accession_num",
+            vec![(1, "P100"), (2, "P200"), (3, "P300")],
+        );
+        m.insert_pairs("protein,organism", vec![(1, "human"), (2, "mouse")]);
+        m.insert_pairs(
+            "peptidehit,score",
+            vec![(10, "55"), (11, "70"), (12, "70")],
+        );
+        m
+    }
+
+    fn run(query: &str) -> Value {
+        let q = parse(query).unwrap();
+        Evaluator::new(fixture()).eval_closed(&q).unwrap()
+    }
+
+    #[test]
+    fn simple_projection() {
+        let v = run("[x | {k, x} <- <<protein, accession_num>>]");
+        assert_eq!(
+            v,
+            Value::Bag(Bag::from_values(vec![
+                Value::str("P100"),
+                Value::str("P200"),
+                Value::str("P300"),
+            ]))
+        );
+    }
+
+    #[test]
+    fn paper_style_provenance_tagging() {
+        let v = run("[{'PEDRO', k} | k <- <<protein>>]");
+        let bag = v.expect_bag().unwrap();
+        assert_eq!(bag.len(), 3);
+        assert!(bag.contains(&Value::pair(Value::str("PEDRO"), Value::Int(1))));
+    }
+
+    #[test]
+    fn selection_with_filter() {
+        let v = run("[x | {k, x} <- <<protein, accession_num>>; k = 2]");
+        assert_eq!(v.expect_bag().unwrap().items(), &[Value::str("P200")]);
+    }
+
+    #[test]
+    fn join_across_schemes() {
+        let v = run(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; k = k2]",
+        );
+        let bag = v.expect_bag().unwrap();
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&Value::pair(Value::str("P100"), Value::str("human"))));
+    }
+
+    #[test]
+    fn aggregates_over_comprehensions() {
+        assert_eq!(run("count [k | k <- <<protein>>]"), Value::Int(3));
+        assert_eq!(run("count <<protein>>"), Value::Int(3));
+        assert_eq!(run("max [k | k <- <<protein>>]"), Value::Int(3));
+    }
+
+    #[test]
+    fn bag_union_duplicates_preserved() {
+        let v = run("<<protein>> ++ <<protein>>");
+        assert_eq!(v.expect_bag().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn bag_difference() {
+        let v = run("<<protein>> -- [k | k <- <<protein>>; k = 1]");
+        assert_eq!(v.expect_bag().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn nested_comprehension_with_correlation() {
+        let v = run(
+            "[{k, count [s | {k2, s} <- <<peptidehit, score>>; k2 = k]} | k <- [10, 11, 99]]",
+        );
+        let bag = v.expect_bag().unwrap();
+        assert!(bag.contains(&Value::pair(Value::Int(10), Value::Int(1))));
+        assert!(bag.contains(&Value::pair(Value::Int(99), Value::Int(0))));
+    }
+
+    #[test]
+    fn let_and_if() {
+        assert_eq!(
+            run("let n = count <<protein>> in if n > 2 then 'many' else 'few'"),
+            Value::str("many")
+        );
+    }
+
+    #[test]
+    fn binding_qualifier() {
+        let v = run("[{k, n} | k <- <<protein>>; let n = k * 10; n > 10]");
+        let bag = v.expect_bag().unwrap();
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&Value::pair(Value::Int(3), Value::Int(30))));
+    }
+
+    #[test]
+    fn literal_pattern_in_generator_filters() {
+        let mut m = MapExtents::new();
+        m.insert(
+            "uprotein",
+            Bag::from_values(vec![
+                Value::pair(Value::str("PEDRO"), Value::Int(1)),
+                Value::pair(Value::str("gpmDB"), Value::Int(2)),
+            ]),
+        );
+        let q = parse("[k | {'PEDRO', k} <- <<uprotein>>]").unwrap();
+        let v = Evaluator::new(m).eval_closed(&q).unwrap();
+        assert_eq!(v.expect_bag().unwrap().items(), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn range_evaluates_to_lower_bound() {
+        assert_eq!(run("Range Void Any"), Value::Void);
+        let v = run("Range [k | k <- <<protein>>] Any");
+        assert_eq!(v.expect_bag().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_and_strings() {
+        assert_eq!(run("1 + 2 * 3"), Value::Int(7));
+        assert_eq!(run("7 / 2"), Value::Int(3));
+        assert_eq!(run("7.0 / 2"), Value::Float(3.5));
+        assert_eq!(run("'a' + 'b'"), Value::str("ab"));
+        assert_eq!(run("-(3)"), Value::Int(-3));
+    }
+
+    #[test]
+    fn division_by_zero_reported() {
+        let q = parse("1 / 0").unwrap();
+        assert_eq!(
+            Evaluator::new(NoExtents).eval_closed(&q),
+            Err(EvalError::DivisionByZero)
+        );
+    }
+
+    #[test]
+    fn unbound_variable_reported() {
+        let q = parse("missing + 1").unwrap();
+        assert!(matches!(
+            Evaluator::new(NoExtents).eval_closed(&q),
+            Err(EvalError::UnboundVariable(_))
+        ));
+    }
+
+    #[test]
+    fn boolean_short_circuit() {
+        // The right operand would divide by zero; `and` must not evaluate it.
+        assert_eq!(run("false and (1 / 0 = 1)"), Value::Bool(false));
+        assert_eq!(run("true or (1 / 0 = 1)"), Value::Bool(true));
+        assert_eq!(run("not false"), Value::Bool(true));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(run("2 < 3"), Value::Bool(true));
+        assert_eq!(run("'abc' <> 'abd'"), Value::Bool(true));
+        assert_eq!(run("3 >= 3"), Value::Bool(true));
+    }
+}

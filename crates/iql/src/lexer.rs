@@ -1,0 +1,341 @@
+//! Lexer for the IQL surface syntax.
+
+use crate::error::ParseError;
+use crate::token::{Spanned, Token};
+
+/// Lex an input string into a sequence of spanned tokens, terminated by `Eof`.
+pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
+    let bytes = input.as_bytes();
+    let mut tokens = Vec::new();
+    let mut i = 0usize;
+
+    while i < bytes.len() {
+        let c = bytes[i] as char;
+        let start = i;
+        match c {
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '[' => {
+                tokens.push(Spanned { token: Token::LBracket, offset: start });
+                i += 1;
+            }
+            ']' => {
+                tokens.push(Spanned { token: Token::RBracket, offset: start });
+                i += 1;
+            }
+            '{' => {
+                tokens.push(Spanned { token: Token::LBrace, offset: start });
+                i += 1;
+            }
+            '}' => {
+                tokens.push(Spanned { token: Token::RBrace, offset: start });
+                i += 1;
+            }
+            '(' => {
+                tokens.push(Spanned { token: Token::LParen, offset: start });
+                i += 1;
+            }
+            ')' => {
+                tokens.push(Spanned { token: Token::RParen, offset: start });
+                i += 1;
+            }
+            '|' => {
+                tokens.push(Spanned { token: Token::Pipe, offset: start });
+                i += 1;
+            }
+            ';' => {
+                tokens.push(Spanned { token: Token::Semi, offset: start });
+                i += 1;
+            }
+            ',' => {
+                tokens.push(Spanned { token: Token::Comma, offset: start });
+                i += 1;
+            }
+            '=' => {
+                tokens.push(Spanned { token: Token::Eq, offset: start });
+                i += 1;
+            }
+            '+' => {
+                if bytes.get(i + 1) == Some(&b'+') {
+                    tokens.push(Spanned { token: Token::PlusPlus, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Plus, offset: start });
+                    i += 1;
+                }
+            }
+            '-' => {
+                if bytes.get(i + 1) == Some(&b'-') {
+                    tokens.push(Spanned { token: Token::MinusMinus, offset: start });
+                    i += 2;
+                } else {
+                    tokens.push(Spanned { token: Token::Minus, offset: start });
+                    i += 1;
+                }
+            }
+            '*' => {
+                tokens.push(Spanned { token: Token::Star, offset: start });
+                i += 1;
+            }
+            '/' => {
+                tokens.push(Spanned { token: Token::Slash, offset: start });
+                i += 1;
+            }
+            '<' => {
+                // `<<`, `<-`, `<=`, `<>` or plain `<`
+                match bytes.get(i + 1).copied().map(|b| b as char) {
+                    Some('<') => {
+                        tokens.push(Spanned { token: Token::SchemeOpen, offset: start });
+                        i += 2;
+                    }
+                    Some('-') => {
+                        tokens.push(Spanned { token: Token::Arrow, offset: start });
+                        i += 2;
+                    }
+                    Some('=') => {
+                        tokens.push(Spanned { token: Token::Le, offset: start });
+                        i += 2;
+                    }
+                    Some('>') => {
+                        tokens.push(Spanned { token: Token::Neq, offset: start });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Spanned { token: Token::Lt, offset: start });
+                        i += 1;
+                    }
+                }
+            }
+            '>' => {
+                match bytes.get(i + 1).copied().map(|b| b as char) {
+                    Some('>') => {
+                        tokens.push(Spanned { token: Token::SchemeClose, offset: start });
+                        i += 2;
+                    }
+                    Some('=') => {
+                        tokens.push(Spanned { token: Token::Ge, offset: start });
+                        i += 2;
+                    }
+                    _ => {
+                        tokens.push(Spanned { token: Token::Gt, offset: start });
+                        i += 1;
+                    }
+                }
+            }
+            '\'' => {
+                // Single-quoted string, backslash escapes for `\'` and `\\`.
+                let mut s = String::new();
+                let mut j = i + 1;
+                let mut closed = false;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj == '\\' {
+                        match bytes.get(j + 1).copied().map(|b| b as char) {
+                            Some('\'') => {
+                                s.push('\'');
+                                j += 2;
+                            }
+                            Some('\\') => {
+                                s.push('\\');
+                                j += 2;
+                            }
+                            _ => {
+                                s.push('\\');
+                                j += 1;
+                            }
+                        }
+                    } else if cj == '\'' {
+                        closed = true;
+                        j += 1;
+                        break;
+                    } else {
+                        s.push(cj);
+                        j += 1;
+                    }
+                }
+                if !closed {
+                    return Err(ParseError::new("unterminated string literal", start));
+                }
+                tokens.push(Spanned { token: Token::Str(s), offset: start });
+                i = j;
+            }
+            c if c.is_ascii_digit() => {
+                let mut j = i;
+                let mut is_float = false;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_digit() {
+                        j += 1;
+                    } else if cj == '.'
+                        && !is_float
+                        && bytes
+                            .get(j + 1)
+                            .map(|b| (*b as char).is_ascii_digit())
+                            .unwrap_or(false)
+                    {
+                        is_float = true;
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let token = if is_float {
+                    Token::Float(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid float literal `{text}`"), start)
+                    })?)
+                } else {
+                    Token::Int(text.parse().map_err(|_| {
+                        ParseError::new(format!("invalid integer literal `{text}`"), start)
+                    })?)
+                };
+                tokens.push(Spanned { token, offset: start });
+                i = j;
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut j = i;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_alphanumeric() || cj == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let text = &input[i..j];
+                let token = if text == "_" {
+                    Token::Underscore
+                } else if let Some(kw) = Token::keyword(text) {
+                    kw
+                } else {
+                    Token::Ident(text.to_string())
+                };
+                tokens.push(Spanned { token, offset: start });
+                i = j;
+            }
+            other => {
+                return Err(ParseError::new(
+                    format!("unexpected character `{other}`"),
+                    start,
+                ));
+            }
+        }
+    }
+
+    tokens.push(Spanned {
+        token: Token::Eof,
+        offset: input.len(),
+    });
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<Token> {
+        lex(input).unwrap().into_iter().map(|s| s.token).collect()
+    }
+
+    #[test]
+    fn lex_paper_comprehension() {
+        let toks = kinds("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]");
+        assert_eq!(toks[0], Token::LBracket);
+        assert_eq!(toks[1], Token::LBrace);
+        assert_eq!(toks[2], Token::Str("PEDRO".into()));
+        assert!(toks.contains(&Token::Arrow));
+        assert!(toks.contains(&Token::SchemeOpen));
+        assert!(toks.contains(&Token::SchemeClose));
+        assert_eq!(*toks.last().unwrap(), Token::Eof);
+    }
+
+    #[test]
+    fn lex_operators_disambiguated() {
+        assert_eq!(
+            kinds("a <= b <- c << d >> e <> f < g > h >= i"),
+            vec![
+                Token::Ident("a".into()),
+                Token::Le,
+                Token::Ident("b".into()),
+                Token::Arrow,
+                Token::Ident("c".into()),
+                Token::SchemeOpen,
+                Token::Ident("d".into()),
+                Token::SchemeClose,
+                Token::Ident("e".into()),
+                Token::Neq,
+                Token::Ident("f".into()),
+                Token::Lt,
+                Token::Ident("g".into()),
+                Token::Gt,
+                Token::Ident("h".into()),
+                Token::Ge,
+                Token::Ident("i".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_numbers_and_floats() {
+        assert_eq!(
+            kinds("42 3.25 7"),
+            vec![Token::Int(42), Token::Float(3.25), Token::Int(7), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn lex_bag_operators() {
+        assert_eq!(
+            kinds("a ++ b -- c - d + e"),
+            vec![
+                Token::Ident("a".into()),
+                Token::PlusPlus,
+                Token::Ident("b".into()),
+                Token::MinusMinus,
+                Token::Ident("c".into()),
+                Token::Minus,
+                Token::Ident("d".into()),
+                Token::Plus,
+                Token::Ident("e".into()),
+                Token::Eof,
+            ]
+        );
+    }
+
+    #[test]
+    fn lex_string_escapes() {
+        assert_eq!(
+            kinds(r"'it\'s'"),
+            vec![Token::Str("it's".into()), Token::Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(lex("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(lex("a ? b").is_err());
+    }
+
+    #[test]
+    fn keywords_and_wildcard() {
+        assert_eq!(
+            kinds("Range Void Any let in _ not"),
+            vec![
+                Token::Range,
+                Token::Void,
+                Token::Any,
+                Token::Let,
+                Token::In,
+                Token::Underscore,
+                Token::Not,
+                Token::Eof
+            ]
+        );
+    }
+}

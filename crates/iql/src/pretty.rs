@@ -1,0 +1,216 @@
+//! Pretty-printing of IQL expressions.
+//!
+//! The printer produces surface syntax that parses back to an equivalent AST (see the
+//! round-trip property tests), which is what the repositories use to store
+//! transformation queries in a human-readable form.
+
+use crate::ast::{Expr, Qualifier, UnOp};
+use std::fmt;
+
+/// Render an expression in IQL surface syntax.
+pub fn print(expr: &Expr) -> String {
+    let mut out = String::new();
+    write_expr(&mut out, expr, 0);
+    out
+}
+
+/// Wrapper whose `Display` implementation prints the expression in IQL surface syntax.
+pub struct Pretty<'a>(pub &'a Expr);
+
+impl fmt::Display for Pretty<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&print(self.0))
+    }
+}
+
+fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
+    match expr {
+        Expr::Lit(l) => out.push_str(&l.to_string()),
+        Expr::Var(v) => out.push_str(v),
+        Expr::Scheme(s) => out.push_str(&s.to_string()),
+        Expr::Void => out.push_str("Void"),
+        Expr::Any => out.push_str("Any"),
+        Expr::Tuple(items) => {
+            out.push('{');
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0);
+            }
+            out.push('}');
+        }
+        Expr::Bag(items) => {
+            out.push('[');
+            for (i, e) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, e, 0);
+            }
+            out.push(']');
+        }
+        Expr::Comp { head, qualifiers } => {
+            out.push('[');
+            write_expr(out, head, 0);
+            out.push_str(" | ");
+            for (i, q) in qualifiers.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("; ");
+                }
+                match q {
+                    Qualifier::Generator { pattern, source } => {
+                        out.push_str(&pattern.to_string());
+                        out.push_str(" <- ");
+                        write_expr(out, source, 0);
+                    }
+                    Qualifier::Filter(e) => write_expr(out, e, 0),
+                    Qualifier::Binding { pattern, value } => {
+                        out.push_str("let ");
+                        out.push_str(&pattern.to_string());
+                        out.push_str(" = ");
+                        write_expr(out, value, 0);
+                    }
+                }
+            }
+            out.push(']');
+        }
+        Expr::Apply { function, args } => {
+            out.push_str(function);
+            out.push('(');
+            for (i, a) in args.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                write_expr(out, a, 0);
+            }
+            out.push(')');
+        }
+        Expr::BinOp { op, lhs, rhs } => {
+            let prec = op.precedence();
+            let needs_parens = prec < parent_prec;
+            if needs_parens {
+                out.push('(');
+            }
+            write_expr(out, lhs, prec);
+            out.push(' ');
+            out.push_str(op.symbol());
+            out.push(' ');
+            // Right operand gets prec+1 so that equal-precedence chains re-associate
+            // to the left when re-parsed, matching the parser.
+            write_expr(out, rhs, prec + 1);
+            if needs_parens {
+                out.push(')');
+            }
+        }
+        Expr::UnOp { op, expr } => {
+            match op {
+                UnOp::Neg => out.push('-'),
+                UnOp::Not => out.push_str("not "),
+            }
+            out.push('(');
+            write_expr(out, expr, 0);
+            out.push(')');
+        }
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            out.push_str("if ");
+            write_expr(out, cond, 0);
+            out.push_str(" then ");
+            write_expr(out, then, 0);
+            out.push_str(" else ");
+            write_expr(out, otherwise, 0);
+        }
+        Expr::Let {
+            pattern,
+            value,
+            body,
+        } => {
+            out.push_str("let ");
+            out.push_str(&pattern.to_string());
+            out.push_str(" = ");
+            write_expr(out, value, 0);
+            out.push_str(" in ");
+            write_expr(out, body, 0);
+        }
+        Expr::Range { lower, upper } => {
+            out.push_str("Range ");
+            write_operand(out, lower);
+            out.push(' ');
+            write_operand(out, upper);
+        }
+    }
+}
+
+/// `Range` takes two *operands* in the grammar; wrap anything that is not already an
+/// operand in parentheses so the output re-parses.
+fn write_operand(out: &mut String, expr: &Expr) {
+    let is_operand = matches!(
+        expr,
+        Expr::Lit(_)
+            | Expr::Var(_)
+            | Expr::Scheme(_)
+            | Expr::Void
+            | Expr::Any
+            | Expr::Tuple(_)
+            | Expr::Bag(_)
+            | Expr::Comp { .. }
+    );
+    if is_operand {
+        write_expr(out, expr, 0);
+    } else {
+        out.push('(');
+        write_expr(out, expr, 0);
+        out.push(')');
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    fn round_trip(src: &str) {
+        let ast = parse(src).unwrap();
+        let printed = print(&ast);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("printed `{printed}` failed to parse: {e}"));
+        assert_eq!(ast, reparsed, "round trip changed AST for `{src}` → `{printed}`");
+    }
+
+    #[test]
+    fn round_trip_paper_queries() {
+        round_trip("[{'PEDRO', k} | k <- <<protein>>]");
+        round_trip("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]");
+        round_trip(
+            "[{k1, k2} | {k1, x} <- <<upeptidehit, dbsearch>>; {k2, y} <- <<uproteinhit, dbsearch>>; x = y]",
+        );
+        round_trip("Range Void Any");
+        round_trip("Range [k | k <- <<protein>>] Any");
+    }
+
+    #[test]
+    fn round_trip_operators() {
+        round_trip("1 + 2 * 3");
+        round_trip("(1 + 2) * 3");
+        round_trip("a ++ b -- c");
+        round_trip("x = 1 and y <> 2 or not (z < 3)");
+        round_trip("count(<<protein>>) + 1");
+    }
+
+    #[test]
+    fn round_trip_let_if_bindings() {
+        round_trip("let x = 3 in if x > 2 then 'big' else 'small'");
+        round_trip("[{k, n} | k <- <<protein>>; let n = k * 10; n > 10]");
+        round_trip("[k | {k, _} <- <<protein, accession_num>>]");
+    }
+
+    #[test]
+    fn pretty_display_wrapper() {
+        let ast = parse("count <<protein>>").unwrap();
+        assert_eq!(format!("{}", Pretty(&ast)), "count(<<protein>>)");
+    }
+}

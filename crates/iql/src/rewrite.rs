@@ -1,0 +1,238 @@
+//! Query rewriting utilities.
+//!
+//! These are the workhorses of GAV unfolding and pathway-based reformulation in the
+//! `automed` crate: substituting scheme references by their defining queries, renaming
+//! scheme references, and collecting the schemes a query depends on.
+
+use crate::ast::{Expr, Qualifier, SchemeRef};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Collect every scheme referenced anywhere in the expression (duplicates removed,
+/// deterministic order).
+pub fn collect_schemes(expr: &Expr) -> BTreeSet<SchemeRef> {
+    let mut out = BTreeSet::new();
+    visit(expr, &mut |e| {
+        if let Expr::Scheme(s) = e {
+            out.insert(s.clone());
+        }
+    });
+    out
+}
+
+/// Substitute scheme references by expressions according to `substitutions`.
+/// References not present in the map are left untouched.
+pub fn substitute_schemes(expr: &Expr, substitutions: &BTreeMap<SchemeRef, Expr>) -> Expr {
+    transform(expr, &|e| match e {
+        Expr::Scheme(s) => substitutions.get(s).cloned(),
+        _ => None,
+    })
+}
+
+/// Rename scheme references according to `renames` (old scheme → new scheme).
+pub fn rename_schemes(expr: &Expr, renames: &BTreeMap<SchemeRef, SchemeRef>) -> Expr {
+    transform(expr, &|e| match e {
+        Expr::Scheme(s) => renames.get(s).map(|n| Expr::Scheme(n.clone())),
+        _ => None,
+    })
+}
+
+/// Whether the expression references the given scheme.
+pub fn references_scheme(expr: &Expr, scheme: &SchemeRef) -> bool {
+    collect_schemes(expr).contains(scheme)
+}
+
+/// Apply `f` to every node bottom-up; if `f` returns `Some`, the node is replaced by
+/// the returned expression (and not traversed further).
+pub fn transform(expr: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
+    if let Some(replacement) = f(expr) {
+        return replacement;
+    }
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => expr.clone(),
+        Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| transform(e, f)).collect()),
+        Expr::Bag(items) => Expr::Bag(items.iter().map(|e| transform(e, f)).collect()),
+        Expr::Comp { head, qualifiers } => Expr::Comp {
+            head: Box::new(transform(head, f)),
+            qualifiers: qualifiers
+                .iter()
+                .map(|q| match q {
+                    Qualifier::Generator { pattern, source } => Qualifier::Generator {
+                        pattern: pattern.clone(),
+                        source: transform(source, f),
+                    },
+                    Qualifier::Filter(e) => Qualifier::Filter(transform(e, f)),
+                    Qualifier::Binding { pattern, value } => Qualifier::Binding {
+                        pattern: pattern.clone(),
+                        value: transform(value, f),
+                    },
+                })
+                .collect(),
+        },
+        Expr::Apply { function, args } => Expr::Apply {
+            function: function.clone(),
+            args: args.iter().map(|e| transform(e, f)).collect(),
+        },
+        Expr::BinOp { op, lhs, rhs } => Expr::BinOp {
+            op: *op,
+            lhs: Box::new(transform(lhs, f)),
+            rhs: Box::new(transform(rhs, f)),
+        },
+        Expr::UnOp { op, expr } => Expr::UnOp {
+            op: *op,
+            expr: Box::new(transform(expr, f)),
+        },
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => Expr::If {
+            cond: Box::new(transform(cond, f)),
+            then: Box::new(transform(then, f)),
+            otherwise: Box::new(transform(otherwise, f)),
+        },
+        Expr::Let {
+            pattern,
+            value,
+            body,
+        } => Expr::Let {
+            pattern: pattern.clone(),
+            value: Box::new(transform(value, f)),
+            body: Box::new(transform(body, f)),
+        },
+        Expr::Range { lower, upper } => Expr::Range {
+            lower: Box::new(transform(lower, f)),
+            upper: Box::new(transform(upper, f)),
+        },
+    }
+}
+
+/// Visit every sub-expression (pre-order).
+pub fn visit(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
+    f(expr);
+    match expr {
+        Expr::Lit(_) | Expr::Var(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {}
+        Expr::Tuple(items) | Expr::Bag(items) => {
+            for e in items {
+                visit(e, f);
+            }
+        }
+        Expr::Comp { head, qualifiers } => {
+            visit(head, f);
+            for q in qualifiers {
+                match q {
+                    Qualifier::Generator { source, .. } => visit(source, f),
+                    Qualifier::Filter(e) => visit(e, f),
+                    Qualifier::Binding { value, .. } => visit(value, f),
+                }
+            }
+        }
+        Expr::Apply { args, .. } => {
+            for e in args {
+                visit(e, f);
+            }
+        }
+        Expr::BinOp { lhs, rhs, .. } => {
+            visit(lhs, f);
+            visit(rhs, f);
+        }
+        Expr::UnOp { expr, .. } => visit(expr, f),
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            visit(cond, f);
+            visit(then, f);
+            visit(otherwise, f);
+        }
+        Expr::Let { value, body, .. } => {
+            visit(value, f);
+            visit(body, f);
+        }
+        Expr::Range { lower, upper } => {
+            visit(lower, f);
+            visit(upper, f);
+        }
+    }
+}
+
+/// Count the total number of AST nodes; used by benchmarks to report query sizes and
+/// by the query processor to guard against runaway unfolding.
+pub fn node_count(expr: &Expr) -> usize {
+    let mut n = 0;
+    visit(expr, &mut |_| n += 1);
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn collect_schemes_finds_all() {
+        let q = parse(
+            "[{k1, k2} | {k1, x} <- <<upeptidehit, dbsearch>>; {k2, y} <- <<uproteinhit, dbsearch>>; x = y]",
+        )
+        .unwrap();
+        let schemes = collect_schemes(&q);
+        assert_eq!(schemes.len(), 2);
+        assert!(schemes.contains(&SchemeRef::column("upeptidehit", "dbsearch")));
+    }
+
+    #[test]
+    fn substitute_unfolds_view_definition() {
+        // Global object <<uprotein>> is defined as a comprehension over the source.
+        let query = parse("count <<uprotein>>").unwrap();
+        let view = parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap();
+        let mut subs = BTreeMap::new();
+        subs.insert(SchemeRef::table("uprotein"), view);
+        let unfolded = substitute_schemes(&query, &subs);
+        let schemes = collect_schemes(&unfolded);
+        assert!(schemes.contains(&SchemeRef::table("protein")));
+        assert!(!schemes.contains(&SchemeRef::table("uprotein")));
+    }
+
+    #[test]
+    fn substitution_reaches_nested_positions() {
+        let query = parse(
+            "[{k, x} | {k, x} <- <<a, b>>; member(<<c>>, k)]",
+        )
+        .unwrap();
+        let mut subs = BTreeMap::new();
+        subs.insert(SchemeRef::table("c"), parse("[1, 2]").unwrap());
+        let out = substitute_schemes(&query, &subs);
+        assert!(!references_scheme(&out, &SchemeRef::table("c")));
+        assert!(references_scheme(&out, &SchemeRef::column("a", "b")));
+    }
+
+    #[test]
+    fn rename_changes_only_matching_schemes() {
+        let query = parse("<<protein>> ++ <<peptide>>").unwrap();
+        let mut renames = BTreeMap::new();
+        renames.insert(
+            SchemeRef::table("protein"),
+            SchemeRef::table("PEDRO_protein"),
+        );
+        let renamed = rename_schemes(&query, &renames);
+        let schemes = collect_schemes(&renamed);
+        assert!(schemes.contains(&SchemeRef::table("PEDRO_protein")));
+        assert!(schemes.contains(&SchemeRef::table("peptide")));
+        assert!(!schemes.contains(&SchemeRef::table("protein")));
+    }
+
+    #[test]
+    fn node_count_reasonable() {
+        let q = parse("[x | x <- <<t>>]").unwrap();
+        assert!(node_count(&q) >= 3);
+        let bigger = parse("[x | x <- <<t>>; x > 1; x < 9]").unwrap();
+        assert!(node_count(&bigger) > node_count(&q));
+    }
+
+    #[test]
+    fn no_schemes_in_closed_expression() {
+        let q = parse("1 + 2").unwrap();
+        assert!(collect_schemes(&q).is_empty());
+        assert!(!q.references_schemes());
+    }
+}

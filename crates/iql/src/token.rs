@@ -1,0 +1,198 @@
+//! Tokens of the IQL surface syntax.
+
+use std::fmt;
+
+/// A lexical token together with its kind-specific payload.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier (variable, function name, or scheme part).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (already unescaped).
+    Str(String),
+    /// `[`
+    LBracket,
+    /// `]`
+    RBracket,
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `<<`
+    SchemeOpen,
+    /// `>>`
+    SchemeClose,
+    /// `|`
+    Pipe,
+    /// `;`
+    Semi,
+    /// `,`
+    Comma,
+    /// `<-`
+    Arrow,
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+    /// `+`
+    Plus,
+    /// `-`
+    Minus,
+    /// `*`
+    Star,
+    /// `/`
+    Slash,
+    /// `++`
+    PlusPlus,
+    /// `--`
+    MinusMinus,
+    /// `_`
+    Underscore,
+    /// Keyword `and`
+    And,
+    /// Keyword `or`
+    Or,
+    /// Keyword `not`
+    Not,
+    /// Keyword `if`
+    If,
+    /// Keyword `then`
+    Then,
+    /// Keyword `else`
+    Else,
+    /// Keyword `let`
+    Let,
+    /// Keyword `in`
+    In,
+    /// Keyword `true`
+    True,
+    /// Keyword `false`
+    False,
+    /// Keyword `null`
+    Null,
+    /// Keyword `Range`
+    Range,
+    /// Keyword `Void`
+    Void,
+    /// Keyword `Any`
+    Any,
+    /// End of input.
+    Eof,
+}
+
+impl Token {
+    /// Classify an identifier as a keyword token if it is one.
+    pub fn keyword(ident: &str) -> Option<Token> {
+        Some(match ident {
+            "and" => Token::And,
+            "or" => Token::Or,
+            "not" => Token::Not,
+            "if" => Token::If,
+            "then" => Token::Then,
+            "else" => Token::Else,
+            "let" => Token::Let,
+            "in" => Token::In,
+            "true" => Token::True,
+            "false" => Token::False,
+            "null" => Token::Null,
+            "Range" => Token::Range,
+            "Void" => Token::Void,
+            "Any" => Token::Any,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for Token {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Token::Ident(s) => write!(f, "{s}"),
+            Token::Int(i) => write!(f, "{i}"),
+            Token::Float(x) => write!(f, "{x}"),
+            Token::Str(s) => write!(f, "'{s}'"),
+            Token::LBracket => write!(f, "["),
+            Token::RBracket => write!(f, "]"),
+            Token::LBrace => write!(f, "{{"),
+            Token::RBrace => write!(f, "}}"),
+            Token::LParen => write!(f, "("),
+            Token::RParen => write!(f, ")"),
+            Token::SchemeOpen => write!(f, "<<"),
+            Token::SchemeClose => write!(f, ">>"),
+            Token::Pipe => write!(f, "|"),
+            Token::Semi => write!(f, ";"),
+            Token::Comma => write!(f, ","),
+            Token::Arrow => write!(f, "<-"),
+            Token::Eq => write!(f, "="),
+            Token::Neq => write!(f, "<>"),
+            Token::Lt => write!(f, "<"),
+            Token::Le => write!(f, "<="),
+            Token::Gt => write!(f, ">"),
+            Token::Ge => write!(f, ">="),
+            Token::Plus => write!(f, "+"),
+            Token::Minus => write!(f, "-"),
+            Token::Star => write!(f, "*"),
+            Token::Slash => write!(f, "/"),
+            Token::PlusPlus => write!(f, "++"),
+            Token::MinusMinus => write!(f, "--"),
+            Token::Underscore => write!(f, "_"),
+            Token::And => write!(f, "and"),
+            Token::Or => write!(f, "or"),
+            Token::Not => write!(f, "not"),
+            Token::If => write!(f, "if"),
+            Token::Then => write!(f, "then"),
+            Token::Else => write!(f, "else"),
+            Token::Let => write!(f, "let"),
+            Token::In => write!(f, "in"),
+            Token::True => write!(f, "true"),
+            Token::False => write!(f, "false"),
+            Token::Null => write!(f, "null"),
+            Token::Range => write!(f, "Range"),
+            Token::Void => write!(f, "Void"),
+            Token::Any => write!(f, "Any"),
+            Token::Eof => write!(f, "<eof>"),
+        }
+    }
+}
+
+/// A token paired with the byte offset at which it starts.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Spanned {
+    /// The token.
+    pub token: Token,
+    /// Byte offset of the first character of the token in the source string.
+    pub offset: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_recognised() {
+        assert_eq!(Token::keyword("Range"), Some(Token::Range));
+        assert_eq!(Token::keyword("Void"), Some(Token::Void));
+        assert_eq!(Token::keyword("protein"), None);
+    }
+
+    #[test]
+    fn display_round_trip_for_symbols() {
+        assert_eq!(Token::Arrow.to_string(), "<-");
+        assert_eq!(Token::SchemeOpen.to_string(), "<<");
+        assert_eq!(Token::PlusPlus.to_string(), "++");
+    }
+}

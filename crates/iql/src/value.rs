@@ -1,0 +1,440 @@
+//! Runtime values and the bag algebra.
+
+use serde::{Deserialize, Serialize};
+use std::cmp::Ordering;
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::error::EvalError;
+
+/// A runtime IQL value.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub enum Value {
+    /// Absent / unknown.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// A tuple of values.
+    Tuple(Vec<Value>),
+    /// A bag (multiset) of values.
+    Bag(Bag),
+    /// The empty collection constant `Void`.
+    Void,
+    /// The unrestricted collection constant `Any`.
+    Any,
+}
+
+impl Value {
+    /// Shorthand for a string value.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand for a two-element tuple (the common `{key, value}` shape).
+    pub fn pair(a: Value, b: Value) -> Value {
+        Value::Tuple(vec![a, b])
+    }
+
+    /// True when the value is "truthy" in a filter position: only `Bool(true)` counts.
+    pub fn as_bool(&self) -> Result<bool, EvalError> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            other => Err(EvalError::TypeError {
+                context: "boolean context".into(),
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Extract a bag, treating `Void` as the empty bag.
+    pub fn expect_bag(&self) -> Result<Bag, EvalError> {
+        match self {
+            Value::Bag(b) => Ok(b.clone()),
+            Value::Void => Ok(Bag::empty()),
+            Value::Any => Err(EvalError::UnboundedExtent),
+            other => Err(EvalError::TypeError {
+                context: "collection context".into(),
+                found: other.type_name().to_string(),
+            }),
+        }
+    }
+
+    /// Numeric view of the value, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+
+    /// A short tag describing the value's type, used in error messages.
+    pub fn type_name(&self) -> &'static str {
+        match self {
+            Value::Null => "null",
+            Value::Bool(_) => "bool",
+            Value::Int(_) => "int",
+            Value::Float(_) => "float",
+            Value::Str(_) => "string",
+            Value::Tuple(_) => "tuple",
+            Value::Bag(_) => "bag",
+            Value::Void => "Void",
+            Value::Any => "Any",
+        }
+    }
+
+    fn rank(&self) -> u8 {
+        match self {
+            Value::Null => 0,
+            Value::Bool(_) => 1,
+            Value::Int(_) => 2,
+            Value::Float(_) => 2, // ints and floats compare numerically
+            Value::Str(_) => 3,
+            Value::Tuple(_) => 4,
+            Value::Bag(_) => 5,
+            Value::Void => 6,
+            Value::Any => 7,
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl PartialOrd for Value {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Value {
+    fn cmp(&self, other: &Self) -> Ordering {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) | (Void, Void) | (Any, Any) => Ordering::Equal,
+            (Bool(a), Bool(b)) => a.cmp(b),
+            (Int(a), Int(b)) => a.cmp(b),
+            (Float(a), Float(b)) => a.partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
+            (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
+            (Str(a), Str(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Bag(a), Bag(b)) => a.canonical().cmp(&b.canonical()),
+            (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "'{s}'"),
+            Value::Tuple(items) => {
+                write!(f, "{{")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::Bag(b) => write!(f, "{b}"),
+            Value::Void => write!(f, "Void"),
+            Value::Any => write!(f, "Any"),
+        }
+    }
+}
+
+/// A bag (multiset) of values.
+///
+/// Bags preserve duplicates and insertion order; equality and ordering are defined on
+/// the *canonical* (sorted) element sequence so that two bags with the same elements in
+/// different orders compare equal — matching the declarative reading of bag semantics
+/// in the paper while keeping evaluation deterministic.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct Bag {
+    items: Vec<Value>,
+}
+
+impl Bag {
+    /// The empty bag.
+    pub fn empty() -> Self {
+        Bag { items: Vec::new() }
+    }
+
+    /// Build a bag from a vector of values (order preserved).
+    pub fn from_values(items: Vec<Value>) -> Self {
+        Bag { items }
+    }
+
+    /// Number of elements, counting duplicates.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the bag has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Append a value.
+    pub fn push(&mut self, value: Value) {
+        self.items.push(value);
+    }
+
+    /// Iterate over elements in insertion order.
+    pub fn iter(&self) -> impl Iterator<Item = &Value> {
+        self.items.iter()
+    }
+
+    /// The underlying elements in insertion order.
+    pub fn items(&self) -> &[Value] {
+        &self.items
+    }
+
+    /// Consume the bag, returning its elements.
+    pub fn into_items(self) -> Vec<Value> {
+        self.items
+    }
+
+    /// Bag union `++`: concatenation of multiplicities.
+    pub fn union(&self, other: &Bag) -> Bag {
+        let mut items = self.items.clone();
+        items.extend(other.items.iter().cloned());
+        Bag { items }
+    }
+
+    /// Bag difference (monus) `--`: removes one occurrence from `self` for each
+    /// occurrence in `other`.
+    pub fn difference(&self, other: &Bag) -> Bag {
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for v in &other.items {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        let mut items = Vec::new();
+        for v in &self.items {
+            match counts.get_mut(v) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => items.push(v.clone()),
+            }
+        }
+        Bag { items }
+    }
+
+    /// Bag intersection: minimum of multiplicities.
+    pub fn intersection(&self, other: &Bag) -> Bag {
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for v in &other.items {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        let mut items = Vec::new();
+        for v in &self.items {
+            if let Some(c) = counts.get_mut(v) {
+                if *c > 0 {
+                    *c -= 1;
+                    items.push(v.clone());
+                }
+            }
+        }
+        Bag { items }
+    }
+
+    /// Whether a value occurs at least once in the bag.
+    pub fn contains(&self, value: &Value) -> bool {
+        self.items.contains(value)
+    }
+
+    /// Multiplicity of a value.
+    pub fn multiplicity(&self, value: &Value) -> usize {
+        self.items.iter().filter(|v| *v == value).count()
+    }
+
+    /// Duplicate-eliminated copy (set semantics), preserving first-occurrence order.
+    pub fn distinct(&self) -> Bag {
+        let mut seen = std::collections::BTreeSet::new();
+        let mut items = Vec::new();
+        for v in &self.items {
+            if seen.insert(v.clone()) {
+                items.push(v.clone());
+            }
+        }
+        Bag { items }
+    }
+
+    /// A sorted copy of the elements, used for order-insensitive comparison.
+    pub fn canonical(&self) -> Vec<Value> {
+        let mut v = self.items.clone();
+        v.sort();
+        v
+    }
+
+    /// Whether two bags contain the same elements with the same multiplicities,
+    /// regardless of order.
+    pub fn same_elements(&self, other: &Bag) -> bool {
+        self.canonical() == other.canonical()
+    }
+
+    /// Whether `self` is contained in `other` as a sub-bag (multiplicity-wise).
+    pub fn subbag_of(&self, other: &Bag) -> bool {
+        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
+        for v in &other.items {
+            *counts.entry(v.clone()).or_insert(0) += 1;
+        }
+        for v in &self.items {
+            match counts.get_mut(v) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => return false,
+            }
+        }
+        true
+    }
+}
+
+impl PartialEq for Bag {
+    fn eq(&self, other: &Self) -> bool {
+        self.same_elements(other)
+    }
+}
+
+impl Eq for Bag {}
+
+impl FromIterator<Value> for Bag {
+    fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
+        Bag {
+            items: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl fmt::Display for Bag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bag(vals: &[i64]) -> Bag {
+        Bag::from_values(vals.iter().map(|v| Value::Int(*v)).collect())
+    }
+
+    #[test]
+    fn union_preserves_multiplicities() {
+        let u = bag(&[1, 2]).union(&bag(&[2, 3]));
+        assert_eq!(u.len(), 4);
+        assert_eq!(u.multiplicity(&Value::Int(2)), 2);
+    }
+
+    #[test]
+    fn difference_is_monus() {
+        let d = bag(&[1, 2, 2, 3]).difference(&bag(&[2, 4]));
+        assert_eq!(d.canonical(), bag(&[1, 2, 3]).canonical());
+        // removing more than present leaves zero, not negative
+        let d2 = bag(&[1]).difference(&bag(&[1, 1]));
+        assert!(d2.is_empty());
+    }
+
+    #[test]
+    fn intersection_takes_min_multiplicity() {
+        let i = bag(&[1, 1, 2, 3]).intersection(&bag(&[1, 2, 2]));
+        assert_eq!(i.canonical(), bag(&[1, 2]).canonical());
+    }
+
+    #[test]
+    fn distinct_removes_duplicates_preserving_order() {
+        let d = bag(&[3, 1, 3, 2, 1]).distinct();
+        assert_eq!(
+            d.items(),
+            &[Value::Int(3), Value::Int(1), Value::Int(2)]
+        );
+    }
+
+    #[test]
+    fn bag_equality_is_order_insensitive() {
+        assert_eq!(bag(&[1, 2, 3]), bag(&[3, 2, 1]));
+        assert_ne!(bag(&[1, 2]), bag(&[1, 2, 2]));
+    }
+
+    #[test]
+    fn subbag_relation() {
+        assert!(bag(&[1, 2]).subbag_of(&bag(&[2, 1, 3])));
+        assert!(!bag(&[1, 1]).subbag_of(&bag(&[1, 2])));
+        assert!(Bag::empty().subbag_of(&bag(&[])));
+    }
+
+    #[test]
+    fn value_mixed_numeric_equality() {
+        assert_eq!(Value::Int(2), Value::Float(2.0));
+        assert!(Value::Int(2) < Value::Float(2.5));
+    }
+
+    #[test]
+    fn expect_bag_treats_void_as_empty() {
+        assert!(Value::Void.expect_bag().unwrap().is_empty());
+        assert!(Value::Any.expect_bag().is_err());
+        assert!(Value::Int(1).expect_bag().is_err());
+    }
+
+    #[test]
+    fn display_nested() {
+        let v = Value::Tuple(vec![Value::str("PEDRO"), Value::Int(1)]);
+        assert_eq!(v.to_string(), "{'PEDRO', 1}");
+        let b = Bag::from_values(vec![v]);
+        assert_eq!(b.to_string(), "[{'PEDRO', 1}]");
+    }
+}

@@ -1,0 +1,158 @@
+//! Instance-based similarity between schema objects.
+//!
+//! When the extents of two schema objects can be sampled (the sources are wrapped and
+//! registered), overlap between the sampled value sets is strong evidence of a
+//! semantic correspondence — this is what makes `⟨⟨protein, accession_num⟩⟩` (Pedro)
+//! and `⟨⟨proseq, label⟩⟩` (gpmDB) matchable even though their names share little.
+
+use iql::value::{Bag, Value};
+use std::collections::BTreeSet;
+
+/// A compact profile of an extent sample used for instance-based comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExtentProfile {
+    /// Distinct scalar values observed (column extents contribute their value
+    /// component, table extents their keys).
+    pub values: BTreeSet<String>,
+    /// Fraction of sampled values that parse as numbers.
+    pub numeric_fraction: f64,
+    /// Mean string length of the sampled values.
+    pub mean_length: f64,
+    /// Number of tuples sampled.
+    pub sample_size: usize,
+}
+
+impl ExtentProfile {
+    /// Profile a bag following the wrapper conventions: `{key, value}` pairs
+    /// contribute their second component, scalars contribute themselves.
+    pub fn from_bag(bag: &Bag, sample_limit: usize) -> ExtentProfile {
+        let mut values = BTreeSet::new();
+        let mut numeric = 0usize;
+        let mut total_len = 0usize;
+        let mut sampled = 0usize;
+        for item in bag.iter().take(sample_limit) {
+            let scalar = match item {
+                Value::Tuple(parts) if parts.len() >= 2 => &parts[parts.len() - 1],
+                other => other,
+            };
+            let text = match scalar {
+                Value::Str(s) => s.clone(),
+                other => other.to_string(),
+            };
+            if matches!(scalar, Value::Int(_) | Value::Float(_)) || text.parse::<f64>().is_ok() {
+                numeric += 1;
+            }
+            total_len += text.chars().count();
+            values.insert(text);
+            sampled += 1;
+        }
+        ExtentProfile {
+            values,
+            numeric_fraction: if sampled == 0 { 0.0 } else { numeric as f64 / sampled as f64 },
+            mean_length: if sampled == 0 { 0.0 } else { total_len as f64 / sampled as f64 },
+            sample_size: sampled,
+        }
+    }
+
+    /// Jaccard overlap of the distinct value sets.
+    pub fn value_overlap(&self, other: &ExtentProfile) -> f64 {
+        if self.values.is_empty() && other.values.is_empty() {
+            return 0.0;
+        }
+        let inter = self.values.intersection(&other.values).count() as f64;
+        let union = self.values.union(&other.values).count() as f64;
+        inter / union
+    }
+
+    /// Compatibility of the two profiles' value types and lengths in `[0, 1]`.
+    pub fn type_compatibility(&self, other: &ExtentProfile) -> f64 {
+        let numeric = 1.0 - (self.numeric_fraction - other.numeric_fraction).abs();
+        let max_len = self.mean_length.max(other.mean_length);
+        let length = if max_len == 0.0 {
+            1.0
+        } else {
+            1.0 - ((self.mean_length - other.mean_length).abs() / max_len).min(1.0)
+        };
+        0.5 * numeric + 0.5 * length
+    }
+
+    /// The combined instance similarity: value overlap dominates, type compatibility
+    /// provides a weak prior when extents do not overlap.
+    pub fn similarity(&self, other: &ExtentProfile) -> f64 {
+        if self.sample_size == 0 || other.sample_size == 0 {
+            return 0.0;
+        }
+        let overlap = self.value_overlap(other);
+        let compat = self.type_compatibility(other);
+        (0.75 * overlap + 0.25 * compat).clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pair_bag(pairs: &[(i64, &str)]) -> Bag {
+        Bag::from_values(
+            pairs
+                .iter()
+                .map(|(k, v)| Value::pair(Value::Int(*k), Value::str(*v)))
+                .collect(),
+        )
+    }
+
+    #[test]
+    fn profiles_use_value_component_of_pairs() {
+        let bag = pair_bag(&[(1, "ACC1"), (2, "ACC2")]);
+        let p = ExtentProfile::from_bag(&bag, 100);
+        assert_eq!(p.sample_size, 2);
+        assert!(p.values.contains("ACC1"));
+        assert_eq!(p.numeric_fraction, 0.0);
+    }
+
+    #[test]
+    fn overlapping_extents_score_high() {
+        let pedro = ExtentProfile::from_bag(&pair_bag(&[(1, "ACC1"), (2, "ACC2"), (3, "ACC3")]), 100);
+        let gpmdb = ExtentProfile::from_bag(&pair_bag(&[(7, "ACC2"), (8, "ACC3"), (9, "ACC4")]), 100);
+        let unrelated = ExtentProfile::from_bag(&pair_bag(&[(1, "Homo sapiens"), (2, "Mus musculus")]), 100);
+        assert!(pedro.similarity(&gpmdb) > pedro.similarity(&unrelated));
+        assert!(pedro.value_overlap(&gpmdb) > 0.3);
+        assert_eq!(pedro.value_overlap(&unrelated), 0.0);
+    }
+
+    #[test]
+    fn type_compatibility_separates_numeric_and_text() {
+        let scores = ExtentProfile::from_bag(
+            &Bag::from_values(vec![
+                Value::pair(Value::Int(1), Value::Float(55.5)),
+                Value::pair(Value::Int(2), Value::Float(71.2)),
+            ]),
+            100,
+        );
+        let more_scores = ExtentProfile::from_bag(
+            &Bag::from_values(vec![Value::pair(Value::Int(3), Value::Float(60.0))]),
+            100,
+        );
+        let text = ExtentProfile::from_bag(
+            &pair_bag(&[(1, "Putative kinase 12"), (2, "Probable hydrolase 4")]),
+            100,
+        );
+        assert!(scores.type_compatibility(&more_scores) > scores.type_compatibility(&text));
+    }
+
+    #[test]
+    fn empty_extent_gives_zero_similarity() {
+        let empty = ExtentProfile::from_bag(&Bag::empty(), 100);
+        let full = ExtentProfile::from_bag(&pair_bag(&[(1, "x")]), 100);
+        assert_eq!(empty.similarity(&full), 0.0);
+        assert_eq!(empty.sample_size, 0);
+    }
+
+    #[test]
+    fn sample_limit_is_respected() {
+        let big = Bag::from_values((0..1000).map(Value::Int).collect());
+        let p = ExtentProfile::from_bag(&big, 50);
+        assert_eq!(p.sample_size, 50);
+        assert_eq!(p.numeric_fraction, 1.0);
+    }
+}

@@ -1,0 +1,21 @@
+//! # matching — schema matching suggestions
+//!
+//! A reimplementation of the role the Schema Matching Tool plays in the paper's
+//! workflow (step 4 of §2.3): given two schemas, *suggest* correspondences between
+//! their objects so that the integrator can turn accepted suggestions into intersection
+//! mappings. Matching combines:
+//!
+//! * [`name`] — name-based similarity (normalised edit distance, token overlap,
+//!   substring containment, and a small synonym table covering the proteomics domain
+//!   vocabulary used in the case study);
+//! * [`instance`] — instance-based similarity (overlap of sampled extents and value
+//!   type compatibility), available when the sources are registered and extents can be
+//!   sampled;
+//! * [`matcher`] — the combined scorer producing ranked [`matcher::MatchSuggestion`]s
+//!   and precision/recall evaluation against a ground truth.
+
+pub mod instance;
+pub mod matcher;
+pub mod name;
+
+pub use matcher::{MatchConfig, MatchSuggestion, Matcher};

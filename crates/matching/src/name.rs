@@ -1,0 +1,176 @@
+//! Name-based similarity between schema object names.
+
+use std::collections::BTreeSet;
+
+/// Normalised Levenshtein similarity in `[0, 1]`: `1 - distance / max_len`.
+pub fn levenshtein_similarity(a: &str, b: &str) -> f64 {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    if a.is_empty() && b.is_empty() {
+        return 1.0;
+    }
+    let dist = levenshtein(&a, &b) as f64;
+    let max_len = a.chars().count().max(b.chars().count()) as f64;
+    1.0 - dist / max_len
+}
+
+/// Classic dynamic-programming Levenshtein edit distance.
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut curr = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        curr[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            curr[j + 1] = (prev[j + 1] + 1).min(curr[j] + 1).min(prev[j] + cost);
+        }
+        std::mem::swap(&mut prev, &mut curr);
+    }
+    prev[b.len()]
+}
+
+/// Split an identifier into lowercase tokens at `_`, `-`, whitespace and camelCase
+/// boundaries.
+pub fn tokenize(name: &str) -> Vec<String> {
+    let mut tokens = Vec::new();
+    let mut current = String::new();
+    let mut prev_lower = false;
+    for c in name.chars() {
+        if c == '_' || c == '-' || c == ' ' || c == '.' {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            prev_lower = false;
+        } else if c.is_uppercase() && prev_lower {
+            if !current.is_empty() {
+                tokens.push(std::mem::take(&mut current));
+            }
+            current.push(c.to_ascii_lowercase());
+            prev_lower = false;
+        } else {
+            prev_lower = c.is_lowercase() || c.is_ascii_digit();
+            current.push(c.to_ascii_lowercase());
+        }
+    }
+    if !current.is_empty() {
+        tokens.push(current);
+    }
+    tokens
+}
+
+/// Jaccard similarity of the token sets of two identifiers, with synonym expansion.
+pub fn token_similarity(a: &str, b: &str) -> f64 {
+    let ta: BTreeSet<String> = tokenize(a).into_iter().map(canonical_token).collect();
+    let tb: BTreeSet<String> = tokenize(b).into_iter().map(canonical_token).collect();
+    if ta.is_empty() && tb.is_empty() {
+        return 1.0;
+    }
+    let inter = ta.intersection(&tb).count() as f64;
+    let union = ta.union(&tb).count() as f64;
+    inter / union
+}
+
+/// Map a token to a canonical representative of its synonym group.
+///
+/// The table covers the identifier vocabulary of the case-study schemas (Pedro, gpmDB,
+/// PepSeeker) plus generic relational naming conventions; it is intentionally small
+/// and transparent rather than a full thesaurus.
+pub fn canonical_token(token: String) -> String {
+    match token.as_str() {
+        // identifiers / keys
+        "id" | "identifier" | "key" | "pk" => "id".into(),
+        // protein accession naming across the three proteomics sources
+        "accession" | "acc" | "label" => "accession".into(),
+        "num" | "number" | "no" => "num".into(),
+        // sequences
+        "seq" | "sequence" | "pepseq" => "sequence".into(),
+        // proteins / protein sequence records
+        "protein" | "proseq" | "prot" => "protein".into(),
+        // peptides
+        "peptide" | "pep" => "peptide".into(),
+        // scores / expectation values
+        "score" | "ionscore" => "score".into(),
+        "expect" | "expectation" | "probability" | "prob" | "evalue" => "probability".into(),
+        // database search runs
+        "db" | "database" => "db".into(),
+        "search" | "fileparameters" | "dbsearch" => "search".into(),
+        "hit" | "hits" | "identification" => "hit".into(),
+        "organism" | "species" | "taxon" => "organism".into(),
+        "description" | "desc" | "title" => "description".into(),
+        other => other.to_string(),
+    }
+}
+
+/// Whether one identifier (case-insensitively) contains the other as a substring.
+pub fn containment(a: &str, b: &str) -> bool {
+    let a = a.to_lowercase();
+    let b = b.to_lowercase();
+    a.contains(&b) || b.contains(&a)
+}
+
+/// The combined name similarity used by the matcher: the maximum of edit-distance and
+/// token similarity, boosted slightly by containment.
+pub fn name_similarity(a: &str, b: &str) -> f64 {
+    let base = levenshtein_similarity(a, b).max(token_similarity(a, b));
+    let boosted = if containment(a, b) { base + 0.1 } else { base };
+    boosted.min(1.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levenshtein_basics() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("", "abc"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+        assert!(levenshtein_similarity("protein", "protien") > 0.7);
+        assert_eq!(levenshtein_similarity("", ""), 1.0);
+    }
+
+    #[test]
+    fn tokenisation_handles_snake_and_camel_case() {
+        assert_eq!(tokenize("accession_num"), vec!["accession", "num"]);
+        assert_eq!(tokenize("ProteinID"), vec!["protein", "id"]);
+        assert_eq!(tokenize("db search"), vec!["db", "search"]);
+        assert_eq!(tokenize("pepSeq"), vec!["pep", "seq"]);
+    }
+
+    #[test]
+    fn synonyms_bridge_source_vocabularies() {
+        // Pedro's accession_num vs gpmDB's label.
+        assert!(token_similarity("accession_num", "label") > 0.0);
+        // Pedro's sequence vs PepSeeker's pepseq.
+        assert!(token_similarity("sequence", "pepseq") > 0.9);
+        // db_search vs fileparameters.
+        assert!(token_similarity("db_search", "fileparameters") > 0.0);
+        // expect vs probability.
+        assert!(token_similarity("expect", "probability") > 0.9);
+    }
+
+    #[test]
+    fn name_similarity_orders_plausible_matches_first() {
+        let s_same = name_similarity("proteinhit", "proteinhit");
+        let s_close = name_similarity("proteinhit", "protein");
+        let s_far = name_similarity("protein", "fileparameters");
+        assert!(s_same > s_close);
+        assert!(s_close > s_far);
+        assert!(s_same <= 1.0);
+    }
+
+    #[test]
+    fn containment_boost() {
+        assert!(containment("proteinhit", "protein"));
+        assert!(!containment("peptide", "organism"));
+        assert!(name_similarity("proteinhit", "protein") > levenshtein_similarity("proteinhit", "protein"));
+    }
+}

@@ -1,0 +1,560 @@
+//! The three iSpider source databases: schemas and synthetic data.
+//!
+//! The table and column structure reproduces the objects referenced by the paper's
+//! transformation listings (§2.4 and §3): Pedro's `protein`, `proteinhit`,
+//! `peptidehit` and `db_search`; gpmDB's `proseq`, `protein` and `peptide`;
+//! PepSeeker's `proteinhit`, `peptidehit` and `iontable` (the last with the ion-series
+//! columns that make PepSeeker the ion-information source for query 7). The real
+//! databases are not publicly available, so the data is synthetic: a seeded generator
+//! plants controlled overlap across the sources — shared protein accession numbers and
+//! shared peptide sequences — which is what the priority queries join on.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use relational::datagen::{DataGenerator, OverlapConfig};
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+
+/// Scale of the generated case-study data.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CaseStudyScale {
+    /// Number of proteins per source.
+    pub proteins: usize,
+    /// Number of protein hits (identifications) per source.
+    pub protein_hits: usize,
+    /// Number of peptide hits per source.
+    pub peptide_hits: usize,
+    /// Number of search runs per source.
+    pub searches: usize,
+    /// Fraction of values drawn from the shared cross-source pools.
+    pub overlap: f64,
+    /// Random seed.
+    pub seed: u64,
+}
+
+impl Default for CaseStudyScale {
+    fn default() -> Self {
+        CaseStudyScale {
+            proteins: 60,
+            protein_hits: 120,
+            peptide_hits: 200,
+            searches: 12,
+            overlap: 0.6,
+            seed: 42,
+        }
+    }
+}
+
+impl CaseStudyScale {
+    /// A scale suitable for fast unit tests.
+    pub fn tiny() -> Self {
+        CaseStudyScale {
+            proteins: 12,
+            protein_hits: 24,
+            peptide_hits: 40,
+            searches: 4,
+            overlap: 0.7,
+            seed: 7,
+        }
+    }
+
+    /// A scale factor multiplier, used by benchmarks to sweep data sizes.
+    pub fn scaled(factor: usize) -> Self {
+        let base = CaseStudyScale::default();
+        CaseStudyScale {
+            proteins: base.proteins * factor,
+            protein_hits: base.protein_hits * factor,
+            peptide_hits: base.peptide_hits * factor,
+            searches: base.searches * factor.max(1),
+            ..base
+        }
+    }
+
+    fn overlap_config(&self) -> OverlapConfig {
+        OverlapConfig {
+            shared_pool: (self.proteins / 2).max(4),
+            overlap_fraction: self.overlap,
+        }
+    }
+}
+
+/// The Pedro relational schema.
+pub fn pedro_schema() -> RelSchema {
+    let mut s = RelSchema::new("pedro");
+    s.add_table(
+        RelTable::new("protein")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("accession_num", DataType::Text))
+            .with_column(RelColumn::new("description", DataType::Text))
+            .with_column(RelColumn::new("organism", DataType::Text))
+            .with_column(RelColumn::nullable("predicted_mass", DataType::Float))
+            .with_column(RelColumn::nullable("gene_name", DataType::Text))
+            .with_primary_key(["id"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("db_search")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("username", DataType::Text))
+            .with_column(RelColumn::new("db_search_parameters", DataType::Text))
+            .with_column(RelColumn::new("search_date", DataType::Text))
+            .with_primary_key(["id"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("proteinhit")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("protein", DataType::Int))
+            .with_column(RelColumn::new("db_search", DataType::Int))
+            .with_column(RelColumn::new("all_peptides_matched", DataType::Bool))
+            .with_primary_key(["id"])
+            .with_foreign_key(&["protein"], "protein", &["id"])
+            .with_foreign_key(&["db_search"], "db_search", &["id"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("peptidehit")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("sequence", DataType::Text))
+            .with_column(RelColumn::new("score", DataType::Float))
+            .with_column(RelColumn::new("probability", DataType::Float))
+            .with_column(RelColumn::new("db_search", DataType::Int))
+            .with_column(RelColumn::nullable("charge", DataType::Int))
+            .with_column(RelColumn::nullable("miss_cleavages", DataType::Int))
+            .with_column(RelColumn::nullable("information", DataType::Text))
+            .with_primary_key(["id"])
+            .with_foreign_key(&["db_search"], "db_search", &["id"]),
+    )
+    .expect("valid table");
+    s
+}
+
+/// The gpmDB relational schema.
+pub fn gpmdb_schema() -> RelSchema {
+    let mut s = RelSchema::new("gpmdb");
+    s.add_table(
+        RelTable::new("proseq")
+            .with_column(RelColumn::new("proseqid", DataType::Int))
+            .with_column(RelColumn::new("label", DataType::Text))
+            .with_column(RelColumn::nullable("seq", DataType::Text))
+            .with_primary_key(["proseqid"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("protein")
+            .with_column(RelColumn::new("proid", DataType::Int))
+            .with_column(RelColumn::new("proseqid", DataType::Int))
+            .with_column(RelColumn::new("expect", DataType::Float))
+            .with_column(RelColumn::new("resultid", DataType::Int))
+            .with_primary_key(["proid"])
+            .with_foreign_key(&["proseqid"], "proseq", &["proseqid"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("peptide")
+            .with_column(RelColumn::new("pepid", DataType::Int))
+            .with_column(RelColumn::new("seq", DataType::Text))
+            .with_column(RelColumn::new("expect", DataType::Float))
+            .with_column(RelColumn::new("proid", DataType::Int))
+            .with_column(RelColumn::nullable("start_pos", DataType::Int))
+            .with_column(RelColumn::nullable("end_pos", DataType::Int))
+            .with_primary_key(["pepid"])
+            .with_foreign_key(&["proid"], "protein", &["proid"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("result")
+            .with_column(RelColumn::new("resultid", DataType::Int))
+            .with_column(RelColumn::new("file", DataType::Text))
+            .with_column(RelColumn::new("tandem_version", DataType::Text))
+            .with_primary_key(["resultid"]),
+    )
+    .expect("valid table");
+    // gpmDB's ion-series information per peptide (concepts Pedro does not have; they
+    // only enter the classical integration's GS2 stage).
+    let mut ion = RelTable::new("ion")
+        .with_column(RelColumn::new("ionid", DataType::Int))
+        .with_column(RelColumn::new("pepid", DataType::Int))
+        .with_primary_key(["ionid"])
+        .with_foreign_key(&["pepid"], "peptide", &["pepid"]);
+    for col in GPMDB_ION_COLUMNS {
+        ion = ion.with_column(RelColumn::nullable(*col, DataType::Float));
+    }
+    s.add_table(ion).expect("valid table");
+    s
+}
+
+/// The ion-series columns of gpmDB's `ion` table (named after the same ion series as
+/// PepSeeker's `iontable`, which is what makes them mappable in the classical GS2
+/// stage).
+pub const GPMDB_ION_COLUMNS: &[&str] = &[
+    "immonium", "a_ion", "a_star", "a_zero", "b_ion", "b_star", "b_zero", "b_plusplus", "c_ion",
+    "x_ion", "y_ion", "y_star", "y_zero", "y_plusplus", "z_ion", "z_plus_one", "z_plus_two",
+    "d_ion", "v_ion", "w_ion",
+];
+
+/// The PepSeeker relational schema.
+pub fn pepseeker_schema() -> RelSchema {
+    let mut s = RelSchema::new("pepseeker");
+    s.add_table(
+        RelTable::new("proteinhit")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("ProteinID", DataType::Text))
+            .with_column(RelColumn::new("proteinid", DataType::Int))
+            .with_column(RelColumn::new("fileparameters", DataType::Int))
+            .with_column(RelColumn::new("hitnumber", DataType::Int))
+            .with_column(RelColumn::nullable("mass", DataType::Float))
+            .with_primary_key(["id"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("peptidehit")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("pepseq", DataType::Text))
+            .with_column(RelColumn::new("score", DataType::Float))
+            .with_column(RelColumn::new("expect", DataType::Float))
+            .with_column(RelColumn::new("fileparameters", DataType::Int))
+            .with_column(RelColumn::nullable("charge", DataType::Int))
+            .with_column(RelColumn::nullable("misscleave", DataType::Int))
+            .with_primary_key(["id"]),
+    )
+    .expect("valid table");
+    s.add_table(
+        RelTable::new("fileparameters")
+            .with_column(RelColumn::new("id", DataType::Int))
+            .with_column(RelColumn::new("filename", DataType::Text))
+            .with_column(RelColumn::new("database", DataType::Text))
+            .with_column(RelColumn::new("instrument", DataType::Text))
+            .with_primary_key(["id"]),
+    )
+    .expect("valid table");
+    // The ion-series table that makes PepSeeker the source of "ion related
+    // information" (priority query 7).
+    let mut iontable = RelTable::new("iontable")
+        .with_column(RelColumn::new("id", DataType::Int))
+        .with_column(RelColumn::new("peptidehit", DataType::Int))
+        .with_primary_key(["id"])
+        .with_foreign_key(&["peptidehit"], "peptidehit", &["id"]);
+    for ion in ION_COLUMNS {
+        iontable = iontable.with_column(RelColumn::nullable(*ion, DataType::Float));
+    }
+    s.add_table(iontable).expect("valid table");
+    s
+}
+
+/// The ion-series columns of PepSeeker's `iontable`.
+pub const ION_COLUMNS: &[&str] = &[
+    "immonium", "a_ion", "a_star", "a_zero", "b_ion", "b_star", "b_zero", "b_plusplus", "c_ion",
+    "x_ion", "y_ion", "y_star", "y_zero", "y_plusplus", "z_ion", "z_plus_one", "z_plus_two",
+    "d_ion", "v_ion", "w_ion",
+];
+
+/// Generate the Pedro database at the given scale.
+pub fn generate_pedro(scale: &CaseStudyScale) -> Database {
+    let mut db = Database::new(pedro_schema());
+    let mut generator = DataGenerator::new("pedro", scale.seed, scale.overlap_config());
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0x5050);
+
+    for i in 0..scale.searches {
+        db.insert(
+            "db_search",
+            vec![
+                (i as i64).into(),
+                format!("analyst{}", i % 5).into(),
+                "trypsin/2 missed cleavages".into(),
+                format!("2013-0{}-{:02}", 1 + i % 9, 1 + i % 27).into(),
+            ],
+        )
+        .expect("insert db_search");
+    }
+    for i in 0..scale.proteins {
+        db.insert(
+            "protein",
+            vec![
+                (i as i64).into(),
+                generator.accession().into(),
+                generator.description().into(),
+                generator.organism().into(),
+                iql::Value::Float((20_000.0 + rng.gen::<f64>() * 80_000.0).round()),
+                if generator.flag(0.7) {
+                    format!("GENE{}", rng.gen_range(1..500)).into()
+                } else {
+                    iql::Value::Null
+                },
+            ],
+        )
+        .expect("insert protein");
+    }
+    for i in 0..scale.protein_hits {
+        db.insert(
+            "proteinhit",
+            vec![
+                (i as i64).into(),
+                (generator.int_in(0, scale.proteins as i64)).into(),
+                (generator.int_in(0, scale.searches as i64)).into(),
+                generator.flag(0.5).into(),
+            ],
+        )
+        .expect("insert proteinhit");
+    }
+    for i in 0..scale.peptide_hits {
+        db.insert(
+            "peptidehit",
+            vec![
+                (i as i64).into(),
+                generator.peptide_sequence().into(),
+                iql::Value::Float(generator.score()),
+                iql::Value::Float(generator.probability()),
+                (generator.int_in(0, scale.searches as i64)).into(),
+                (generator.int_in(1, 5)).into(),
+                (generator.int_in(0, 3)).into(),
+                if generator.flag(0.3) {
+                    "manual validation".into()
+                } else {
+                    iql::Value::Null
+                },
+            ],
+        )
+        .expect("insert peptidehit");
+    }
+    db
+}
+
+/// Generate the gpmDB database at the given scale.
+pub fn generate_gpmdb(scale: &CaseStudyScale) -> Database {
+    let mut db = Database::new(gpmdb_schema());
+    let mut generator = DataGenerator::new("gpmdb", scale.seed.wrapping_add(1), scale.overlap_config());
+
+    for i in 0..scale.searches {
+        db.insert(
+            "result",
+            vec![
+                (i as i64).into(),
+                format!("run_{i}.xml").into(),
+                "2013.09.01".into(),
+            ],
+        )
+        .expect("insert result");
+    }
+    for i in 0..scale.proteins {
+        db.insert(
+            "proseq",
+            vec![
+                (i as i64).into(),
+                generator.accession().into(),
+                if generator.flag(0.5) {
+                    generator.peptide_sequence().into()
+                } else {
+                    iql::Value::Null
+                },
+            ],
+        )
+        .expect("insert proseq");
+    }
+    for i in 0..scale.protein_hits {
+        db.insert(
+            "protein",
+            vec![
+                (i as i64).into(),
+                (generator.int_in(0, scale.proteins as i64)).into(),
+                iql::Value::Float(generator.probability()),
+                (generator.int_in(0, scale.searches as i64)).into(),
+            ],
+        )
+        .expect("insert protein");
+    }
+    for i in 0..scale.peptide_hits {
+        db.insert(
+            "peptide",
+            vec![
+                (i as i64).into(),
+                generator.peptide_sequence().into(),
+                iql::Value::Float(generator.probability()),
+                (generator.int_in(0, scale.protein_hits as i64)).into(),
+                (generator.int_in(1, 300)).into(),
+                (generator.int_in(300, 600)).into(),
+            ],
+        )
+        .expect("insert peptide");
+    }
+    let mut ion_rng = StdRng::seed_from_u64(scale.seed ^ 0x10);
+    for i in 0..scale.peptide_hits {
+        let mut row: Vec<iql::Value> = vec![(i as i64).into(), (i as i64).into()];
+        for _ in GPMDB_ION_COLUMNS {
+            row.push(if ion_rng.gen_bool(0.3) {
+                iql::Value::Float((ion_rng.gen::<f64>() * 2000.0).round() / 10.0)
+            } else {
+                iql::Value::Null
+            });
+        }
+        db.insert("ion", row).expect("insert ion");
+    }
+    db
+}
+
+/// Generate the PepSeeker database at the given scale.
+pub fn generate_pepseeker(scale: &CaseStudyScale) -> Database {
+    let mut db = Database::new(pepseeker_schema());
+    let mut generator =
+        DataGenerator::new("pepseeker", scale.seed.wrapping_add(2), scale.overlap_config());
+    let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xBEEF);
+
+    for i in 0..scale.searches {
+        db.insert(
+            "fileparameters",
+            vec![
+                (i as i64).into(),
+                format!("spectrum_{i}.mgf").into(),
+                "SwissProt".into(),
+                "MALDI-TOF".into(),
+            ],
+        )
+        .expect("insert fileparameters");
+    }
+    for i in 0..scale.protein_hits {
+        db.insert(
+            "proteinhit",
+            vec![
+                (i as i64).into(),
+                generator.accession().into(),
+                (generator.int_in(0, scale.proteins as i64)).into(),
+                (generator.int_in(0, scale.searches as i64)).into(),
+                (generator.int_in(1, 20)).into(),
+                iql::Value::Float((10_000.0 + rng.gen::<f64>() * 90_000.0).round()),
+            ],
+        )
+        .expect("insert proteinhit");
+    }
+    for i in 0..scale.peptide_hits {
+        db.insert(
+            "peptidehit",
+            vec![
+                (i as i64).into(),
+                generator.peptide_sequence().into(),
+                iql::Value::Float(generator.score()),
+                iql::Value::Float(generator.probability()),
+                (generator.int_in(0, scale.searches as i64)).into(),
+                (generator.int_in(1, 4)).into(),
+                (generator.int_in(0, 3)).into(),
+            ],
+        )
+        .expect("insert peptidehit");
+    }
+    // One ion row per peptide hit, with a random subset of the ion series populated.
+    for i in 0..scale.peptide_hits {
+        let mut row: Vec<iql::Value> = vec![(i as i64).into(), (i as i64).into()];
+        for _ in ION_COLUMNS {
+            row.push(if rng.gen_bool(0.4) {
+                iql::Value::Float((rng.gen::<f64>() * 2000.0).round() / 10.0)
+            } else {
+                iql::Value::Null
+            });
+        }
+        db.insert("iontable", row).expect("insert iontable");
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use iql::ast::SchemeRef;
+    use iql::eval::ExtentProvider;
+
+    #[test]
+    fn schemas_validate_and_contain_the_paper_objects() {
+        for (schema, objects) in [
+            (pedro_schema(), vec!["protein", "proteinhit", "peptidehit", "db_search"]),
+            (gpmdb_schema(), vec!["proseq", "protein", "peptide"]),
+            (pepseeker_schema(), vec!["proteinhit", "peptidehit", "iontable"]),
+        ] {
+            schema.validate().expect("schema validates");
+            for t in objects {
+                assert!(schema.table(t).is_some(), "{} missing {t}", schema.name);
+            }
+        }
+        // Specific columns referenced by the paper's transformations.
+        assert!(pedro_schema().table("protein").unwrap().column("accession_num").is_some());
+        assert!(gpmdb_schema().table("proseq").unwrap().column("label").is_some());
+        assert!(pepseeker_schema().table("peptidehit").unwrap().column("pepseq").is_some());
+        assert!(pepseeker_schema().table("proteinhit").unwrap().column("fileparameters").is_some());
+    }
+
+    #[test]
+    fn generated_databases_have_requested_cardinalities() {
+        let scale = CaseStudyScale::tiny();
+        let pedro = generate_pedro(&scale);
+        let gpmdb = generate_gpmdb(&scale);
+        let pepseeker = generate_pepseeker(&scale);
+        assert_eq!(pedro.row_count("protein"), scale.proteins);
+        assert_eq!(pedro.row_count("peptidehit"), scale.peptide_hits);
+        assert_eq!(gpmdb.row_count("proseq"), scale.proteins);
+        assert_eq!(pepseeker.row_count("iontable"), scale.peptide_hits);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let scale = CaseStudyScale::tiny();
+        let a = generate_pedro(&scale);
+        let b = generate_pedro(&scale);
+        assert_eq!(
+            a.column_values("protein", "accession_num").unwrap(),
+            b.column_values("protein", "accession_num").unwrap()
+        );
+    }
+
+    #[test]
+    fn cross_source_accession_overlap_exists() {
+        let scale = CaseStudyScale::tiny();
+        let pedro = generate_pedro(&scale);
+        let gpmdb = generate_gpmdb(&scale);
+        let pedro_accs: std::collections::BTreeSet<String> = pedro
+            .column_values("protein", "accession_num")
+            .unwrap()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect();
+        let gpmdb_accs: std::collections::BTreeSet<String> = gpmdb
+            .column_values("proseq", "label")
+            .unwrap()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(
+            pedro_accs.intersection(&gpmdb_accs).count() > 0,
+            "no shared accession numbers — the case-study joins would all be empty"
+        );
+    }
+
+    #[test]
+    fn cross_source_peptide_overlap_exists() {
+        let scale = CaseStudyScale::tiny();
+        let pedro = generate_pedro(&scale);
+        let pepseeker = generate_pepseeker(&scale);
+        let a: std::collections::BTreeSet<String> = pedro
+            .column_values("peptidehit", "sequence")
+            .unwrap()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect();
+        let b: std::collections::BTreeSet<String> = pepseeker
+            .column_values("peptidehit", "pepseq")
+            .unwrap()
+            .into_iter()
+            .map(|v| v.to_string())
+            .collect();
+        assert!(a.intersection(&b).count() > 0);
+    }
+
+    #[test]
+    fn wrapper_extents_follow_paper_conventions() {
+        let scale = CaseStudyScale::tiny();
+        let pedro = generate_pedro(&scale);
+        let keys = pedro.extent(&SchemeRef::table("protein")).unwrap();
+        assert_eq!(keys.len(), scale.proteins);
+        let pairs = pedro
+            .extent(&SchemeRef::column("protein", "accession_num"))
+            .unwrap();
+        assert_eq!(pairs.len(), scale.proteins);
+    }
+}

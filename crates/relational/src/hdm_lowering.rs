@@ -1,0 +1,150 @@
+//! Lowering a relational schema onto the HDM.
+//!
+//! This mirrors how a modelling language is *defined in terms of the HDM* in the Model
+//! Definitions Repository: a table `t` becomes an HDM node `t`; each column `c` of `t`
+//! becomes a value node `t:c` plus a binary edge `c(t, t:c)`; primary-key columns gain
+//! a uniqueness constraint; foreign keys become inclusion constraints between the key
+//! node of the referencing table and the node of the referenced table.
+
+use crate::schema::RelSchema;
+use crate::store::{key_of, Database};
+use hdm::{Constraint, Edge, HdmInstance, HdmSchema, HdmValue, Node};
+use iql::value::Value;
+
+/// Lower a relational schema to an HDM schema.
+pub fn lower_schema(schema: &RelSchema) -> HdmSchema {
+    let mut hdm = HdmSchema::new(schema.name.clone());
+    for table in schema.tables() {
+        // Node for the table itself (its extent will be the key values).
+        let _ = hdm.add_node(Node::new(&table.name));
+        for column in &table.columns {
+            let value_node = format!("{}:{}", table.name, column.name);
+            let _ = hdm.add_node(Node::new(&value_node));
+            let _ = hdm.add_edge(Edge::binary(&column.name, &table.name, &value_node));
+            if table.primary_key.len() == 1 && table.primary_key[0] == column.name {
+                let edge_id = format!("{}({},{})", column.name, table.name, value_node);
+                let _ = hdm.add_constraint(Constraint::Unique {
+                    edge: edge_id,
+                    position: 0,
+                });
+            }
+        }
+    }
+    // A single-column foreign key becomes an inclusion constraint: the values held by
+    // the referencing column's value node must appear among the referenced table's
+    // keys.
+    for table in schema.tables() {
+        for fk in &table.foreign_keys {
+            if let [col] = fk.columns.as_slice() {
+                let _ = hdm.add_constraint(Constraint::Inclusion {
+                    sub: format!("{}:{}", table.name, col),
+                    sup: fk.ref_table.clone(),
+                });
+            }
+        }
+    }
+    hdm
+}
+
+/// Lower the contents of a database to an HDM instance over [`lower_schema`]'s output.
+pub fn lower_instance(db: &Database) -> HdmInstance {
+    let mut inst = HdmInstance::new();
+    for table in db.schema().tables() {
+        for row in db.rows(table.name.as_str()) {
+            let key = to_hdm(&key_of(table, row));
+            inst.insert_scalar(&table.name, key.clone());
+            for (column, value) in table.columns.iter().zip(row.iter()) {
+                if matches!(value, Value::Null) {
+                    continue;
+                }
+                let value_node = format!("{}:{}", table.name, column.name);
+                let edge_id = format!("{}({},{})", column.name, table.name, value_node);
+                inst.insert_scalar(value_node, to_hdm(value));
+                inst.insert(edge_id, vec![key.clone(), to_hdm(value)]);
+            }
+        }
+    }
+    inst
+}
+
+/// Convert an IQL scalar into an HDM scalar. Tuples (composite keys) are flattened to
+/// their textual form, since HDM scalars are flat.
+fn to_hdm(value: &Value) -> HdmValue {
+    match value {
+        Value::Null => HdmValue::Null,
+        Value::Bool(b) => HdmValue::Bool(*b),
+        Value::Int(i) => HdmValue::Int(*i),
+        Value::Float(f) => HdmValue::float(*f),
+        Value::Str(s) => HdmValue::str(s.clone()),
+        other => HdmValue::str(other.to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, RelColumn, RelTable};
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        s.add_table(
+            RelTable::new("proteinhit")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("protein", DataType::Int))
+                .with_primary_key(["id"])
+                .with_foreign_key(&["protein"], "protein", &["id"]),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn lowering_produces_nodes_edges_constraints() {
+        let hdm = lower_schema(&schema());
+        assert!(hdm.has_node("protein"));
+        assert!(hdm.has_node("protein:accession_num"));
+        assert!(hdm.has_edge("accession_num(protein,protein:accession_num)"));
+        assert!(hdm.validate().is_ok());
+        // one unique constraint per single-column PK + one inclusion per FK
+        assert!(hdm.constraints().len() >= 3);
+    }
+
+    #[test]
+    fn instance_lowering_populates_extents() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into()]).unwrap();
+        db.insert("proteinhit", vec![10.into(), 1.into()]).unwrap();
+        let hdm_schema = lower_schema(db.schema());
+        let inst = lower_instance(&db);
+        assert_eq!(inst.cardinality("protein"), 1);
+        assert_eq!(
+            inst.cardinality("accession_num(protein,protein:accession_num)"),
+            1
+        );
+        assert!(inst.validate_against(&hdm_schema).is_ok());
+    }
+
+    #[test]
+    fn null_values_are_skipped() {
+        let mut s = RelSchema::new("x");
+        s.add_table(
+            RelTable::new("t")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::nullable("v", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("t", vec![1.into(), Value::Null]).unwrap();
+        let inst = lower_instance(&db);
+        assert_eq!(inst.cardinality("t"), 1);
+        assert_eq!(inst.cardinality("v(t,t:v)"), 0);
+    }
+}

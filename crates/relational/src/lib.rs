@@ -1,0 +1,46 @@
+//! # relational — relational sources for the dataspace substrate
+//!
+//! This crate provides the *data source* side of the reproduction:
+//!
+//! * [`schema`] — relational schema descriptions (tables, columns, keys, foreign keys);
+//! * [`store`] — a small in-memory relational database holding rows of IQL values;
+//! * [`datagen`] — seeded synthetic data generation with controllable cross-database
+//!   value overlap (used to stand in for the proteomics databases of the case study);
+//! * [`wrapper`] — the AutoMed-style wrapper view of a database: schema objects are
+//!   exposed under relational *schemes* (`⟨⟨table⟩⟩`, `⟨⟨table, column⟩⟩`) and their
+//!   extents follow the paper's convention — a table scheme's extent is the bag of
+//!   primary-key values and a column scheme's extent is a bag of `{key, value}` pairs;
+//! * [`hdm_lowering`] — lowering of a relational schema onto the HDM, mirroring how a
+//!   modelling language is defined in terms of the HDM in the Model Definitions
+//!   Repository.
+//!
+//! ```
+//! use relational::{schema::{RelSchema, RelTable, RelColumn, DataType}, store::Database};
+//! use iql::{parse, Evaluator};
+//!
+//! let mut schema = RelSchema::new("pedro");
+//! schema.add_table(
+//!     RelTable::new("protein")
+//!         .with_column(RelColumn::new("id", DataType::Int))
+//!         .with_column(RelColumn::new("accession_num", DataType::Text))
+//!         .with_primary_key(["id"]),
+//! ).unwrap();
+//!
+//! let mut db = Database::new(schema);
+//! db.insert("protein", vec![1.into(), "P100".into()]).unwrap();
+//!
+//! let q = parse("[x | {k, x} <- <<protein, accession_num>>]").unwrap();
+//! let result = Evaluator::new(&db).eval_closed(&q).unwrap();
+//! assert_eq!(result.expect_bag().unwrap().len(), 1);
+//! ```
+
+pub mod datagen;
+pub mod error;
+pub mod hdm_lowering;
+pub mod schema;
+pub mod store;
+pub mod wrapper;
+
+pub use error::RelError;
+pub use schema::{DataType, ForeignKey, RelColumn, RelSchema, RelTable};
+pub use store::{Database, Row};

@@ -1,0 +1,302 @@
+//! An in-memory relational database.
+
+use crate::error::RelError;
+use crate::schema::{DataType, RelSchema, RelTable};
+use iql::value::Value;
+use std::collections::BTreeMap;
+
+/// A row of a table: one IQL value per column, in declaration order.
+pub type Row = Vec<Value>;
+
+/// An in-memory relational database: a schema plus rows per table.
+///
+/// Inserts are validated against the schema (arity, types, nullability, primary-key
+/// uniqueness). The database also acts as an [`iql::ExtentProvider`] through the
+/// wrapper in [`crate::wrapper`], so IQL queries can be evaluated directly against it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Database {
+    schema: RelSchema,
+    rows: BTreeMap<String, Vec<Row>>,
+}
+
+impl Database {
+    /// Create an empty database over the given schema.
+    pub fn new(schema: RelSchema) -> Self {
+        let rows = schema
+            .tables()
+            .map(|t| (t.name.clone(), Vec::new()))
+            .collect();
+        Database { schema, rows }
+    }
+
+    /// The database's schema.
+    pub fn schema(&self) -> &RelSchema {
+        &self.schema
+    }
+
+    /// The data source name (same as the schema name).
+    pub fn name(&self) -> &str {
+        &self.schema.name
+    }
+
+    /// Insert a row into a table, validating arity, types, nullability and key
+    /// uniqueness.
+    pub fn insert(&mut self, table: &str, row: Row) -> Result<(), RelError> {
+        let t = self
+            .schema
+            .table(table)
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        if row.len() != t.columns.len() {
+            return Err(RelError::ArityMismatch {
+                table: table.to_string(),
+                expected: t.columns.len(),
+                found: row.len(),
+            });
+        }
+        for (col, val) in t.columns.iter().zip(row.iter()) {
+            check_type(t, col.name.as_str(), col.data_type, col.nullable, val)?;
+        }
+        if !t.primary_key.is_empty() {
+            let key = key_of(t, &row);
+            if self
+                .rows
+                .get(table)
+                .map(|rows| rows.iter().any(|r| key_of(t, r) == key))
+                .unwrap_or(false)
+            {
+                return Err(RelError::DuplicateKey {
+                    table: table.to_string(),
+                    key: format!("{key:?}"),
+                });
+            }
+        }
+        self.rows.entry(table.to_string()).or_default().push(row);
+        Ok(())
+    }
+
+    /// Insert many rows, stopping at the first error.
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> Result<(), RelError> {
+        for row in rows {
+            self.insert(table, row)?;
+        }
+        Ok(())
+    }
+
+    /// All rows of a table (empty if the table has no rows or does not exist).
+    pub fn rows(&self, table: &str) -> &[Row] {
+        self.rows.get(table).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Number of rows in a table.
+    pub fn row_count(&self, table: &str) -> usize {
+        self.rows(table).len()
+    }
+
+    /// Total number of rows across all tables.
+    pub fn total_rows(&self) -> usize {
+        self.rows.values().map(Vec::len).sum()
+    }
+
+    /// Project a single column of a table as a vector of values.
+    pub fn column_values(&self, table: &str, column: &str) -> Result<Vec<Value>, RelError> {
+        let t = self
+            .schema
+            .table(table)
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        let idx = t
+            .column_index(column)
+            .ok_or_else(|| RelError::UnknownColumn {
+                table: table.to_string(),
+                column: column.to_string(),
+            })?;
+        Ok(self.rows(table).iter().map(|r| r[idx].clone()).collect())
+    }
+
+    /// The primary-key value of each row of a table. Single-column keys produce the
+    /// bare value; composite keys produce a tuple.
+    pub fn key_values(&self, table: &str) -> Result<Vec<Value>, RelError> {
+        let t = self
+            .schema
+            .table(table)
+            .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
+        Ok(self.rows(table).iter().map(|r| key_of(t, r)).collect())
+    }
+
+    /// Find the rows of a table whose primary key equals `key`.
+    pub fn find_by_key(&self, table: &str, key: &Value) -> Vec<&Row> {
+        match self.schema.table(table) {
+            Some(t) => self
+                .rows(table)
+                .iter()
+                .filter(|r| &key_of(t, r) == key)
+                .collect(),
+            None => Vec::new(),
+        }
+    }
+}
+
+/// Compute the primary-key value of a row: the key column's value, or a tuple of them
+/// for composite keys, or the whole row when the table declares no key.
+pub fn key_of(table: &RelTable, row: &Row) -> Value {
+    if table.primary_key.is_empty() {
+        return Value::Tuple(row.clone());
+    }
+    let mut parts = Vec::with_capacity(table.primary_key.len());
+    for k in &table.primary_key {
+        let idx = table.column_index(k).expect("validated key column");
+        parts.push(row[idx].clone());
+    }
+    if parts.len() == 1 {
+        parts.pop().expect("one element")
+    } else {
+        Value::Tuple(parts)
+    }
+}
+
+fn check_type(
+    table: &RelTable,
+    column: &str,
+    expected: DataType,
+    nullable: bool,
+    value: &Value,
+) -> Result<(), RelError> {
+    let ok = match (expected, value) {
+        (_, Value::Null) => {
+            if nullable {
+                true
+            } else {
+                return Err(RelError::NullViolation {
+                    table: table.name.clone(),
+                    column: column.to_string(),
+                });
+            }
+        }
+        (DataType::Int, Value::Int(_)) => true,
+        (DataType::Float, Value::Float(_)) | (DataType::Float, Value::Int(_)) => true,
+        (DataType::Text, Value::Str(_)) => true,
+        (DataType::Bool, Value::Bool(_)) => true,
+        _ => false,
+    };
+    if ok {
+        Ok(())
+    } else {
+        Err(RelError::TypeMismatch {
+            table: table.name.clone(),
+            column: column.to_string(),
+            expected: expected.to_string(),
+            found: value.type_name().to_string(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{RelColumn, RelTable};
+
+    fn schema() -> RelSchema {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_column(RelColumn::nullable("organism", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        s.add_table(
+            RelTable::new("link")
+                .with_column(RelColumn::new("a", DataType::Int))
+                .with_column(RelColumn::new("b", DataType::Int))
+                .with_primary_key(["a", "b"]),
+        )
+        .unwrap();
+        s
+    }
+
+    #[test]
+    fn insert_and_project() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into(), "human".into()])
+            .unwrap();
+        db.insert("protein", vec![2.into(), "P200".into(), Value::Null])
+            .unwrap();
+        assert_eq!(db.row_count("protein"), 2);
+        assert_eq!(
+            db.column_values("protein", "accession_num").unwrap(),
+            vec![Value::str("P100"), Value::str("P200")]
+        );
+        assert_eq!(db.key_values("protein").unwrap(), vec![Value::Int(1), Value::Int(2)]);
+    }
+
+    #[test]
+    fn arity_and_type_checks() {
+        let mut db = Database::new(schema());
+        assert!(matches!(
+            db.insert("protein", vec![1.into()]),
+            Err(RelError::ArityMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert("protein", vec!["x".into(), "P1".into(), Value::Null]),
+            Err(RelError::TypeMismatch { .. })
+        ));
+        assert!(matches!(
+            db.insert("protein", vec![1.into(), Value::Null, Value::Null]),
+            Err(RelError::NullViolation { .. })
+        ));
+        assert!(matches!(
+            db.insert("missing", vec![]),
+            Err(RelError::UnknownTable(_))
+        ));
+    }
+
+    #[test]
+    fn primary_key_uniqueness_enforced() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        assert!(matches!(
+            db.insert("protein", vec![1.into(), "P999".into(), Value::Null]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+    }
+
+    #[test]
+    fn composite_keys_are_tuples() {
+        let mut db = Database::new(schema());
+        db.insert("link", vec![1.into(), 2.into()]).unwrap();
+        db.insert("link", vec![1.into(), 3.into()]).unwrap();
+        assert!(matches!(
+            db.insert("link", vec![1.into(), 2.into()]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        let keys = db.key_values("link").unwrap();
+        assert_eq!(keys[0], Value::Tuple(vec![Value::Int(1), Value::Int(2)]));
+    }
+
+    #[test]
+    fn find_by_key() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![7.into(), "P700".into(), Value::Null])
+            .unwrap();
+        let found = db.find_by_key("protein", &Value::Int(7));
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0][1], Value::str("P700"));
+        assert!(db.find_by_key("protein", &Value::Int(8)).is_empty());
+    }
+
+    #[test]
+    fn float_column_accepts_ints() {
+        let mut s = RelSchema::new("x");
+        s.add_table(
+            RelTable::new("m")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("score", DataType::Float))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        assert!(db.insert("m", vec![1.into(), 5.into()]).is_ok());
+        assert!(db.insert("m", vec![2.into(), Value::Float(5.5)]).is_ok());
+    }
+}

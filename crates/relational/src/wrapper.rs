@@ -1,0 +1,176 @@
+//! The AutoMed-style wrapper view of a relational database.
+//!
+//! Wrapping a data source is the first step of every integration workflow in the
+//! paper: the wrapper extracts the source's metadata as a set of *schemes* and exposes
+//! the extent of every schema object. Following the paper's convention for the
+//! relational modelling language:
+//!
+//! * a table `t` is represented by the scheme `⟨⟨t⟩⟩` whose extent is the bag of
+//!   primary-key values of `t`;
+//! * a column `c` of `t` is represented by the scheme `⟨⟨t, c⟩⟩` whose extent is the
+//!   bag of `{key, value}` pairs (null column values are omitted, since the paper's
+//!   extents list only present values).
+
+use crate::schema::RelSchema;
+use crate::store::{key_of, Database};
+use iql::ast::SchemeRef;
+use iql::error::EvalError;
+use iql::eval::ExtentProvider;
+use iql::value::{Bag, Value};
+
+/// The kind of relational construct a scheme denotes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelConstruct {
+    /// A table scheme `⟨⟨t⟩⟩`.
+    Table,
+    /// A column scheme `⟨⟨t, c⟩⟩`.
+    Column,
+}
+
+/// One wrapped schema object: its scheme and construct kind.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WrappedObject {
+    /// The scheme identifying the object.
+    pub scheme: SchemeRef,
+    /// Whether the scheme denotes a table or a column.
+    pub construct: RelConstruct,
+}
+
+/// Extract the schemes of all schema objects of a relational schema, tables first and
+/// then columns, each table's objects grouped together in declaration order.
+pub fn scheme_objects(schema: &RelSchema) -> Vec<WrappedObject> {
+    let mut out = Vec::new();
+    for table in schema.tables() {
+        out.push(WrappedObject {
+            scheme: SchemeRef::table(&table.name),
+            construct: RelConstruct::Table,
+        });
+        for column in &table.columns {
+            out.push(WrappedObject {
+                scheme: SchemeRef::column(&table.name, &column.name),
+                construct: RelConstruct::Column,
+            });
+        }
+    }
+    out
+}
+
+/// Compute the extent of a scheme against a database, following the wrapper
+/// conventions described in the module documentation.
+pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    match scheme.parts.as_slice() {
+        [table] => {
+            let t = db
+                .schema()
+                .table(table)
+                .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
+            let mut bag = Bag::empty();
+            for row in db.rows(table) {
+                bag.push(key_of(t, row));
+            }
+            Ok(bag)
+        }
+        [table, column] => {
+            let t = db
+                .schema()
+                .table(table)
+                .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
+            let idx = t
+                .column_index(column)
+                .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
+            let mut bag = Bag::empty();
+            for row in db.rows(table) {
+                let value = &row[idx];
+                if matches!(value, Value::Null) {
+                    continue;
+                }
+                bag.push(Value::pair(key_of(t, row), value.clone()));
+            }
+            Ok(bag)
+        }
+        // Fully-qualified schemes such as ⟨⟨sql, table, t⟩⟩ are accepted by stripping
+        // the modelling-language and construct-kind prefixes.
+        [lang, construct, rest @ ..] if lang == "sql" && !rest.is_empty() => {
+            let stripped = SchemeRef::new(rest.iter().cloned());
+            let _ = construct;
+            extent_of(db, &stripped)
+        }
+        _ => Err(EvalError::UnknownScheme(scheme.clone())),
+    }
+}
+
+impl ExtentProvider for Database {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+        extent_of(self, scheme)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{DataType, RelColumn, RelSchema, RelTable};
+    use iql::{parse, Evaluator};
+
+    fn db() -> Database {
+        let mut s = RelSchema::new("pedro");
+        s.add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_column(RelColumn::nullable("organism", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+        let mut db = Database::new(s);
+        db.insert("protein", vec![1.into(), "P100".into(), "human".into()])
+            .unwrap();
+        db.insert("protein", vec![2.into(), "P200".into(), Value::Null])
+            .unwrap();
+        db
+    }
+
+    #[test]
+    fn scheme_objects_enumerated() {
+        let objs = scheme_objects(db().schema());
+        assert_eq!(objs.len(), 4); // table + 3 columns
+        assert_eq!(objs[0].scheme, SchemeRef::table("protein"));
+        assert_eq!(objs[0].construct, RelConstruct::Table);
+        assert!(objs
+            .iter()
+            .any(|o| o.scheme == SchemeRef::column("protein", "organism")));
+    }
+
+    #[test]
+    fn table_extent_is_key_bag() {
+        let bag = extent_of(&db(), &SchemeRef::table("protein")).unwrap();
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&Value::Int(1)));
+    }
+
+    #[test]
+    fn column_extent_is_key_value_pairs_without_nulls() {
+        let bag = extent_of(&db(), &SchemeRef::column("protein", "organism")).unwrap();
+        assert_eq!(bag.len(), 1);
+        assert!(bag.contains(&Value::pair(Value::Int(1), Value::str("human"))));
+    }
+
+    #[test]
+    fn fully_qualified_scheme_accepted() {
+        let bag = extent_of(&db(), &SchemeRef::new(["sql", "table", "protein"])).unwrap();
+        assert_eq!(bag.len(), 2);
+    }
+
+    #[test]
+    fn database_is_an_extent_provider() {
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = 2]").unwrap();
+        let v = Evaluator::new(&db()).eval_closed(&q).unwrap();
+        assert_eq!(v.expect_bag().unwrap().items(), &[Value::str("P200")]);
+    }
+
+    #[test]
+    fn unknown_schemes_error() {
+        assert!(extent_of(&db(), &SchemeRef::table("nope")).is_err());
+        assert!(extent_of(&db(), &SchemeRef::column("protein", "nope")).is_err());
+        assert!(extent_of(&db(), &SchemeRef::new(["a", "b", "c", "d"])).is_err());
+    }
+}

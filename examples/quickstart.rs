@@ -1,0 +1,112 @@
+//! Quickstart: two tiny sources, one intersection schema, one cross-source query.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use dataspace_core::dataspace::Dataspace;
+use dataspace_core::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+
+fn build_pedro() -> Database {
+    let mut schema = RelSchema::new("pedro");
+    schema
+        .add_table(
+            RelTable::new("protein")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("accession_num", DataType::Text))
+                .with_column(RelColumn::new("organism", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .expect("valid table");
+    let mut db = Database::new(schema);
+    for (id, acc, org) in [
+        (1, "ACC00001", "Homo sapiens"),
+        (2, "ACC00002", "Mus musculus"),
+        (3, "ACC00003", "Homo sapiens"),
+    ] {
+        db.insert("protein", vec![id.into(), acc.into(), org.into()])
+            .expect("insert");
+    }
+    db
+}
+
+fn build_gpmdb() -> Database {
+    let mut schema = RelSchema::new("gpmdb");
+    schema
+        .add_table(
+            RelTable::new("proseq")
+                .with_column(RelColumn::new("proseqid", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["proseqid"]),
+        )
+        .expect("valid table");
+    let mut db = Database::new(schema);
+    for (id, acc) in [(10, "ACC00002"), (11, "ACC00003"), (12, "ACC00099")] {
+        db.insert("proseq", vec![id.into(), acc.into()]).expect("insert");
+    }
+    db
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. Wrap the sources and build the dataspace.
+    let mut ds = Dataspace::new();
+    ds.add_source(build_pedro())?;
+    ds.add_source(build_gpmdb())?;
+
+    // 2. Federate: zero mapping effort, queryable immediately.
+    ds.federate()?;
+    println!("== federated schema (zero effort) ==");
+    println!("{}", ds.federated_schema()?);
+    println!(
+        "proteins known to Pedro alone: {}",
+        ds.query_value("count <<PEDRO_protein>>")?
+    );
+
+    // 3. One intersection-schema iteration: Pedro.protein ∩ gpmDB.proseq.
+    let spec = IntersectionSpec::new("I_protein")
+        .with_mapping(
+            ObjectMapping::table("UProtein")
+                .with_contribution(SourceContribution::parsed(
+                    "pedro",
+                    "[{'PEDRO', k} | k <- <<protein>>]",
+                    ["protein"],
+                )?)
+                .with_contribution(SourceContribution::parsed(
+                    "gpmdb",
+                    "[{'gpmDB', k} | k <- <<proseq>>]",
+                    ["proseq"],
+                )?),
+        )
+        .with_mapping(
+            ObjectMapping::column("UProtein", "accession_num")
+                .with_contribution(SourceContribution::parsed(
+                    "pedro",
+                    "[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]",
+                    ["protein,accession_num"],
+                )?)
+                .with_contribution(SourceContribution::parsed(
+                    "gpmdb",
+                    "[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]",
+                    ["proseq,label"],
+                )?),
+        );
+    let record = ds.integrate(spec)?;
+    println!("\n== after one intersection-schema iteration ==");
+    println!(
+        "manually-defined transformations this iteration: {}",
+        record.manual_transformations
+    );
+    println!("global schema now has {} objects", ds.global_schema()?.len());
+
+    // 4. Query across the sources through the integrated concept.
+    let shared = ds.query(
+        "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']",
+    )?;
+    println!("\naccession numbers reported by BOTH sources: {shared}");
+    println!(
+        "total protein records across the dataspace: {}",
+        ds.query_value("count <<UProtein>>")?
+    );
+    println!("\neffort report:\n{}", ds.effort_report().render());
+    Ok(())
+}

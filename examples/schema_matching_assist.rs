@@ -1,0 +1,64 @@
+//! Matcher-assisted mapping definition (E6/E8): use the schema matcher to propose the
+//! correspondences between Pedro and PepSeeker, review them, and turn the accepted
+//! ones into an intersection schema with the headless Intersection Schema Tool
+//! (Figure 5 without the GUI).
+//!
+//! Run with: `cargo run --release --example schema_matching_assist`
+
+use automed::wrapper::SourceRegistry;
+use automed::{ConstructKind, Repository};
+use dataspace_core::tool::IntersectionSchemaTool;
+use matching::{MatchConfig, Matcher};
+use proteomics::sources::{generate_pedro, generate_pepseeker, CaseStudyScale};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let scale = CaseStudyScale::default();
+    let mut registry = SourceRegistry::new();
+    let pedro = registry.add_source(generate_pedro(&scale))?;
+    let pepseeker = registry.add_source(generate_pepseeker(&scale))?;
+
+    // 1. Ask the matcher for suggestions (names + sampled instances).
+    let matcher = Matcher::with_config(MatchConfig {
+        threshold: 0.6,
+        ..MatchConfig::default()
+    });
+    let suggestions = matcher.match_with_instances(&pedro, &pepseeker, &registry);
+    let best = Matcher::best_per_left(&suggestions);
+    println!("== matcher suggestions (pedro ↔ pepseeker) ==");
+    for s in &best {
+        println!(
+            "  {:<38} ↔ {:<42} name={:.2} instance={} combined={:.2}",
+            s.left.to_string(),
+            s.right.to_string(),
+            s.name_score,
+            s.instance_score
+                .map(|v| format!("{v:.2}"))
+                .unwrap_or_else(|| "n/a".into()),
+            s.combined
+        );
+    }
+
+    // 2. Turn two accepted suggestions into an intersection schema via the tool.
+    let mut repository = Repository::new();
+    repository.add_source_schema(pedro.clone())?;
+    repository.add_source_schema(pepseeker.clone())?;
+    let mut tool = IntersectionSchemaTool::new(&repository, "I_matched");
+    tool.new_object("UPeptideHit,sequence", ConstructKind::Column);
+    tool.select_object("pedro", "peptidehit,sequence")?;
+    tool.select_object("pepseeker", "peptidehit,pepseq")?;
+    tool.new_object("UPeptideHit,score", ConstructKind::Column);
+    tool.select_object("pedro", "peptidehit,score")?;
+    tool.select_object("pepseeker", "peptidehit,score")?;
+
+    println!("\n== mappings table (as the Intersection Schema Tool would show it) ==");
+    println!("{}", tool.mapping_table()?.render());
+
+    let spec = tool.finish()?;
+    println!(
+        "intersection `{}` ready: {} objects, {} manually-defined transformations",
+        spec.name,
+        spec.mappings.len(),
+        spec.manual_transformation_count()
+    );
+    Ok(())
+}

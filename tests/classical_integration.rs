@@ -1,0 +1,116 @@
+//! E4 — the classical union-compatible integration flow of Figure 1, exercised end to
+//! end, plus the reconstructed classical iSpider baseline counts.
+
+use automed::transformation::Transformation;
+use automed::union_compat::{integrate_union_compatible, SourceIntegration};
+use automed::wrapper::{wrap_relational, SourceRegistry};
+use automed::{Repository, SchemaObject};
+use iql::ast::SchemeRef;
+use proteomics::classical_integration::{run_classical_integration, PAPER_STAGE_COUNTS};
+use proteomics::sources::{generate_gpmdb, generate_pedro, gpmdb_schema, pedro_schema, CaseStudyScale};
+
+/// Figure 1: wrap → union-compatible schemas → ident → global schema, and the global
+/// schema answers queries against both sources via GAV unfolding.
+#[test]
+fn figure1_union_compatible_flow_end_to_end() {
+    let scale = CaseStudyScale::tiny();
+    let mut registry = SourceRegistry::new();
+    registry.add_source(generate_pedro(&scale)).unwrap();
+    registry.add_source(generate_gpmdb(&scale)).unwrap();
+
+    let mut repo = Repository::new();
+    repo.add_source_schema(wrap_relational(&pedro_schema())).unwrap();
+    repo.add_source_schema(wrap_relational(&gpmdb_schema())).unwrap();
+
+    // Minimal union-compatible target: the universal protein concept.
+    let pedro_steps = vec![
+        Transformation::add(
+            SchemaObject::table("UProtein"),
+            iql::parse("[{'PEDRO', k} | k <- <<protein>>]").unwrap(),
+        ),
+        Transformation::add(
+            SchemaObject::column("UProtein", "accession_num"),
+            iql::parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").unwrap(),
+        ),
+    ]
+    .into_iter()
+    .chain(
+        wrap_relational(&pedro_schema())
+            .objects()
+            .map(|o| Transformation::contract_void_any(o.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .collect::<Vec<_>>();
+    let gpmdb_steps = vec![
+        Transformation::add(
+            SchemaObject::table("UProtein"),
+            iql::parse("[{'gpmDB', k} | k <- <<proseq>>]").unwrap(),
+        ),
+        Transformation::add(
+            SchemaObject::column("UProtein", "accession_num"),
+            iql::parse("[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]").unwrap(),
+        ),
+    ]
+    .into_iter()
+    .chain(
+        wrap_relational(&gpmdb_schema())
+            .objects()
+            .map(|o| Transformation::contract_void_any(o.clone()))
+            .collect::<Vec<_>>(),
+    )
+    .collect::<Vec<_>>();
+
+    let result = integrate_union_compatible(
+        &mut repo,
+        &[
+            SourceIntegration::new("pedro", pedro_steps),
+            SourceIntegration::new("gpmdb", gpmdb_steps),
+        ],
+        "GS",
+    )
+    .unwrap();
+    assert!(result.union_schemas[0].syntactically_identical(&result.union_schemas[1]));
+    assert!(result.global.contains(&SchemeRef::table("UProtein")));
+    assert!(repo.pathway_between("pedro", "GS").is_ok());
+    assert!(repo.pathway_between("gpmdb", "GS").is_ok());
+
+    // Answer a query on the classical global schema through GAV unfolding per source.
+    use automed::qp::evaluator::{ViewDefinitions, VirtualExtents};
+    use automed::qp::Contribution;
+    let mut defs = ViewDefinitions::new();
+    for (source, steps) in [("pedro", repo.pathway_between("pedro", "GS").unwrap()), ("gpmdb", repo.pathway_between("gpmdb", "GS").unwrap())]
+        .iter()
+        .map(|(s, p)| (*s, p.clone()))
+    {
+        for step in steps.add_steps() {
+            if let Transformation::Add { object, query, .. } = step {
+                defs.add_contribution(&object.scheme, Contribution::from_source(source, query.clone()));
+            }
+        }
+    }
+    let virt = VirtualExtents::new(&registry, &defs);
+    let count = virt.answer(&iql::parse("count <<UProtein>>").unwrap()).unwrap();
+    assert_eq!(count, iql::Value::Int((scale.proteins * 2) as i64));
+}
+
+#[test]
+fn classical_baseline_reproduces_stage_counts() {
+    let run = run_classical_integration().unwrap();
+    let measured: Vec<usize> = run.stages.iter().map(|s| s.nontrivial_total).collect();
+    assert_eq!(measured, PAPER_STAGE_COUNTS);
+    assert_eq!(run.total_nontrivial, 95);
+    // Stage GS3 requires no further non-trivial transformations, as in the paper.
+    assert_eq!(run.stages.last().unwrap().nontrivial_total, 0);
+}
+
+#[test]
+fn classical_pathways_are_reversible_like_any_bav_pathway() {
+    let run = run_classical_integration().unwrap();
+    for pathway in &run.pathways {
+        let reversed = pathway.reverse();
+        assert_eq!(reversed.reverse(), *pathway);
+        assert_eq!(reversed.len(), pathway.len());
+        // Reversal preserves the non-trivial count (add ↔ delete keep their queries).
+        assert_eq!(reversed.nontrivial_count(), pathway.nontrivial_count());
+    }
+}

@@ -1,0 +1,124 @@
+//! E1/E2/E3 — the full case study end to end at test scale: the seven priority
+//! queries, the per-iteration effort counts, the pay-as-you-go curve, and the
+//! comparison against the classical baseline.
+
+use proteomics::case_study::{compare_methodologies, run_case_study};
+use proteomics::classical_integration::PAPER_TOTAL_NONTRIVIAL;
+use proteomics::intersection_integration::{PAPER_ITERATION_COUNTS, PAPER_TOTAL_MANUAL};
+use proteomics::queries;
+use proteomics::sources::CaseStudyScale;
+
+#[test]
+fn table1_queries_are_answerable_and_query_driven() {
+    let run = run_case_study(&CaseStudyScale::tiny()).unwrap();
+
+    // Every priority query is answerable at the end.
+    assert!(run.answers.iter().all(|a| a.answerable));
+
+    // Queries become answerable exactly when the iteration that introduces their
+    // concepts completes (pay-as-you-go, query-driven).
+    let after = |name: &str| {
+        run.answers
+            .iter()
+            .find(|a| a.name == name)
+            .and_then(|a| a.answerable_after_iteration)
+            .unwrap_or(usize::MAX)
+    };
+    assert_eq!(after("Q7"), 0, "Q7 needs only the federated schema");
+    assert_eq!(after("Q1"), 1);
+    assert_eq!(after("Q2"), 2);
+    assert_eq!(after("Q3"), 3);
+    assert_eq!(after("Q4"), 4);
+    assert_eq!(after("Q5"), 4, "Q5 needs no concepts beyond Q4's");
+    assert_eq!(after("Q6"), 5);
+}
+
+#[test]
+fn effort_counts_match_the_paper() {
+    let run = run_case_study(&CaseStudyScale::tiny()).unwrap();
+    assert_eq!(run.per_iteration_manual, PAPER_ITERATION_COUNTS);
+    assert_eq!(run.total_manual_transformations, PAPER_TOTAL_MANUAL);
+    // The effort report's cumulative column is consistent.
+    let report = run.session.dataspace().effort_report();
+    let mut cumulative = 0;
+    for iteration in &report.iterations {
+        cumulative += iteration.manual_transformations;
+        assert_eq!(iteration.cumulative_manual, cumulative);
+    }
+}
+
+#[test]
+fn headline_comparison_reproduces_26_vs_95() {
+    let (_run, _classical, comparison) = compare_methodologies(&CaseStudyScale::tiny()).unwrap();
+    assert_eq!(comparison.intersection_manual, 26);
+    assert_eq!(comparison.classical_nontrivial, PAPER_TOTAL_NONTRIVIAL);
+    let ratio = comparison.effort_ratio();
+    assert!(
+        (3.0..4.5).contains(&ratio),
+        "classical/intersection effort ratio {ratio} outside the paper's shape"
+    );
+}
+
+#[test]
+fn query_answers_reflect_planted_cross_source_overlap() {
+    let run = run_case_study(&CaseStudyScale::tiny()).unwrap();
+    let ds = run.session.dataspace();
+
+    // Every source contributes to the universal protein concept.
+    let per_source = ds
+        .query("[s | {s, k} <- <<UProtein>>]")
+        .unwrap();
+    let distinct_sources = per_source.distinct();
+    assert_eq!(distinct_sources.len(), 3, "expected contributions from all 3 sources");
+
+    // There exists at least one accession number reported by two different sources
+    // (the generator plants shared accessions).
+    let shared = ds
+        .query(
+            "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']",
+        )
+        .unwrap();
+    assert!(!shared.is_empty(), "no cross-source protein overlap surfaced");
+
+    // The organism query returns only Pedro-backed identifications.
+    let q3 = ds.query(&queries::q3("Homo sapiens")).unwrap();
+    for item in q3.iter() {
+        let text = item.to_string();
+        assert!(text.contains("PEDRO"), "Q3 should only return Pedro identifications, got {text}");
+    }
+}
+
+#[test]
+fn pay_as_you_go_curve_is_monotone() {
+    let run = run_case_study(&CaseStudyScale::tiny()).unwrap();
+    let curve = run.session.pay_as_you_go_curve();
+    assert_eq!(curve.len(), 6); // federation + 5 iterations
+    for pair in curve.windows(2) {
+        assert!(pair[0].cumulative_manual <= pair[1].cumulative_manual);
+        assert!(pair[0].answerable_count() <= pair[1].answerable_count());
+    }
+    // Classical integration would deliver nothing until all 95 transformations are
+    // done; intersection schemas deliver the first query after 6.
+    assert_eq!(curve[1].cumulative_manual, 6);
+    assert!(curve[1].answerable_count() >= 2); // Q1 + Q7
+}
+
+#[test]
+fn scaling_the_data_does_not_change_the_effort_counts() {
+    // Integration effort is a schema-level property: it must not depend on data size.
+    let small = run_case_study(&CaseStudyScale::tiny()).unwrap();
+    let larger = run_case_study(&CaseStudyScale {
+        proteins: 30,
+        protein_hits: 60,
+        peptide_hits: 80,
+        searches: 6,
+        overlap: 0.5,
+        seed: 99,
+    })
+    .unwrap();
+    assert_eq!(
+        small.per_iteration_manual, larger.per_iteration_manual,
+        "effort counts must be independent of the data scale"
+    );
+    assert!(larger.answers.iter().all(|a| a.answerable));
+}

@@ -1,0 +1,168 @@
+//! E5 — the structural properties of Figures 2, 3 and 4: intersection schema
+//! construction, federated schemas containing intersections, global schema derivation
+//! `G = I ∪ (ES1 − I) ∪ (ES2 − I) ∪ ES3 ∪ … ∪ ESn`, and extent preservation under
+//! redundancy removal.
+
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use dataspace_core::difference::difference;
+use dataspace_core::intersection::build_intersection;
+use dataspace_core::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+use iql::ast::SchemeRef;
+use proteomics::sources::{generate_gpmdb, generate_pedro, generate_pepseeker, CaseStudyScale};
+
+fn uprotein_spec() -> IntersectionSpec {
+    IntersectionSpec::new("I1")
+        .with_mapping(
+            ObjectMapping::table("UProtein")
+                .with_contribution(
+                    SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
+                        .unwrap(),
+                )
+                .with_contribution(
+                    SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
+                        .unwrap(),
+                ),
+        )
+        .with_mapping(
+            ObjectMapping::column("UProtein", "accession_num")
+                .with_contribution(
+                    SourceContribution::parsed(
+                        "pedro",
+                        "[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]",
+                        ["protein,accession_num"],
+                    )
+                    .unwrap(),
+                )
+                .with_contribution(
+                    SourceContribution::parsed(
+                        "gpmdb",
+                        "[{'gpmDB', k, x} | {k, x} <- <<proseq, label>>]",
+                        ["proseq,label"],
+                    )
+                    .unwrap(),
+                ),
+        )
+}
+
+fn dataspace(drop_redundant: bool) -> Dataspace {
+    let scale = CaseStudyScale::tiny();
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        drop_redundant,
+        ..Default::default()
+    });
+    ds.add_source(generate_pedro(&scale)).unwrap();
+    ds.add_source(generate_gpmdb(&scale)).unwrap();
+    ds.add_source(generate_pepseeker(&scale)).unwrap();
+    ds.federate().unwrap();
+    ds
+}
+
+/// Figure 2: an intersection schema contains only the semantically overlapping content
+/// and each pathway ES → I has the add*/delete*/contract* shape.
+#[test]
+fn figure2_intersection_schema_shape() {
+    let ds = dataspace(true);
+    let result = build_intersection(&uprotein_spec(), ds.repository()).unwrap();
+    assert_eq!(result.schema.len(), 2);
+    for pathway in &result.pathways {
+        let kinds: Vec<&str> = pathway.steps().iter().map(|t| t.kind()).collect();
+        // All adds/extends come before all deletes, which come before all contracts.
+        let first_delete = kinds.iter().position(|k| *k == "delete").unwrap_or(kinds.len());
+        let first_contract = kinds.iter().position(|k| *k == "contract").unwrap_or(kinds.len());
+        let last_add = kinds
+            .iter()
+            .rposition(|k| *k == "add" || *k == "extend")
+            .unwrap_or(0);
+        assert!(last_add < first_delete.max(last_add + 1));
+        assert!(first_delete <= first_contract);
+        // Applying the pathway to its source produces the intersection schema.
+        let source = ds.repository().schema(&pathway.source).unwrap();
+        let produced = pathway.apply_to(source).unwrap();
+        assert!(produced.syntactically_identical(&result.schema));
+    }
+}
+
+/// Figure 3: the federated schema combines extensional schemas and intersection
+/// schemas; Figure 4: the global schema keeps the intersection plus the differences.
+#[test]
+fn figure4_global_schema_is_union_of_intersection_and_differences() {
+    let mut ds = dataspace(true);
+    let before = ds.global_schema().unwrap().len();
+    ds.integrate(uprotein_spec()).unwrap();
+    let global = ds.global_schema().unwrap();
+
+    // The intersection objects are present…
+    assert!(global.contains(&SchemeRef::table("UProtein")));
+    assert!(global.contains(&SchemeRef::column("UProtein", "accession_num")));
+    // …the covered source objects are gone…
+    assert!(!global.contains(&SchemeRef::table("PEDRO_protein")));
+    assert!(!global.contains(&SchemeRef::table("GPMDB_proseq")));
+    // …the uncovered ones (ES − I) remain…
+    assert!(global.contains(&SchemeRef::column("PEDRO_protein", "PEDRO_organism")));
+    assert!(global.contains(&SchemeRef::column("GPMDB_proseq", "GPMDB_seq")));
+    // …and untouched extensional schemas (ES3 = pepseeker) are fully present.
+    assert!(global.contains(&SchemeRef::table("PEPSEEKER_proteinhit")));
+    // |G| = |F| + |I| − |covered|.
+    assert_eq!(global.len(), before + 2 - 4);
+}
+
+/// The `ES − I` operator retains exactly the objects dropped by contract steps.
+#[test]
+fn schema_difference_matches_pathway_contracts() {
+    let ds = dataspace(true);
+    let result = build_intersection(&uprotein_spec(), ds.repository()).unwrap();
+    let pedro = ds.repository().schema("pedro").unwrap();
+    let pedro_pathway = result.pathways.iter().find(|p| p.source == "pedro").unwrap();
+    let diff = difference(pedro, pedro_pathway).unwrap();
+    // protein and protein.accession_num were covered; everything else remains.
+    assert_eq!(diff.dropped.len(), 2);
+    assert_eq!(diff.schema.len(), pedro.len() - 2);
+    assert!(diff.schema.contains(&SchemeRef::column("protein", "organism")));
+    assert!(!diff.schema.contains(&SchemeRef::table("protein")));
+    // The derived pathway is all contracts and reproduces the difference schema.
+    assert!(diff.pathway.steps().iter().all(|t| t.kind() == "contract"));
+    let produced = diff.pathway.apply_to(pedro).unwrap();
+    assert!(produced.syntactically_identical(&diff.schema));
+}
+
+/// Redundancy removal must not change the answers of queries over the integrated
+/// concepts: the covered objects' extents are included in the intersection objects.
+#[test]
+fn redundancy_removal_preserves_integrated_extents() {
+    let mut keep = dataspace(false);
+    let mut drop = dataspace(true);
+    keep.integrate(uprotein_spec()).unwrap();
+    drop.integrate(uprotein_spec()).unwrap();
+
+    for query in [
+        "count <<UProtein>>",
+        "count <<UProtein, accession_num>>",
+        "[x | {s, k, x} <- <<UProtein, accession_num>>; s = 'gpmDB']",
+    ] {
+        let a = keep.query_value(query).unwrap();
+        let b = drop.query_value(query).unwrap();
+        assert_eq!(a, b, "query `{query}` changed under redundancy removal");
+    }
+    // The dropped objects' extents are recoverable from the intersection object: the
+    // PEDRO-tagged subset of UProtein equals the extent of the dropped PEDRO_protein.
+    let via_intersection = drop
+        .query("[k | {'PEDRO', k} <- <<UProtein>>]")
+        .unwrap();
+    let original = keep.query("[k | k <- <<PEDRO_protein>>]").unwrap();
+    assert!(via_intersection.same_elements(&original));
+}
+
+/// The federated schema answers queries with zero integration effort, and integration
+/// only ever adds answerable concepts (pay-as-you-go monotonicity).
+#[test]
+fn federation_costs_nothing_and_integration_is_monotone() {
+    let mut ds = dataspace(false);
+    assert_eq!(ds.effort_report().total_manual(), 0);
+    let federated_count = ds.query_value("count <<PEDRO_protein>>").unwrap();
+    ds.integrate(uprotein_spec()).unwrap();
+    // Previously answerable queries still answer identically (no redundancy dropping).
+    assert_eq!(ds.query_value("count <<PEDRO_protein>>").unwrap(), federated_count);
+    // And new cross-source concepts are now available.
+    assert!(ds.can_answer("count <<UProtein, accession_num>>"));
+    assert_eq!(ds.effort_report().total_manual(), 4);
+}

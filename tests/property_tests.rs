@@ -1,0 +1,216 @@
+//! Property-based tests over the core data structures and invariants:
+//! IQL bag algebra laws, pretty-printer round-trips, pathway reversal involution,
+//! schema difference laws, and extent preservation of the intersection machinery.
+
+use automed::transformation::{Provenance, Transformation};
+use automed::{Pathway, Schema, SchemaObject, SchemeRef};
+use iql::value::{Bag, Value};
+use iql::{parse, pretty};
+use proptest::prelude::*;
+
+// ---------- generators ----------
+
+fn scalar_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        any::<i64>().prop_map(Value::Int),
+        "[a-z]{0,6}".prop_map(Value::str),
+        any::<bool>().prop_map(Value::Bool),
+        (-1000.0f64..1000.0).prop_map(Value::Float),
+        Just(Value::Null),
+    ]
+}
+
+fn bag() -> impl Strategy<Value = Bag> {
+    prop::collection::vec(scalar_value(), 0..12).prop_map(Bag::from_values)
+}
+
+fn identifier() -> impl Strategy<Value = String> {
+    "[a-z][a-z0-9_]{0,8}".prop_map(|s| s)
+}
+
+/// A random but *well-formed* pathway over a base schema of table objects: each step
+/// either adds a fresh object or removes an existing one, so the pathway always
+/// applies cleanly.
+fn pathway_over_tables() -> impl Strategy<Value = (Schema, Pathway)> {
+    (
+        prop::collection::btree_set(identifier(), 1..6),
+        prop::collection::vec((any::<bool>(), identifier()), 0..8),
+    )
+        .prop_map(|(base_names, ops)| {
+            let mut schema = Schema::new("base");
+            for name in &base_names {
+                schema.add_object(SchemaObject::table(name.clone())).unwrap();
+            }
+            let mut current = schema.clone();
+            let mut pathway = Pathway::new("base", "derived");
+            for (add, name) in ops {
+                let scheme = SchemeRef::table(format!("t_{name}"));
+                if add {
+                    if !current.contains(&scheme) {
+                        let t = Transformation::Add {
+                            object: SchemaObject::table(format!("t_{name}")),
+                            query: iql::Expr::range_void_any(),
+                            provenance: Provenance::Manual,
+                        };
+                        t.apply(&mut current).unwrap();
+                        pathway.push(t);
+                    }
+                } else {
+                    let existing = current.objects().next().cloned();
+                    if let Some(existing) = existing {
+                        let t = Transformation::contract_void_any(existing);
+                        t.apply(&mut current).unwrap();
+                        pathway.push(t);
+                    }
+                }
+            }
+            (schema, pathway)
+        })
+}
+
+// ---------- bag algebra laws ----------
+
+proptest! {
+    #[test]
+    fn bag_union_is_commutative_up_to_multiplicity(a in bag(), b in bag()) {
+        prop_assert!(a.union(&b).same_elements(&b.union(&a)));
+    }
+
+    #[test]
+    fn bag_union_is_associative(a in bag(), b in bag(), c in bag()) {
+        prop_assert!(a.union(&b).union(&c).same_elements(&a.union(&b.union(&c))));
+    }
+
+    #[test]
+    fn empty_bag_is_union_identity(a in bag()) {
+        prop_assert!(a.union(&Bag::empty()).same_elements(&a));
+        prop_assert!(Bag::empty().union(&a).same_elements(&a));
+    }
+
+    #[test]
+    fn monus_never_grows_and_monus_self_is_empty(a in bag(), b in bag()) {
+        prop_assert!(a.difference(&b).len() <= a.len());
+        prop_assert!(a.difference(&a).is_empty());
+    }
+
+    #[test]
+    fn union_then_monus_restores_multiplicities(a in bag(), b in bag()) {
+        // (a ++ b) -- b = a   (bag monus law)
+        prop_assert!(a.union(&b).difference(&b).same_elements(&a));
+    }
+
+    #[test]
+    fn intersection_is_a_subbag_of_both(a in bag(), b in bag()) {
+        let i = a.intersection(&b);
+        prop_assert!(i.subbag_of(&a));
+        prop_assert!(i.subbag_of(&b));
+    }
+
+    #[test]
+    fn distinct_is_idempotent_and_preserves_membership(a in bag()) {
+        let d = a.distinct();
+        prop_assert!(d.distinct().same_elements(&d));
+        for v in d.iter() {
+            prop_assert!(a.contains(v));
+        }
+        prop_assert!(d.len() <= a.len());
+    }
+}
+
+// ---------- IQL evaluation / printing ----------
+
+proptest! {
+    #[test]
+    fn pretty_printed_queries_reparse_to_the_same_ast(
+        table in identifier(),
+        column in identifier(),
+        tag in "[A-Za-z]{1,8}",
+        threshold in 0i64..1000,
+    ) {
+        // Build a family of paper-shaped queries and round-trip them.
+        let sources = [
+            format!("[{{'{tag}', k}} | k <- <<{table}>>]"),
+            format!("[{{'{tag}', k, x}} | {{k, x}} <- <<{table}, {column}>>]"),
+            format!("[x | {{k, x}} <- <<{table}, {column}>>; k > {threshold}]"),
+            format!("count(<<{table}>>) + {threshold}"),
+            format!("Range [k | k <- <<{table}>>] Any"),
+        ];
+        for src in sources {
+            let ast = parse(&src).unwrap();
+            let printed = pretty::print(&ast);
+            let reparsed = parse(&printed).unwrap();
+            prop_assert_eq!(ast, reparsed);
+        }
+    }
+
+    #[test]
+    fn comprehension_filter_never_enlarges_the_result(keys in prop::collection::vec(0i64..50, 0..30), pivot in 0i64..50) {
+        let mut extents = iql::MapExtents::new();
+        extents.insert_keys("t", keys.clone());
+        let all = iql::Evaluator::new(&extents)
+            .eval_closed(&parse("[k | k <- <<t>>]").unwrap())
+            .unwrap()
+            .expect_bag()
+            .unwrap();
+        let filtered = iql::Evaluator::new(&extents)
+            .eval_closed(&parse(&format!("[k | k <- <<t>>; k < {pivot}]")).unwrap())
+            .unwrap()
+            .expect_bag()
+            .unwrap();
+        prop_assert!(filtered.len() <= all.len());
+        prop_assert!(filtered.subbag_of(&all));
+        prop_assert_eq!(all.len(), keys.len());
+    }
+}
+
+// ---------- pathway reversal ----------
+
+proptest! {
+    #[test]
+    fn pathway_reversal_is_an_involution_and_restores_the_schema((schema, pathway) in pathway_over_tables()) {
+        prop_assert_eq!(pathway.reverse().reverse(), pathway.clone());
+        let forward = pathway.apply_to(&schema).unwrap();
+        let back = pathway.reverse().apply_to(&forward).unwrap();
+        prop_assert!(back.syntactically_identical(&schema));
+        // Reversal preserves length and triviality counts.
+        prop_assert_eq!(pathway.reverse().len(), pathway.len());
+        prop_assert_eq!(pathway.reverse().nontrivial_count(), pathway.nontrivial_count());
+    }
+}
+
+// ---------- schema difference ----------
+
+proptest! {
+    #[test]
+    fn schema_difference_partitions_the_extensional_schema(
+        names in prop::collection::btree_set(identifier(), 2..8),
+        cut in 0usize..8,
+    ) {
+        // Build an extensional schema and a pathway that deletes a prefix of its
+        // objects (covered) and contracts nothing else.
+        let mut es = Schema::new("es");
+        for n in &names {
+            es.add_object(SchemaObject::table(n.clone())).unwrap();
+        }
+        let covered: Vec<_> = es.objects().take(cut.min(names.len())).cloned().collect();
+        let mut pathway = Pathway::new("es", "I");
+        pathway.push(Transformation::Add {
+            object: SchemaObject::table("U"),
+            query: iql::Expr::range_void_any(),
+            provenance: Provenance::Manual,
+        });
+        for object in &covered {
+            pathway.push(Transformation::delete(object.clone(), iql::Expr::range_void_any()));
+        }
+        let diff = dataspace_core::difference::difference(&es, &pathway).unwrap();
+        // dropped ∪ remaining = ES and dropped ∩ remaining = ∅.
+        prop_assert_eq!(diff.dropped.len() + diff.schema.len(), es.len());
+        for scheme in &diff.dropped {
+            prop_assert!(!diff.schema.contains(scheme));
+            prop_assert!(es.contains(scheme));
+        }
+        for object in diff.schema.objects() {
+            prop_assert!(es.contains(&object.scheme));
+        }
+    }
+}
