@@ -20,7 +20,11 @@ pub enum AutomedError {
     /// A transformation could not be applied to the schema it was aimed at.
     InvalidTransformation { detail: String },
     /// Two schemas that were asserted identical (via `ident`) differ.
-    NotUnionCompatible { left: String, right: String, detail: String },
+    NotUnionCompatible {
+        left: String,
+        right: String,
+        detail: String,
+    },
     /// Query processing failed.
     QueryProcessing(String),
     /// An IQL evaluation error surfaced during query processing.
@@ -48,14 +52,27 @@ impl fmt::Display for AutomedError {
             AutomedError::InvalidTransformation { detail } => {
                 write!(f, "invalid transformation: {detail}")
             }
-            AutomedError::NotUnionCompatible { left, right, detail } => {
-                write!(f, "schemas `{left}` and `{right}` are not union-compatible: {detail}")
+            AutomedError::NotUnionCompatible {
+                left,
+                right,
+                detail,
+            } => {
+                write!(
+                    f,
+                    "schemas `{left}` and `{right}` are not union-compatible: {detail}"
+                )
             }
             AutomedError::QueryProcessing(detail) => write!(f, "query processing: {detail}"),
             AutomedError::Eval(e) => write!(f, "evaluation error: {e}"),
             AutomedError::Parse(e) => write!(f, "IQL parse error: {e}"),
-            AutomedError::UnknownConstruct { language, construct } => {
-                write!(f, "modelling language `{language}` has no construct `{construct}`")
+            AutomedError::UnknownConstruct {
+                language,
+                construct,
+            } => {
+                write!(
+                    f,
+                    "modelling language `{language}` has no construct `{construct}`"
+                )
             }
         }
     }

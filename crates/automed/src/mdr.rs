@@ -199,12 +199,12 @@ impl ModelDefinitions {
     }
 
     fn definition(&self, object: &SchemaObject) -> Result<&ConstructDefinition, AutomedError> {
-        let lang = self
-            .language(&object.language)
-            .ok_or_else(|| AutomedError::UnknownConstruct {
-                language: object.language.clone(),
-                construct: object.construct.to_string(),
-            })?;
+        let lang =
+            self.language(&object.language)
+                .ok_or_else(|| AutomedError::UnknownConstruct {
+                    language: object.language.clone(),
+                    construct: object.construct.to_string(),
+                })?;
         lang.definition_for(object.construct)
             .ok_or_else(|| AutomedError::UnknownConstruct {
                 language: object.language.clone(),
@@ -251,7 +251,11 @@ mod tests {
         let schema = Schema::from_objects(
             "doc",
             [
-                SchemaObject::generic(SchemeRef::table("experiment"), "xml", ConstructKind::Element),
+                SchemaObject::generic(
+                    SchemeRef::table("experiment"),
+                    "xml",
+                    ConstructKind::Element,
+                ),
                 SchemaObject::generic(
                     SchemeRef::column("experiment", "date"),
                     "xml",

@@ -67,7 +67,11 @@ impl SchemaObject {
     }
 
     /// An object of an arbitrary language/construct.
-    pub fn generic(scheme: SchemeRef, language: impl Into<String>, construct: ConstructKind) -> Self {
+    pub fn generic(
+        scheme: SchemeRef,
+        language: impl Into<String>,
+        construct: ConstructKind,
+    ) -> Self {
         SchemaObject {
             scheme,
             language: language.into(),

@@ -74,7 +74,12 @@ impl Pathway {
         Pathway {
             source: self.target.clone(),
             target: self.source.clone(),
-            steps: self.steps.iter().rev().map(Transformation::reverse).collect(),
+            steps: self
+                .steps
+                .iter()
+                .rev()
+                .map(Transformation::reverse)
+                .collect(),
         }
     }
 
@@ -83,11 +88,10 @@ impl Pathway {
     pub fn apply_to(&self, schema: &Schema) -> Result<Schema, AutomedError> {
         let mut result = schema.renamed_schema(self.target.clone());
         for step in &self.steps {
-            step.apply(&mut result).map_err(|e| {
-                AutomedError::InvalidTransformation {
+            step.apply(&mut result)
+                .map_err(|e| AutomedError::InvalidTransformation {
                     detail: format!("step `{step}` failed: {e}"),
-                }
-            })?;
+                })?;
         }
         Ok(result)
     }
@@ -144,7 +148,13 @@ impl Pathway {
 
 impl fmt::Display for Pathway {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        writeln!(f, "pathway {} -> {} ({} steps):", self.source, self.target, self.len())?;
+        writeln!(
+            f,
+            "pathway {} -> {} ({} steps):",
+            self.source,
+            self.target,
+            self.len()
+        )?;
         for step in &self.steps {
             writeln!(f, "  {step}")?;
         }

@@ -165,7 +165,9 @@ mod tests {
         let q = parse("count <<protein, organism>>").unwrap();
         let r = reformulate_to_target(&q, &intersection_pathway(), &intersection_schema()).unwrap();
         assert!(r.is_complete());
-        let v = Evaluator::new(iql::eval::NoExtents).eval_closed(&r.query).unwrap();
+        let v = Evaluator::new(iql::eval::NoExtents)
+            .eval_closed(&r.query)
+            .unwrap();
         assert_eq!(v, iql::Value::Int(0));
     }
 

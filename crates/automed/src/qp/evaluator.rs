@@ -21,6 +21,7 @@ use iql::eval::{Evaluator, ExtentProvider};
 use iql::value::{Bag, Value};
 use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
+use std::sync::Arc;
 
 /// The definitions of all virtual schema objects: scheme key → contributions.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -86,7 +87,7 @@ impl ViewDefinitions {
 pub struct VirtualExtents<'a> {
     registry: &'a SourceRegistry,
     definitions: &'a ViewDefinitions,
-    cache: RefCell<BTreeMap<String, Bag>>,
+    cache: RefCell<BTreeMap<String, Arc<Bag>>>,
     in_progress: RefCell<BTreeSet<String>>,
     /// When set, schemes with no registered contribution are looked up in this source
     /// (used for federated schemas where untouched source objects remain queryable).
@@ -121,12 +122,22 @@ impl<'a> VirtualExtents<'a> {
         Ok(Evaluator::new(self).eval_closed(query)?)
     }
 
+    /// Answer a query with comprehension planning disabled (naive nested loops).
+    /// Reference semantics for tests and the baseline for benchmarks; note that the
+    /// extents the contributions themselves are computed with still use the planning
+    /// evaluator via [`ExtentProvider`].
+    pub fn answer_with_nested_loops(&self, query: &Expr) -> Result<Value, AutomedError> {
+        Ok(Evaluator::new(self)
+            .with_nested_loops()
+            .eval_closed(query)?)
+    }
+
     /// Answer a query and insist on a bag result.
     pub fn answer_bag(&self, query: &Expr) -> Result<Bag, AutomedError> {
         Ok(self.answer(query)?.expect_bag()?)
     }
 
-    fn compute_extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    fn compute_extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         let Some(contributions) = self.definitions.contributions_for(scheme) else {
             // Fall back to probing the configured sources directly.
             for source in &self.fallback_sources {
@@ -138,7 +149,7 @@ impl<'a> VirtualExtents<'a> {
             }
             return Err(EvalError::UnknownScheme(scheme.clone()));
         };
-        let mut result = Bag::empty();
+        let mut result: Vec<Value> = Vec::new();
         for contribution in contributions {
             let value = match &contribution.source {
                 Some(source) => {
@@ -150,7 +161,10 @@ impl<'a> VirtualExtents<'a> {
                     // objects (e.g. an intersection object defined partly in terms of
                     // the evolving global schema), so the source is layered over this
                     // provider.
-                    let layered = LayeredProvider { primary: db, fallback: self };
+                    let layered = LayeredProvider {
+                        primary: db,
+                        fallback: self,
+                    };
                     Evaluator::new(&layered).eval_closed(&contribution.query)?
                 }
                 None => Evaluator::new(self).eval_closed(&contribution.query)?,
@@ -159,19 +173,19 @@ impl<'a> VirtualExtents<'a> {
                 Value::Void => {}
                 other => {
                     let bag = other.expect_bag()?;
-                    result = result.union(&bag);
+                    result.extend(bag.iter().cloned());
                 }
             }
         }
-        Ok(result)
+        Ok(Arc::new(Bag::from_values(result)))
     }
 }
 
 impl ExtentProvider for VirtualExtents<'_> {
-    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         let key = scheme.key();
         if let Some(cached) = self.cache.borrow().get(&key) {
-            return Ok(cached.clone());
+            return Ok(Arc::clone(cached));
         }
         if !self.in_progress.borrow_mut().insert(key.clone()) {
             return Err(EvalError::TypeError {
@@ -182,7 +196,7 @@ impl ExtentProvider for VirtualExtents<'_> {
         let result = self.compute_extent(scheme);
         self.in_progress.borrow_mut().remove(&key);
         if let Ok(bag) = &result {
-            self.cache.borrow_mut().insert(key, bag.clone());
+            self.cache.borrow_mut().insert(key, Arc::clone(bag));
         }
         result
     }
@@ -195,7 +209,7 @@ struct LayeredProvider<'a, P, F> {
 }
 
 impl<P: ExtentProvider, F: ExtentProvider> ExtentProvider for LayeredProvider<'_, P, F> {
-    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         match self.primary.extent(scheme) {
             Ok(bag) => Ok(bag),
             Err(_) => self.fallback.extent(scheme),
@@ -322,8 +336,7 @@ mod tests {
     fn fallback_sources_expose_untouched_objects() {
         let reg = registry();
         let defs = uprotein_definitions();
-        let virt =
-            VirtualExtents::new(&reg, &defs).with_fallback_sources(["pedro", "gpmdb"]);
+        let virt = VirtualExtents::new(&reg, &defs).with_fallback_sources(["pedro", "gpmdb"]);
         // ⟨⟨proseq⟩⟩ has no contribution; it is resolved directly from gpmdb.
         let q = parse("count <<proseq>>").unwrap();
         assert_eq!(virt.answer(&q).unwrap(), Value::Int(2));

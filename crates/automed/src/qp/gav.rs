@@ -31,12 +31,16 @@ pub fn unfold_along_pathway(query: &Expr, pathway: &Pathway) -> Result<Expr, Aut
 /// Apply the unfolding rule for a single (reverse-traversed) step.
 fn unfold_step(query: &Expr, step: &Transformation) -> Result<Expr, AutomedError> {
     match step {
-        Transformation::Add { object, query: def, .. } => {
+        Transformation::Add {
+            object, query: def, ..
+        } => {
             let mut subs = BTreeMap::new();
             subs.insert(object.scheme.clone(), def.clone());
             Ok(substitute_to_fixpoint(query, &subs)?)
         }
-        Transformation::Extend { object, query: def, .. } => {
+        Transformation::Extend {
+            object, query: def, ..
+        } => {
             // Use the lower bound of the Range (certain answers); a bare query is used
             // as-is.
             let lower = match def {
@@ -125,7 +129,10 @@ mod tests {
     fn unfolded_query_evaluates_against_the_source() {
         let mut source = MapExtents::new();
         source.insert_keys("protein", vec![1, 2, 3]);
-        source.insert_pairs("protein,accession_num", vec![(1, "P100"), (2, "P200"), (3, "P300")]);
+        source.insert_pairs(
+            "protein,accession_num",
+            vec![(1, "P100"), (2, "P200"), (3, "P300")],
+        );
 
         let q = parse("[x | {s, k, x} <- <<UProtein, accession_num>>; s = 'PEDRO']").unwrap();
         // Drop the rename/extend suffix so UProtein is the target name.
@@ -142,7 +149,9 @@ mod tests {
         let q = parse("count <<UniversalProtein, description>>").unwrap();
         let unfolded = unfold_along_pathway(&q, &pathway()).unwrap();
         // Range Void Any → lower bound Void → count Void = 0 when evaluated.
-        let v = Evaluator::new(iql::eval::NoExtents).eval_closed(&unfolded).unwrap();
+        let v = Evaluator::new(iql::eval::NoExtents)
+            .eval_closed(&unfolded)
+            .unwrap();
         assert_eq!(v, iql::Value::Int(0));
     }
 

@@ -89,13 +89,9 @@ pub fn invert_view(view: &SchemeRef, body: &Expr) -> Option<(SchemeRef, Expr)> {
     for item in &head_items {
         match item {
             Expr::Lit(l) => head_pattern_parts.push(Pattern::Lit(l.clone())),
-            Expr::Var(v) => {
-                if generator_vars.contains(v) {
-                    seen_vars.push(v.clone());
-                    head_pattern_parts.push(Pattern::Var(v.clone()));
-                } else {
-                    return None;
-                }
+            Expr::Var(v) if generator_vars.contains(v) => {
+                seen_vars.push(v.clone());
+                head_pattern_parts.push(Pattern::Var(v.clone()));
             }
             _ => return None,
         }
@@ -109,7 +105,12 @@ pub fn invert_view(view: &SchemeRef, body: &Expr) -> Option<(SchemeRef, Expr)> {
     let reconstruction_head = if generator_vars.len() == 1 && matches!(pattern, Pattern::Var(_)) {
         Expr::Var(generator_vars[0].clone())
     } else {
-        Expr::Tuple(generator_vars.iter().map(|v| Expr::Var(v.clone())).collect())
+        Expr::Tuple(
+            generator_vars
+                .iter()
+                .map(|v| Expr::Var(v.clone()))
+                .collect(),
+        )
     };
     let reconstruction_pattern = if head_pattern_parts.len() == 1 {
         head_pattern_parts.pop().expect("one element")
@@ -180,8 +181,8 @@ mod tests {
         m.insert(
             "UProtein,accession_num",
             iql::Bag::from_values(vec![
-                Value::Tuple(vec![Value::str("PEDRO"), Value::Int(1), Value::str("P100")]),
-                Value::Tuple(vec![Value::str("gpmDB"), Value::Int(9), Value::str("G900")]),
+                Value::tuple(vec![Value::str("PEDRO"), Value::Int(1), Value::str("P100")]),
+                Value::tuple(vec![Value::str("gpmDB"), Value::Int(9), Value::str("G900")]),
             ]),
         );
         let v = Evaluator::new(&m).eval_closed(&reconstruction).unwrap();
@@ -216,7 +217,11 @@ mod tests {
         // Head computes an expression.
         assert!(invert_view(&view, &parse("[{k, x + 1} | {k, x} <- <<a, b>>]").unwrap()).is_none());
         // Filtered views are not exactly invertible.
-        assert!(invert_view(&view, &parse("[{k, x} | {k, x} <- <<a, b>>; x > 3]").unwrap()).is_none());
+        assert!(invert_view(
+            &view,
+            &parse("[{k, x} | {k, x} <- <<a, b>>; x > 3]").unwrap()
+        )
+        .is_none());
     }
 
     #[test]
@@ -228,8 +233,10 @@ mod tests {
         let complex = parse("[{k1, k2} | {k1, x} <- <<a>>; {k2, y} <- <<b>>; x = y]").unwrap();
         assert!(reverse_query_or_void_any(&view, &complex, &base).is_range_void_any());
         // Invertible but over a different base object than requested.
-        assert!(reverse_query_or_void_any(&view, &invertible, &SchemeRef::table("b"))
-            .is_range_void_any());
+        assert!(
+            reverse_query_or_void_any(&view, &invertible, &SchemeRef::table("b"))
+                .is_range_void_any()
+        );
     }
 
     #[test]

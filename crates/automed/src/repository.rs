@@ -260,10 +260,10 @@ mod tests {
         let repo = repo_with_chain();
         assert_eq!(repo.schema_count(), 3);
         assert_eq!(repo.pathway_count(), 2);
-        assert!(repo.schema("global").unwrap().contains(&SchemeRef::column(
-            "UProtein",
-            "accession_num"
-        )));
+        assert!(repo
+            .schema("global")
+            .unwrap()
+            .contains(&SchemeRef::column("UProtein", "accession_num")));
         assert!(repo.is_source_schema("pedro"));
         assert!(!repo.is_source_schema("global"));
     }

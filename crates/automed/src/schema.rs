@@ -64,11 +64,7 @@ impl Schema {
     }
 
     /// Rename an object, keeping its language and construct kind.
-    pub fn rename_object(
-        &mut self,
-        from: &SchemeRef,
-        to: SchemeRef,
-    ) -> Result<(), AutomedError> {
+    pub fn rename_object(&mut self, from: &SchemeRef, to: SchemeRef) -> Result<(), AutomedError> {
         let obj = self.remove_object(from)?;
         self.add_object(obj.renamed(to))
     }
@@ -196,7 +192,8 @@ mod tests {
         .unwrap();
         assert!(s.contains(&SchemeRef::column("protein", "species")));
         assert!(!s.contains(&SchemeRef::column("protein", "organism")));
-        s.remove_object(&SchemeRef::column("protein", "species")).unwrap();
+        s.remove_object(&SchemeRef::column("protein", "species"))
+            .unwrap();
         assert_eq!(s.len(), 2);
         assert!(matches!(
             s.remove_object(&SchemeRef::table("nope")),

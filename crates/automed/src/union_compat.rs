@@ -71,7 +71,8 @@ pub fn integrate_union_compatible(
 
     for (i, source) in sources.iter().enumerate() {
         let us_name = format!("{}_us{}", source.source, i + 1);
-        let pathway = Pathway::with_steps(source.source.clone(), us_name.clone(), source.steps.clone());
+        let pathway =
+            Pathway::with_steps(source.source.clone(), us_name.clone(), source.steps.clone());
         nontrivial += pathway.nontrivial_count();
         manual += pathway.manual_count();
         let produced = repository.derive_schema(pathway)?;
@@ -93,9 +94,7 @@ pub fn integrate_union_compatible(
     repository.put_schema(global.clone());
     let mut select = Pathway::new(union_schemas[0].name.clone(), global_name.to_string());
     select.extend_steps(
-        ident(&union_schemas[0], &global)
-            .expect("renamed copy is syntactically identical")
-            .into_iter(),
+        ident(&union_schemas[0], &global).expect("renamed copy is syntactically identical"),
     );
     repository.add_pathway_unchecked(select);
 

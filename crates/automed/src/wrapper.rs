@@ -18,16 +18,19 @@ use iql::value::Bag;
 use relational::wrapper::{scheme_objects, RelConstruct};
 use relational::{Database, RelSchema};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Wrap a relational schema as a repository schema: one object per table and per
 /// column, using the abbreviated relational schemes of the paper.
 pub fn wrap_relational(schema: &RelSchema) -> Schema {
-    let objects = scheme_objects(schema).into_iter().map(|w| match w.construct {
-        RelConstruct::Table => SchemaObject::table(w.scheme.parts[0].clone()),
-        RelConstruct::Column => {
-            SchemaObject::column(w.scheme.parts[0].clone(), w.scheme.parts[1].clone())
-        }
-    });
+    let objects = scheme_objects(schema)
+        .into_iter()
+        .map(|w| match w.construct {
+            RelConstruct::Table => SchemaObject::table(w.scheme.parts[0].clone()),
+            RelConstruct::Column => {
+                SchemaObject::column(w.scheme.parts[0].clone(), w.scheme.parts[1].clone())
+            }
+        });
     Schema::from_objects(schema.name.clone(), objects)
         .expect("relational schemas cannot contain duplicate schemes")
 }
@@ -84,8 +87,9 @@ impl SourceRegistry {
         self.sources.is_empty()
     }
 
-    /// The extent of a scheme within a specific source.
-    pub fn extent(&self, source: &str, scheme: &SchemeRef) -> Result<Bag, AutomedError> {
+    /// The extent of a scheme within a specific source (shared handle; the
+    /// database memoises computed extents).
+    pub fn extent(&self, source: &str, scheme: &SchemeRef) -> Result<Arc<Bag>, AutomedError> {
         let db = self.database(source)?;
         Ok(db.extent(scheme)?)
     }
@@ -104,7 +108,7 @@ pub struct ScopedProvider<'a> {
 }
 
 impl ExtentProvider for ScopedProvider<'_> {
-    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         self.db.extent(scheme)
     }
 }
@@ -180,7 +184,9 @@ mod tests {
             .insert("protein", vec![3.into(), "P300".into()])
             .unwrap();
         assert_eq!(
-            reg.extent("pedro", &SchemeRef::table("protein")).unwrap().len(),
+            reg.extent("pedro", &SchemeRef::table("protein"))
+                .unwrap()
+                .len(),
             3
         );
     }

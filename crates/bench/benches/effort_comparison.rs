@@ -29,7 +29,9 @@ fn effort_comparison(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("effort_comparison");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("build_intersection_specs", |b| {
         b.iter(|| {
             let iterations = all_iterations().expect("specs");
@@ -40,7 +42,11 @@ fn effort_comparison(c: &mut Criterion) {
         })
     });
     group.bench_function("classical_integration_full", |b| {
-        b.iter(|| run_classical_integration().expect("classical runs").total_nontrivial)
+        b.iter(|| {
+            run_classical_integration()
+                .expect("classical runs")
+                .total_nontrivial
+        })
     });
     group.finish();
 }

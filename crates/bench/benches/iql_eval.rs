@@ -22,7 +22,12 @@ fn fixture(rows: usize) -> MapExtents {
         "proseq,label",
         Bag::from_values(
             (0..rows as i64)
-                .map(|k| Value::pair(Value::Int(k + 10_000), Value::str(format!("ACC{:05}", k % 89))))
+                .map(|k| {
+                    Value::pair(
+                        Value::Int(k + 10_000),
+                        Value::str(format!("ACC{:05}", k % 89)),
+                    )
+                })
                 .collect(),
         ),
     );
@@ -31,43 +36,79 @@ fn fixture(rows: usize) -> MapExtents {
 
 fn iql_eval(c: &mut Criterion) {
     let selection = "[x | {k, x} <- <<protein, accession_num>>; k < 100]";
-    let join = "[{k1, k2} | {k1, x} <- <<protein, accession_num>>; {k2, y} <- <<proseq, label>>; x = y]";
+    let join =
+        "[{k1, k2} | {k1, x} <- <<protein, accession_num>>; {k2, y} <- <<proseq, label>>; x = y]";
     let aggregate = "count(distinct [x | {k, x} <- <<protein, accession_num>>])";
 
     let mut parse_group = c.benchmark_group("iql_parse");
-    parse_group.sample_size(20).measurement_time(Duration::from_secs(2));
-    for (name, text) in [("selection", selection), ("join", join), ("aggregate", aggregate)] {
+    parse_group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+    for (name, text) in [
+        ("selection", selection),
+        ("join", join),
+        ("aggregate", aggregate),
+    ] {
         parse_group.bench_function(name, |b| b.iter(|| parse(text).expect("parses")));
     }
     parse_group.finish();
 
     let mut eval_group = c.benchmark_group("iql_eval");
-    eval_group.sample_size(10).measurement_time(Duration::from_secs(2));
+    eval_group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for rows in [100usize, 400, 1600] {
         let extents = fixture(rows);
         for (name, text) in [("selection", selection), ("aggregate", aggregate)] {
             let expr = parse(text).expect("parses");
             eval_group.bench_with_input(BenchmarkId::new(name, rows), &rows, |b, _| {
-                b.iter(|| Evaluator::new(&extents).eval_closed(&expr).expect("evaluates"))
+                b.iter(|| {
+                    Evaluator::new(&extents)
+                        .eval_closed(&expr)
+                        .expect("evaluates")
+                })
             });
         }
-        // The join is quadratic; keep it to the smaller sizes.
+        // Hash-join planning keeps the join near-linear at every size…
+        let expr = parse(join).expect("parses");
+        eval_group.bench_with_input(BenchmarkId::new("join", rows), &rows, |b, _| {
+            b.iter(|| {
+                Evaluator::new(&extents)
+                    .eval_closed(&expr)
+                    .expect("evaluates")
+            })
+        });
+        // …while the nested-loop baseline is quadratic; keep it to the smaller sizes.
         if rows <= 400 {
-            let expr = parse(join).expect("parses");
-            eval_group.bench_with_input(BenchmarkId::new("join", rows), &rows, |b, _| {
-                b.iter(|| Evaluator::new(&extents).eval_closed(&expr).expect("evaluates"))
-            });
+            eval_group.bench_with_input(
+                BenchmarkId::new("join_nested_loops", rows),
+                &rows,
+                |b, _| {
+                    b.iter(|| {
+                        Evaluator::new(&extents)
+                            .with_nested_loops()
+                            .eval_closed(&expr)
+                            .expect("evaluates")
+                    })
+                },
+            );
         }
     }
     eval_group.finish();
 
     let mut bag_group = c.benchmark_group("bag_algebra");
-    bag_group.sample_size(20).measurement_time(Duration::from_secs(2));
+    bag_group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
     let a = Bag::from_values((0..5_000).map(Value::Int).collect());
     let b_bag = Bag::from_values((2_500..7_500).map(Value::Int).collect());
     bag_group.bench_function("union_5k", |bench| bench.iter(|| a.union(&b_bag).len()));
-    bag_group.bench_function("difference_5k", |bench| bench.iter(|| a.difference(&b_bag).len()));
-    bag_group.bench_function("distinct_5k", |bench| bench.iter(|| a.union(&a).distinct().len()));
+    bag_group.bench_function("difference_5k", |bench| {
+        bench.iter(|| a.difference(&b_bag).len())
+    });
+    bag_group.bench_function("distinct_5k", |bench| {
+        bench.iter(|| a.union(&a).distinct().len())
+    });
     bag_group.finish();
 }
 

@@ -6,12 +6,17 @@ use automed::wrapper::{wrap_relational, SourceRegistry};
 use criterion::{criterion_group, criterion_main, Criterion};
 use iql::ast::SchemeRef;
 use matching::{MatchConfig, Matcher};
-use proteomics::sources::{generate_pedro, generate_pepseeker, pedro_schema, pepseeker_schema, CaseStudyScale};
+use proteomics::sources::{
+    generate_pedro, generate_pepseeker, pedro_schema, pepseeker_schema, CaseStudyScale,
+};
 use std::time::Duration;
 
 fn ground_truth() -> Vec<(SchemeRef, SchemeRef)> {
     vec![
-        (SchemeRef::table("peptidehit"), SchemeRef::table("peptidehit")),
+        (
+            SchemeRef::table("peptidehit"),
+            SchemeRef::table("peptidehit"),
+        ),
         (
             SchemeRef::column("peptidehit", "sequence"),
             SchemeRef::column("peptidehit", "pepseq"),
@@ -32,7 +37,10 @@ fn ground_truth() -> Vec<(SchemeRef, SchemeRef)> {
             SchemeRef::column("proteinhit", "db_search"),
             SchemeRef::column("proteinhit", "fileparameters"),
         ),
-        (SchemeRef::table("proteinhit"), SchemeRef::table("proteinhit")),
+        (
+            SchemeRef::table("proteinhit"),
+            SchemeRef::table("proteinhit"),
+        ),
     ]
 }
 
@@ -42,7 +50,9 @@ fn matcher_bench(c: &mut Criterion) {
     let scale = CaseStudyScale::tiny();
     let mut registry = SourceRegistry::new();
     registry.add_source(generate_pedro(&scale)).expect("pedro");
-    registry.add_source(generate_pepseeker(&scale)).expect("pepseeker");
+    registry
+        .add_source(generate_pepseeker(&scale))
+        .expect("pepseeker");
 
     let matcher = Matcher::with_config(MatchConfig {
         threshold: 0.55,
@@ -70,12 +80,18 @@ fn matcher_bench(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("matcher");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("name_only", |b| {
         b.iter(|| matcher.match_names(&pedro, &pepseeker).len())
     });
     group.bench_function("with_instances", |b| {
-        b.iter(|| matcher.match_with_instances(&pedro, &pepseeker, &registry).len())
+        b.iter(|| {
+            matcher
+                .match_with_instances(&pedro, &pepseeker, &registry)
+                .len()
+        })
     });
     group.finish();
 }

@@ -13,8 +13,15 @@ fn pathway_of_length(n: usize) -> (Schema, Pathway) {
     for i in 0..n {
         pathway.push(Transformation::add(
             SchemaObject::table(format!("t{i}")),
-            iql::parse(&format!("[{{'S', k}} | k <- <<{}>>]", if i == 0 { "base".into() } else { format!("t{}", i - 1) }))
-                .expect("parses"),
+            iql::parse(&format!(
+                "[{{'S', k}} | k <- <<{}>>]",
+                if i == 0 {
+                    "base".into()
+                } else {
+                    format!("t{}", i - 1)
+                }
+            ))
+            .expect("parses"),
         ));
     }
     (schema, pathway)
@@ -22,7 +29,9 @@ fn pathway_of_length(n: usize) -> (Schema, Pathway) {
 
 fn pathway_reversal(c: &mut Criterion) {
     let mut group = c.benchmark_group("pathway_reversal");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for n in [8usize, 64, 512] {
         let (schema, pathway) = pathway_of_length(n);
         group.bench_with_input(BenchmarkId::new("reverse", n), &n, |b, _| {
@@ -31,14 +40,18 @@ fn pathway_reversal(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("apply", n), &n, |b, _| {
             b.iter(|| pathway.apply_to(&schema).expect("applies").len())
         });
-        group.bench_with_input(BenchmarkId::new("round_trip_restores_schema", n), &n, |b, _| {
-            b.iter(|| {
-                let forward = pathway.apply_to(&schema).expect("applies");
-                let back = pathway.reverse().apply_to(&forward).expect("reverses");
-                assert!(back.syntactically_identical(&schema));
-                back.len()
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::new("round_trip_restores_schema", n),
+            &n,
+            |b, _| {
+                b.iter(|| {
+                    let forward = pathway.apply_to(&schema).expect("applies");
+                    let back = pathway.reverse().apply_to(&forward).expect("reverses");
+                    assert!(back.syntactically_identical(&schema));
+                    back.len()
+                })
+            },
+        );
     }
     group.finish();
 }

@@ -23,7 +23,9 @@ fn pay_as_you_go(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("pay_as_you_go");
-    group.sample_size(10).measurement_time(Duration::from_secs(3));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3));
     group.bench_function("full_incremental_session", |b| {
         b.iter(|| {
             let session = integrated_session(&scale);

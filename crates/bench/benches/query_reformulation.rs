@@ -17,7 +17,11 @@ fn chained_pathway(n: usize) -> (Schema, Pathway) {
         .expect("add");
     let mut pathway = Pathway::new("src", "tgt");
     for i in 0..n {
-        let previous = if i == 0 { "base".to_string() } else { format!("v{}", i - 1) };
+        let previous = if i == 0 {
+            "base".to_string()
+        } else {
+            format!("v{}", i - 1)
+        };
         pathway.push(Transformation::add(
             SchemaObject::table(format!("v{i}")),
             iql::parse(&format!("[k | k <- <<{previous}>>]")).expect("parses"),
@@ -28,7 +32,9 @@ fn chained_pathway(n: usize) -> (Schema, Pathway) {
 
 fn query_reformulation(c: &mut Criterion) {
     let mut group = c.benchmark_group("query_reformulation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     for n in [4usize, 16, 64] {
         let (source, pathway) = chained_pathway(n);
@@ -38,7 +44,8 @@ fn query_reformulation(c: &mut Criterion) {
         });
         group.bench_with_input(BenchmarkId::new("bav_to_source", n), &n, |b, _| {
             b.iter(|| {
-                let r = bav::reformulate_to_source(&query, &pathway, &source).expect("reformulates");
+                let r =
+                    bav::reformulate_to_source(&query, &pathway, &source).expect("reformulates");
                 assert!(r.is_complete());
                 r.query
             })
@@ -47,7 +54,8 @@ fn query_reformulation(c: &mut Criterion) {
 
     // LAV inversion of the paper-shaped tagging views.
     let view = SchemeRef::column("UProtein", "accession_num");
-    let body = iql::parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").expect("parses");
+    let body =
+        iql::parse("[{'PEDRO', k, x} | {k, x} <- <<protein, accession_num>>]").expect("parses");
     group.bench_function("lav_invert_tagging_view", |b| {
         b.iter(|| lav::invert_view(&view, &body).expect("invertible").0.key())
     });

@@ -27,14 +27,26 @@ fn schema_derivation(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("schema_derivation");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
 
     group.bench_function("federate_three_sources", |b| {
-        b.iter(|| federate("F", members.iter().copied()).expect("federates").schema.len())
+        b.iter(|| {
+            federate("F", members.iter().copied())
+                .expect("federates")
+                .schema
+                .len()
+        })
     });
 
     group.bench_function("build_intersection_q1", |b| {
-        b.iter(|| build_intersection(&iteration_q1(), repo).expect("builds").schema.len())
+        b.iter(|| {
+            build_intersection(&iteration_q1(), repo)
+                .expect("builds")
+                .schema
+                .len()
+        })
     });
 
     group.bench_function("build_intersection_q4", |b| {
@@ -49,7 +61,11 @@ fn schema_derivation(c: &mut Criterion) {
     let i1 = build_intersection(&iteration_q1(), repo).expect("builds");
     group.bench_function("schema_difference_pedro_minus_i1", |b| {
         let pedro = repo.schema("pedro").expect("pedro");
-        let pathway = i1.pathways.iter().find(|p| p.source == "pedro").expect("pathway");
+        let pathway = i1
+            .pathways
+            .iter()
+            .find(|p| p.source == "pedro")
+            .expect("pathway");
         b.iter(|| difference(pedro, pathway).expect("difference").schema.len())
     });
 

@@ -19,7 +19,9 @@ fn table1(c: &mut Criterion) {
     }
 
     let mut group = c.benchmark_group("table1_queries");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for q in priority_queries() {
         let expr = iql::parse(&q.iql).expect("query parses");
         group.bench_function(&q.name, |b| {
@@ -31,8 +33,29 @@ fn table1(c: &mut Criterion) {
     }
     group.finish();
 
+    // The same queries with hash-join planning disabled: the nested-loop baseline
+    // the planner's speedup is measured against.
+    let mut naive = c.benchmark_group("table1_queries_nested_loops");
+    naive
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for q in priority_queries() {
+        let expr = iql::parse(&q.iql).expect("query parses");
+        naive.bench_function(&q.name, |b| {
+            b.iter(|| {
+                let provider = ds.provider().expect("provider");
+                provider
+                    .answer_with_nested_loops(&expr)
+                    .expect("query answers")
+            })
+        });
+    }
+    naive.finish();
+
     let mut sweep = c.benchmark_group("table1_q1_scale_sweep");
-    sweep.sample_size(10).measurement_time(Duration::from_secs(2));
+    sweep
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     for (factor, scale) in scale_sweep() {
         let ds = integrated_dataspace(&scale);
         let q1 = iql::parse(&priority_queries()[0].iql).expect("q1 parses");

@@ -10,7 +10,12 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use proteomics::sources::{gpmdb_schema, pedro_schema};
 use std::time::Duration;
 
-fn source_steps(tag: &str, table: &str, column: &str, schema: &automed::Schema) -> Vec<Transformation> {
+fn source_steps(
+    tag: &str,
+    table: &str,
+    column: &str,
+    schema: &automed::Schema,
+) -> Vec<Transformation> {
     let mut steps = vec![
         Transformation::add(
             SchemaObject::table("UProtein"),
@@ -24,7 +29,11 @@ fn source_steps(tag: &str, table: &str, column: &str, schema: &automed::Schema) 
             .expect("parses"),
         ),
     ];
-    steps.extend(schema.objects().map(|o| Transformation::contract_void_any(o.clone())));
+    steps.extend(
+        schema
+            .objects()
+            .map(|o| Transformation::contract_void_any(o.clone())),
+    );
     steps
 }
 
@@ -38,7 +47,9 @@ fn union_compatible(c: &mut Criterion) {
     );
 
     let mut group = c.benchmark_group("union_compatible");
-    group.sample_size(10).measurement_time(Duration::from_secs(2));
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
     group.bench_function("figure1_flow", |b| {
         b.iter(|| {
             let mut repo = Repository::new();
@@ -47,8 +58,14 @@ fn union_compatible(c: &mut Criterion) {
             let result = integrate_union_compatible(
                 &mut repo,
                 &[
-                    SourceIntegration::new("pedro", source_steps("PEDRO", "protein", "accession_num", &pedro)),
-                    SourceIntegration::new("gpmdb", source_steps("gpmDB", "proseq", "label", &gpmdb)),
+                    SourceIntegration::new(
+                        "pedro",
+                        source_steps("PEDRO", "protein", "accession_num", &pedro),
+                    ),
+                    SourceIntegration::new(
+                        "gpmdb",
+                        source_steps("gpmDB", "proseq", "label", &gpmdb),
+                    ),
                 ],
                 "GS",
             )

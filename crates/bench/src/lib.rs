@@ -20,7 +20,8 @@ pub fn federated_dataspace(scale: &CaseStudyScale) -> Dataspace {
     });
     ds.add_source(generate_pedro(scale)).expect("add pedro");
     ds.add_source(generate_gpmdb(scale)).expect("add gpmdb");
-    ds.add_source(generate_pepseeker(scale)).expect("add pepseeker");
+    ds.add_source(generate_pepseeker(scale))
+        .expect("add pepseeker");
     ds.federate().expect("federate");
     ds
 }
@@ -42,8 +43,12 @@ pub fn integrated_session(scale: &CaseStudyScale) -> IntegrationSession {
         ..Default::default()
     });
     let mut session = IntegrationSession::with_dataspace(ds);
-    session.add_source(generate_pedro(scale)).expect("add pedro");
-    session.add_source(generate_gpmdb(scale)).expect("add gpmdb");
+    session
+        .add_source(generate_pedro(scale))
+        .expect("add pedro");
+    session
+        .add_source(generate_gpmdb(scale))
+        .expect("add gpmdb");
     session
         .add_source(generate_pepseeker(scale))
         .expect("add pepseeker");

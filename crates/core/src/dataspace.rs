@@ -172,7 +172,8 @@ impl Dataspace {
             .collect::<Result<_, _>>()?;
         let intersections: Vec<&IntersectionResult> = self.intersections.iter().collect();
         let name = format!("{}{}", self.config.global_prefix, self.intersections.len());
-        let derivation = derive_global(&name, &members, &intersections, self.config.drop_redundant)?;
+        let derivation =
+            derive_global(&name, &members, &intersections, self.config.drop_redundant)?;
         self.repository.put_schema(derivation.schema.clone());
         self.global = Some(derivation);
         Ok(())
@@ -286,10 +287,16 @@ mod tests {
         )
         .unwrap();
         let mut db = Database::new(s);
-        db.insert("protein", vec![1.into(), "ACC1".into(), "Homo sapiens".into()])
-            .unwrap();
-        db.insert("protein", vec![2.into(), "ACC2".into(), "Mus musculus".into()])
-            .unwrap();
+        db.insert(
+            "protein",
+            vec![1.into(), "ACC1".into(), "Homo sapiens".into()],
+        )
+        .unwrap();
+        db.insert(
+            "protein",
+            vec![2.into(), "ACC2".into(), "Mus musculus".into()],
+        )
+        .unwrap();
         db
     }
 
@@ -313,12 +320,20 @@ mod tests {
             .with_mapping(
                 ObjectMapping::table("UProtein")
                     .with_contribution(
-                        SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
-                            .unwrap(),
+                        SourceContribution::parsed(
+                            "pedro",
+                            "[{'PEDRO', k} | k <- <<protein>>]",
+                            ["protein"],
+                        )
+                        .unwrap(),
                     )
                     .with_contribution(
-                        SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
-                            .unwrap(),
+                        SourceContribution::parsed(
+                            "gpmdb",
+                            "[{'gpmDB', k} | k <- <<proseq>>]",
+                            ["proseq"],
+                        )
+                        .unwrap(),
                     ),
             )
             .with_mapping(
@@ -399,7 +414,8 @@ mod tests {
         // organism was not covered, so it remains (prefixed) and stays queryable.
         assert!(global.contains(&SchemeRef::column("PEDRO_protein", "PEDRO_organism")));
         assert_eq!(
-            ds.query_value("count <<PEDRO_protein, PEDRO_organism>>").unwrap(),
+            ds.query_value("count <<PEDRO_protein, PEDRO_organism>>")
+                .unwrap(),
             Value::Int(2)
         );
         assert_eq!(ds.dropped_redundant().len(), 4);
@@ -420,7 +436,10 @@ mod tests {
         assert!(global.contains(&SchemeRef::table("UProtein")));
         assert!(ds.dropped_redundant().is_empty());
         // Redundant object still answers, and its extent matches the source.
-        assert_eq!(ds.query_value("count <<PEDRO_protein>>").unwrap(), Value::Int(2));
+        assert_eq!(
+            ds.query_value("count <<PEDRO_protein>>").unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]
@@ -442,7 +461,10 @@ mod tests {
         assert_eq!(record2.cumulative_manual, 5);
         assert_eq!(ds.effort_report().iterations.len(), 3); // federation + 2
         assert_eq!(ds.effort_report().total_manual(), 5);
-        assert_eq!(ds.query_value("count <<UProtein, organism>>").unwrap(), Value::Int(2));
+        assert_eq!(
+            ds.query_value("count <<UProtein, organism>>").unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

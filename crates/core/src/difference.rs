@@ -51,9 +51,7 @@ pub fn difference(es: &Schema, pathway_to_intersection: &Pathway) -> Result<Diff
             derived.push(Transformation::contract_void_any(object.clone()));
             dropped.push(object.scheme.clone());
         } else {
-            result
-                .add_object(object.clone())
-                .map_err(CoreError::from)?;
+            result.add_object(object.clone()).map_err(CoreError::from)?;
         }
     }
     Ok(Difference {

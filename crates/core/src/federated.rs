@@ -61,10 +61,7 @@ where
                 construct: object.construct,
             };
             schema.add_object(fed_object).map_err(|e| {
-                CoreError::InvalidSpec(format!(
-                    "federating `{}` into `{name}`: {e}",
-                    member.name
-                ))
+                CoreError::InvalidSpec(format!("federating `{}` into `{name}`: {e}", member.name))
             })?;
             definitions.add_contribution(
                 &fed_scheme,
@@ -72,7 +69,10 @@ where
             );
         }
     }
-    Ok(Federation { schema, definitions })
+    Ok(Federation {
+        schema,
+        definitions,
+    })
 }
 
 #[cfg(test)]
@@ -107,12 +107,19 @@ mod tests {
             .add_source(source("pedro", "proteinhit", "db_search", &[(1, "s1")]))
             .unwrap();
         let pepseeker = reg
-            .add_source(source("pepseeker", "proteinhit", "fileparameters", &[(9, "f9")]))
+            .add_source(source(
+                "pepseeker",
+                "proteinhit",
+                "fileparameters",
+                &[(9, "f9")],
+            ))
             .unwrap();
         let fed = federate("F", [&pedro, &pepseeker]).unwrap();
         assert_eq!(fed.schema.len(), pedro.len() + pepseeker.len());
         assert!(fed.schema.contains(&SchemeRef::table("PEDRO_proteinhit")));
-        assert!(fed.schema.contains(&SchemeRef::table("PEPSEEKER_proteinhit")));
+        assert!(fed
+            .schema
+            .contains(&SchemeRef::table("PEPSEEKER_proteinhit")));
         assert!(!fed.schema.contains(&SchemeRef::table("proteinhit")));
     }
 
@@ -120,7 +127,12 @@ mod tests {
     fn federated_objects_are_immediately_queryable() {
         let mut reg = SourceRegistry::new();
         let pedro = reg
-            .add_source(source("pedro", "protein", "accession_num", &[(1, "ACC1"), (2, "ACC2")]))
+            .add_source(source(
+                "pedro",
+                "protein",
+                "accession_num",
+                &[(1, "ACC1"), (2, "ACC2")],
+            ))
             .unwrap();
         let gpmdb = reg
             .add_source(source("gpmdb", "proseq", "label", &[(7, "ACC2")]))

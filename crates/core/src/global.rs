@@ -142,12 +142,20 @@ mod tests {
         let spec = IntersectionSpec::new("I1").with_mapping(
             ObjectMapping::table("UProtein")
                 .with_contribution(
-                    SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
-                        .unwrap(),
+                    SourceContribution::parsed(
+                        "pedro",
+                        "[{'PEDRO', k} | k <- <<protein>>]",
+                        ["protein"],
+                    )
+                    .unwrap(),
                 )
                 .with_contribution(
-                    SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
-                        .unwrap(),
+                    SourceContribution::parsed(
+                        "gpmdb",
+                        "[{'gpmDB', k} | k <- <<proseq>>]",
+                        ["proseq"],
+                    )
+                    .unwrap(),
                 ),
         );
         build_intersection(&spec, repo).unwrap()
@@ -166,7 +174,9 @@ mod tests {
         assert_eq!(g.dropped_redundant.len(), 2);
         assert!(g.schema.contains(&SchemeRef::table("UProtein")));
         assert!(!g.schema.contains(&SchemeRef::table("PEDRO_protein")));
-        assert!(g.schema.contains(&SchemeRef::column("PEDRO_protein", "PEDRO_accession_num")));
+        assert!(g
+            .schema
+            .contains(&SchemeRef::column("PEDRO_protein", "PEDRO_accession_num")));
         assert!(g.schema.contains(&SchemeRef::table("PEPSEEKER_proteinhit")));
         // 1 (UProtein) + pedro 2 remaining + gpmdb 1 remaining + pepseeker 2 = 6
         assert_eq!(g.schema.len(), 6);

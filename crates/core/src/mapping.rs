@@ -134,7 +134,10 @@ impl ObjectMapping {
 
     /// Names of the sources participating in this mapping.
     pub fn sources(&self) -> Vec<&str> {
-        self.contributions.iter().map(|c| c.source.as_str()).collect()
+        self.contributions
+            .iter()
+            .map(|c| c.source.as_str())
+            .collect()
     }
 
     /// Number of manually-defined transformations this mapping represents: one `add`
@@ -311,7 +314,11 @@ impl MappingTable {
                 row.source,
                 truncate(&row.forward, 58),
                 truncate(&row.reverse, 48),
-                if row.reverse_auto_generated { "  (auto)" } else { "" }
+                if row.reverse_auto_generated {
+                    "  (auto)"
+                } else {
+                    ""
+                }
             ));
         }
         out
@@ -397,12 +404,11 @@ mod tests {
         );
         assert_eq!(spec.manual_transformation_count(), 1);
         let with_reverse = IntersectionSpec::new("I3").with_mapping(
-            ObjectMapping::table("U")
-                .with_contribution(
-                    SourceContribution::parsed("pedro", "[k | k <- <<protein>>]", ["protein"])
-                        .unwrap()
-                        .with_reverse(iql::parse("[k | k <- <<U>>]").unwrap()),
-                ),
+            ObjectMapping::table("U").with_contribution(
+                SourceContribution::parsed("pedro", "[k | k <- <<protein>>]", ["protein"])
+                    .unwrap()
+                    .with_reverse(iql::parse("[k | k <- <<U>>]").unwrap()),
+            ),
         );
         assert_eq!(with_reverse.manual_transformation_count(), 2);
     }
@@ -413,16 +419,12 @@ mod tests {
         let no_contrib = IntersectionSpec::new("x").with_mapping(ObjectMapping::table("U"));
         assert!(no_contrib.validate().is_err());
         let dup = IntersectionSpec::new("d")
-            .with_mapping(
-                ObjectMapping::table("U").with_contribution(
-                    SourceContribution::parsed("pedro", "[k | k <- <<protein>>]", ["protein"]).unwrap(),
-                ),
-            )
-            .with_mapping(
-                ObjectMapping::table("U").with_contribution(
-                    SourceContribution::parsed("gpmdb", "[k | k <- <<proseq>>]", ["proseq"]).unwrap(),
-                ),
-            );
+            .with_mapping(ObjectMapping::table("U").with_contribution(
+                SourceContribution::parsed("pedro", "[k | k <- <<protein>>]", ["protein"]).unwrap(),
+            ))
+            .with_mapping(ObjectMapping::table("U").with_contribution(
+                SourceContribution::parsed("gpmdb", "[k | k <- <<proseq>>]", ["proseq"]).unwrap(),
+            ));
         assert!(dup.validate().is_err());
     }
 
@@ -432,7 +434,10 @@ mod tests {
         assert_eq!(table.rows.len(), 4);
         // Forward queries are invertible, so the auto-generated reverse is not Range Void Any.
         assert!(table.rows.iter().all(|r| r.reverse_auto_generated));
-        assert!(table.rows.iter().all(|r| !r.reverse.contains("Range Void Any")));
+        assert!(table
+            .rows
+            .iter()
+            .all(|r| !r.reverse.contains("Range Void Any")));
         let rendered = table.render();
         assert!(rendered.contains("UProtein"));
         assert!(rendered.contains("pedro"));

@@ -36,7 +36,10 @@ pub struct EffortReport {
 impl EffortReport {
     /// Total manually-defined transformations across all iterations.
     pub fn total_manual(&self) -> usize {
-        self.iterations.iter().map(|i| i.manual_transformations).sum()
+        self.iterations
+            .iter()
+            .map(|i| i.manual_transformations)
+            .sum()
     }
 
     /// Total tool-generated transformations across all iterations.
@@ -46,9 +49,8 @@ impl EffortReport {
 
     /// Render the report as a fixed-width table.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "iter  label                       manual  auto  cumulative  |G|\n",
-        );
+        let mut out =
+            String::from("iter  label                       manual  auto  cumulative  |G|\n");
         for i in &self.iterations {
             out.push_str(&format!(
                 "{:<5} {:<27} {:<7} {:<5} {:<11} {}\n",

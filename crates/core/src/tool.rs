@@ -15,7 +15,9 @@
 //!   [`MappingTable`] that mirrors the bottom panel of the GUI.
 
 use crate::error::CoreError;
-use crate::mapping::{parse_scheme_key, IntersectionSpec, MappingTable, ObjectMapping, SourceContribution};
+use crate::mapping::{
+    parse_scheme_key, IntersectionSpec, MappingTable, ObjectMapping, SourceContribution,
+};
 use automed::{ConstructKind, Repository, SchemeRef};
 use iql::ast::{Expr, Literal, Pattern, Qualifier};
 
@@ -48,12 +50,7 @@ impl<'a> IntersectionSchemaTool<'a> {
 
     /// The objects of a source schema, as shown in the tool's left panel.
     pub fn source_objects(&self, source: &str) -> Result<Vec<SchemeRef>, CoreError> {
-        Ok(self
-            .repository
-            .schema(source)?
-            .schemes()
-            .cloned()
-            .collect())
+        Ok(self.repository.schema(source)?.schemes().cloned().collect())
     }
 
     /// Begin a new intersection-schema object. `target_key` is the scheme key of the
@@ -72,7 +69,11 @@ impl<'a> IntersectionSchemaTool<'a> {
     /// the default forward query — the identity over the selected object, tagged with
     /// the source's (upper-cased) name — which the user may later edit with
     /// [`IntersectionSchemaTool::edit_forward_query`].
-    pub fn select_object(&mut self, source: &str, object_key: &str) -> Result<&mut Self, CoreError> {
+    pub fn select_object(
+        &mut self,
+        source: &str,
+        object_key: &str,
+    ) -> Result<&mut Self, CoreError> {
         let scheme = parse_scheme_key(object_key);
         let source_schema = self.repository.schema(source)?;
         if !source_schema.contains(&scheme) {
@@ -91,7 +92,11 @@ impl<'a> IntersectionSchemaTool<'a> {
     }
 
     /// Replace the forward query of the current target's contribution from `source`.
-    pub fn edit_forward_query(&mut self, source: &str, query: &str) -> Result<&mut Self, CoreError> {
+    pub fn edit_forward_query(
+        &mut self,
+        source: &str,
+        query: &str,
+    ) -> Result<&mut Self, CoreError> {
         let parsed = iql::parse(query)?;
         let current = self.current_mapping_mut()?;
         let contribution = current
@@ -108,7 +113,11 @@ impl<'a> IntersectionSchemaTool<'a> {
 
     /// Supply a reverse query for the current target's contribution from `source`
     /// (overriding automatic generation).
-    pub fn edit_reverse_query(&mut self, source: &str, query: &str) -> Result<&mut Self, CoreError> {
+    pub fn edit_reverse_query(
+        &mut self,
+        source: &str,
+        query: &str,
+    ) -> Result<&mut Self, CoreError> {
         let parsed = iql::parse(query)?;
         let current = self.current_mapping_mut()?;
         let contribution = current
@@ -233,7 +242,8 @@ mod tests {
         let mut tool = IntersectionSchemaTool::new(&repo, "I_proteinhit");
         tool.new_object("UProteinHit,dbsearch", ConstructKind::Column);
         tool.select_object("pedro", "proteinhit,db_search").unwrap();
-        tool.select_object("pepseeker", "proteinhit,fileparameters").unwrap();
+        tool.select_object("pepseeker", "proteinhit,fileparameters")
+            .unwrap();
 
         let table = tool.mapping_table().unwrap();
         assert_eq!(table.rows.len(), 2);
@@ -318,7 +328,10 @@ mod tests {
             iql::pretty::print(&table_q),
             "[{'PEDRO', k} | k <- <<proteinhit>>]"
         );
-        let col_q = default_forward_query("pepseeker", &SchemeRef::column("proteinhit", "fileparameters"));
+        let col_q = default_forward_query(
+            "pepseeker",
+            &SchemeRef::column("proteinhit", "fileparameters"),
+        );
         assert_eq!(
             iql::pretty::print(&col_q),
             "[{'PEPSEEKER', k, x} | {k, x} <- <<proteinhit, fileparameters>>]"

@@ -171,12 +171,15 @@ impl IntegrationSession {
 
     /// Whether all registered priority queries are answerable.
     pub fn all_queries_answerable(&self) -> bool {
-        self.queries.iter().all(|q| self.dataspace.can_answer(&q.iql))
+        self.queries
+            .iter()
+            .all(|q| self.dataspace.can_answer(&q.iql))
     }
 
     /// Render the pay-as-you-go curve as a fixed-width table.
     pub fn render_curve(&self) -> String {
-        let mut out = String::from("iter  label                cumulative-manual  answerable-queries\n");
+        let mut out =
+            String::from("iter  label                cumulative-manual  answerable-queries\n");
         for p in self.pay_as_you_go_curve() {
             out.push_str(&format!(
                 "{:<5} {:<20} {:<18} {}/{} {:?}\n",
@@ -228,8 +231,13 @@ mod tests {
             ..Default::default()
         });
         let mut s = IntegrationSession::with_dataspace(ds);
-        s.add_source(source("pedro", "protein", "accession_num", &[(1, "ACC1"), (2, "ACC2")]))
-            .unwrap();
+        s.add_source(source(
+            "pedro",
+            "protein",
+            "accession_num",
+            &[(1, "ACC1"), (2, "ACC2")],
+        ))
+        .unwrap();
         s.add_source(source("gpmdb", "proseq", "label", &[(9, "ACC2")]))
             .unwrap();
         s.set_priority_queries(vec![

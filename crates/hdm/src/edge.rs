@@ -120,7 +120,10 @@ mod tests {
     fn edges_may_reference_edges() {
         let e = Edge::new(
             Some("nested"),
-            vec![HdmRef::edge("accession(protein,string)"), HdmRef::node("score")],
+            vec![
+                HdmRef::edge("accession(protein,string)"),
+                HdmRef::node("score"),
+            ],
         );
         assert_eq!(e.participants[0].name(), "accession(protein,string)");
         assert_eq!(e.arity(), 2);

@@ -45,8 +45,14 @@ impl fmt::Display for HdmError {
                 write!(f, "edge `{edge}` is still used by `{referrer}`")
             }
             HdmError::EmptyEdge(e) => write!(f, "edge `{e}` has no participants"),
-            HdmError::DanglingConstraint { constraint, element } => {
-                write!(f, "constraint `{constraint}` refers to missing element `{element}`")
+            HdmError::DanglingConstraint {
+                constraint,
+                element,
+            } => {
+                write!(
+                    f,
+                    "constraint `{constraint}` refers to missing element `{element}`"
+                )
             }
             HdmError::ArityMismatch {
                 element,

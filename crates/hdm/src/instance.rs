@@ -88,9 +88,7 @@ impl HdmInstance {
                 Constraint::Inclusion { sub, sup } => {
                     let sup_set: std::collections::BTreeSet<&HdmTuple> =
                         self.extent(sup).iter().collect();
-                    if let Some(missing) =
-                        self.extent(sub).iter().find(|t| !sup_set.contains(*t))
-                    {
+                    if let Some(missing) = self.extent(sub).iter().find(|t| !sup_set.contains(*t)) {
                         return Err(HdmError::ConstraintViolation {
                             constraint: c.to_string(),
                             detail: format!("tuple {missing:?} of `{sub}` not in `{sup}`"),
@@ -100,8 +98,7 @@ impl HdmInstance {
                 Constraint::Exclusion { left, right } => {
                     let right_set: std::collections::BTreeSet<&HdmTuple> =
                         self.extent(right).iter().collect();
-                    if let Some(shared) =
-                        self.extent(left).iter().find(|t| right_set.contains(*t))
+                    if let Some(shared) = self.extent(left).iter().find(|t| right_set.contains(*t))
                     {
                         return Err(HdmError::ConstraintViolation {
                             constraint: c.to_string(),

@@ -83,11 +83,11 @@ impl HdmSchema {
 
     /// Remove a node. Fails if any edge still references it.
     pub fn remove_node(&mut self, name: &str) -> Result<Node, HdmError> {
-        if let Some(edge) = self
-            .edges
-            .values()
-            .find(|e| e.participants.iter().any(|p| matches!(p, HdmRef::Node(n) if n == name)))
-        {
+        if let Some(edge) = self.edges.values().find(|e| {
+            e.participants
+                .iter()
+                .any(|p| matches!(p, HdmRef::Node(n) if n == name))
+        }) {
             return Err(HdmError::NodeInUse {
                 node: name.to_string(),
                 edge: edge.identity(),
@@ -196,7 +196,9 @@ impl HdmSchema {
     /// exist. Used when lowering several higher-level constructs onto one HDM graph.
     pub fn absorb(&mut self, other: &HdmSchema) {
         for n in other.nodes.values() {
-            self.nodes.entry(n.name.clone()).or_insert_with(|| n.clone());
+            self.nodes
+                .entry(n.name.clone())
+                .or_insert_with(|| n.clone());
         }
         for e in other.edges.values() {
             self.edges.entry(e.identity()).or_insert_with(|| e.clone());

@@ -185,7 +185,7 @@ mod tests {
 
     #[test]
     fn ordering_is_total_across_types() {
-        let mut vals = vec![
+        let mut vals = [
             HdmValue::str("b"),
             HdmValue::Null,
             HdmValue::Int(3),

@@ -45,11 +45,7 @@ impl SchemeRef {
     /// schemas to record provenance and disambiguate equal names).
     pub fn prefixed(&self, prefix: &str) -> SchemeRef {
         SchemeRef {
-            parts: self
-                .parts
-                .iter()
-                .map(|p| format!("{prefix}_{p}"))
-                .collect(),
+            parts: self.parts.iter().map(|p| format!("{prefix}_{p}")).collect(),
         }
     }
 }
@@ -373,7 +369,10 @@ mod tests {
         let p = Pattern::Tuple(vec![
             Pattern::Var("k".into()),
             Pattern::Wildcard,
-            Pattern::Tuple(vec![Pattern::Var("x".into()), Pattern::Lit(Literal::Int(1))]),
+            Pattern::Tuple(vec![
+                Pattern::Var("x".into()),
+                Pattern::Lit(Literal::Int(1)),
+            ]),
         ]);
         assert_eq!(p.bound_vars(), vec!["k", "x"]);
         assert_eq!(p.to_string(), "{k, _, {x, 1}}");

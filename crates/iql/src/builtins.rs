@@ -10,21 +10,8 @@ use crate::value::{Bag, Value};
 
 /// The names of all built-in functions.
 pub const BUILTINS: &[&str] = &[
-    "count",
-    "sum",
-    "avg",
-    "max",
-    "min",
-    "distinct",
-    "member",
-    "isEmpty",
-    "first",
-    "flatten",
-    "fst",
-    "snd",
-    "nth",
-    "toString",
-    "abs",
+    "count", "sum", "avg", "max", "min", "distinct", "member", "isEmpty", "first", "flatten",
+    "fst", "snd", "nth", "toString", "abs",
 ];
 
 /// Whether `name` is a built-in function.
@@ -102,7 +89,11 @@ pub fn apply(function: &str, args: &[Value]) -> Result<Value, EvalError> {
             let mut it = bag.iter();
             let mut best = it.next().expect("non-empty").clone();
             for v in it {
-                let better = if function == "max" { v > &best } else { v < &best };
+                let better = if function == "max" {
+                    v > &best
+                } else {
+                    v < &best
+                };
                 if better {
                     best = v.clone();
                 }
@@ -162,10 +153,10 @@ pub fn apply(function: &str, args: &[Value]) -> Result<Value, EvalError> {
         }
         "toString" => {
             expect_args(function, args, 1)?;
-            Ok(Value::Str(match &args[0] {
-                Value::Str(s) => s.clone(),
-                other => other.to_string(),
-            }))
+            Ok(match &args[0] {
+                Value::Str(_) => args[0].clone(),
+                other => Value::str(other.to_string()),
+            })
         }
         "abs" => {
             expect_args(function, args, 1)?;
@@ -184,10 +175,13 @@ pub fn apply(function: &str, args: &[Value]) -> Result<Value, EvalError> {
 
 fn tuple_component(value: &Value, index: usize, context: &str) -> Result<Value, EvalError> {
     match value {
-        Value::Tuple(items) => items.get(index).cloned().ok_or_else(|| EvalError::TypeError {
-            context: context.to_string(),
-            found: format!("tuple of arity {}", items.len()),
-        }),
+        Value::Tuple(items) => items
+            .get(index)
+            .cloned()
+            .ok_or_else(|| EvalError::TypeError {
+                context: context.to_string(),
+                found: format!("tuple of arity {}", items.len()),
+            }),
         other => Err(EvalError::TypeError {
             context: context.to_string(),
             found: other.type_name().into(),
@@ -200,14 +194,22 @@ mod tests {
     use super::*;
 
     fn int_bag(vals: &[i64]) -> Value {
-        Value::Bag(Bag::from_values(vals.iter().map(|v| Value::Int(*v)).collect()))
+        Value::Bag(Bag::from_values(
+            vals.iter().map(|v| Value::Int(*v)).collect(),
+        ))
     }
 
     #[test]
     fn count_sum_avg() {
-        assert_eq!(apply("count", &[int_bag(&[1, 2, 2])]).unwrap(), Value::Int(3));
+        assert_eq!(
+            apply("count", &[int_bag(&[1, 2, 2])]).unwrap(),
+            Value::Int(3)
+        );
         assert_eq!(apply("sum", &[int_bag(&[1, 2, 3])]).unwrap(), Value::Int(6));
-        assert_eq!(apply("avg", &[int_bag(&[1, 2, 3])]).unwrap(), Value::Float(2.0));
+        assert_eq!(
+            apply("avg", &[int_bag(&[1, 2, 3])]).unwrap(),
+            Value::Float(2.0)
+        );
         assert!(matches!(
             apply("avg", &[Value::Bag(Bag::empty())]),
             Err(EvalError::EmptyAggregate(_))
@@ -237,10 +239,7 @@ mod tests {
             apply("member", &[int_bag(&[1, 2]), Value::Int(5)]).unwrap(),
             Value::Bool(false)
         );
-        assert_eq!(
-            apply("isEmpty", &[Value::Void]).unwrap(),
-            Value::Bool(true)
-        );
+        assert_eq!(apply("isEmpty", &[Value::Void]).unwrap(), Value::Bool(true));
     }
 
     #[test]
@@ -256,8 +255,14 @@ mod tests {
     #[test]
     fn tuple_accessors() {
         let pair = Value::pair(Value::Int(1), Value::str("a"));
-        assert_eq!(apply("fst", &[pair.clone()]).unwrap(), Value::Int(1));
-        assert_eq!(apply("snd", &[pair.clone()]).unwrap(), Value::str("a"));
+        assert_eq!(
+            apply("fst", std::slice::from_ref(&pair)).unwrap(),
+            Value::Int(1)
+        );
+        assert_eq!(
+            apply("snd", std::slice::from_ref(&pair)).unwrap(),
+            Value::str("a")
+        );
         assert_eq!(
             apply("nth", &[pair.clone(), Value::Int(1)]).unwrap(),
             Value::str("a")
@@ -272,7 +277,10 @@ mod tests {
             Err(EvalError::ArityError { .. })
         ));
         assert!(matches!(
-            apply("sum", &[Value::Bag(Bag::from_values(vec![Value::str("x")]))]),
+            apply(
+                "sum",
+                &[Value::Bag(Bag::from_values(vec![Value::str("x")]))]
+            ),
             Err(EvalError::TypeError { .. })
         ));
         assert!(matches!(

@@ -17,112 +17,182 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 i += 1;
             }
             '[' => {
-                tokens.push(Spanned { token: Token::LBracket, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             ']' => {
-                tokens.push(Spanned { token: Token::RBracket, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RBracket,
+                    offset: start,
+                });
                 i += 1;
             }
             '{' => {
-                tokens.push(Spanned { token: Token::LBrace, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '}' => {
-                tokens.push(Spanned { token: Token::RBrace, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RBrace,
+                    offset: start,
+                });
                 i += 1;
             }
             '(' => {
-                tokens.push(Spanned { token: Token::LParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::LParen,
+                    offset: start,
+                });
                 i += 1;
             }
             ')' => {
-                tokens.push(Spanned { token: Token::RParen, offset: start });
+                tokens.push(Spanned {
+                    token: Token::RParen,
+                    offset: start,
+                });
                 i += 1;
             }
             '|' => {
-                tokens.push(Spanned { token: Token::Pipe, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Pipe,
+                    offset: start,
+                });
                 i += 1;
             }
             ';' => {
-                tokens.push(Spanned { token: Token::Semi, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Semi,
+                    offset: start,
+                });
                 i += 1;
             }
             ',' => {
-                tokens.push(Spanned { token: Token::Comma, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Comma,
+                    offset: start,
+                });
                 i += 1;
             }
             '=' => {
-                tokens.push(Spanned { token: Token::Eq, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Eq,
+                    offset: start,
+                });
                 i += 1;
             }
             '+' => {
                 if bytes.get(i + 1) == Some(&b'+') {
-                    tokens.push(Spanned { token: Token::PlusPlus, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::PlusPlus,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Plus, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Plus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '-' => {
                 if bytes.get(i + 1) == Some(&b'-') {
-                    tokens.push(Spanned { token: Token::MinusMinus, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::MinusMinus,
+                        offset: start,
+                    });
                     i += 2;
                 } else {
-                    tokens.push(Spanned { token: Token::Minus, offset: start });
+                    tokens.push(Spanned {
+                        token: Token::Minus,
+                        offset: start,
+                    });
                     i += 1;
                 }
             }
             '*' => {
-                tokens.push(Spanned { token: Token::Star, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Star,
+                    offset: start,
+                });
                 i += 1;
             }
             '/' => {
-                tokens.push(Spanned { token: Token::Slash, offset: start });
+                tokens.push(Spanned {
+                    token: Token::Slash,
+                    offset: start,
+                });
                 i += 1;
             }
             '<' => {
                 // `<<`, `<-`, `<=`, `<>` or plain `<`
                 match bytes.get(i + 1).copied().map(|b| b as char) {
                     Some('<') => {
-                        tokens.push(Spanned { token: Token::SchemeOpen, offset: start });
+                        tokens.push(Spanned {
+                            token: Token::SchemeOpen,
+                            offset: start,
+                        });
                         i += 2;
                     }
                     Some('-') => {
-                        tokens.push(Spanned { token: Token::Arrow, offset: start });
+                        tokens.push(Spanned {
+                            token: Token::Arrow,
+                            offset: start,
+                        });
                         i += 2;
                     }
                     Some('=') => {
-                        tokens.push(Spanned { token: Token::Le, offset: start });
+                        tokens.push(Spanned {
+                            token: Token::Le,
+                            offset: start,
+                        });
                         i += 2;
                     }
                     Some('>') => {
-                        tokens.push(Spanned { token: Token::Neq, offset: start });
+                        tokens.push(Spanned {
+                            token: Token::Neq,
+                            offset: start,
+                        });
                         i += 2;
                     }
                     _ => {
-                        tokens.push(Spanned { token: Token::Lt, offset: start });
+                        tokens.push(Spanned {
+                            token: Token::Lt,
+                            offset: start,
+                        });
                         i += 1;
                     }
                 }
             }
-            '>' => {
-                match bytes.get(i + 1).copied().map(|b| b as char) {
-                    Some('>') => {
-                        tokens.push(Spanned { token: Token::SchemeClose, offset: start });
-                        i += 2;
-                    }
-                    Some('=') => {
-                        tokens.push(Spanned { token: Token::Ge, offset: start });
-                        i += 2;
-                    }
-                    _ => {
-                        tokens.push(Spanned { token: Token::Gt, offset: start });
-                        i += 1;
-                    }
+            '>' => match bytes.get(i + 1).copied().map(|b| b as char) {
+                Some('>') => {
+                    tokens.push(Spanned {
+                        token: Token::SchemeClose,
+                        offset: start,
+                    });
+                    i += 2;
                 }
-            }
+                Some('=') => {
+                    tokens.push(Spanned {
+                        token: Token::Ge,
+                        offset: start,
+                    });
+                    i += 2;
+                }
+                _ => {
+                    tokens.push(Spanned {
+                        token: Token::Gt,
+                        offset: start,
+                    });
+                    i += 1;
+                }
+            },
             '\'' => {
                 // Single-quoted string, backslash escapes for `\'` and `\\`.
                 let mut s = String::new();
@@ -157,7 +227,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 if !closed {
                     return Err(ParseError::new("unterminated string literal", start));
                 }
-                tokens.push(Spanned { token: Token::Str(s), offset: start });
+                tokens.push(Spanned {
+                    token: Token::Str(s),
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_ascii_digit() => {
@@ -190,7 +263,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                         ParseError::new(format!("invalid integer literal `{text}`"), start)
                     })?)
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             c if c.is_alphabetic() || c == '_' => {
@@ -211,7 +287,10 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 } else {
                     Token::Ident(text.to_string())
                 };
-                tokens.push(Spanned { token, offset: start });
+                tokens.push(Spanned {
+                    token,
+                    offset: start,
+                });
                 i = j;
             }
             other => {
@@ -281,7 +360,12 @@ mod tests {
     fn lex_numbers_and_floats() {
         assert_eq!(
             kinds("42 3.25 7"),
-            vec![Token::Int(42), Token::Float(3.25), Token::Int(7), Token::Eof]
+            vec![
+                Token::Int(42),
+                Token::Float(3.25),
+                Token::Int(7),
+                Token::Eof
+            ]
         );
     }
 

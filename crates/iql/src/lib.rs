@@ -59,6 +59,7 @@ pub use eval::{Evaluator, ExtentProvider};
 pub use value::{Bag, Value};
 
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// Parse an IQL expression from its surface syntax.
 pub fn parse(input: &str) -> Result<Expr, ParseError> {
@@ -70,10 +71,11 @@ pub fn parse(input: &str) -> Result<Expr, ParseError> {
 /// Scheme keys are the comma-joined scheme parts, e.g. `"protein,accession_num"` for
 /// `⟨⟨protein, accession_num⟩⟩`. Primarily useful in tests, examples and documentation;
 /// the integration layers provide richer providers that pull extents from wrapped data
-/// sources through transformation pathways.
+/// sources through transformation pathways. Extents are stored behind `Arc` so lookups
+/// hand out shared bags without copying.
 #[derive(Debug, Clone, Default)]
 pub struct MapExtents {
-    extents: BTreeMap<String, Bag>,
+    extents: BTreeMap<String, Arc<Bag>>,
 }
 
 impl MapExtents {
@@ -84,19 +86,16 @@ impl MapExtents {
 
     /// Insert a bag for the given scheme key (comma-joined parts).
     pub fn insert(&mut self, scheme_key: impl Into<String>, bag: Bag) {
-        self.extents.insert(normalise_key(&scheme_key.into()), bag);
+        self.extents
+            .insert(normalise_key(&scheme_key.into()), Arc::new(bag));
     }
 
     /// Convenience: insert a bag of `{key, value}` pairs for a column-like scheme.
-    pub fn insert_pairs(
-        &mut self,
-        scheme_key: impl Into<String>,
-        pairs: Vec<(i64, &str)>,
-    ) {
+    pub fn insert_pairs(&mut self, scheme_key: impl Into<String>, pairs: Vec<(i64, &str)>) {
         let bag = Bag::from_values(
             pairs
                 .into_iter()
-                .map(|(k, v)| Value::Tuple(vec![Value::Int(k), Value::str(v)]))
+                .map(|(k, v)| Value::pair(Value::Int(k), Value::str(v)))
                 .collect(),
         );
         self.insert(scheme_key, bag);
@@ -127,7 +126,7 @@ fn normalise_key(key: &str) -> String {
 }
 
 impl ExtentProvider for MapExtents {
-    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         let key = scheme.key();
         self.extents
             .get(&key)

@@ -497,7 +497,9 @@ mod tests {
     #[test]
     fn parse_function_applications() {
         let q = parse("count <<protein>>").unwrap();
-        assert!(matches!(q, Expr::Apply { ref function, ref args } if function == "count" && args.len() == 1));
+        assert!(
+            matches!(q, Expr::Apply { ref function, ref args } if function == "count" && args.len() == 1)
+        );
         let q2 = parse("count(<<protein>>)").unwrap();
         assert!(matches!(q2, Expr::Apply { ref args, .. } if args.len() == 1));
         let q3 = parse("member(<<protein>>, 3)").unwrap();
@@ -514,7 +516,12 @@ mod tests {
     fn parse_operators_with_precedence() {
         let q = parse("1 + 2 * 3 = 7 and true").unwrap();
         // Expect: ((1 + (2*3)) = 7) and true
-        if let Expr::BinOp { op: BinOp::And, lhs, .. } = q {
+        if let Expr::BinOp {
+            op: BinOp::And,
+            lhs,
+            ..
+        } = q
+        {
             assert!(matches!(*lhs, Expr::BinOp { op: BinOp::Eq, .. }));
         } else {
             panic!("expected and at the top");
@@ -536,8 +543,10 @@ mod tests {
 
     #[test]
     fn parse_nested_comprehension() {
-        let q = parse("[ {k, count [x | {k2, x} <- <<peptidehit, score>>; k2 = k]} | k <- <<peptidehit>> ]")
-            .unwrap();
+        let q = parse(
+            "[ {k, count [x | {k2, x} <- <<peptidehit, score>>; k2 = k]} | k <- <<peptidehit>> ]",
+        )
+        .unwrap();
         assert!(matches!(q, Expr::Comp { .. }));
     }
 

@@ -176,9 +176,12 @@ mod tests {
     fn round_trip(src: &str) {
         let ast = parse(src).unwrap();
         let printed = print(&ast);
-        let reparsed = parse(&printed)
-            .unwrap_or_else(|e| panic!("printed `{printed}` failed to parse: {e}"));
-        assert_eq!(ast, reparsed, "round trip changed AST for `{src}` → `{printed}`");
+        let reparsed =
+            parse(&printed).unwrap_or_else(|e| panic!("printed `{printed}` failed to parse: {e}"));
+        assert_eq!(
+            ast, reparsed,
+            "round trip changed AST for `{src}` → `{printed}`"
+        );
     }
 
     #[test]

@@ -7,6 +7,83 @@
 use crate::ast::{Expr, Qualifier, SchemeRef};
 use std::collections::{BTreeMap, BTreeSet};
 
+/// Collect the *free* variables of an expression: variables read without being bound
+/// by an enclosing comprehension generator, `let` qualifier or `let … in` body. The
+/// comprehension planner uses this to decide whether a generator's source is
+/// independent of the variables bound earlier in the same comprehension (and can
+/// therefore be evaluated once and hash-indexed).
+pub fn free_vars(expr: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    free_vars_into(expr, &BTreeSet::new(), &mut out);
+    out
+}
+
+fn free_vars_into(expr: &Expr, bound: &BTreeSet<String>, out: &mut BTreeSet<String>) {
+    match expr {
+        Expr::Var(name) => {
+            if !bound.contains(name) {
+                out.insert(name.clone());
+            }
+        }
+        Expr::Lit(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {}
+        Expr::Tuple(items) | Expr::Bag(items) => {
+            for e in items {
+                free_vars_into(e, bound, out);
+            }
+        }
+        Expr::Comp { head, qualifiers } => {
+            let mut scope = bound.clone();
+            for q in qualifiers {
+                match q {
+                    Qualifier::Generator { pattern, source } => {
+                        free_vars_into(source, &scope, out);
+                        scope.extend(pattern.bound_vars().iter().map(|v| v.to_string()));
+                    }
+                    Qualifier::Filter(e) => free_vars_into(e, &scope, out),
+                    Qualifier::Binding { pattern, value } => {
+                        free_vars_into(value, &scope, out);
+                        scope.extend(pattern.bound_vars().iter().map(|v| v.to_string()));
+                    }
+                }
+            }
+            free_vars_into(head, &scope, out);
+        }
+        Expr::Apply { args, .. } => {
+            for e in args {
+                free_vars_into(e, bound, out);
+            }
+        }
+        Expr::BinOp { lhs, rhs, .. } => {
+            free_vars_into(lhs, bound, out);
+            free_vars_into(rhs, bound, out);
+        }
+        Expr::UnOp { expr, .. } => free_vars_into(expr, bound, out),
+        Expr::If {
+            cond,
+            then,
+            otherwise,
+        } => {
+            free_vars_into(cond, bound, out);
+            free_vars_into(then, bound, out);
+            free_vars_into(otherwise, bound, out);
+        }
+        Expr::Let {
+            pattern,
+            value,
+            body,
+        } => {
+            free_vars_into(value, bound, out);
+            let mut scope = bound.clone();
+            scope.extend(pattern.bound_vars().iter().map(|v| v.to_string()));
+            free_vars_into(body, &scope, out);
+        }
+        Expr::Range { lower, upper } => {
+            free_vars_into(lower, bound, out);
+            free_vars_into(upper, bound, out);
+        }
+    }
+}
+
 /// Collect every scheme referenced anywhere in the expression (duplicates removed,
 /// deterministic order).
 pub fn collect_schemes(expr: &Expr) -> BTreeSet<SchemeRef> {
@@ -195,10 +272,7 @@ mod tests {
 
     #[test]
     fn substitution_reaches_nested_positions() {
-        let query = parse(
-            "[{k, x} | {k, x} <- <<a, b>>; member(<<c>>, k)]",
-        )
-        .unwrap();
+        let query = parse("[{k, x} | {k, x} <- <<a, b>>; member(<<c>>, k)]").unwrap();
         let mut subs = BTreeMap::new();
         subs.insert(SchemeRef::table("c"), parse("[1, 2]").unwrap());
         let out = substitute_schemes(&query, &subs);
@@ -227,6 +301,26 @@ mod tests {
         assert!(node_count(&q) >= 3);
         let bigger = parse("[x | x <- <<t>>; x > 1; x < 9]").unwrap();
         assert!(node_count(&bigger) > node_count(&q));
+    }
+
+    #[test]
+    fn free_vars_respects_comprehension_scope() {
+        let q = parse("[{k, x, outer} | {k, x} <- <<t, c>>; k = pivot]").unwrap();
+        let fv = free_vars(&q);
+        assert!(fv.contains("outer"));
+        assert!(fv.contains("pivot"));
+        assert!(!fv.contains("k"));
+        assert!(!fv.contains("x"));
+    }
+
+    #[test]
+    fn free_vars_respects_let_scope() {
+        let q = parse("let n = m in n + q").unwrap();
+        let fv = free_vars(&q);
+        assert_eq!(
+            fv.into_iter().collect::<Vec<_>>(),
+            vec!["m".to_string(), "q".to_string()]
+        );
     }
 
     #[test]

@@ -1,9 +1,27 @@
 //! Runtime values and the bag algebra.
+//!
+//! Values are cheap to clone by construction: strings are `Arc<str>`, tuples are
+//! `Arc<[Value]>`, and bags share their element vector behind an `Arc` with
+//! copy-on-write mutation. The evaluator clones values per generated row, so keeping
+//! `Value::clone` at a reference-count bump (rather than a deep copy) is what lets
+//! comprehension evaluation run at memory bandwidth instead of allocator throughput.
+//!
+//! The bag operations (`difference`, `intersection`, `distinct`, `same_elements`,
+//! `subbag_of`) run on hash-based multiplicity counts. `Value` implements [`Hash`]
+//! consistently with its (numeric-coercing) `Eq`: `Int(2)` and `Float(2.0)` compare
+//! equal and therefore hash identically, via the normalised bit pattern of the value
+//! as an `f64`. The one unavoidable wart is `NaN`, which the pre-existing `Ord` treats
+//! as equal to every float; hash-based ops canonicalise `NaN` to a single bucket, so
+//! bags containing `NaN` may differ from the ordering-based reference semantics.
+//! Queries over real extents never produce `NaN`.
 
 use serde::{Deserialize, Serialize};
 use std::cmp::Ordering;
-use std::collections::BTreeMap;
+use std::collections::hash_map::{DefaultHasher, Entry};
+use std::collections::HashMap;
 use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::sync::Arc;
 
 use crate::error::EvalError;
 
@@ -18,10 +36,10 @@ pub enum Value {
     Int(i64),
     /// 64-bit float.
     Float(f64),
-    /// UTF-8 string.
-    Str(String),
-    /// A tuple of values.
-    Tuple(Vec<Value>),
+    /// UTF-8 string (shared; clone is a refcount bump).
+    Str(Arc<str>),
+    /// A tuple of values (shared; clone is a refcount bump).
+    Tuple(Arc<[Value]>),
     /// A bag (multiset) of values.
     Bag(Bag),
     /// The empty collection constant `Void`.
@@ -32,13 +50,18 @@ pub enum Value {
 
 impl Value {
     /// Shorthand for a string value.
-    pub fn str(s: impl Into<String>) -> Value {
+    pub fn str(s: impl Into<Arc<str>>) -> Value {
         Value::Str(s.into())
+    }
+
+    /// Shorthand for a tuple value from a vector of components.
+    pub fn tuple(items: Vec<Value>) -> Value {
+        Value::Tuple(items.into())
     }
 
     /// Shorthand for a two-element tuple (the common `{key, value}` shape).
     pub fn pair(a: Value, b: Value) -> Value {
-        Value::Tuple(vec![a, b])
+        Value::Tuple(Arc::from([a, b]))
     }
 
     /// True when the value is "truthy" in a filter position: only `Bool(true)` counts.
@@ -52,7 +75,8 @@ impl Value {
         }
     }
 
-    /// Extract a bag, treating `Void` as the empty bag.
+    /// Extract a bag, treating `Void` as the empty bag. Cheap: bags share their
+    /// elements, so the returned clone is a refcount bump.
     pub fn expect_bag(&self) -> Result<Bag, EvalError> {
         match self {
             Value::Bag(b) => Ok(b.clone()),
@@ -129,9 +153,62 @@ impl Ord for Value {
             (Int(a), Float(b)) => (*a as f64).partial_cmp(b).unwrap_or(Ordering::Equal),
             (Float(a), Int(b)) => a.partial_cmp(&(*b as f64)).unwrap_or(Ordering::Equal),
             (Str(a), Str(b)) => a.cmp(b),
-            (Tuple(a), Tuple(b)) => a.cmp(b),
+            (Tuple(a), Tuple(b)) => a[..].cmp(&b[..]),
             (Bag(a), Bag(b)) => a.canonical().cmp(&b.canonical()),
             (a, b) => a.rank().cmp(&b.rank()),
+        }
+    }
+}
+
+/// Normalise a float for hashing so that hash-equality follows `Eq`:
+/// `-0.0 == 0.0` and `Int(n) == Float(n as f64)` must hash identically. `NaN`
+/// canonicalises to one bit pattern (see the module docs for the caveat).
+fn float_hash_bits(f: f64) -> u64 {
+    if f == 0.0 {
+        0.0f64.to_bits()
+    } else if f.is_nan() {
+        f64::NAN.to_bits()
+    } else {
+        f.to_bits()
+    }
+}
+
+impl Hash for Value {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => state.write_u8(0),
+            Value::Bool(b) => {
+                state.write_u8(1);
+                b.hash(state);
+            }
+            // Ints and floats compare numerically, so both hash the numeric value's
+            // f64 bit pattern (ints beyond 2^53 may collide with their neighbours,
+            // which only costs a bucket collision, never a wrong answer).
+            Value::Int(i) => {
+                state.write_u8(2);
+                state.write_u64(float_hash_bits(*i as f64));
+            }
+            Value::Float(f) => {
+                state.write_u8(2);
+                state.write_u64(float_hash_bits(*f));
+            }
+            Value::Str(s) => {
+                state.write_u8(3);
+                s.hash(state);
+            }
+            Value::Tuple(items) => {
+                state.write_u8(4);
+                state.write_usize(items.len());
+                for v in items.iter() {
+                    v.hash(state);
+                }
+            }
+            Value::Bag(b) => {
+                state.write_u8(5);
+                b.hash(state);
+            }
+            Value::Void => state.write_u8(6),
+            Value::Any => state.write_u8(7),
         }
     }
 }
@@ -150,13 +227,13 @@ impl From<f64> for Value {
 
 impl From<&str> for Value {
     fn from(v: &str) -> Self {
-        Value::Str(v.to_string())
+        Value::Str(v.into())
     }
 }
 
 impl From<String> for Value {
     fn from(v: String) -> Self {
-        Value::Str(v)
+        Value::Str(v.into())
     }
 }
 
@@ -193,24 +270,29 @@ impl fmt::Display for Value {
 
 /// A bag (multiset) of values.
 ///
-/// Bags preserve duplicates and insertion order; equality and ordering are defined on
-/// the *canonical* (sorted) element sequence so that two bags with the same elements in
-/// different orders compare equal — matching the declarative reading of bag semantics
-/// in the paper while keeping evaluation deterministic.
+/// Bags preserve duplicates and insertion order; equality is defined on element
+/// multiplicities (order-insensitive), matching the declarative reading of bag
+/// semantics in the paper while keeping evaluation deterministic.
+///
+/// The element vector is shared behind an `Arc`: cloning a bag is O(1), and mutation
+/// (`push`) copies only when the elements are actually shared (copy-on-write). This is
+/// what lets extent caches hand out their bags without deep copies.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]
 pub struct Bag {
-    items: Vec<Value>,
+    items: Arc<Vec<Value>>,
 }
 
 impl Bag {
     /// The empty bag.
     pub fn empty() -> Self {
-        Bag { items: Vec::new() }
+        Bag::default()
     }
 
     /// Build a bag from a vector of values (order preserved).
     pub fn from_values(items: Vec<Value>) -> Self {
-        Bag { items }
+        Bag {
+            items: Arc::new(items),
+        }
     }
 
     /// Number of elements, counting duplicates.
@@ -223,9 +305,9 @@ impl Bag {
         self.items.is_empty()
     }
 
-    /// Append a value.
+    /// Append a value (copy-on-write: clones the elements only if shared).
     pub fn push(&mut self, value: Value) {
-        self.items.push(value);
+        Arc::make_mut(&mut self.items).push(value);
     }
 
     /// Iterate over elements in insertion order.
@@ -238,43 +320,57 @@ impl Bag {
         &self.items
     }
 
-    /// Consume the bag, returning its elements.
+    /// Consume the bag, returning its elements (no copy when unshared).
     pub fn into_items(self) -> Vec<Value> {
-        self.items
+        Arc::try_unwrap(self.items).unwrap_or_else(|shared| (*shared).clone())
     }
 
-    /// Bag union `++`: concatenation of multiplicities.
+    /// Multiplicity counts of every element, built in one pass.
+    fn counts(&self) -> HashMap<&Value, usize> {
+        let mut counts = HashMap::with_capacity(self.items.len());
+        for v in self.items.iter() {
+            *counts.entry(v).or_insert(0) += 1;
+        }
+        counts
+    }
+
+    /// Bag union `++`: concatenation of multiplicities. O(1) when either side is
+    /// empty (the other side's elements are shared, not copied).
     pub fn union(&self, other: &Bag) -> Bag {
-        let mut items = self.items.clone();
+        if self.is_empty() {
+            return other.clone();
+        }
+        if other.is_empty() {
+            return self.clone();
+        }
+        let mut items = Vec::with_capacity(self.len() + other.len());
+        items.extend(self.items.iter().cloned());
         items.extend(other.items.iter().cloned());
-        Bag { items }
+        Bag::from_values(items)
     }
 
     /// Bag difference (monus) `--`: removes one occurrence from `self` for each
     /// occurrence in `other`.
     pub fn difference(&self, other: &Bag) -> Bag {
-        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
-        for v in &other.items {
-            *counts.entry(v.clone()).or_insert(0) += 1;
+        if other.is_empty() {
+            return self.clone();
         }
+        let mut counts = other.counts();
         let mut items = Vec::new();
-        for v in &self.items {
+        for v in self.items.iter() {
             match counts.get_mut(v) {
                 Some(c) if *c > 0 => *c -= 1,
                 _ => items.push(v.clone()),
             }
         }
-        Bag { items }
+        Bag::from_values(items)
     }
 
     /// Bag intersection: minimum of multiplicities.
     pub fn intersection(&self, other: &Bag) -> Bag {
-        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
-        for v in &other.items {
-            *counts.entry(v.clone()).or_insert(0) += 1;
-        }
+        let mut counts = other.counts();
         let mut items = Vec::new();
-        for v in &self.items {
+        for v in self.items.iter() {
             if let Some(c) = counts.get_mut(v) {
                 if *c > 0 {
                     *c -= 1;
@@ -282,7 +378,7 @@ impl Bag {
                 }
             }
         }
-        Bag { items }
+        Bag::from_values(items)
     }
 
     /// Whether a value occurs at least once in the bag.
@@ -297,36 +393,50 @@ impl Bag {
 
     /// Duplicate-eliminated copy (set semantics), preserving first-occurrence order.
     pub fn distinct(&self) -> Bag {
-        let mut seen = std::collections::BTreeSet::new();
+        let mut seen: HashMap<&Value, ()> = HashMap::with_capacity(self.items.len());
         let mut items = Vec::new();
-        for v in &self.items {
-            if seen.insert(v.clone()) {
+        for v in self.items.iter() {
+            if let Entry::Vacant(slot) = seen.entry(v) {
+                slot.insert(());
                 items.push(v.clone());
             }
         }
-        Bag { items }
+        Bag::from_values(items)
     }
 
     /// A sorted copy of the elements, used for order-insensitive comparison.
     pub fn canonical(&self) -> Vec<Value> {
-        let mut v = self.items.clone();
+        let mut v = (*self.items).clone();
         v.sort();
         v
     }
 
     /// Whether two bags contain the same elements with the same multiplicities,
-    /// regardless of order.
+    /// regardless of order. Runs on hash counts: O(n) expected.
     pub fn same_elements(&self, other: &Bag) -> bool {
-        self.canonical() == other.canonical()
+        if self.len() != other.len() {
+            return false;
+        }
+        if Arc::ptr_eq(&self.items, &other.items) {
+            return true;
+        }
+        let mut counts = self.counts();
+        for v in other.items.iter() {
+            match counts.get_mut(v) {
+                Some(c) if *c > 0 => *c -= 1,
+                _ => return false,
+            }
+        }
+        true
     }
 
     /// Whether `self` is contained in `other` as a sub-bag (multiplicity-wise).
     pub fn subbag_of(&self, other: &Bag) -> bool {
-        let mut counts: BTreeMap<Value, usize> = BTreeMap::new();
-        for v in &other.items {
-            *counts.entry(v.clone()).or_insert(0) += 1;
+        if self.len() > other.len() {
+            return false;
         }
-        for v in &self.items {
+        let mut counts = other.counts();
+        for v in self.items.iter() {
             match counts.get_mut(v) {
                 Some(c) if *c > 0 => *c -= 1,
                 _ => return false,
@@ -344,11 +454,24 @@ impl PartialEq for Bag {
 
 impl Eq for Bag {}
 
+impl Hash for Bag {
+    /// Order-insensitive hash: combines per-element hashes commutatively so equal
+    /// bags (same multiset, any order) hash identically.
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        let mut acc: u64 = 0;
+        for v in self.items.iter() {
+            let mut h = DefaultHasher::new();
+            v.hash(&mut h);
+            acc = acc.wrapping_add(h.finish());
+        }
+        state.write_usize(self.items.len());
+        state.write_u64(acc);
+    }
+}
+
 impl FromIterator<Value> for Bag {
     fn from_iter<T: IntoIterator<Item = Value>>(iter: T) -> Self {
-        Bag {
-            items: iter.into_iter().collect(),
-        }
+        Bag::from_values(iter.into_iter().collect())
     }
 }
 
@@ -373,11 +496,26 @@ mod tests {
         Bag::from_values(vals.iter().map(|v| Value::Int(*v)).collect())
     }
 
+    fn hash_of(v: &impl Hash) -> u64 {
+        let mut h = DefaultHasher::new();
+        v.hash(&mut h);
+        h.finish()
+    }
+
     #[test]
     fn union_preserves_multiplicities() {
         let u = bag(&[1, 2]).union(&bag(&[2, 3]));
         assert_eq!(u.len(), 4);
         assert_eq!(u.multiplicity(&Value::Int(2)), 2);
+    }
+
+    #[test]
+    fn union_with_empty_shares_elements() {
+        let a = bag(&[1, 2, 3]);
+        let u = a.union(&Bag::empty());
+        assert!(Arc::ptr_eq(&a.items, &u.items));
+        let u2 = Bag::empty().union(&a);
+        assert!(Arc::ptr_eq(&a.items, &u2.items));
     }
 
     #[test]
@@ -398,10 +536,7 @@ mod tests {
     #[test]
     fn distinct_removes_duplicates_preserving_order() {
         let d = bag(&[3, 1, 3, 2, 1]).distinct();
-        assert_eq!(
-            d.items(),
-            &[Value::Int(3), Value::Int(1), Value::Int(2)]
-        );
+        assert_eq!(d.items(), &[Value::Int(3), Value::Int(1), Value::Int(2)]);
     }
 
     #[test]
@@ -424,6 +559,42 @@ mod tests {
     }
 
     #[test]
+    fn hash_agrees_with_numeric_equality() {
+        assert_eq!(hash_of(&Value::Int(2)), hash_of(&Value::Float(2.0)));
+        assert_eq!(hash_of(&Value::Float(0.0)), hash_of(&Value::Float(-0.0)));
+        assert_eq!(hash_of(&Value::Int(0)), hash_of(&Value::Float(-0.0)));
+        assert_ne!(hash_of(&Value::Int(2)), hash_of(&Value::Int(3)));
+    }
+
+    #[test]
+    fn bag_hash_is_order_insensitive() {
+        assert_eq!(
+            hash_of(&Value::Bag(bag(&[1, 2, 3]))),
+            hash_of(&Value::Bag(bag(&[3, 1, 2])))
+        );
+        let nested_a = Value::Bag(Bag::from_values(vec![
+            Value::pair(Value::Int(1), Value::str("a")),
+            Value::pair(Value::Int(2), Value::str("b")),
+        ]));
+        let nested_b = Value::Bag(Bag::from_values(vec![
+            Value::pair(Value::Int(2), Value::str("b")),
+            Value::pair(Value::Int(1), Value::str("a")),
+        ]));
+        assert_eq!(nested_a, nested_b);
+        assert_eq!(hash_of(&nested_a), hash_of(&nested_b));
+    }
+
+    #[test]
+    fn clone_shares_push_copies_on_write() {
+        let a = bag(&[1, 2]);
+        let mut b = a.clone();
+        assert!(Arc::ptr_eq(&a.items, &b.items));
+        b.push(Value::Int(3));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 3);
+    }
+
+    #[test]
     fn expect_bag_treats_void_as_empty() {
         assert!(Value::Void.expect_bag().unwrap().is_empty());
         assert!(Value::Any.expect_bag().is_err());
@@ -432,7 +603,7 @@ mod tests {
 
     #[test]
     fn display_nested() {
-        let v = Value::Tuple(vec![Value::str("PEDRO"), Value::Int(1)]);
+        let v = Value::tuple(vec![Value::str("PEDRO"), Value::Int(1)]);
         assert_eq!(v.to_string(), "{'PEDRO', 1}");
         let b = Bag::from_values(vec![v]);
         assert_eq!(b.to_string(), "[{'PEDRO', 1}]");

@@ -36,7 +36,7 @@ impl ExtentProfile {
                 other => other,
             };
             let text = match scalar {
-                Value::Str(s) => s.clone(),
+                Value::Str(s) => s.to_string(),
                 other => other.to_string(),
             };
             if matches!(scalar, Value::Int(_) | Value::Float(_)) || text.parse::<f64>().is_ok() {
@@ -48,8 +48,16 @@ impl ExtentProfile {
         }
         ExtentProfile {
             values,
-            numeric_fraction: if sampled == 0 { 0.0 } else { numeric as f64 / sampled as f64 },
-            mean_length: if sampled == 0 { 0.0 } else { total_len as f64 / sampled as f64 },
+            numeric_fraction: if sampled == 0 {
+                0.0
+            } else {
+                numeric as f64 / sampled as f64
+            },
+            mean_length: if sampled == 0 {
+                0.0
+            } else {
+                total_len as f64 / sampled as f64
+            },
             sample_size: sampled,
         }
     }
@@ -112,9 +120,12 @@ mod tests {
 
     #[test]
     fn overlapping_extents_score_high() {
-        let pedro = ExtentProfile::from_bag(&pair_bag(&[(1, "ACC1"), (2, "ACC2"), (3, "ACC3")]), 100);
-        let gpmdb = ExtentProfile::from_bag(&pair_bag(&[(7, "ACC2"), (8, "ACC3"), (9, "ACC4")]), 100);
-        let unrelated = ExtentProfile::from_bag(&pair_bag(&[(1, "Homo sapiens"), (2, "Mus musculus")]), 100);
+        let pedro =
+            ExtentProfile::from_bag(&pair_bag(&[(1, "ACC1"), (2, "ACC2"), (3, "ACC3")]), 100);
+        let gpmdb =
+            ExtentProfile::from_bag(&pair_bag(&[(7, "ACC2"), (8, "ACC3"), (9, "ACC4")]), 100);
+        let unrelated =
+            ExtentProfile::from_bag(&pair_bag(&[(1, "Homo sapiens"), (2, "Mus musculus")]), 100);
         assert!(pedro.similarity(&gpmdb) > pedro.similarity(&unrelated));
         assert!(pedro.value_overlap(&gpmdb) > 0.3);
         assert_eq!(pedro.value_overlap(&unrelated), 0.0);

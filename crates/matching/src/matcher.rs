@@ -112,7 +112,8 @@ impl Matcher {
                 if self.config.same_construct_only && lo.construct != ro.construct {
                     continue;
                 }
-                let name_score = name_similarity(&display_name(&lo.scheme), &display_name(&ro.scheme));
+                let name_score =
+                    name_similarity(&display_name(&lo.scheme), &display_name(&ro.scheme));
                 let instance_score = registry.and_then(|reg| {
                     let lbag = reg.extent(&left.name, &lo.scheme).ok()?;
                     let rbag = reg.extent(&right.name, &ro.scheme).ok()?;
@@ -122,7 +123,8 @@ impl Matcher {
                 });
                 let combined = match instance_score {
                     Some(inst) => {
-                        self.config.name_weight * name_score + (1.0 - self.config.name_weight) * inst
+                        self.config.name_weight * name_score
+                            + (1.0 - self.config.name_weight) * inst
                     }
                     None => name_score,
                 };
@@ -249,7 +251,10 @@ mod tests {
         let has = |l: &SchemeRef, r: &SchemeRef| {
             suggestions.iter().any(|s| &s.left == l && &s.right == r)
         };
-        assert!(has(&SchemeRef::table("peptidehit"), &SchemeRef::table("peptidehit")));
+        assert!(has(
+            &SchemeRef::table("peptidehit"),
+            &SchemeRef::table("peptidehit")
+        ));
         assert!(has(
             &SchemeRef::column("peptidehit", "score"),
             &SchemeRef::column("peptidehit", "score")
@@ -285,7 +290,8 @@ mod tests {
         let all = m.match_names(&pedro(), &pepseeker());
         let best = Matcher::best_per_left(&all);
         let lefts: std::collections::BTreeSet<String> = best.iter().map(|s| s.left.key()).collect();
-        let rights: std::collections::BTreeSet<String> = best.iter().map(|s| s.right.key()).collect();
+        let rights: std::collections::BTreeSet<String> =
+            best.iter().map(|s| s.right.key()).collect();
         assert_eq!(lefts.len(), best.len());
         assert_eq!(rights.len(), best.len());
     }
@@ -296,7 +302,10 @@ mod tests {
         let all = m.match_names(&pedro(), &pepseeker());
         let best = Matcher::best_per_left(&all);
         let truth = vec![
-            (SchemeRef::table("peptidehit"), SchemeRef::table("peptidehit")),
+            (
+                SchemeRef::table("peptidehit"),
+                SchemeRef::table("peptidehit"),
+            ),
             (
                 SchemeRef::column("peptidehit", "sequence"),
                 SchemeRef::column("peptidehit", "pepseq"),

@@ -171,6 +171,9 @@ mod tests {
     fn containment_boost() {
         assert!(containment("proteinhit", "protein"));
         assert!(!containment("peptide", "organism"));
-        assert!(name_similarity("proteinhit", "protein") > levenshtein_similarity("proteinhit", "protein"));
+        assert!(
+            name_similarity("proteinhit", "protein")
+                > levenshtein_similarity("proteinhit", "protein")
+        );
     }
 }

@@ -109,14 +109,20 @@ pub fn run_case_study(scale: &CaseStudyScale) -> Result<CaseStudyRun, CoreError>
 }
 
 /// Run both methodologies and produce the paper's effort comparison.
-pub fn compare_methodologies(scale: &CaseStudyScale) -> Result<(CaseStudyRun, ClassicalRun, MethodologyComparison), CoreError> {
+pub fn compare_methodologies(
+    scale: &CaseStudyScale,
+) -> Result<(CaseStudyRun, ClassicalRun, MethodologyComparison), CoreError> {
     let intersection = run_case_study(scale)?;
     let classical = run_classical_integration()?;
     let comparison = MethodologyComparison {
         intersection_manual: intersection.total_manual_transformations,
         intersection_breakdown: intersection.per_iteration_manual.clone(),
         classical_nontrivial: classical.total_nontrivial,
-        classical_breakdown: classical.stages.iter().map(|s| s.nontrivial_total).collect(),
+        classical_breakdown: classical
+            .stages
+            .iter()
+            .map(|s| s.nontrivial_total)
+            .collect(),
         queries_supported: intersection.answers.iter().filter(|a| a.answerable).count(),
     };
     Ok((intersection, classical, comparison))
@@ -125,9 +131,7 @@ pub fn compare_methodologies(scale: &CaseStudyScale) -> Result<(CaseStudyRun, Cl
 /// Render the Table-1-style report: one row per priority query with its answer size
 /// and the iteration at which it became answerable.
 pub fn render_table1(run: &CaseStudyRun) -> String {
-    let mut out = String::from(
-        "query  answerable-after-iteration  result-tuples  description\n",
-    );
+    let mut out = String::from("query  answerable-after-iteration  result-tuples  description\n");
     for a in &run.answers {
         out.push_str(&format!(
             "{:<6} {:<28} {:<14} {}\n",
@@ -160,8 +164,8 @@ pub fn render_curve(points: &[PayAsYouGoPoint], total_queries: usize) -> String 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::intersection_integration::{PAPER_ITERATION_COUNTS, PAPER_TOTAL_MANUAL};
     use crate::classical_integration::PAPER_TOTAL_NONTRIVIAL;
+    use crate::intersection_integration::{PAPER_ITERATION_COUNTS, PAPER_TOTAL_MANUAL};
 
     #[test]
     fn case_study_reproduces_the_paper_effort_counts() {

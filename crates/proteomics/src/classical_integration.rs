@@ -25,7 +25,9 @@
 //! published ones — the comparison metric of the paper — while every individual
 //! transformation carries a real, evaluable IQL query.
 
-use crate::sources::{gpmdb_schema, pedro_schema, pepseeker_schema, GPMDB_ION_COLUMNS, ION_COLUMNS};
+use crate::sources::{
+    gpmdb_schema, pedro_schema, pepseeker_schema, GPMDB_ION_COLUMNS, ION_COLUMNS,
+};
 use automed::qp::lav;
 use automed::transformation::{Provenance, Transformation};
 use automed::wrapper::wrap_relational;
@@ -51,7 +53,12 @@ pub struct Correspondence {
 }
 
 impl Correspondence {
-    fn new(source: &'static str, source_object: &str, global_object: &str, reverse_derivable: bool) -> Self {
+    fn new(
+        source: &'static str,
+        source_object: &str,
+        global_object: &str,
+        reverse_derivable: bool,
+    ) -> Self {
         Correspondence {
             source,
             source_object: source_object.to_string(),
@@ -75,7 +82,12 @@ pub fn gpmdb_to_gs1() -> Vec<Correspondence> {
         Correspondence::new("gpmdb", "peptide,seq", "gs_peptidehit,sequence", true),
         Correspondence::new("gpmdb", "peptide,expect", "gs_peptidehit,probability", true),
         Correspondence::new("gpmdb", "result", "gs_db_search", true),
-        Correspondence::new("gpmdb", "result,file", "gs_db_search,db_search_parameters", true),
+        Correspondence::new(
+            "gpmdb",
+            "result,file",
+            "gs_db_search,db_search_parameters",
+            true,
+        ),
     ]
 }
 
@@ -87,22 +99,77 @@ pub fn pepseeker_to_gs1() -> Vec<Correspondence> {
         // derivable because gs_proteinhit unions several sources.
         Correspondence::new("pepseeker", "proteinhit", "gs_proteinhit", false),
         Correspondence::new("pepseeker", "proteinhit,id", "gs_proteinhit,id", true),
-        Correspondence::new("pepseeker", "proteinhit,ProteinID", "gs_protein,accession_num", true),
-        Correspondence::new("pepseeker", "proteinhit,proteinid", "gs_proteinhit,protein", true),
-        Correspondence::new("pepseeker", "proteinhit,fileparameters", "gs_proteinhit,db_search", true),
-        Correspondence::new("pepseeker", "proteinhit,mass", "gs_protein,predicted_mass", true),
+        Correspondence::new(
+            "pepseeker",
+            "proteinhit,ProteinID",
+            "gs_protein,accession_num",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "proteinhit,proteinid",
+            "gs_proteinhit,protein",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "proteinhit,fileparameters",
+            "gs_proteinhit,db_search",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "proteinhit,mass",
+            "gs_protein,predicted_mass",
+            true,
+        ),
         Correspondence::new("pepseeker", "peptidehit", "gs_peptidehit", true),
         Correspondence::new("pepseeker", "peptidehit,id", "gs_peptidehit,id", true),
-        Correspondence::new("pepseeker", "peptidehit,pepseq", "gs_peptidehit,sequence", true),
+        Correspondence::new(
+            "pepseeker",
+            "peptidehit,pepseq",
+            "gs_peptidehit,sequence",
+            true,
+        ),
         Correspondence::new("pepseeker", "peptidehit,score", "gs_peptidehit,score", true),
-        Correspondence::new("pepseeker", "peptidehit,expect", "gs_peptidehit,probability", true),
-        Correspondence::new("pepseeker", "peptidehit,fileparameters", "gs_peptidehit,db_search", true),
-        Correspondence::new("pepseeker", "peptidehit,charge", "gs_peptidehit,charge", true),
-        Correspondence::new("pepseeker", "peptidehit,misscleave", "gs_peptidehit,miss_cleavages", true),
+        Correspondence::new(
+            "pepseeker",
+            "peptidehit,expect",
+            "gs_peptidehit,probability",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "peptidehit,fileparameters",
+            "gs_peptidehit,db_search",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "peptidehit,charge",
+            "gs_peptidehit,charge",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "peptidehit,misscleave",
+            "gs_peptidehit,miss_cleavages",
+            true,
+        ),
         Correspondence::new("pepseeker", "fileparameters", "gs_db_search", true),
         Correspondence::new("pepseeker", "fileparameters,id", "gs_db_search,id", true),
-        Correspondence::new("pepseeker", "fileparameters,filename", "gs_db_search,db_search_parameters", true),
-        Correspondence::new("pepseeker", "fileparameters,instrument", "gs_db_search,username", true),
+        Correspondence::new(
+            "pepseeker",
+            "fileparameters,filename",
+            "gs_db_search,db_search_parameters",
+            true,
+        ),
+        Correspondence::new(
+            "pepseeker",
+            "fileparameters,instrument",
+            "gs_db_search,username",
+            true,
+        ),
     ]
 }
 
@@ -160,7 +227,10 @@ pub struct ClassicalRun {
 /// one `add` per correspondence plus one non-trivial `delete` per derivable reverse.
 pub fn nontrivial_count(correspondences: &[Correspondence]) -> usize {
     correspondences.len()
-        + correspondences.iter().filter(|c| c.reverse_derivable).count()
+        + correspondences
+            .iter()
+            .filter(|c| c.reverse_derivable)
+            .count()
 }
 
 /// Build the transformation steps for one source's correspondences towards one global
@@ -243,7 +313,10 @@ pub fn run_classical_integration() -> Result<ClassicalRun, CoreError> {
     let pepseeker_pathway = Pathway::with_steps("pepseeker", "GS1", pepseeker_steps);
     let gs1_counts = vec![
         ("gpmdb".to_string(), gpmdb_pathway.nontrivial_count()),
-        ("pepseeker".to_string(), pepseeker_pathway.nontrivial_count()),
+        (
+            "pepseeker".to_string(),
+            pepseeker_pathway.nontrivial_count(),
+        ),
     ];
     let gs1_total: usize = gs1_counts.iter().map(|(_, n)| n).sum();
     stages.push(ClassicalStage {
@@ -271,7 +344,9 @@ pub fn run_classical_integration() -> Result<ClassicalRun, CoreError> {
     // ---- Stage GS3: PepSeeker-only concepts; no further non-trivial transformations. ----
     stages.push(ClassicalStage {
         name: "GS3".into(),
-        description: "GS2 plus PepSeeker-only concepts; all further transformations are Range Void Any".into(),
+        description:
+            "GS2 plus PepSeeker-only concepts; all further transformations are Range Void Any"
+                .into(),
         nontrivial_by_source: vec![("pedro".to_string(), 0), ("gpmdb".to_string(), 0)],
         nontrivial_total: 0,
     });
@@ -290,7 +365,11 @@ pub fn run_classical_integration() -> Result<ClassicalRun, CoreError> {
     for c in pepseeker_to_gs2() {
         let scheme = parse_scheme_key(&c.global_object);
         if !global.contains(&scheme) {
-            let _ = global.add_object(SchemaObject::generic(scheme, "sql", automed::ConstructKind::Generic));
+            let _ = global.add_object(SchemaObject::generic(
+                scheme,
+                "sql",
+                automed::ConstructKind::Generic,
+            ));
         }
     }
     for object in pepseeker.objects() {
@@ -393,7 +472,9 @@ mod tests {
     #[test]
     fn global_schema_contains_all_three_layers() {
         let run = run_classical_integration().unwrap();
-        assert!(run.global_schema.contains(&parse_scheme_key("gs_protein,accession_num")));
+        assert!(run
+            .global_schema
+            .contains(&parse_scheme_key("gs_protein,accession_num")));
         assert!(run.global_schema.contains(&parse_scheme_key("gs2_ion")));
         assert!(run.global_schema.len() > 40);
     }

@@ -26,12 +26,20 @@ pub fn iteration_q1() -> IntersectionSpec {
         .with_mapping(
             ObjectMapping::table("UProtein")
                 .with_contribution(
-                    SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
-                        .expect("valid IQL"),
+                    SourceContribution::parsed(
+                        "pedro",
+                        "[{'PEDRO', k} | k <- <<protein>>]",
+                        ["protein"],
+                    )
+                    .expect("valid IQL"),
                 )
                 .with_contribution(
-                    SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
-                        .expect("valid IQL"),
+                    SourceContribution::parsed(
+                        "gpmdb",
+                        "[{'gpmDB', k} | k <- <<proseq>>]",
+                        ["proseq"],
+                    )
+                    .expect("valid IQL"),
                 )
                 .with_contribution(
                     SourceContribution::parsed(

@@ -19,9 +19,7 @@ pub const DEFAULT_ORGANISM: &str = "Homo sapiens";
 
 /// Q1 — retrieve all protein identifications for a given protein accession number.
 pub fn q1(accession: &str) -> String {
-    format!(
-        "[{{s, k}} | {{s, k, x}} <- <<UProtein, accession_num>>; x = '{accession}']"
-    )
+    format!("[{{s, k}} | {{s, k, x}} <- <<UProtein, accession_num>>; x = '{accession}']")
 }
 
 /// Q2 — retrieve all protein identifications for a given group of proteins (the group
@@ -143,7 +141,8 @@ mod tests {
     #[test]
     fn all_queries_parse() {
         for q in priority_queries() {
-            iql::parse(&q.iql).unwrap_or_else(|e| panic!("{} does not parse: {e}\n{}", q.name, q.iql));
+            iql::parse(&q.iql)
+                .unwrap_or_else(|e| panic!("{} does not parse: {e}\n{}", q.name, q.iql));
         }
     }
 

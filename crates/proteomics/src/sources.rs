@@ -188,9 +188,26 @@ pub fn gpmdb_schema() -> RelSchema {
 /// PepSeeker's `iontable`, which is what makes them mappable in the classical GS2
 /// stage).
 pub const GPMDB_ION_COLUMNS: &[&str] = &[
-    "immonium", "a_ion", "a_star", "a_zero", "b_ion", "b_star", "b_zero", "b_plusplus", "c_ion",
-    "x_ion", "y_ion", "y_star", "y_zero", "y_plusplus", "z_ion", "z_plus_one", "z_plus_two",
-    "d_ion", "v_ion", "w_ion",
+    "immonium",
+    "a_ion",
+    "a_star",
+    "a_zero",
+    "b_ion",
+    "b_star",
+    "b_zero",
+    "b_plusplus",
+    "c_ion",
+    "x_ion",
+    "y_ion",
+    "y_star",
+    "y_zero",
+    "y_plusplus",
+    "z_ion",
+    "z_plus_one",
+    "z_plus_two",
+    "d_ion",
+    "v_ion",
+    "w_ion",
 ];
 
 /// The PepSeeker relational schema.
@@ -244,9 +261,26 @@ pub fn pepseeker_schema() -> RelSchema {
 
 /// The ion-series columns of PepSeeker's `iontable`.
 pub const ION_COLUMNS: &[&str] = &[
-    "immonium", "a_ion", "a_star", "a_zero", "b_ion", "b_star", "b_zero", "b_plusplus", "c_ion",
-    "x_ion", "y_ion", "y_star", "y_zero", "y_plusplus", "z_ion", "z_plus_one", "z_plus_two",
-    "d_ion", "v_ion", "w_ion",
+    "immonium",
+    "a_ion",
+    "a_star",
+    "a_zero",
+    "b_ion",
+    "b_star",
+    "b_zero",
+    "b_plusplus",
+    "c_ion",
+    "x_ion",
+    "y_ion",
+    "y_star",
+    "y_zero",
+    "y_plusplus",
+    "z_ion",
+    "z_plus_one",
+    "z_plus_two",
+    "d_ion",
+    "v_ion",
+    "w_ion",
 ];
 
 /// Generate the Pedro database at the given scale.
@@ -323,7 +357,8 @@ pub fn generate_pedro(scale: &CaseStudyScale) -> Database {
 /// Generate the gpmDB database at the given scale.
 pub fn generate_gpmdb(scale: &CaseStudyScale) -> Database {
     let mut db = Database::new(gpmdb_schema());
-    let mut generator = DataGenerator::new("gpmdb", scale.seed.wrapping_add(1), scale.overlap_config());
+    let mut generator =
+        DataGenerator::new("gpmdb", scale.seed.wrapping_add(1), scale.overlap_config());
 
     for i in 0..scale.searches {
         db.insert(
@@ -395,8 +430,11 @@ pub fn generate_gpmdb(scale: &CaseStudyScale) -> Database {
 /// Generate the PepSeeker database at the given scale.
 pub fn generate_pepseeker(scale: &CaseStudyScale) -> Database {
     let mut db = Database::new(pepseeker_schema());
-    let mut generator =
-        DataGenerator::new("pepseeker", scale.seed.wrapping_add(2), scale.overlap_config());
+    let mut generator = DataGenerator::new(
+        "pepseeker",
+        scale.seed.wrapping_add(2),
+        scale.overlap_config(),
+    );
     let mut rng = StdRng::seed_from_u64(scale.seed ^ 0xBEEF);
 
     for i in 0..scale.searches {
@@ -464,9 +502,15 @@ mod tests {
     #[test]
     fn schemas_validate_and_contain_the_paper_objects() {
         for (schema, objects) in [
-            (pedro_schema(), vec!["protein", "proteinhit", "peptidehit", "db_search"]),
+            (
+                pedro_schema(),
+                vec!["protein", "proteinhit", "peptidehit", "db_search"],
+            ),
             (gpmdb_schema(), vec!["proseq", "protein", "peptide"]),
-            (pepseeker_schema(), vec!["proteinhit", "peptidehit", "iontable"]),
+            (
+                pepseeker_schema(),
+                vec!["proteinhit", "peptidehit", "iontable"],
+            ),
         ] {
             schema.validate().expect("schema validates");
             for t in objects {
@@ -474,10 +518,26 @@ mod tests {
             }
         }
         // Specific columns referenced by the paper's transformations.
-        assert!(pedro_schema().table("protein").unwrap().column("accession_num").is_some());
-        assert!(gpmdb_schema().table("proseq").unwrap().column("label").is_some());
-        assert!(pepseeker_schema().table("peptidehit").unwrap().column("pepseq").is_some());
-        assert!(pepseeker_schema().table("proteinhit").unwrap().column("fileparameters").is_some());
+        assert!(pedro_schema()
+            .table("protein")
+            .unwrap()
+            .column("accession_num")
+            .is_some());
+        assert!(gpmdb_schema()
+            .table("proseq")
+            .unwrap()
+            .column("label")
+            .is_some());
+        assert!(pepseeker_schema()
+            .table("peptidehit")
+            .unwrap()
+            .column("pepseq")
+            .is_some());
+        assert!(pepseeker_schema()
+            .table("proteinhit")
+            .unwrap()
+            .column("fileparameters")
+            .is_some());
     }
 
     #[test]

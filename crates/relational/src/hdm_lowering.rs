@@ -75,7 +75,7 @@ fn to_hdm(value: &Value) -> HdmValue {
         Value::Bool(b) => HdmValue::Bool(*b),
         Value::Int(i) => HdmValue::Int(*i),
         Value::Float(f) => HdmValue::float(*f),
-        Value::Str(s) => HdmValue::str(s.clone()),
+        Value::Str(s) => HdmValue::str(s.as_ref()),
         other => HdmValue::str(other.to_string()),
     }
 }

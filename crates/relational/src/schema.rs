@@ -238,9 +238,9 @@ impl RelSchema {
         for t in self.tables.values() {
             t.validate()?;
             for fk in &t.foreign_keys {
-                let target =
-                    self.table(&fk.ref_table)
-                        .ok_or_else(|| RelError::UnknownTable(fk.ref_table.clone()))?;
+                let target = self
+                    .table(&fk.ref_table)
+                    .ok_or_else(|| RelError::UnknownTable(fk.ref_table.clone()))?;
                 for rc in &fk.ref_columns {
                     if target.column(rc).is_none() {
                         return Err(RelError::UnknownColumn {

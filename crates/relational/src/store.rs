@@ -2,8 +2,10 @@
 
 use crate::error::RelError;
 use crate::schema::{DataType, RelSchema, RelTable};
-use iql::value::Value;
+use iql::value::{Bag, Value};
+use std::cell::RefCell;
 use std::collections::BTreeMap;
+use std::sync::Arc;
 
 /// A row of a table: one IQL value per column, in declaration order.
 pub type Row = Vec<Value>;
@@ -12,11 +14,21 @@ pub type Row = Vec<Value>;
 ///
 /// Inserts are validated against the schema (arity, types, nullability, primary-key
 /// uniqueness). The database also acts as an [`iql::ExtentProvider`] through the
-/// wrapper in [`crate::wrapper`], so IQL queries can be evaluated directly against it.
-#[derive(Debug, Clone, PartialEq)]
+/// wrapper in [`crate::wrapper`], so IQL queries can be evaluated directly against it;
+/// computed extents are memoised per scheme (shared `Arc<Bag>` handles, invalidated on
+/// insert) so repeated queries never rebuild or deep-copy an extent.
+#[derive(Debug, Clone)]
 pub struct Database {
     schema: RelSchema,
     rows: BTreeMap<String, Vec<Row>>,
+    extent_cache: RefCell<BTreeMap<String, Arc<Bag>>>,
+}
+
+impl PartialEq for Database {
+    /// Databases compare by schema and contents; the extent cache is derived state.
+    fn eq(&self, other: &Self) -> bool {
+        self.schema == other.schema && self.rows == other.rows
+    }
 }
 
 impl Database {
@@ -26,7 +38,32 @@ impl Database {
             .tables()
             .map(|t| (t.name.clone(), Vec::new()))
             .collect();
-        Database { schema, rows }
+        Database {
+            schema,
+            rows,
+            extent_cache: RefCell::new(BTreeMap::new()),
+        }
+    }
+
+    /// Cached extent for a scheme key, if previously computed.
+    pub(crate) fn cached_extent(&self, scheme_key: &str) -> Option<Arc<Bag>> {
+        self.extent_cache.borrow().get(scheme_key).cloned()
+    }
+
+    /// Memoise a computed extent.
+    pub(crate) fn store_extent(&self, scheme_key: String, bag: Arc<Bag>) {
+        self.extent_cache.borrow_mut().insert(scheme_key, bag);
+    }
+
+    /// Drop every cached extent touching `table`. Scheme keys mention the table as
+    /// some comma-segment — first for abbreviated schemes (`protein`,
+    /// `protein,accession_num`), later for fully-qualified ones
+    /// (`sql,table,protein`) — so any key containing the segment is dropped.
+    /// Over-invalidation (a column sharing the table's name) only costs a recompute.
+    fn invalidate_extents(&mut self, table: &str) {
+        self.extent_cache
+            .get_mut()
+            .retain(|key, _| key.split(',').all(|part| part != table));
     }
 
     /// The database's schema.
@@ -71,6 +108,7 @@ impl Database {
             }
         }
         self.rows.entry(table.to_string()).or_default().push(row);
+        self.invalidate_extents(table);
         Ok(())
     }
 
@@ -139,7 +177,7 @@ impl Database {
 /// for composite keys, or the whole row when the table declares no key.
 pub fn key_of(table: &RelTable, row: &Row) -> Value {
     if table.primary_key.is_empty() {
-        return Value::Tuple(row.clone());
+        return Value::tuple(row.clone());
     }
     let mut parts = Vec::with_capacity(table.primary_key.len());
     for k in &table.primary_key {
@@ -149,7 +187,7 @@ pub fn key_of(table: &RelTable, row: &Row) -> Value {
     if parts.len() == 1 {
         parts.pop().expect("one element")
     } else {
-        Value::Tuple(parts)
+        Value::tuple(parts)
     }
 }
 
@@ -226,7 +264,10 @@ mod tests {
             db.column_values("protein", "accession_num").unwrap(),
             vec![Value::str("P100"), Value::str("P200")]
         );
-        assert_eq!(db.key_values("protein").unwrap(), vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(
+            db.key_values("protein").unwrap(),
+            vec![Value::Int(1), Value::Int(2)]
+        );
     }
 
     #[test]
@@ -271,7 +312,7 @@ mod tests {
             Err(RelError::DuplicateKey { .. })
         ));
         let keys = db.key_values("link").unwrap();
-        assert_eq!(keys[0], Value::Tuple(vec![Value::Int(1), Value::Int(2)]));
+        assert_eq!(keys[0], Value::tuple(vec![Value::Int(1), Value::Int(2)]));
     }
 
     #[test]

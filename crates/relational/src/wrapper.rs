@@ -17,6 +17,7 @@ use iql::ast::SchemeRef;
 use iql::error::EvalError;
 use iql::eval::ExtentProvider;
 use iql::value::{Bag, Value};
+use std::sync::Arc;
 
 /// The kind of relational construct a scheme denotes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -100,8 +101,16 @@ pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
 }
 
 impl ExtentProvider for Database {
-    fn extent(&self, scheme: &SchemeRef) -> Result<Bag, EvalError> {
-        extent_of(self, scheme)
+    /// Computed extents are memoised on the database (shared handles; invalidated by
+    /// inserts), so answering many queries against one source never rebuilds a bag.
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
+        let key = scheme.key();
+        if let Some(bag) = self.cached_extent(&key) {
+            return Ok(bag);
+        }
+        let bag = Arc::new(extent_of(self, scheme)?);
+        self.store_extent(key, Arc::clone(&bag));
+        Ok(bag)
     }
 }
 
@@ -165,6 +174,29 @@ mod tests {
         let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = 2]").unwrap();
         let v = Evaluator::new(&db()).eval_closed(&q).unwrap();
         assert_eq!(v.expect_bag().unwrap().items(), &[Value::str("P200")]);
+    }
+
+    #[test]
+    fn extent_cache_invalidated_on_insert_for_all_scheme_forms() {
+        let mut database = db();
+        // Prime the cache through both the abbreviated and fully-qualified forms.
+        let abbreviated = SchemeRef::table("protein");
+        let qualified = SchemeRef::new(["sql", "table", "protein"]);
+        assert_eq!(database.extent(&abbreviated).unwrap().len(), 2);
+        assert_eq!(database.extent(&qualified).unwrap().len(), 2);
+        database
+            .insert("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        assert_eq!(database.extent(&abbreviated).unwrap().len(), 3);
+        assert_eq!(database.extent(&qualified).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn repeated_extent_calls_share_one_bag() {
+        let database = db();
+        let a = database.extent(&SchemeRef::table("protein")).unwrap();
+        let b = database.extent(&SchemeRef::table("protein")).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

@@ -8,7 +8,9 @@
 //! Run with: `cargo run --release --example classical_vs_intersection`
 
 use proteomics::case_study::compare_methodologies;
-use proteomics::classical_integration::{PAPER_GS1_GPMDB, PAPER_GS1_PEPSEEKER, PAPER_GS2_PEPSEEKER, PAPER_TOTAL_NONTRIVIAL};
+use proteomics::classical_integration::{
+    PAPER_GS1_GPMDB, PAPER_GS1_PEPSEEKER, PAPER_GS2_PEPSEEKER, PAPER_TOTAL_NONTRIVIAL,
+};
 use proteomics::intersection_integration::{PAPER_ITERATION_COUNTS, PAPER_TOTAL_MANUAL};
 use proteomics::sources::CaseStudyScale;
 
@@ -31,7 +33,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("\n== classical methodology (complete up-front integration) ==");
     for stage in &classical.stages {
-        println!("  {}: {} non-trivial transformations", stage.name, stage.nontrivial_total);
+        println!(
+            "  {}: {} non-trivial transformations",
+            stage.name, stage.nontrivial_total
+        );
         for (source, n) in &stage.nontrivial_by_source {
             println!("      from {source}: {n}");
         }

@@ -20,7 +20,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", render_table1(&run));
 
     println!("== E3: pay-as-you-go curve (effort vs answerable queries) ==");
-    println!("{}", render_curve(&run.session.pay_as_you_go_curve(), run.answers.len()));
+    println!(
+        "{}",
+        render_curve(&run.session.pay_as_you_go_curve(), run.answers.len())
+    );
 
     println!("== per-iteration effort (intersection-schema methodology) ==");
     println!("{}", run.session.dataspace().effort_report().render());

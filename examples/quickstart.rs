@@ -42,7 +42,8 @@ fn build_gpmdb() -> Database {
         .expect("valid table");
     let mut db = Database::new(schema);
     for (id, acc) in [(10, "ACC00002"), (11, "ACC00003"), (12, "ACC00099")] {
-        db.insert("proseq", vec![id.into(), acc.into()]).expect("insert");
+        db.insert("proseq", vec![id.into(), acc.into()])
+            .expect("insert");
     }
     db
 }
@@ -96,7 +97,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "manually-defined transformations this iteration: {}",
         record.manual_transformations
     );
-    println!("global schema now has {} objects", ds.global_schema()?.len());
+    println!(
+        "global schema now has {} objects",
+        ds.global_schema()?.len()
+    );
 
     // 4. Query across the sources through the integrated concept.
     let shared = ds.query(

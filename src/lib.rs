@@ -1,0 +1,11 @@
+//! Workspace root crate.
+//!
+//! Exists so the repo-level `tests/` and `examples/` directories belong to a
+//! package; re-exports the member crates for convenience.
+
+pub use automed;
+pub use dataspace_core;
+pub use iql;
+pub use matching;
+pub use proteomics;
+pub use relational;

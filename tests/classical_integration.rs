@@ -7,7 +7,9 @@ use automed::wrapper::{wrap_relational, SourceRegistry};
 use automed::{Repository, SchemaObject};
 use iql::ast::SchemeRef;
 use proteomics::classical_integration::{run_classical_integration, PAPER_STAGE_COUNTS};
-use proteomics::sources::{generate_gpmdb, generate_pedro, gpmdb_schema, pedro_schema, CaseStudyScale};
+use proteomics::sources::{
+    generate_gpmdb, generate_pedro, gpmdb_schema, pedro_schema, CaseStudyScale,
+};
 
 /// Figure 1: wrap → union-compatible schemas → ident → global schema, and the global
 /// schema answers queries against both sources via GAV unfolding.
@@ -19,8 +21,10 @@ fn figure1_union_compatible_flow_end_to_end() {
     registry.add_source(generate_gpmdb(&scale)).unwrap();
 
     let mut repo = Repository::new();
-    repo.add_source_schema(wrap_relational(&pedro_schema())).unwrap();
-    repo.add_source_schema(wrap_relational(&gpmdb_schema())).unwrap();
+    repo.add_source_schema(wrap_relational(&pedro_schema()))
+        .unwrap();
+    repo.add_source_schema(wrap_relational(&gpmdb_schema()))
+        .unwrap();
 
     // Minimal union-compatible target: the universal protein concept.
     let pedro_steps = vec![
@@ -78,18 +82,26 @@ fn figure1_union_compatible_flow_end_to_end() {
     use automed::qp::evaluator::{ViewDefinitions, VirtualExtents};
     use automed::qp::Contribution;
     let mut defs = ViewDefinitions::new();
-    for (source, steps) in [("pedro", repo.pathway_between("pedro", "GS").unwrap()), ("gpmdb", repo.pathway_between("gpmdb", "GS").unwrap())]
-        .iter()
-        .map(|(s, p)| (*s, p.clone()))
+    for (source, steps) in [
+        ("pedro", repo.pathway_between("pedro", "GS").unwrap()),
+        ("gpmdb", repo.pathway_between("gpmdb", "GS").unwrap()),
+    ]
+    .iter()
+    .map(|(s, p)| (*s, p.clone()))
     {
         for step in steps.add_steps() {
             if let Transformation::Add { object, query, .. } = step {
-                defs.add_contribution(&object.scheme, Contribution::from_source(source, query.clone()));
+                defs.add_contribution(
+                    &object.scheme,
+                    Contribution::from_source(source, query.clone()),
+                );
             }
         }
     }
     let virt = VirtualExtents::new(&registry, &defs);
-    let count = virt.answer(&iql::parse("count <<UProtein>>").unwrap()).unwrap();
+    let count = virt
+        .answer(&iql::parse("count <<UProtein>>").unwrap())
+        .unwrap();
     assert_eq!(count, iql::Value::Int((scale.proteins * 2) as i64));
 }
 

@@ -65,11 +65,13 @@ fn query_answers_reflect_planted_cross_source_overlap() {
     let ds = run.session.dataspace();
 
     // Every source contributes to the universal protein concept.
-    let per_source = ds
-        .query("[s | {s, k} <- <<UProtein>>]")
-        .unwrap();
+    let per_source = ds.query("[s | {s, k} <- <<UProtein>>]").unwrap();
     let distinct_sources = per_source.distinct();
-    assert_eq!(distinct_sources.len(), 3, "expected contributions from all 3 sources");
+    assert_eq!(
+        distinct_sources.len(),
+        3,
+        "expected contributions from all 3 sources"
+    );
 
     // There exists at least one accession number reported by two different sources
     // (the generator plants shared accessions).
@@ -78,13 +80,19 @@ fn query_answers_reflect_planted_cross_source_overlap() {
             "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']",
         )
         .unwrap();
-    assert!(!shared.is_empty(), "no cross-source protein overlap surfaced");
+    assert!(
+        !shared.is_empty(),
+        "no cross-source protein overlap surfaced"
+    );
 
     // The organism query returns only Pedro-backed identifications.
     let q3 = ds.query(&queries::q3("Homo sapiens")).unwrap();
     for item in q3.iter() {
         let text = item.to_string();
-        assert!(text.contains("PEDRO"), "Q3 should only return Pedro identifications, got {text}");
+        assert!(
+            text.contains("PEDRO"),
+            "Q3 should only return Pedro identifications, got {text}"
+        );
     }
 }
 

@@ -15,12 +15,20 @@ fn uprotein_spec() -> IntersectionSpec {
         .with_mapping(
             ObjectMapping::table("UProtein")
                 .with_contribution(
-                    SourceContribution::parsed("pedro", "[{'PEDRO', k} | k <- <<protein>>]", ["protein"])
-                        .unwrap(),
+                    SourceContribution::parsed(
+                        "pedro",
+                        "[{'PEDRO', k} | k <- <<protein>>]",
+                        ["protein"],
+                    )
+                    .unwrap(),
                 )
                 .with_contribution(
-                    SourceContribution::parsed("gpmdb", "[{'gpmDB', k} | k <- <<proseq>>]", ["proseq"])
-                        .unwrap(),
+                    SourceContribution::parsed(
+                        "gpmdb",
+                        "[{'gpmDB', k} | k <- <<proseq>>]",
+                        ["proseq"],
+                    )
+                    .unwrap(),
                 ),
         )
         .with_mapping(
@@ -67,8 +75,14 @@ fn figure2_intersection_schema_shape() {
     for pathway in &result.pathways {
         let kinds: Vec<&str> = pathway.steps().iter().map(|t| t.kind()).collect();
         // All adds/extends come before all deletes, which come before all contracts.
-        let first_delete = kinds.iter().position(|k| *k == "delete").unwrap_or(kinds.len());
-        let first_contract = kinds.iter().position(|k| *k == "contract").unwrap_or(kinds.len());
+        let first_delete = kinds
+            .iter()
+            .position(|k| *k == "delete")
+            .unwrap_or(kinds.len());
+        let first_contract = kinds
+            .iter()
+            .position(|k| *k == "contract")
+            .unwrap_or(kinds.len());
         let last_add = kinds
             .iter()
             .rposition(|k| *k == "add" || *k == "extend")
@@ -112,12 +126,18 @@ fn schema_difference_matches_pathway_contracts() {
     let ds = dataspace(true);
     let result = build_intersection(&uprotein_spec(), ds.repository()).unwrap();
     let pedro = ds.repository().schema("pedro").unwrap();
-    let pedro_pathway = result.pathways.iter().find(|p| p.source == "pedro").unwrap();
+    let pedro_pathway = result
+        .pathways
+        .iter()
+        .find(|p| p.source == "pedro")
+        .unwrap();
     let diff = difference(pedro, pedro_pathway).unwrap();
     // protein and protein.accession_num were covered; everything else remains.
     assert_eq!(diff.dropped.len(), 2);
     assert_eq!(diff.schema.len(), pedro.len() - 2);
-    assert!(diff.schema.contains(&SchemeRef::column("protein", "organism")));
+    assert!(diff
+        .schema
+        .contains(&SchemeRef::column("protein", "organism")));
     assert!(!diff.schema.contains(&SchemeRef::table("protein")));
     // The derived pathway is all contracts and reproduces the difference schema.
     assert!(diff.pathway.steps().iter().all(|t| t.kind() == "contract"));
@@ -145,9 +165,7 @@ fn redundancy_removal_preserves_integrated_extents() {
     }
     // The dropped objects' extents are recoverable from the intersection object: the
     // PEDRO-tagged subset of UProtein equals the extent of the dropped PEDRO_protein.
-    let via_intersection = drop
-        .query("[k | {'PEDRO', k} <- <<UProtein>>]")
-        .unwrap();
+    let via_intersection = drop.query("[k | {'PEDRO', k} <- <<UProtein>>]").unwrap();
     let original = keep.query("[k | k <- <<PEDRO_protein>>]").unwrap();
     assert!(via_intersection.same_elements(&original));
 }
@@ -161,7 +179,10 @@ fn federation_costs_nothing_and_integration_is_monotone() {
     let federated_count = ds.query_value("count <<PEDRO_protein>>").unwrap();
     ds.integrate(uprotein_spec()).unwrap();
     // Previously answerable queries still answer identically (no redundancy dropping).
-    assert_eq!(ds.query_value("count <<PEDRO_protein>>").unwrap(), federated_count);
+    assert_eq!(
+        ds.query_value("count <<PEDRO_protein>>").unwrap(),
+        federated_count
+    );
     // And new cross-source concepts are now available.
     assert!(ds.can_answer("count <<UProtein, accession_num>>"));
     assert_eq!(ds.effort_report().total_manual(), 4);

@@ -39,7 +39,9 @@ fn pathway_over_tables() -> impl Strategy<Value = (Schema, Pathway)> {
         .prop_map(|(base_names, ops)| {
             let mut schema = Schema::new("base");
             for name in &base_names {
-                schema.add_object(SchemaObject::table(name.clone())).unwrap();
+                schema
+                    .add_object(SchemaObject::table(name.clone()))
+                    .unwrap();
             }
             let mut current = schema.clone();
             let mut pathway = Pathway::new("base", "derived");
@@ -114,6 +116,173 @@ proptest! {
             prop_assert!(a.contains(v));
         }
         prop_assert!(d.len() <= a.len());
+    }
+}
+
+// ---------- hash-based bag algebra vs reference multiset semantics ----------
+
+/// Reference multiplicity count, computed by linear scan (the semantics the
+/// hash-based implementations must agree with).
+fn naive_multiplicity(bag: &Bag, v: &Value) -> usize {
+    bag.iter().filter(|x| *x == v).count()
+}
+
+proptest! {
+    #[test]
+    fn union_difference_intersection_obey_multiplicity_laws(a in bag(), b in bag()) {
+        let union = a.union(&b);
+        let difference = a.difference(&b);
+        let intersection = a.intersection(&b);
+        for v in a.iter().chain(b.iter()) {
+            let ma = naive_multiplicity(&a, v);
+            let mb = naive_multiplicity(&b, v);
+            prop_assert_eq!(union.multiplicity(v), ma + mb);
+            prop_assert_eq!(difference.multiplicity(v), ma.saturating_sub(mb));
+            prop_assert_eq!(intersection.multiplicity(v), ma.min(mb));
+        }
+        prop_assert_eq!(union.len(), a.len() + b.len());
+        // |a -- b| = |a| - |a ∩ b| (monus removes exactly the shared occurrences).
+        prop_assert_eq!(difference.len(), a.len() - intersection.len());
+    }
+
+    #[test]
+    fn same_elements_agrees_with_canonical_comparison(a in bag(), b in bag()) {
+        // The hash-count implementation must agree with sorted-sequence equality.
+        prop_assert_eq!(a.same_elements(&b), a.canonical() == b.canonical());
+        prop_assert!(a.same_elements(&a));
+    }
+
+    #[test]
+    fn distinct_preserves_first_occurrence_order(a in bag()) {
+        let d = a.distinct();
+        // Reference dedup by linear scan.
+        let mut reference: Vec<Value> = Vec::new();
+        for v in a.iter() {
+            if !reference.contains(v) {
+                reference.push(v.clone());
+            }
+        }
+        prop_assert_eq!(d.items(), &reference[..]);
+    }
+
+    #[test]
+    fn subbag_agrees_with_multiplicity_definition(a in bag(), b in bag()) {
+        let expected = a.iter().all(|v| naive_multiplicity(&a, v) <= naive_multiplicity(&b, v));
+        prop_assert_eq!(a.subbag_of(&b), expected);
+        prop_assert!(a.intersection(&b).subbag_of(&a));
+    }
+}
+
+// ---------- hash-join planning vs naive nested loops ----------
+
+/// Key/payload pairs for one side of a join, with keys drawn from a small space so
+/// joins actually match (and produce duplicate multiplicities).
+fn join_side() -> impl Strategy<Value = Vec<(i64, i64)>> {
+    prop::collection::vec((0i64..8, 0i64..100), 0..20)
+}
+
+fn pair_extents(left: &[(i64, i64)], right: &[(i64, i64)]) -> iql::MapExtents {
+    let mut extents = iql::MapExtents::new();
+    for (scheme, rows) in [("l,v", left), ("r,v", right)] {
+        extents.insert(
+            scheme,
+            Bag::from_values(
+                rows.iter()
+                    .map(|(k, v)| Value::pair(Value::Int(*k), Value::Int(*v)))
+                    .collect(),
+            ),
+        );
+    }
+    extents
+}
+
+/// Evaluate with the hash-join planner and with nested loops; both must produce the
+/// identical bag, element order included.
+fn assert_planner_agrees(extents: &iql::MapExtents, query: &str) {
+    let expr = parse(query).unwrap();
+    let planned = iql::Evaluator::new(extents)
+        .eval_closed(&expr)
+        .unwrap()
+        .expect_bag()
+        .unwrap();
+    let naive = iql::Evaluator::new(extents)
+        .with_nested_loops()
+        .eval_closed(&expr)
+        .unwrap()
+        .expect_bag()
+        .unwrap();
+    assert_eq!(
+        planned.items(),
+        naive.items(),
+        "planned vs naive for {query}"
+    );
+}
+
+proptest! {
+    #[test]
+    fn hash_join_plan_matches_nested_loops(left in join_side(), right in join_side()) {
+        let extents = pair_extents(&left, &right);
+        assert_planner_agrees(
+            &extents,
+            "[{x, y} | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k1 = k2]",
+        );
+        // Flipped equality sides take the other planner branch.
+        assert_planner_agrees(
+            &extents,
+            "[{x, y} | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k2 = k1]",
+        );
+        // A trailing filter after the join must still apply.
+        assert_planner_agrees(
+            &extents,
+            "[{k1, y} | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k1 = k2; y > 50]",
+        );
+    }
+
+    #[test]
+    fn composite_key_hash_join_matches_nested_loops(
+        left in prop::collection::vec((0i64..4, 0i64..4, 0i64..100), 0..16),
+        right in prop::collection::vec((0i64..4, 0i64..4, 0i64..100), 0..16),
+    ) {
+        let mut extents = iql::MapExtents::new();
+        for (scheme, rows) in [("l3", &left), ("r3", &right)] {
+            extents.insert(
+                scheme,
+                Bag::from_values(
+                    rows.iter()
+                        .map(|(a, b, v)| {
+                            Value::tuple(vec![Value::Int(*a), Value::Int(*b), Value::Int(*v)])
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        // A run of two equality filters forms one composite join key.
+        assert_planner_agrees(
+            &extents,
+            "[{x, y} | {a1, b1, x} <- <<l3>>; {a2, b2, y} <- <<r3>>; a2 = a1; b2 = b1]",
+        );
+        // A partial run (one join key, one ordinary filter) must also agree.
+        assert_planner_agrees(
+            &extents,
+            "[{x, y} | {a1, b1, x} <- <<l3>>; {a2, b2, y} <- <<r3>>; a2 = a1; b2 > 1]",
+        );
+    }
+
+    #[test]
+    fn hash_join_self_join_and_aggregates_match(side in join_side()) {
+        let extents = pair_extents(&side, &side);
+        // Self-join on the same extent (classic shared-accession shape).
+        assert_planner_agrees(
+            &extents,
+            "[x | {k1, x} <- <<l, v>>; {k2, y} <- <<l, v>>; k1 = k2]",
+        );
+        let expr = parse("count [x | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k1 = k2]").unwrap();
+        let planned = iql::Evaluator::new(&extents).eval_closed(&expr).unwrap();
+        let naive = iql::Evaluator::new(&extents)
+            .with_nested_loops()
+            .eval_closed(&expr)
+            .unwrap();
+        prop_assert_eq!(planned, naive);
     }
 }
 

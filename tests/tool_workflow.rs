@@ -6,7 +6,9 @@ use automed::wrapper::wrap_relational;
 use automed::{ConstructKind, Repository};
 use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
 use dataspace_core::tool::IntersectionSchemaTool;
-use proteomics::sources::{generate_pedro, generate_pepseeker, pedro_schema, pepseeker_schema, CaseStudyScale};
+use proteomics::sources::{
+    generate_pedro, generate_pepseeker, pedro_schema, pepseeker_schema, CaseStudyScale,
+};
 
 /// The §2.4 example: proteinhit.db_search (Pedro) ≡ proteinhit.fileparameters
 /// (PepSeeker) becomes UProteinHit.dbsearch, the redundant source objects can be
@@ -17,12 +19,17 @@ fn paper_section_2_4_example_with_the_tool() {
 
     // Build the spec through the tool against a schema-only repository.
     let mut repository = Repository::new();
-    repository.add_source_schema(wrap_relational(&pedro_schema())).unwrap();
-    repository.add_source_schema(wrap_relational(&pepseeker_schema())).unwrap();
+    repository
+        .add_source_schema(wrap_relational(&pedro_schema()))
+        .unwrap();
+    repository
+        .add_source_schema(wrap_relational(&pepseeker_schema()))
+        .unwrap();
     let mut tool = IntersectionSchemaTool::new(&repository, "I_proteinhit");
     tool.new_object("UProteinHit,dbsearch", ConstructKind::Column);
     tool.select_object("pedro", "proteinhit,db_search").unwrap();
-    tool.select_object("pepseeker", "proteinhit,fileparameters").unwrap();
+    tool.select_object("pepseeker", "proteinhit,fileparameters")
+        .unwrap();
 
     let table = tool.mapping_table().unwrap();
     assert_eq!(table.rows.len(), 2);
@@ -45,10 +52,7 @@ fn paper_section_2_4_example_with_the_tool() {
 
     // The new concept's extent is the bag union of both sources' contributions.
     let total = ds.query_value("count <<UProteinHit, dbsearch>>").unwrap();
-    assert_eq!(
-        total,
-        iql::Value::Int((scale.protein_hits * 2) as i64)
-    );
+    assert_eq!(total, iql::Value::Int((scale.protein_hits * 2) as i64));
     // The covered source objects were dropped from the global schema…
     assert!(ds
         .dropped_redundant()
@@ -66,7 +70,9 @@ fn paper_section_2_4_example_with_the_tool() {
 #[test]
 fn tool_guards_and_defaults() {
     let mut repository = Repository::new();
-    repository.add_source_schema(wrap_relational(&pedro_schema())).unwrap();
+    repository
+        .add_source_schema(wrap_relational(&pedro_schema()))
+        .unwrap();
     let mut tool = IntersectionSchemaTool::new(&repository, "I");
 
     // Selecting before naming a target is a workflow error.
@@ -86,7 +92,9 @@ fn tool_guards_and_defaults() {
 #[test]
 fn edited_queries_flow_into_the_spec() {
     let mut repository = Repository::new();
-    repository.add_source_schema(wrap_relational(&pepseeker_schema())).unwrap();
+    repository
+        .add_source_schema(wrap_relational(&pepseeker_schema()))
+        .unwrap();
     let mut tool = IntersectionSchemaTool::new(&repository, "I_edit");
     tool.new_object("UPeptideHit,score", ConstructKind::Column);
     tool.select_object("pepseeker", "peptidehit,score").unwrap();

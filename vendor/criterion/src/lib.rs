@@ -1,0 +1,335 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the bench targets use — `Criterion`,
+//! `benchmark_group` with `sample_size`/`measurement_time`, `bench_function`,
+//! `bench_with_input`, `BenchmarkId`, `black_box` and the
+//! `criterion_group!`/`criterion_main!` macros — with a real (if simple)
+//! measurement loop: per sample, run a calibrated batch of iterations and take
+//! the mean; report the median across samples.
+//!
+//! Machine-readable output: when the `BENCH_JSON` environment variable names a
+//! file, every finished benchmark merges its median (in nanoseconds) into that
+//! JSON document under `"benches"`, keyed by `"<group>/<name>"`. Repeated runs
+//! and multiple bench binaries accumulate into the same file, so a whole
+//! `cargo bench` sweep can be collected into e.g. `BENCH_iql.json`.
+
+use std::collections::BTreeMap;
+use std::hint;
+use std::time::{Duration, Instant};
+
+/// Prevent the optimizer from discarding a value.
+pub fn black_box<T>(value: T) -> T {
+    hint::black_box(value)
+}
+
+/// Identifier for a parameterized benchmark.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// `<function_name>/<parameter>`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.id)
+    }
+}
+
+/// Passed to the benchmark closure; `iter` runs the measured routine.
+pub struct Bencher<'a> {
+    samples: &'a mut Vec<f64>,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl Bencher<'_> {
+    /// Measure `routine`: calibrate a batch size, then collect `sample_size`
+    /// samples of mean ns/iteration.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Warm-up + calibration: find how many iterations fit the per-sample budget.
+        let calibration_start = Instant::now();
+        let mut calibration_iters = 0u64;
+        while calibration_start.elapsed() < Duration::from_millis(50) {
+            black_box(routine());
+            calibration_iters += 1;
+        }
+        let est_ns = (calibration_start.elapsed().as_nanos() as f64
+            / calibration_iters.max(1) as f64)
+            .max(1.0);
+        let per_sample_budget =
+            self.measurement_time.as_nanos() as f64 / self.sample_size.max(1) as f64;
+        let batch = ((per_sample_budget / est_ns).round() as u64).clamp(1, 1_000_000);
+
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples.push(elapsed / batch as f64);
+        }
+    }
+}
+
+fn median(samples: &mut [f64]) -> f64 {
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("timings are finite"));
+    match samples.len() {
+        0 => 0.0,
+        n if n % 2 == 1 => samples[n / 2],
+        n => (samples[n / 2 - 1] + samples[n / 2]) / 2.0,
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// A group of related benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    group_name: String,
+    sample_size: usize,
+    measurement_time: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Number of samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Total measurement budget per benchmark.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Benchmark a routine under `<group>/<name>`.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = format!("{}/{}", self.group_name, name);
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.criterion
+            .run_one(&id, sample_size, measurement_time, |b| f(b));
+        self
+    }
+
+    /// Benchmark a routine that receives an input value.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>, &I),
+    {
+        let full = format!("{}/{}", self.group_name, id);
+        let (sample_size, measurement_time) = (self.sample_size, self.measurement_time);
+        self.criterion
+            .run_one(&full, sample_size, measurement_time, |b| f(b, input));
+        self
+    }
+
+    /// End the group (results are already recorded).
+    pub fn finish(&mut self) {}
+}
+
+/// The benchmark driver.
+#[derive(Default)]
+pub struct Criterion {
+    results: BTreeMap<String, f64>,
+}
+
+impl Criterion {
+    /// Start a named group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            group_name: name.into(),
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            criterion: self,
+        }
+    }
+
+    /// Benchmark a routine outside any group.
+    pub fn bench_function<F>(&mut self, name: impl std::fmt::Display, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let id = name.to_string();
+        self.run_one(&id, 10, Duration::from_secs(2), |b| f(b));
+        self
+    }
+
+    fn run_one<F>(&mut self, id: &str, sample_size: usize, measurement_time: Duration, mut f: F)
+    where
+        F: FnMut(&mut Bencher<'_>),
+    {
+        let mut samples = Vec::with_capacity(sample_size);
+        {
+            let mut bencher = Bencher {
+                samples: &mut samples,
+                sample_size,
+                measurement_time,
+            };
+            f(&mut bencher);
+        }
+        let med = median(&mut samples);
+        eprintln!("bench: {id:<50} median {:>12}", format_ns(med));
+        self.results.insert(id.to_string(), med);
+    }
+
+    /// Results recorded so far (`id -> median ns`).
+    pub fn results(&self) -> &BTreeMap<String, f64> {
+        &self.results
+    }
+
+    /// Merge results into the JSON file named by `BENCH_JSON`, if set.
+    pub fn write_json_if_requested(&self) {
+        let Ok(path) = std::env::var("BENCH_JSON") else {
+            return;
+        };
+        if path.is_empty() {
+            return;
+        }
+        let mut merged = read_bench_json(&path);
+        merged.extend(self.results.iter().map(|(k, v)| (k.clone(), *v)));
+        let mut out = String::from(
+            "{\n  \"schema\": \"bench-medians-v1\",\n  \"unit\": \"ns\",\n  \"benches\": {\n",
+        );
+        let n = merged.len();
+        for (i, (k, v)) in merged.iter().enumerate() {
+            let comma = if i + 1 < n { "," } else { "" };
+            out.push_str(&format!("    \"{}\": {:.1}{}\n", escape(k), v, comma));
+        }
+        out.push_str("  }\n}\n");
+        if let Err(e) = std::fs::write(&path, out) {
+            eprintln!("warning: could not write {path}: {e}");
+        } else {
+            eprintln!("bench: wrote {n} medians to {path}");
+        }
+    }
+}
+
+fn escape(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('"', "\\\"")
+}
+
+/// Parse the `"benches"` object of a file previously written by
+/// [`Criterion::write_json_if_requested`] (line-oriented; tolerant of absence).
+pub fn read_bench_json(path: &str) -> BTreeMap<String, f64> {
+    let mut out = BTreeMap::new();
+    let Ok(content) = std::fs::read_to_string(path) else {
+        return out;
+    };
+    for line in content.lines() {
+        let line = line.trim().trim_end_matches(',');
+        let Some(rest) = line.strip_prefix('"') else {
+            continue;
+        };
+        let Some((key, value)) = rest.split_once("\": ") else {
+            continue;
+        };
+        if key == "schema" || key == "unit" || key == "benches" {
+            continue;
+        }
+        if let Ok(v) = value.parse::<f64>() {
+            out.insert(key.replace("\\\"", "\"").replace("\\\\", "\\"), v);
+        }
+    }
+    out
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Generate `main` running the given groups. Skips measurement when invoked by
+/// `cargo test` (which passes `--test` to harness-less bench binaries).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            if std::env::args().any(|a| a == "--test") {
+                return;
+            }
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+            c.write_json_if_requested();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn median_of_samples() {
+        assert_eq!(median(&mut [3.0, 1.0, 2.0]), 2.0);
+        assert_eq!(median(&mut [4.0, 1.0, 2.0, 3.0]), 2.5);
+        assert_eq!(median(&mut []), 0.0);
+    }
+
+    #[test]
+    fn bench_records_result() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(30));
+        group.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(c.results().contains_key("g/noop"));
+        assert!(c.results()["g/noop"] >= 0.0);
+    }
+
+    #[test]
+    fn json_round_trip() {
+        let dir = std::env::temp_dir().join("criterion_shim_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("bench.json");
+        let path_str = path.to_str().unwrap().to_string();
+        let mut c = Criterion::default();
+        c.results.insert("iql_eval/join/400".into(), 1234.5);
+        std::env::set_var("BENCH_JSON", &path_str);
+        c.write_json_if_requested();
+        std::env::remove_var("BENCH_JSON");
+        let parsed = read_bench_json(&path_str);
+        assert_eq!(parsed.get("iql_eval/join/400"), Some(&1234.5));
+        std::fs::remove_file(&path).ok();
+    }
+}

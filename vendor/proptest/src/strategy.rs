@@ -1,0 +1,301 @@
+//! Value-generation strategies.
+
+use crate::test_runner::TestRng;
+use std::marker::PhantomData;
+use std::ops::Range;
+
+/// A source of random values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Draw one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Transform generated values with `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Object-safe view of a strategy, used by `prop_oneof!`.
+pub trait DynStrategy<V> {
+    /// Draw one value.
+    fn generate_dyn(&self, rng: &mut TestRng) -> V;
+}
+
+impl<V, S: Strategy<Value = V>> DynStrategy<V> for S {
+    fn generate_dyn(&self, rng: &mut TestRng) -> V {
+        self.generate(rng)
+    }
+}
+
+/// Uniform choice between boxed strategies of a common value type.
+pub struct OneOf<V> {
+    choices: Vec<Box<dyn DynStrategy<V>>>,
+}
+
+impl<V> OneOf<V> {
+    /// Build from boxed choices (used by `prop_oneof!`).
+    pub fn new(choices: Vec<Box<dyn DynStrategy<V>>>) -> Self {
+        assert!(!choices.is_empty(), "prop_oneof! needs at least one choice");
+        OneOf { choices }
+    }
+}
+
+impl<V> Strategy for OneOf<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let i = rng.usize_in(0..self.choices.len());
+        self.choices[i].generate_dyn(rng)
+    }
+}
+
+/// See [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always produce a clone of the given value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// Draw an arbitrary value of the type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The full-range strategy for `T` (`any::<i64>()`, `any::<bool>()`, …).
+pub fn any<T: Arbitrary>() -> AnyStrategy<T> {
+    AnyStrategy(PhantomData)
+}
+
+/// See [`any`].
+pub struct AnyStrategy<T>(PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for AnyStrategy<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> f64 {
+        // Finite doubles spanning a wide magnitude range.
+        let mantissa = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        let exp = rng.i64_in(-64..64) as f64;
+        (mantissa * 2.0 - 1.0) * exp.exp2()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty => $m:ident),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.$m(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(i32 => i32_in, i64 => i64_in, usize => usize_in, u32 => u32_in, f64 => f64_in);
+
+/// Regex-lite string strategy: character classes `[a-z0-9_]` (ranges and
+/// singles), literal characters, and `{m}` / `{m,n}` repetition. This covers
+/// the identifier-shaped patterns the tests use; anything fancier panics so the
+/// gap is visible instead of silently producing wrong data.
+impl Strategy for &'static str {
+    type Value = String;
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        let chars: Vec<char> = self.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let alphabet: Vec<char> = match chars[i] {
+                '[' => {
+                    let close = chars[i..]
+                        .iter()
+                        .position(|&c| c == ']')
+                        .map(|p| p + i)
+                        .unwrap_or_else(|| panic!("unclosed [ in pattern {self:?}"));
+                    let mut set = Vec::new();
+                    let mut j = i + 1;
+                    while j < close {
+                        if j + 2 < close && chars[j + 1] == '-' {
+                            let (lo, hi) = (chars[j], chars[j + 2]);
+                            set.extend((lo..=hi).filter(|c| c.is_ascii()));
+                            j += 3;
+                        } else {
+                            set.push(chars[j]);
+                            j += 1;
+                        }
+                    }
+                    i = close + 1;
+                    set
+                }
+                '\\' => {
+                    let c = *chars
+                        .get(i + 1)
+                        .unwrap_or_else(|| panic!("dangling escape in pattern {self:?}"));
+                    i += 2;
+                    vec![c]
+                }
+                '.' | '(' | ')' | '|' | '*' | '+' | '?' => {
+                    panic!(
+                        "regex feature {:?} unsupported by the proptest shim (pattern {self:?})",
+                        chars[i]
+                    )
+                }
+                c => {
+                    i += 1;
+                    vec![c]
+                }
+            };
+            assert!(
+                !alphabet.is_empty(),
+                "empty character class in pattern {self:?}"
+            );
+            // Optional {m} or {m,n} repetition.
+            let mut reps = 1..2usize;
+            if i < chars.len() && chars[i] == '{' {
+                let close = chars[i..]
+                    .iter()
+                    .position(|&c| c == '}')
+                    .map(|p| p + i)
+                    .unwrap_or_else(|| panic!("unclosed {{ in pattern {self:?}"));
+                let body: String = chars[i + 1..close].iter().collect();
+                reps = match body.split_once(',') {
+                    Some((m, n)) => {
+                        let m: usize = m.trim().parse().expect("repetition lower bound");
+                        let n: usize = n.trim().parse().expect("repetition upper bound");
+                        m..n + 1
+                    }
+                    None => {
+                        let m: usize = body.trim().parse().expect("repetition count");
+                        m..m + 1
+                    }
+                };
+                i = close + 1;
+            }
+            let count = rng.usize_in(reps);
+            for _ in 0..count {
+                out.push(alphabet[rng.usize_in(0..alphabet.len())]);
+            }
+        }
+        out
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($s:ident . $idx:tt),+)),+ $(,)?) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )+};
+}
+
+impl_tuple_strategy!(
+    (A.0),
+    (A.0, B.1),
+    (A.0, B.1, C.2),
+    (A.0, B.1, C.2, D.3),
+    (A.0, B.1, C.2, D.3, E.4),
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn regex_lite_identifiers() {
+        let mut rng = TestRng::from_name("regex_lite_identifiers");
+        for _ in 0..500 {
+            let s = "[a-z][a-z0-9_]{0,8}".generate(&mut rng);
+            assert!(!s.is_empty() && s.len() <= 9, "bad length: {s:?}");
+            assert!(s.chars().next().unwrap().is_ascii_lowercase());
+            assert!(s
+                .chars()
+                .all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == '_'));
+        }
+    }
+
+    #[test]
+    fn ranges_and_tuples() {
+        let mut rng = TestRng::from_name("ranges_and_tuples");
+        for _ in 0..500 {
+            let (a, b) = (0i64..10, 5usize..7).generate(&mut rng);
+            assert!((0..10).contains(&a));
+            assert!((5..7).contains(&b));
+        }
+    }
+
+    #[test]
+    fn oneof_covers_all_choices() {
+        let s: OneOf<i64> = crate::prop_oneof![Just(1i64), Just(2i64), Just(3i64)];
+        let mut rng = TestRng::from_name("oneof_covers_all_choices");
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.len(), 3);
+    }
+
+    #[test]
+    fn map_and_collections() {
+        let mut rng = TestRng::from_name("map_and_collections");
+        let evens = (0i64..50).prop_map(|v| v * 2);
+        let v = crate::collection::vec(evens, 3..4).generate(&mut rng);
+        assert_eq!(v.len(), 3);
+        assert!(v.iter().all(|x| x % 2 == 0));
+        let s = crate::collection::btree_set("[a-z]{4}", 5..6).generate(&mut rng);
+        assert_eq!(s.len(), 5);
+    }
+}

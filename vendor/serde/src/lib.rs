@@ -1,0 +1,22 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace derives `Serialize`/`Deserialize` on its data types but never
+//! actually serializes anything (no `serde_json`, no trait bounds on serde
+//! traits anywhere). The build environment has no network access, so instead of
+//! the real serde this shim provides derive macros of the same names that
+//! expand to nothing. Replacing this crate with real serde is a one-line change
+//! in the workspace `Cargo.toml`.
+
+use proc_macro::TokenStream;
+
+/// No-op `#[derive(Serialize)]`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// No-op `#[derive(Deserialize)]`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
