@@ -11,17 +11,37 @@
 //! any query posed on the integrated schema — this is GAV query processing by
 //! unfolding, performed lazily during evaluation. Results are memoised per scheme and
 //! recursion is cycle-checked.
+//!
+//! # Concurrency
+//!
+//! The provider satisfies the [`ExtentProvider`] `Sync` contract: the scheme memo is
+//! `RwLock`-guarded (and can be shared across provider instances with
+//! [`VirtualExtents::with_shared_cache`]), so one `VirtualExtents` can serve queries
+//! from many threads at once. A scheme's per-source contributions are independent of
+//! each other (bag-union semantics), so when a scheme has two or more they are
+//! fetched and evaluated on a small scoped-thread pool (at most the machine's
+//! parallelism, each worker taking a contiguous slice); results are unioned in
+//! registration order, keeping extents deterministic. Cycle detection is **static**:
+//! before computing an extent the provider walks the scheme-dependency graph of the
+//! view definitions — a contribution's scheme reference recurses only when it names
+//! another *defined* scheme that the contribution's own source database cannot
+//! resolve, exactly the runtime lookup rule — and rejects any scheme whose
+//! definition is cyclic. Because the check never consults execution state, it holds
+//! no matter which thread (the caller's, a contribution worker's, or one of the
+//! evaluator's parallel-fetch workers) resolves which scheme.
 
 use crate::error::AutomedError;
 use crate::qp::Contribution;
 use crate::wrapper::SourceRegistry;
 use iql::ast::{Expr, SchemeRef};
 use iql::error::EvalError;
-use iql::eval::{Evaluator, ExtentProvider};
+use iql::eval::{Evaluator, ExtentProvider, PlanCache};
+use iql::rewrite;
 use iql::value::{Bag, Value};
-use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet};
-use std::sync::Arc;
+use std::num::NonZeroUsize;
+use std::sync::{Arc, PoisonError, RwLock};
+use std::thread;
 
 /// The definitions of all virtual schema objects: scheme key → contributions.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -46,7 +66,12 @@ impl ViewDefinitions {
 
     /// The contributions registered for a scheme.
     pub fn contributions_for(&self, scheme: &SchemeRef) -> Option<&[Contribution]> {
-        self.contributions.get(&scheme.key()).map(Vec::as_slice)
+        self.contributions_for_key(&scheme.key())
+    }
+
+    /// The contributions registered under a raw scheme key.
+    pub fn contributions_for_key(&self, key: &str) -> Option<&[Contribution]> {
+        self.contributions.get(key).map(Vec::as_slice)
     }
 
     /// Whether any contribution is registered for the scheme.
@@ -82,16 +107,93 @@ impl ViewDefinitions {
     }
 }
 
+fn read<T>(lock: &RwLock<T>) -> std::sync::RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// A version-stamped scheme-key → extent memo, shareable across provider
+/// instances (e.g. by a dataspace handing out one provider per query over the
+/// same definitions). Self-invalidating: every provider access first syncs the
+/// stamp against the provider's [`ExtentProvider::version`], clearing the memo
+/// when the underlying source data (or the owner's version salt) moved — a
+/// rebuilt plan can therefore never be constructed from stale memoised extents.
+#[derive(Debug, Default)]
+pub struct ExtentMemo {
+    stamp: RwLock<u64>,
+    extents: RwLock<BTreeMap<String, Arc<Bag>>>,
+}
+
+impl ExtentMemo {
+    /// An empty memo (stamp 0).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Clear the memo when `version` differs from the recorded stamp.
+    /// Lock order is stamp → extents everywhere.
+    fn sync_to(&self, version: u64) {
+        if *read(&self.stamp) == version {
+            return;
+        }
+        let mut stamp = write(&self.stamp);
+        if *stamp != version {
+            write(&self.extents).clear();
+            *stamp = version;
+        }
+    }
+
+    /// The memoised extent for a scheme key, if any.
+    pub fn get(&self, key: &str) -> Option<Arc<Bag>> {
+        read(&self.extents).get(key).cloned()
+    }
+
+    fn insert(&self, key: String, bag: Arc<Bag>) {
+        write(&self.extents).insert(key, bag);
+    }
+
+    /// Number of memoised extents.
+    pub fn len(&self) -> usize {
+        read(&self.extents).len()
+    }
+
+    /// Whether the memo holds no extents.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drop every memoised extent (explicit invalidation hook).
+    pub fn clear(&self) {
+        write(&self.extents).clear();
+    }
+}
+
+/// A shareable handle to an [`ExtentMemo`].
+pub type SharedExtentCache = Arc<ExtentMemo>;
+
 /// An [`ExtentProvider`] for integrated schemas: resolves virtual schemes through
-/// their contributions and memoises results.
+/// their contributions and memoises results. Safe to share across threads (see the
+/// module docs for the concurrency story).
 pub struct VirtualExtents<'a> {
     registry: &'a SourceRegistry,
     definitions: &'a ViewDefinitions,
-    cache: RefCell<BTreeMap<String, Arc<Bag>>>,
-    in_progress: RefCell<BTreeSet<String>>,
+    cache: SharedExtentCache,
+    /// Scheme keys whose reachable definition subgraph is proven acyclic, so the
+    /// static cycle check runs once per scheme, not once per extent computation.
+    verified_acyclic: RwLock<BTreeSet<String>>,
     /// When set, schemes with no registered contribution are looked up in this source
     /// (used for federated schemas where untouched source objects remain queryable).
     fallback_sources: Vec<String>,
+    /// Evaluate a scheme's contributions on scoped worker threads when ≥ 2.
+    parallel: bool,
+    /// Plan cache attached to the evaluators spawned by [`VirtualExtents::answer`].
+    plan_cache: Option<Arc<PlanCache>>,
+    /// Folded into [`ExtentProvider::version`] so the owner can invalidate plan
+    /// caches on definition changes the registry's versions cannot see.
+    version_salt: u64,
 }
 
 impl<'a> VirtualExtents<'a> {
@@ -100,9 +202,12 @@ impl<'a> VirtualExtents<'a> {
         VirtualExtents {
             registry,
             definitions,
-            cache: RefCell::new(BTreeMap::new()),
-            in_progress: RefCell::new(BTreeSet::new()),
+            cache: Arc::new(ExtentMemo::new()),
+            verified_acyclic: RwLock::new(BTreeSet::new()),
             fallback_sources: Vec::new(),
+            parallel: true,
+            plan_cache: None,
+            version_salt: 0,
         }
     }
 
@@ -117,9 +222,67 @@ impl<'a> VirtualExtents<'a> {
         self
     }
 
+    /// Use (and fill) a scheme memo shared with other provider instances over the
+    /// same registry + definitions. The memo is version-stamped: it clears itself
+    /// whenever this provider's [`ExtentProvider::version`] moves (source inserts,
+    /// or a definitions change signalled through
+    /// [`VirtualExtents::with_version_salt`]), so owners need no manual hook —
+    /// though an eager [`ExtentMemo::clear`] is harmless.
+    pub fn with_shared_cache(mut self, cache: SharedExtentCache) -> Self {
+        self.cache = cache;
+        self
+    }
+
+    /// Evaluate everything on the calling thread: contribution fan-out *and* the
+    /// parallel extent prefetch of every evaluator this provider spawns. The
+    /// thread-free reference leg of the differential tests.
+    pub fn sequential(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Attach a plan cache to the evaluators created by [`VirtualExtents::answer`]
+    /// (see [`PlanCache`] for the sharing contract: one cache per logical provider).
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
+    /// Fold an owner-managed generation counter into this provider's version, so
+    /// view-definition changes invalidate plan caches (see
+    /// [`ExtentProvider::version`]).
+    pub fn with_version_salt(mut self, salt: u64) -> Self {
+        self.version_salt = salt;
+        self
+    }
+
+    /// Drop every memoised extent (explicit invalidation hook; also clears a cache
+    /// installed with [`VirtualExtents::with_shared_cache`]).
+    pub fn invalidate(&self) {
+        self.cache.clear();
+    }
+
+    /// Number of schemes with a memoised extent.
+    pub fn cached_scheme_count(&self) -> usize {
+        self.cache.len()
+    }
+
+    /// Build the evaluator used for [`VirtualExtents::answer`]: planning on, plan
+    /// cache attached when configured.
+    fn evaluator(&self) -> Evaluator<&Self> {
+        let mut ev = Evaluator::new(self);
+        if !self.parallel {
+            ev = ev.without_parallel_fetch();
+        }
+        match &self.plan_cache {
+            Some(cache) => ev.with_plan_cache(Arc::clone(cache)),
+            None => ev,
+        }
+    }
+
     /// Answer a query posed on the integrated schema.
     pub fn answer(&self, query: &Expr) -> Result<Value, AutomedError> {
-        Ok(Evaluator::new(self).eval_closed(query)?)
+        Ok(self.evaluator().eval_closed(query)?)
     }
 
     /// Answer a query with comprehension planning disabled (naive nested loops).
@@ -127,14 +290,168 @@ impl<'a> VirtualExtents<'a> {
     /// extents the contributions themselves are computed with still use the planning
     /// evaluator via [`ExtentProvider`].
     pub fn answer_with_nested_loops(&self, query: &Expr) -> Result<Value, AutomedError> {
-        Ok(Evaluator::new(self)
-            .with_nested_loops()
-            .eval_closed(query)?)
+        Ok(self.evaluator().with_nested_loops().eval_closed(query)?)
     }
 
     /// Answer a query and insist on a bag result.
     pub fn answer_bag(&self, query: &Expr) -> Result<Bag, AutomedError> {
         Ok(self.answer(query)?.expect_bag()?)
+    }
+
+    /// Evaluate one contribution to a scheme's extent.
+    fn eval_contribution(
+        &self,
+        scheme: &SchemeRef,
+        contribution: &Contribution,
+    ) -> Result<Value, EvalError> {
+        match &contribution.source {
+            Some(source) => {
+                let db = self
+                    .registry
+                    .database(source)
+                    .map_err(|_| EvalError::UnknownScheme(scheme.clone()))?;
+                // Queries over a named source may still reference other virtual
+                // objects (e.g. an intersection object defined partly in terms of
+                // the evolving global schema), so the source is layered over this
+                // provider.
+                let layered = LayeredProvider {
+                    primary: db,
+                    fallback: self,
+                };
+                let ev = Evaluator::new(&layered);
+                let ev = if self.parallel {
+                    ev
+                } else {
+                    ev.without_parallel_fetch()
+                };
+                ev.eval_closed(&contribution.query)
+            }
+            None => self.evaluator().eval_closed(&contribution.query),
+        }
+    }
+
+    /// Evaluate all contributions, on a small scoped-thread pool when there are at
+    /// least two (contributions over distinct sources are independent): at most
+    /// the machine's parallelism *per fan-out*, each worker taking a contiguous
+    /// slice, and results come back in registration order (deterministic bag
+    /// union). Nested resolutions fan out again on their own workers, so deeply
+    /// nested wide hierarchies multiply; a process-wide pool is future work
+    /// (see ROADMAP).
+    fn eval_contributions(
+        &self,
+        scheme: &SchemeRef,
+        contributions: &[Contribution],
+    ) -> Vec<Result<Value, EvalError>> {
+        if !self.parallel || contributions.len() < 2 {
+            return contributions
+                .iter()
+                .map(|c| self.eval_contribution(scheme, c))
+                .collect();
+        }
+        let workers = thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(4)
+            .min(contributions.len());
+        let chunk = contributions.len().div_ceil(workers);
+        thread::scope(|scope| {
+            let handles: Vec<_> = contributions
+                .chunks(chunk)
+                .map(|slice| {
+                    scope.spawn(move || {
+                        slice
+                            .iter()
+                            .map(|c| self.eval_contribution(scheme, c))
+                            .collect::<Vec<_>>()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("contribution worker panicked"))
+                .collect()
+        })
+    }
+
+    /// The scheme keys a defined scheme's contributions can recurse into: every
+    /// scheme referenced by a contribution query that (a) is itself defined and
+    /// (b) is **not** resolvable in the contribution's own source database —
+    /// mirroring the runtime rule that a source contribution's references try the
+    /// source first and only fall back to the virtual schema.
+    fn virtual_deps(&self, key: &str) -> Vec<String> {
+        let Some(contributions) = self.definitions.contributions_for_key(key) else {
+            return Vec::new();
+        };
+        let mut deps = BTreeSet::new();
+        for contribution in contributions {
+            let source_schema = contribution
+                .source
+                .as_deref()
+                .and_then(|s| self.registry.database(s).ok())
+                .map(|db| db.schema());
+            for referenced in rewrite::collect_schemes(&contribution.query) {
+                let ref_key = referenced.key();
+                if self.definitions.contributions_for_key(&ref_key).is_none() {
+                    continue; // resolves via fallback sources, never recurses
+                }
+                let resolved_in_source = source_schema
+                    .is_some_and(|schema| relational::wrapper::covers(schema, &referenced));
+                if !resolved_in_source {
+                    deps.insert(ref_key);
+                }
+            }
+        }
+        deps.into_iter().collect()
+    }
+
+    /// Statically verify that the definition subgraph reachable from `root` is
+    /// acyclic (depth-first over [`Self::virtual_deps`]). Runs before an extent is
+    /// computed, so cyclic view definitions error cleanly no matter which thread
+    /// the recursion would have unfolded on; verified schemes are memoised.
+    fn ensure_acyclic(&self, root: &str, scheme: &SchemeRef) -> Result<(), EvalError> {
+        if read(&self.verified_acyclic).contains(root) {
+            return Ok(());
+        }
+        enum Frame {
+            Enter(String),
+            Exit(String),
+        }
+        let mut on_path: BTreeSet<String> = BTreeSet::new();
+        let mut done: BTreeSet<String> = BTreeSet::new();
+        let mut stack = vec![Frame::Enter(root.to_string())];
+        while let Some(frame) = stack.pop() {
+            match frame {
+                Frame::Enter(key) => {
+                    if done.contains(&key) {
+                        continue;
+                    }
+                    if !on_path.insert(key.clone()) {
+                        return Err(EvalError::TypeError {
+                            context: format!("extent of {scheme}"),
+                            found: "cyclic view definition".into(),
+                        });
+                    }
+                    let deps = self.virtual_deps(&key);
+                    stack.push(Frame::Exit(key));
+                    for dep in deps {
+                        if on_path.contains(&dep) {
+                            return Err(EvalError::TypeError {
+                                context: format!("extent of {scheme}"),
+                                found: "cyclic view definition".into(),
+                            });
+                        }
+                        if !done.contains(&dep) {
+                            stack.push(Frame::Enter(dep));
+                        }
+                    }
+                }
+                Frame::Exit(key) => {
+                    on_path.remove(&key);
+                    done.insert(key);
+                }
+            }
+        }
+        write(&self.verified_acyclic).extend(done);
+        Ok(())
     }
 
     fn compute_extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
@@ -150,26 +467,8 @@ impl<'a> VirtualExtents<'a> {
             return Err(EvalError::UnknownScheme(scheme.clone()));
         };
         let mut result: Vec<Value> = Vec::new();
-        for contribution in contributions {
-            let value = match &contribution.source {
-                Some(source) => {
-                    let db = self
-                        .registry
-                        .database(source)
-                        .map_err(|_| EvalError::UnknownScheme(scheme.clone()))?;
-                    // Queries over a named source may still reference other virtual
-                    // objects (e.g. an intersection object defined partly in terms of
-                    // the evolving global schema), so the source is layered over this
-                    // provider.
-                    let layered = LayeredProvider {
-                        primary: db,
-                        fallback: self,
-                    };
-                    Evaluator::new(&layered).eval_closed(&contribution.query)?
-                }
-                None => Evaluator::new(self).eval_closed(&contribution.query)?,
-            };
-            match value {
+        for value in self.eval_contributions(scheme, contributions) {
+            match value? {
                 Value::Void => {}
                 other => {
                     let bag = other.expect_bag()?;
@@ -183,22 +482,32 @@ impl<'a> VirtualExtents<'a> {
 
 impl ExtentProvider for VirtualExtents<'_> {
     fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
+        self.cache.sync_to(self.version());
         let key = scheme.key();
-        if let Some(cached) = self.cache.borrow().get(&key) {
-            return Ok(Arc::clone(cached));
+        if let Some(cached) = self.cache.get(&key) {
+            return Ok(cached);
         }
-        if !self.in_progress.borrow_mut().insert(key.clone()) {
-            return Err(EvalError::TypeError {
-                context: format!("extent of {scheme}"),
-                found: "cyclic view definition".into(),
-            });
-        }
+        self.ensure_acyclic(&key, scheme)?;
         let result = self.compute_extent(scheme);
-        self.in_progress.borrow_mut().remove(&key);
         if let Ok(bag) = &result {
-            self.cache.borrow_mut().insert(key, Arc::clone(bag));
+            self.cache.insert(key, Arc::clone(bag));
         }
         result
+    }
+
+    /// Combines the registry's source versions with the owner's salt: a mutation of
+    /// any underlying source (or a definitions change signalled through the salt)
+    /// invalidates plan-cache entries built over this provider.
+    fn version(&self) -> u64 {
+        self.registry
+            .data_version()
+            .wrapping_add(self.version_salt.wrapping_mul(0x9E37_79B9_7F4A_7C15))
+    }
+
+    /// Resolving a virtual scheme evaluates its contribution queries — expensive
+    /// enough that the evaluator should overlap independent generator fetches.
+    fn prefers_parallel_fetch(&self) -> bool {
+        true
     }
 }
 
@@ -214,6 +523,16 @@ impl<P: ExtentProvider, F: ExtentProvider> ExtentProvider for LayeredProvider<'_
             Ok(bag) => Ok(bag),
             Err(_) => self.fallback.extent(scheme),
         }
+    }
+
+    fn version(&self) -> u64 {
+        self.primary
+            .version()
+            .wrapping_add(self.fallback.version().rotate_left(32))
+    }
+
+    fn prefers_parallel_fetch(&self) -> bool {
+        self.primary.prefers_parallel_fetch() || self.fallback.prefers_parallel_fetch()
     }
 }
 
@@ -352,7 +671,146 @@ mod tests {
         let virt = VirtualExtents::new(&reg, &defs);
         let q = parse("count <<UProtein>> + count <<UProtein>>").unwrap();
         assert_eq!(virt.answer(&q).unwrap(), Value::Int(8));
-        assert!(virt.cache.borrow().contains_key("UProtein"));
+        assert!(virt.cache.get("UProtein").is_some());
+        assert_eq!(virt.cached_scheme_count(), 1);
+    }
+
+    #[test]
+    fn parallel_and_sequential_contribution_fetch_agree() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let parallel = VirtualExtents::new(&reg, &defs);
+        let sequential = VirtualExtents::new(&reg, &defs).sequential();
+        for q in [
+            "count <<UProtein>>",
+            "[x | {s, k, x} <- <<UProtein, accession_num>>; s = 'gpmDB']",
+            "count <<SharedAccession>>",
+        ] {
+            let q = parse(q).unwrap();
+            assert_eq!(parallel.answer(&q).unwrap(), sequential.answer(&q).unwrap());
+        }
+    }
+
+    #[test]
+    fn shared_cache_is_filled_and_reused_across_provider_instances() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let shared: SharedExtentCache = Arc::new(ExtentMemo::new());
+        {
+            let virt = VirtualExtents::new(&reg, &defs).with_shared_cache(Arc::clone(&shared));
+            virt.answer(&parse("count <<UProtein>>").unwrap()).unwrap();
+        }
+        assert!(shared.get("UProtein").is_some());
+        // A second provider over the same definitions reuses the memo (same Arc).
+        let virt2 = VirtualExtents::new(&reg, &defs).with_shared_cache(Arc::clone(&shared));
+        let before = shared.get("UProtein").unwrap();
+        let bag = virt2.extent(&SchemeRef::table("UProtein")).unwrap();
+        assert!(Arc::ptr_eq(&before, &bag));
+        virt2.invalidate();
+        assert_eq!(virt2.cached_scheme_count(), 0);
+    }
+
+    #[test]
+    fn shared_cache_self_invalidates_when_source_data_moves() {
+        // Warm the memo, then mutate a source through the registry: the stamped
+        // memo must clear itself on next access, so a rebuilt plan can never bake
+        // in stale extents.
+        let mut reg = registry();
+        let defs = uprotein_definitions();
+        let shared: SharedExtentCache = Arc::new(ExtentMemo::new());
+        {
+            let virt = VirtualExtents::new(&reg, &defs).with_shared_cache(Arc::clone(&shared));
+            assert_eq!(
+                virt.answer(&parse("count <<UProtein>>").unwrap()).unwrap(),
+                Value::Int(4)
+            );
+        }
+        assert!(shared.get("UProtein").is_some());
+        reg.database_mut("pedro")
+            .unwrap()
+            .insert("protein", vec![3.into(), "ACC3b".into()])
+            .unwrap();
+        let virt = VirtualExtents::new(&reg, &defs).with_shared_cache(Arc::clone(&shared));
+        assert_eq!(
+            virt.answer(&parse("count <<UProtein>>").unwrap()).unwrap(),
+            Value::Int(5),
+            "memo stamped with the old version must not serve after an insert"
+        );
+    }
+
+    #[test]
+    fn cyclic_definitions_error_through_evaluator_parallel_fetch() {
+        // The shape the evaluator fans out on worker threads: a comprehension over
+        // two independent generator sources whose schemes are mutually recursive.
+        // The static cycle check must produce a clean error (not unbounded thread
+        // recursion) regardless of which worker resolves which scheme.
+        let reg = registry();
+        let mut defs = ViewDefinitions::new();
+        defs.add_contribution(
+            &SchemeRef::table("A"),
+            Contribution::derived(
+                parse("[{x, y} | {k, x} <- <<B>>; {k2, y} <- <<C>>; k2 = k]").unwrap(),
+            ),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("B"),
+            Contribution::derived(parse("[k | k <- <<A>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("C"),
+            Contribution::derived(parse("[{k, k} | k <- <<B>>]").unwrap()),
+        );
+        let virt = VirtualExtents::new(&reg, &defs);
+        let err = virt.answer(&parse("count <<A>>").unwrap());
+        assert!(err.is_err(), "cyclic A → B → A must error, not recurse");
+    }
+
+    #[test]
+    fn version_reflects_sources_and_salt() {
+        let reg = registry();
+        let defs = uprotein_definitions();
+        let v0 = VirtualExtents::new(&reg, &defs).version();
+        let salted = VirtualExtents::new(&reg, &defs)
+            .with_version_salt(1)
+            .version();
+        assert_ne!(v0, salted);
+        // Mutating a source shifts the unsalted version too.
+        let mut reg2 = SourceRegistry::new();
+        reg2.add_source(pedro()).unwrap();
+        reg2.add_source(gpmdb()).unwrap();
+        let before = VirtualExtents::new(&reg2, &defs).version();
+        reg2.database_mut("pedro")
+            .unwrap()
+            .insert("protein", vec![3.into(), "ACC9".into()])
+            .unwrap();
+        let after = VirtualExtents::new(&reg2, &defs).version();
+        assert_ne!(before, after);
+    }
+
+    #[test]
+    fn cyclic_definitions_detected_through_parallel_workers() {
+        // Two contributions per scheme force the scoped-thread path; the recursion
+        // A → B → A crosses worker threads and must still error, not hang.
+        let reg = registry();
+        let mut defs = ViewDefinitions::new();
+        defs.add_contribution(
+            &SchemeRef::table("A"),
+            Contribution::derived(parse("[k | k <- <<B>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("A"),
+            Contribution::derived(parse("[k | k <- <<B>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("B"),
+            Contribution::derived(parse("[k | k <- <<A>>]").unwrap()),
+        );
+        defs.add_contribution(
+            &SchemeRef::table("B"),
+            Contribution::derived(parse("[k | k <- <<A>>]").unwrap()),
+        );
+        let virt = VirtualExtents::new(&reg, &defs);
+        assert!(virt.answer(&parse("count <<A>>").unwrap()).is_err());
     }
 
     #[test]

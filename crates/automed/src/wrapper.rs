@@ -87,6 +87,16 @@ impl SourceRegistry {
         self.sources.is_empty()
     }
 
+    /// The combined data version of every registered source: changes whenever any
+    /// source database mutates, so providers layered over the registry can expose
+    /// it through [`iql::eval::ExtentProvider::version`] and keep plan caches
+    /// honest.
+    pub fn data_version(&self) -> u64 {
+        self.sources
+            .values()
+            .fold(0u64, |acc, db| acc.wrapping_add(db.data_version()))
+    }
+
     /// The extent of a scheme within a specific source (shared handle; the
     /// database memoises computed extents).
     pub fn extent(&self, source: &str, scheme: &SchemeRef) -> Result<Arc<Bag>, AutomedError> {

@@ -78,6 +78,17 @@ fn iql_eval(c: &mut Criterion) {
                     .expect("evaluates")
             })
         });
+        // …and a shared plan cache removes planning + index building from re-runs
+        // entirely (the pay-as-you-go repeated-priority-query pattern).
+        let cache = std::sync::Arc::new(iql::PlanCache::new());
+        eval_group.bench_with_input(BenchmarkId::new("join_cached_plan", rows), &rows, |b, _| {
+            b.iter(|| {
+                Evaluator::new(&extents)
+                    .with_plan_cache(std::sync::Arc::clone(&cache))
+                    .eval_closed(&expr)
+                    .expect("evaluates")
+            })
+        });
         // …while the nested-loop baseline is quadratic; keep it to the smaller sizes.
         if rows <= 400 {
             eval_group.bench_with_input(

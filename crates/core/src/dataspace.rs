@@ -19,11 +19,13 @@ use crate::global::{derive_global, GlobalDerivation};
 use crate::intersection::{build_intersection, IntersectionResult};
 use crate::mapping::IntersectionSpec;
 use crate::metrics::{EffortReport, IterationEffort};
-use automed::qp::evaluator::VirtualExtents;
+use automed::qp::evaluator::{ExtentMemo, SharedExtentCache, VirtualExtents};
 use automed::wrapper::SourceRegistry;
 use automed::{Repository, Schema};
 use iql::value::{Bag, Value};
+use iql::PlanCache;
 use relational::Database;
+use std::sync::Arc;
 
 /// Configuration of a dataspace.
 #[derive(Debug, Clone)]
@@ -48,6 +50,15 @@ impl Default for DataspaceConfig {
 }
 
 /// The dataspace: sources, repository, current schemas and effort history.
+///
+/// Query answering keeps two caches that persist **across** [`Dataspace::query`]
+/// calls (each call hands out a fresh [`VirtualExtents`] view, but the views share
+/// this state): a scheme-extent memo, so re-running priority queries never
+/// recomputes a global extent, and an [`iql::PlanCache`], so re-runs skip
+/// comprehension planning and hash-index building entirely. Both invalidate when
+/// the schemas change — [`Dataspace::federate`] / [`Dataspace::integrate`] bump an
+/// internal generation that clears the extent memo and (folded into the provider's
+/// version stamp) retires every cached plan.
 #[derive(Debug)]
 pub struct Dataspace {
     registry: SourceRegistry,
@@ -58,6 +69,13 @@ pub struct Dataspace {
     global: Option<GlobalDerivation>,
     effort: EffortReport,
     config: DataspaceConfig,
+    /// Scheme-extent memo shared by every provider this dataspace hands out.
+    extent_cache: SharedExtentCache,
+    /// Plan memo shared by every provider this dataspace hands out.
+    plan_cache: Arc<PlanCache>,
+    /// Bumped whenever the queryable definitions change; folded into the provider
+    /// version so stale plans can never serve.
+    generation: u64,
 }
 
 impl Default for Dataspace {
@@ -83,7 +101,29 @@ impl Dataspace {
             global: None,
             effort: EffortReport::default(),
             config,
+            extent_cache: Arc::new(ExtentMemo::new()),
+            plan_cache: Arc::new(PlanCache::new()),
+            generation: 0,
         }
+    }
+
+    /// The queryable definitions changed: advance the generation so every cached
+    /// plan goes stale (the provider version moves, which also makes the
+    /// version-stamped extent memo clear itself) and clear the memo eagerly.
+    fn bump_generation(&mut self) {
+        self.generation += 1;
+        self.extent_cache.clear();
+    }
+
+    /// The shared plan cache backing [`Dataspace::query`] (hit/miss counters and the
+    /// explicit invalidation hook live on it).
+    pub fn plan_cache(&self) -> &Arc<PlanCache> {
+        &self.plan_cache
+    }
+
+    /// Number of global-schema extents currently memoised across queries.
+    pub fn cached_extent_count(&self) -> usize {
+        self.extent_cache.len()
     }
 
     /// Wrap and register a data source (workflow step 1). Must be called before
@@ -120,6 +160,7 @@ impl Dataspace {
         self.repository.put_schema(federation.schema.clone());
         self.federation = Some(federation);
         self.rederive_global()?;
+        self.bump_generation();
         let size = self.global_schema()?.len();
         self.effort.iterations.push(IterationEffort {
             iteration: 0,
@@ -149,6 +190,7 @@ impl Dataspace {
         }
         self.intersections.push(result);
         self.rederive_global()?;
+        self.bump_generation();
 
         let latest = self.intersections.last().expect("just pushed");
         let cumulative = self.effort.total_manual() + latest.manual_transformations;
@@ -195,13 +237,18 @@ impl Dataspace {
             .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))
     }
 
-    /// An extent provider answering queries over the current global schema.
+    /// An extent provider answering queries over the current global schema. All
+    /// providers handed out share the dataspace's persistent extent memo and plan
+    /// cache, so repeated queries skip both extent computation and planning.
     pub fn provider(&self) -> Result<VirtualExtents<'_>, CoreError> {
         let global = self
             .global
             .as_ref()
             .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))?;
-        Ok(VirtualExtents::new(&self.registry, &global.definitions))
+        Ok(VirtualExtents::new(&self.registry, &global.definitions)
+            .with_shared_cache(Arc::clone(&self.extent_cache))
+            .with_plan_cache(Arc::clone(&self.plan_cache))
+            .with_version_salt(self.generation))
     }
 
     /// Parse and answer an IQL query over the current global schema, expecting a bag
@@ -481,6 +528,53 @@ mod tests {
         assert!(repo.pathway_between("gpmdb", "I1").is_ok());
         // And therefore (via reversal/composition) between the two sources.
         assert!(repo.pathway_between("pedro", "gpmdb").is_ok());
+    }
+
+    #[test]
+    fn repeated_queries_hit_the_persistent_plan_and_extent_caches() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let q = "[x | {s1, k1, x} <- <<UProtein, accession_num>>; {s2, k2, y} <- <<UProtein, accession_num>>; x = y; s1 = 'PEDRO'; s2 = 'gpmDB']";
+        let first = ds.query(q).unwrap();
+        assert!(
+            ds.cached_extent_count() > 0,
+            "extents memoised across calls"
+        );
+        let misses = ds.plan_cache().miss_count();
+        let hits = ds.plan_cache().hit_count();
+        let second = ds.query(q).unwrap();
+        assert_eq!(first, second);
+        assert!(ds.plan_cache().hit_count() > hits, "re-run hits plan cache");
+        assert_eq!(
+            ds.plan_cache().miss_count(),
+            misses,
+            "no replanning on re-run"
+        );
+    }
+
+    #[test]
+    fn integrate_invalidates_caches_so_new_concepts_answer() {
+        let mut ds = dataspace();
+        assert!(!ds.can_answer("count <<UProtein>>"));
+        // Warm the caches on the federated schema...
+        assert_eq!(
+            ds.query_value("count <<PEDRO_protein>>").unwrap(),
+            Value::Int(2)
+        );
+        let cached = ds.cached_extent_count();
+        assert!(cached > 0);
+        // ...then integrate: the generation bump clears the extent memo and
+        // retires cached plans, and the new concept answers correctly.
+        ds.integrate(uprotein_spec()).unwrap();
+        assert!(ds.cached_extent_count() < cached || ds.cached_extent_count() == 0);
+        assert_eq!(ds.query_value("count <<UProtein>>").unwrap(), Value::Int(4));
+        // An uncovered federated object survives redundancy dropping and still
+        // answers through the rebuilt caches.
+        assert_eq!(
+            ds.query_value("count <<PEDRO_protein, PEDRO_organism>>")
+                .unwrap(),
+            Value::Int(2)
+        );
     }
 
     #[test]

@@ -28,6 +28,19 @@ pub struct Federation {
     pub definitions: ViewDefinitions,
 }
 
+impl Federation {
+    /// An extent provider answering queries over the federated schema against the
+    /// given registry (which must hold every member source under its own name).
+    /// The provider is `Sync`: it may be shared across threads, e.g. to serve the
+    /// zero-effort data services concurrently right after federating.
+    pub fn provider<'a>(
+        &'a self,
+        registry: &'a automed::wrapper::SourceRegistry,
+    ) -> automed::qp::evaluator::VirtualExtents<'a> {
+        automed::qp::evaluator::VirtualExtents::new(registry, &self.definitions)
+    }
+}
+
 /// The prefix applied to an object of schema `member` within the federated schema.
 ///
 /// Prefixes are the member schema's name in upper case, matching the provenance tags

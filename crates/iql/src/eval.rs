@@ -3,11 +3,9 @@
 //! # Comprehension planning
 //!
 //! Comprehensions are evaluated through a small per-comprehension plan rather than
-//! textbook nested recursion. Planning happens each time a `Comp` node is evaluated
-//! (plans borrow the AST and capture the current environment's view of generator
-//! sources) and recognises one rewrite that dominates integration workloads: the
-//! **equi-join shape** `…; p1 <- e1; p2 <- e2; x = y; …` that GAV unfolding and LAV
-//! reverse queries produce when two source extents are joined on a key.
+//! textbook nested recursion. The planner recognises the **equi-join shape**
+//! `…; p1 <- e1; p2 <- e2; x = y; …` that GAV unfolding and LAV reverse queries
+//! produce when two source extents are joined on a key.
 //!
 //! When a generator is immediately followed by one or more `Filter(Eq(Var, Var))`
 //! qualifiers whose two variables split across "bound by this generator's pattern"
@@ -22,22 +20,63 @@
 //! `s2 = s; k2 = k` pairs, and a composite `{source, key}` hash key is what makes
 //! those joins selective.
 //!
-//! Everything that does not match the shape — correlated generators (whose source
-//! mentions earlier variables), non-equality filters, filters over expressions rather
-//! than plain variables — falls back to exactly the nested-loop semantics, and the
-//! hash-join step itself preserves nested-loop **output order** (outer order first,
-//! inner source order within a key group), so planned and naive evaluation produce
-//! identical bags, duplicates and all — with the one exception of `NaN` join keys,
-//! where the filter's `=` (which treats `NaN` as equal to every float, see
-//! [`crate::value`]) and the hash probe disagree; extents of wrapped sources never
-//! contain `NaN`. [`Evaluator::with_nested_loops`] disables
-//! planning entirely; the property-test suite uses it as the reference semantics, and
-//! the benches use it to measure the planner's win.
+//! # Parallel extent fetch
 //!
-//! One deliberate strictness difference: a planned generator source is evaluated when
-//! the plan is built, even if the rows that would reach it are filtered out earlier
-//! (the naive evaluator only discovers errors — unknown scheme, `Any` extent — in
-//! qualifiers it actually reaches). Queries over well-formed schemas are unaffected.
+//! The sources the planner decides to evaluate at plan time (join build sides, and
+//! the leading generator of a reorderable join pair) are independent of each other
+//! by construction, so when there are two or more of them they are fetched on a
+//! small scoped-thread pool ([`std::thread::scope`]) rather than sequentially. This
+//! is why [`ExtentProvider`] requires [`Sync`]: the evaluator shares the provider
+//! across those worker threads. Results are stitched back in qualifier order, so
+//! evaluation (including which error surfaces first) stays deterministic.
+//! [`Evaluator::without_parallel_fetch`] forces sequential fetching.
+//!
+//! # Statistics-driven join ordering
+//!
+//! For the leading generator pair `p1 <- e1; p2 <- e2; <equi-run>` (no earlier
+//! bindings, every probe variable bound by `p1`), the planner collects both extent
+//! cardinalities and, when the *outer* extent is the smaller one, builds the hash
+//! index on it instead — the textbook "smallest extent builds the hash side" rule.
+//! Key selectivity is estimated from the freshly built hash-index bucket histogram
+//! (`probe rows × build rows / distinct keys`); if the estimated join output is
+//! disproportionate to the input sizes the reorder is abandoned (the final sort
+//! would dominate) and the textual orientation is kept. A reordered join iterates
+//! the big side, probes the small index, and then **restores the nested-loop output
+//! order** with a stable sort on the outer element's position — planned, reordered
+//! and naive evaluation produce identical bags in identical order.
+//! [`Evaluator::without_reorder`] disables the rule; [`Evaluator::explain`] exposes
+//! the per-join statistics ([`JoinStats`]) the decision was based on.
+//!
+//! # Plan caching
+//!
+//! Planning (and in particular evaluating + hash-indexing the build sides) is
+//! memoised per **expression identity** when a [`PlanCache`] is attached with
+//! [`Evaluator::with_plan_cache`]. The cache key is the pretty-printed
+//! comprehension; an entry is only stored when every plan-time-evaluated source is
+//! a *closed* expression (no free variables), so a cached plan can never smuggle
+//! environment-dependent data between evaluations. Entries are guarded by
+//! [`ExtentProvider::version`]: any provider mutation bumps the version and stale
+//! plans are transparently rebuilt. Pay-as-you-go workloads that re-run the same
+//! priority queries after every integration iteration therefore skip planning and
+//! index building entirely on re-runs.
+//!
+//! Everything that does not match the planned shapes — correlated generators (whose
+//! source mentions earlier variables), non-equality filters, filters over
+//! expressions rather than plain variables — falls back to exactly the nested-loop
+//! semantics, and every planned step preserves nested-loop **output order** (outer
+//! order first, inner source order within a key group), so planned and naive
+//! evaluation produce identical bags, duplicates and all — with the one exception
+//! of `NaN` join keys, where the filter's `=` (which treats `NaN` as equal to every
+//! float, see [`crate::value`]) and the hash probe disagree; extents of wrapped
+//! sources never contain `NaN`. [`Evaluator::with_nested_loops`] disables planning
+//! entirely; the property-test suite uses it as the reference semantics, and the
+//! benches use it to measure the planner's win.
+//!
+//! One deliberate strictness difference: a planned generator source is evaluated
+//! when the plan is built, even if the rows that would reach it are filtered out
+//! earlier (the naive evaluator only discovers errors — unknown scheme, `Any`
+//! extent — in qualifiers it actually reaches). Queries over well-formed schemas
+//! are unaffected.
 
 use crate::ast::{BinOp, Expr, Pattern, Qualifier, SchemeRef, UnOp};
 use crate::builtins;
@@ -45,8 +84,9 @@ use crate::env::{literal_value, match_pattern, Env};
 use crate::error::EvalError;
 use crate::rewrite;
 use crate::value::{Bag, Value};
-use std::collections::{BTreeSet, HashMap};
-use std::sync::Arc;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering as AtomicOrdering};
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 /// A source of extents for scheme references.
 ///
@@ -57,15 +97,59 @@ use std::sync::Arc;
 ///
 /// Extents are returned as `Arc<Bag>` so providers can serve cached bags without deep
 /// copies — the evaluator and all layered providers share one allocation per extent.
-pub trait ExtentProvider {
+///
+/// # The `Sync` contract
+///
+/// `ExtentProvider` requires [`Sync`]: the evaluator fetches independent generator
+/// extents on scoped worker threads, and layered providers (the `automed` virtual
+/// extent resolver) fan per-source contributions out the same way, so a provider
+/// must tolerate concurrent `extent` calls from multiple threads. Providers that
+/// memoise must use interior mutability that is safe under sharing (`RwLock`,
+/// atomics — **not** `RefCell`). Two threads may race to compute the same extent;
+/// that is allowed (both compute the same deterministic bag, last write wins) but a
+/// provider must never hand out a torn or partially built bag.
+pub trait ExtentProvider: Sync {
     /// Return the extent (a shared bag) of the schema object named by `scheme`.
     fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError>;
+
+    /// A version stamp for the provider's data, used to guard [`PlanCache`] entries.
+    ///
+    /// The contract: any mutation that can change the result of *any* `extent` call
+    /// must change the version (monotonically increasing counters are the easy way).
+    /// Immutable providers can keep the default constant `0`. A [`PlanCache`] must
+    /// only ever be shared between evaluators over the *same logical provider*: the
+    /// version guards staleness within one provider's lifetime, not identity across
+    /// different providers.
+    fn version(&self) -> u64 {
+        0
+    }
+
+    /// Whether a plain scheme-reference `extent` call is expensive enough that the
+    /// evaluator should overlap independent fetches on worker threads.
+    ///
+    /// Memoising in-memory providers (a wrapped database, a map of fixtures) answer
+    /// in near-constant time, and a thread spawn would cost more than it saves —
+    /// they keep the default `false`. Providers that *compute* extents by
+    /// reformulating and evaluating queries (the `automed` virtual-extent resolver)
+    /// return `true`. Sources that are compound expressions (not bare scheme
+    /// references) are always fetched in parallel regardless of this hint.
+    fn prefers_parallel_fetch(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a provider is expected.
 impl<P: ExtentProvider + ?Sized> ExtentProvider for &P {
     fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         (**self).extent(scheme)
+    }
+
+    fn version(&self) -> u64 {
+        (**self).version()
+    }
+
+    fn prefers_parallel_fetch(&self) -> bool {
+        (**self).prefers_parallel_fetch()
     }
 }
 
@@ -80,42 +164,320 @@ impl ExtentProvider for NoExtents {
     }
 }
 
-/// Evaluates IQL expressions against an [`ExtentProvider`].
-pub struct Evaluator<P> {
-    provider: P,
-    use_planner: bool,
+/// Acquire a read guard, ignoring poisoning (cache state is rebuildable).
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
 }
 
-/// One step of a planned comprehension (borrows the AST; indexes own their data).
-enum Step<'q> {
+/// Acquire a write guard, ignoring poisoning (cache state is rebuildable).
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// How a planned join step executes (reported by [`Evaluator::explain`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JoinStrategy {
+    /// Textual orientation: the earlier generator scans, the later one is hashed.
+    Hash,
+    /// Statistics-driven reorder: the *smaller, earlier* extent was hashed, the
+    /// bigger one scans, and output order is restored by a stable positional sort.
+    Reordered,
+}
+
+/// Per-join planning statistics: cardinalities and the hash-index bucket histogram
+/// the join-ordering decision was based on.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinStats {
+    /// The orientation the planner chose.
+    pub strategy: JoinStrategy,
+    /// Rows that survived pattern matching into the hash index (build side).
+    pub build_rows: usize,
+    /// Rows on the probing side, when the planner knew them (join-pair planning).
+    pub probe_rows: Option<usize>,
+    /// Number of distinct join keys in the hash index (histogram buckets).
+    pub distinct_keys: usize,
+    /// Largest bucket in the hash index (worst-case key skew).
+    pub max_bucket: usize,
+    /// Estimated join output cardinality: `probe_rows × build_rows / distinct_keys`
+    /// (present when `probe_rows` is known).
+    pub estimated_output: Option<f64>,
+}
+
+/// One step of a planned comprehension. Steps own their data (cloned AST fragments,
+/// built indexes behind `Arc`) so a plan can outlive the evaluation that built it
+/// and be shared through a [`PlanCache`].
+enum Step {
     /// Plain generator: evaluate the source per incoming row and iterate.
-    Iterate {
-        pattern: &'q Pattern,
-        source: &'q Expr,
-    },
+    Iterate { pattern: Pattern, source: Expr },
+    /// A generator whose source was already evaluated at plan time (leading
+    /// generator of a join pair whose reorder was considered but not taken).
+    Scan { pattern: Pattern, bag: Bag },
     /// A generator + run of equi-join filters fused into a hash join: the source was
     /// evaluated once and indexed by the (possibly composite) join key; each incoming
     /// row probes with the values of `probe_vars`.
     HashJoin {
-        pattern: &'q Pattern,
-        probe_vars: Vec<&'q str>,
-        index: HashMap<Value, Vec<Value>>,
+        pattern: Pattern,
+        probe_vars: Vec<String>,
+        index: Arc<HashMap<Value, Vec<Value>>>,
+    },
+    /// A statistics-reordered join pair, fully materialised at plan time with the
+    /// original nested-loop output order already restored: each row binds the outer
+    /// pattern to `.0` and the inner pattern to `.1`.
+    OrderedJoin {
+        outer: Pattern,
+        inner: Pattern,
+        rows: Arc<Vec<(Value, Value)>>,
     },
     /// A boolean filter.
-    Filter(&'q Expr),
+    Filter(Expr),
     /// A `let` qualifier.
+    Bind { pattern: Pattern, value: Expr },
+}
+
+/// A planned comprehension: the step list plus the statistics and cacheability
+/// verdict produced while planning.
+struct Plan {
+    steps: Vec<Step>,
+    join_stats: Vec<JoinStats>,
+    /// True when every plan-time-evaluated source was a closed expression, so the
+    /// baked-in indexes/rows are environment-independent and the plan may be cached.
+    cacheable: bool,
+}
+
+struct CacheEntry {
+    version: u64,
+    plan: Arc<Plan>,
+}
+
+/// A memo of built comprehension plans, keyed by expression identity.
+///
+/// # Knobs and contract
+///
+/// * Attach with [`Evaluator::with_plan_cache`]; share one cache across many
+///   evaluations of the same workload (e.g. one cache per dataspace).
+/// * Entries are keyed by the pretty-printed comprehension and guarded by
+///   [`ExtentProvider::version`]: when the provider mutates (insert, schema change)
+///   its version changes and stale plans rebuild transparently on next use.
+/// * A cache must only be shared between evaluators over the **same logical
+///   provider** — the version stamp detects staleness, not provider identity.
+/// * Only plans whose plan-time-evaluated sources are closed expressions are
+///   stored, so cached plans never capture environment-dependent data.
+/// * [`PlanCache::invalidate_all`] is the explicit invalidation hook for mutations
+///   a provider's version cannot see (e.g. swapping view definitions).
+#[derive(Debug, Default)]
+pub struct PlanCache {
+    entries: RwLock<HashMap<String, CacheEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl std::fmt::Debug for CacheEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheEntry")
+            .field("version", &self.version)
+            .field("steps", &self.plan.steps.len())
+            .finish()
+    }
+}
+
+impl PlanCache {
+    /// An empty plan cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Drop every cached plan (explicit invalidation hook).
+    pub fn invalidate_all(&self) {
+        write_lock(&self.entries).clear();
+    }
+
+    /// Number of cached plans.
+    pub fn len(&self) -> usize {
+        read_lock(&self.entries).len()
+    }
+
+    /// Whether the cache holds no plans.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lookups that returned a current plan.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Lookups that found nothing (or only a stale plan).
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(AtomicOrdering::Relaxed)
+    }
+
+    fn lookup(&self, key: &str, version: u64) -> Option<Arc<Plan>> {
+        let entries = read_lock(&self.entries);
+        match entries.get(key) {
+            Some(entry) if entry.version == version => {
+                self.hits.fetch_add(1, AtomicOrdering::Relaxed);
+                Some(Arc::clone(&entry.plan))
+            }
+            _ => {
+                self.misses.fetch_add(1, AtomicOrdering::Relaxed);
+                None
+            }
+        }
+    }
+
+    fn store(&self, key: String, version: u64, plan: Arc<Plan>) {
+        write_lock(&self.entries).insert(key, CacheEntry { version, plan });
+    }
+}
+
+/// Evaluates IQL expressions against an [`ExtentProvider`].
+pub struct Evaluator<P> {
+    provider: P,
+    use_planner: bool,
+    reorder: bool,
+    parallel: bool,
+    plan_cache: Option<Arc<PlanCache>>,
+}
+
+/// When the estimated join output exceeds this multiple of the combined input
+/// cardinalities, a reorder is abandoned: the order-restoring sort would dominate.
+const REORDER_OUTPUT_CAP: f64 = 16.0;
+
+/// A pre-planning classification of one or two fused qualifiers.
+enum Slot<'q> {
+    Filter(&'q Expr),
     Bind {
         pattern: &'q Pattern,
         value: &'q Expr,
     },
+    Gen {
+        pattern: &'q Pattern,
+        source: &'q Expr,
+    },
+    Fused {
+        pattern: &'q Pattern,
+        source: &'q Expr,
+        probe_vars: Vec<&'q str>,
+        build_vars: Vec<&'q str>,
+    },
+}
+
+/// Classify the qualifier list without evaluating anything: find the maximal
+/// generator + equi-filter runs that can fuse into hash joins (see module docs).
+fn analyse(qualifiers: &[Qualifier]) -> Vec<Slot<'_>> {
+    let mut slots = Vec::with_capacity(qualifiers.len());
+    let mut bound: BTreeSet<&str> = BTreeSet::new();
+    let mut i = 0;
+    while i < qualifiers.len() {
+        match &qualifiers[i] {
+            Qualifier::Filter(cond) => {
+                slots.push(Slot::Filter(cond));
+                i += 1;
+            }
+            Qualifier::Binding { pattern, value } => {
+                slots.push(Slot::Bind { pattern, value });
+                bound.extend(pattern.bound_vars());
+                i += 1;
+            }
+            Qualifier::Generator { pattern, source } => {
+                // Collect the maximal run of `x = y` filters directly after the
+                // generator whose sides split across pattern/earlier vars; they
+                // jointly form a (composite) equi-join key.
+                let mut probe_vars: Vec<&str> = Vec::new();
+                let mut build_vars: Vec<&str> = Vec::new();
+                let mut j = i + 1;
+                while let Some(Qualifier::Filter(cond)) = qualifiers.get(j) {
+                    let Some((probe, build)) = equi_join_key(cond, pattern) else {
+                        break;
+                    };
+                    probe_vars.push(probe);
+                    build_vars.push(build);
+                    j += 1;
+                }
+                // Fuse only when the join key actually varies per incoming row
+                // (some probe var is bound by an *earlier qualifier of this
+                // comprehension*). When every probe var already has its one value
+                // in the outer environment — e.g. a correlated nested
+                // comprehension re-planned per outer row — the "join" is a
+                // single-key selection, and building an index to probe it once
+                // costs more than the plain filtered scan it replaces.
+                let varies = probe_vars.iter().any(|v| bound.contains(v));
+                let independent = varies
+                    && rewrite::free_vars(source)
+                        .iter()
+                        .all(|v| !bound.contains(v.as_str()));
+                if independent {
+                    slots.push(Slot::Fused {
+                        pattern,
+                        source,
+                        probe_vars,
+                        build_vars,
+                    });
+                    bound.extend(pattern.bound_vars());
+                    i = j;
+                } else {
+                    slots.push(Slot::Gen { pattern, source });
+                    bound.extend(pattern.bound_vars());
+                    i += 1;
+                }
+            }
+        }
+    }
+    slots
+}
+
+/// Find the index of a leading join pair eligible for statistics-driven reordering:
+/// the first binding slot must be a plain generator, immediately followed by a fused
+/// generator whose probe variables are all bound by the leading pattern (so the join
+/// key can be extracted from either side alone).
+fn reorder_candidate(slots: &[Slot<'_>]) -> Option<usize> {
+    let mut first_gen = None;
+    for (i, slot) in slots.iter().enumerate() {
+        match slot {
+            Slot::Filter(_) => continue,
+            Slot::Gen { .. } => {
+                first_gen = Some(i);
+                break;
+            }
+            // A `let` before the first generator adds comp-local bindings the
+            // hoisted evaluation could not see; a fused slot cannot come first.
+            _ => return None,
+        }
+    }
+    let g = first_gen?;
+    let Slot::Gen { pattern: p1, .. } = &slots[g] else {
+        return None;
+    };
+    let Some(Slot::Fused { probe_vars, .. }) = slots.get(g + 1) else {
+        return None;
+    };
+    let p1_vars: BTreeSet<&str> = p1.bound_vars().into_iter().collect();
+    if probe_vars.iter().all(|v| p1_vars.contains(v)) {
+        Some(g)
+    } else {
+        None
+    }
+}
+
+/// Extract the (composite) join key named by `vars` from a matched environment.
+fn key_from(env: &Env, vars: &[&str]) -> Option<Value> {
+    let mut parts = Vec::with_capacity(vars.len());
+    for var in vars {
+        parts.push(env.get(var)?.clone());
+    }
+    Some(composite_key(parts))
 }
 
 impl<P: ExtentProvider> Evaluator<P> {
-    /// Create an evaluator over the given extent provider (hash-join planning on).
+    /// Create an evaluator over the given extent provider (hash-join planning,
+    /// statistics-driven reordering and parallel extent fetch all on; no plan cache).
     pub fn new(provider: P) -> Self {
         Evaluator {
             provider,
             use_planner: true,
+            reorder: true,
+            parallel: true,
+            plan_cache: None,
         }
     }
 
@@ -127,9 +489,39 @@ impl<P: ExtentProvider> Evaluator<P> {
         self
     }
 
+    /// Disable statistics-driven join reordering (keep textual join orientation).
+    pub fn without_reorder(mut self) -> Self {
+        self.reorder = false;
+        self
+    }
+
+    /// Fetch plan-time generator sources sequentially instead of on scoped threads.
+    pub fn without_parallel_fetch(mut self) -> Self {
+        self.parallel = false;
+        self
+    }
+
+    /// Memoise built plans in `cache` (see [`PlanCache`] for the sharing contract).
+    pub fn with_plan_cache(mut self, cache: Arc<PlanCache>) -> Self {
+        self.plan_cache = Some(cache);
+        self
+    }
+
     /// Evaluate an expression in an empty environment.
     pub fn eval_closed(&self, expr: &Expr) -> Result<Value, EvalError> {
         self.eval(expr, &Env::new())
+    }
+
+    /// Plan the top-level comprehension of `expr` (without executing it) and return
+    /// the per-join statistics the planner's ordering decisions were based on.
+    /// Non-comprehension expressions report no joins.
+    pub fn explain(&self, expr: &Expr, env: &Env) -> Result<Vec<JoinStats>, EvalError> {
+        match expr {
+            Expr::Comp { qualifiers, .. } => {
+                Ok(self.plan_comprehension(qualifiers, env)?.join_stats)
+            }
+            _ => Ok(Vec::new()),
+        }
     }
 
     /// Evaluate an expression in the given environment.
@@ -158,8 +550,8 @@ impl<P: ExtentProvider> Evaluator<P> {
             Expr::Comp { head, qualifiers } => {
                 let mut out = Bag::empty();
                 if self.use_planner {
-                    let steps = self.plan_comprehension(qualifiers, env)?;
-                    self.exec_plan(head, &steps, env, &mut out)?;
+                    let plan = self.plan_for(expr, qualifiers, env)?;
+                    self.exec_plan(head, &plan.steps, env, &mut out)?;
                 } else {
                     self.eval_comprehension(head, qualifiers, env, &mut out)?;
                 }
@@ -223,114 +615,161 @@ impl<P: ExtentProvider> Evaluator<P> {
         }
     }
 
-    /// Build the step list for a comprehension, fusing generator + equi-join filter
-    /// pairs into hash joins where the join shape is detected (see module docs).
-    fn plan_comprehension<'q>(
+    /// Fetch a comprehension's plan: from the attached [`PlanCache`] when current,
+    /// otherwise by planning now (storing the result when it is cacheable).
+    fn plan_for(
         &self,
-        qualifiers: &'q [Qualifier],
+        comp: &Expr,
+        qualifiers: &[Qualifier],
         env: &Env,
-    ) -> Result<Vec<Step<'q>>, EvalError> {
-        let mut steps = Vec::with_capacity(qualifiers.len());
-        let mut bound: BTreeSet<&str> = BTreeSet::new();
-        let mut i = 0;
-        while i < qualifiers.len() {
-            match &qualifiers[i] {
-                Qualifier::Filter(cond) => {
-                    steps.push(Step::Filter(cond));
-                    i += 1;
-                }
-                Qualifier::Binding { pattern, value } => {
-                    steps.push(Step::Bind { pattern, value });
-                    bound.extend(pattern.bound_vars());
-                    i += 1;
-                }
-                Qualifier::Generator { pattern, source } => {
-                    // Collect the maximal run of `x = y` filters directly after the
-                    // generator whose sides split across pattern/earlier vars; they
-                    // jointly form a (composite) equi-join key.
-                    let mut probe_vars: Vec<&str> = Vec::new();
-                    let mut build_vars: Vec<&str> = Vec::new();
-                    let mut j = i + 1;
-                    while let Some(Qualifier::Filter(cond)) = qualifiers.get(j) {
-                        let Some((probe, build)) = equi_join_key(cond, pattern) else {
-                            break;
-                        };
-                        probe_vars.push(probe);
-                        build_vars.push(build);
-                        j += 1;
-                    }
-                    // Fuse only when the join key actually varies per incoming row
-                    // (some probe var is bound by an *earlier qualifier of this
-                    // comprehension*). When every probe var already has its one value
-                    // in the outer environment — e.g. a correlated nested
-                    // comprehension re-planned per outer row — the "join" is a
-                    // single-key selection, and building an index to probe it once
-                    // costs more than the plain filtered scan it replaces.
-                    let varies = probe_vars.iter().any(|v| bound.contains(v));
-                    let independent = varies
-                        && rewrite::free_vars(source)
-                            .iter()
-                            .all(|v| !bound.contains(v.as_str()));
-                    if independent {
-                        let index = self.build_join_index(pattern, source, &build_vars, env)?;
-                        steps.push(Step::HashJoin {
-                            pattern,
-                            probe_vars,
-                            index,
-                        });
-                        bound.extend(pattern.bound_vars());
-                        i = j;
-                        continue;
-                    }
-                    steps.push(Step::Iterate { pattern, source });
-                    bound.extend(pattern.bound_vars());
-                    i += 1;
-                }
-            }
+    ) -> Result<Arc<Plan>, EvalError> {
+        let Some(cache) = &self.plan_cache else {
+            return Ok(Arc::new(self.plan_comprehension(qualifiers, env)?));
+        };
+        let key = crate::pretty::print(comp);
+        let version = self.provider.version();
+        if let Some(plan) = cache.lookup(&key, version) {
+            return Ok(plan);
         }
-        Ok(steps)
+        let plan = Arc::new(self.plan_comprehension(qualifiers, env)?);
+        if plan.cacheable {
+            cache.store(key, version, Arc::clone(&plan));
+        }
+        Ok(plan)
     }
 
-    /// Evaluate a join source once and group its elements by the values the pattern
-    /// binds to `build_vars` (a composite key when there are several). Elements the
-    /// pattern rejects are dropped, exactly as the nested loop would skip them.
-    fn build_join_index(
+    /// Evaluate the plan-time sources, in parallel on scoped threads when there are
+    /// at least two (they are independent by construction). Results and errors are
+    /// reassembled in qualifier order so evaluation stays deterministic.
+    fn eval_sources(
         &self,
-        pattern: &Pattern,
-        source: &Expr,
-        build_vars: &[&str],
+        wanted: &[(usize, &Expr)],
         env: &Env,
-    ) -> Result<HashMap<Value, Vec<Value>>, EvalError> {
-        let bag = self.eval(source, env)?.expect_bag()?;
-        let mut index: HashMap<Value, Vec<Value>> = HashMap::new();
-        for element in bag.iter() {
-            let mut scratch = env.clone();
-            if match_pattern(pattern, element, &mut scratch)? {
-                let mut parts = Vec::with_capacity(build_vars.len());
-                for var in build_vars {
-                    match scratch.get(var) {
-                        Some(v) => parts.push(v.clone()),
-                        None => break,
-                    }
-                }
-                if parts.len() == build_vars.len() {
-                    index
-                        .entry(composite_key(parts))
-                        .or_default()
-                        .push(element.clone());
-                }
+    ) -> Result<BTreeMap<usize, Bag>, EvalError> {
+        let mut out = BTreeMap::new();
+        // Worker threads only pay off when fetching actually computes something:
+        // either the provider says scheme resolution is expensive, or a source is a
+        // compound expression evaluated right here.
+        let worthwhile = self.provider.prefers_parallel_fetch()
+            || wanted
+                .iter()
+                .any(|(_, source)| !matches!(source, Expr::Scheme(_)));
+        if self.parallel && worthwhile && wanted.len() >= 2 {
+            let results: Vec<Result<Bag, EvalError>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = wanted
+                    .iter()
+                    .map(|(_, source)| {
+                        scope.spawn(move || self.eval(source, env).and_then(|v| v.expect_bag()))
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("extent fetch thread panicked"))
+                    .collect()
+            });
+            for ((i, _), result) in wanted.iter().zip(results) {
+                out.insert(*i, result?);
+            }
+        } else {
+            for (i, source) in wanted {
+                out.insert(*i, self.eval(source, env)?.expect_bag()?);
             }
         }
-        Ok(index)
+        Ok(out)
+    }
+
+    /// Build the step list for a comprehension: classify qualifiers, prefetch every
+    /// plan-time source (in parallel), apply the statistics-driven reorder to a
+    /// leading join pair when profitable, and fuse the remaining equi-join runs into
+    /// hash joins (see module docs).
+    fn plan_comprehension(&self, qualifiers: &[Qualifier], env: &Env) -> Result<Plan, EvalError> {
+        let slots = analyse(qualifiers);
+        let candidate = if self.reorder {
+            reorder_candidate(&slots)
+        } else {
+            None
+        };
+        let mut wanted: Vec<(usize, &Expr)> = Vec::new();
+        for (i, slot) in slots.iter().enumerate() {
+            match slot {
+                Slot::Fused { source, .. } => wanted.push((i, source)),
+                Slot::Gen { source, .. } if Some(i) == candidate => wanted.push((i, source)),
+                _ => {}
+            }
+        }
+        let mut bags = self.eval_sources(&wanted, env)?;
+        let cacheable = wanted
+            .iter()
+            .all(|(_, source)| rewrite::free_vars(source).is_empty());
+
+        let mut steps = Vec::with_capacity(slots.len());
+        let mut join_stats = Vec::new();
+        let mut i = 0;
+        while i < slots.len() {
+            if Some(i) == candidate {
+                let Slot::Gen { pattern: p1, .. } = &slots[i] else {
+                    unreachable!("candidate is a plain generator");
+                };
+                let Slot::Fused {
+                    pattern: p2,
+                    probe_vars,
+                    build_vars,
+                    ..
+                } = &slots[i + 1]
+                else {
+                    unreachable!("candidate is followed by a fused generator");
+                };
+                let bag1 = bags.remove(&i).expect("prefetched outer source");
+                let bag2 = bags.remove(&(i + 1)).expect("prefetched inner source");
+                let (pair_steps, stats) =
+                    plan_join_pair(p1, p2, probe_vars, build_vars, bag1, bag2, env)?;
+                steps.extend(pair_steps);
+                join_stats.push(stats);
+                i += 2;
+                continue;
+            }
+            match &slots[i] {
+                Slot::Filter(cond) => steps.push(Step::Filter((*cond).clone())),
+                Slot::Bind { pattern, value } => steps.push(Step::Bind {
+                    pattern: (*pattern).clone(),
+                    value: (*value).clone(),
+                }),
+                Slot::Gen { pattern, source } => steps.push(Step::Iterate {
+                    pattern: (*pattern).clone(),
+                    source: (*source).clone(),
+                }),
+                Slot::Fused {
+                    pattern,
+                    probe_vars,
+                    build_vars,
+                    ..
+                } => {
+                    let bag = bags.remove(&i).expect("prefetched build source");
+                    let (index, stats) = build_index(pattern, &bag, build_vars, env, None)?;
+                    join_stats.push(stats);
+                    steps.push(Step::HashJoin {
+                        pattern: (*pattern).clone(),
+                        probe_vars: probe_vars.iter().map(|v| v.to_string()).collect(),
+                        index: Arc::new(index),
+                    });
+                }
+            }
+            i += 1;
+        }
+        Ok(Plan {
+            steps,
+            join_stats,
+            cacheable,
+        })
     }
 
     /// Run a planned comprehension. Mirrors [`Self::eval_comprehension`] step for
-    /// step; the hash-join arm visits the same elements the nested loop's filter
+    /// step; every join arm visits the same elements the nested loop's filter
     /// would accept, in the same order.
     fn exec_plan(
         &self,
         head: &Expr,
-        steps: &[Step<'_>],
+        steps: &[Step],
         env: &Env,
         out: &mut Bag,
     ) -> Result<(), EvalError> {
@@ -363,6 +802,15 @@ impl<P: ExtentProvider> Evaluator<P> {
                 }
                 Ok(())
             }
+            Some((Step::Scan { pattern, bag }, rest)) => {
+                for element in bag.iter() {
+                    let mut inner = env.clone();
+                    if match_pattern(pattern, element, &mut inner)? {
+                        self.exec_plan(head, rest, &inner, out)?;
+                    }
+                }
+                Ok(())
+            }
             Some((
                 Step::HashJoin {
                     pattern,
@@ -384,6 +832,16 @@ impl<P: ExtentProvider> Evaluator<P> {
                         if match_pattern(pattern, element, &mut inner)? {
                             self.exec_plan(head, rest, &inner, out)?;
                         }
+                    }
+                }
+                Ok(())
+            }
+            Some((Step::OrderedJoin { outer, inner, rows }, rest)) => {
+                for (a, b) in rows.iter() {
+                    let mut bound = env.clone();
+                    if match_pattern(outer, a, &mut bound)? && match_pattern(inner, b, &mut bound)?
+                    {
+                        self.exec_plan(head, rest, &bound, out)?;
                     }
                 }
                 Ok(())
@@ -508,6 +966,129 @@ impl<P: ExtentProvider> Evaluator<P> {
     }
 }
 
+/// Plan the leading join pair `p1 <- bag1; p2 <- bag2; <equi-run>` using the two
+/// cardinalities: when the outer extent is smaller, hash *it*, iterate the bigger
+/// inner extent, and restore the nested-loop output order with a stable positional
+/// sort; otherwise keep the textual orientation (scan outer, hash inner). The
+/// reorder is abandoned when the bucket-histogram output estimate says the sort
+/// would dominate.
+fn plan_join_pair(
+    p1: &Pattern,
+    p2: &Pattern,
+    probe_vars: &[&str],
+    build_vars: &[&str],
+    bag1: Bag,
+    bag2: Bag,
+    env: &Env,
+) -> Result<(Vec<Step>, JoinStats), EvalError> {
+    let (n1, n2) = (bag1.len(), bag2.len());
+    if n1 < n2 {
+        // Index the smaller outer side, remembering each element's position so the
+        // output order can be restored after probing in inner-extent order.
+        let mut index1: HashMap<Value, Vec<(usize, Value)>> = HashMap::new();
+        let mut indexed = 0usize;
+        for (pos, element) in bag1.iter().enumerate() {
+            let mut scratch = env.clone();
+            if match_pattern(p1, element, &mut scratch)? {
+                // Probe vars are all bound by p1 (reorder_candidate guarantees it).
+                if let Some(key) = key_from(&scratch, probe_vars) {
+                    index1.entry(key).or_default().push((pos, element.clone()));
+                    indexed += 1;
+                }
+            }
+        }
+        let distinct = index1.len();
+        let max_bucket = index1.values().map(Vec::len).max().unwrap_or(0);
+        let estimated = n2 as f64 * indexed as f64 / distinct.max(1) as f64;
+        if estimated <= REORDER_OUTPUT_CAP * (n1 + n2 + 1) as f64 {
+            let mut tagged: Vec<(usize, Value, Value)> = Vec::new();
+            for element in bag2.iter() {
+                let mut scratch = env.clone();
+                if match_pattern(p2, element, &mut scratch)? {
+                    if let Some(key) = key_from(&scratch, build_vars) {
+                        if let Some(matches) = index1.get(&key) {
+                            for (pos, outer_el) in matches {
+                                tagged.push((*pos, outer_el.clone(), element.clone()));
+                            }
+                        }
+                    }
+                }
+            }
+            // Stable sort on the outer position: rows for one outer element keep
+            // their inner-extent order, restoring the nested-loop output order.
+            tagged.sort_by_key(|(pos, _, _)| *pos);
+            let rows: Vec<(Value, Value)> = tagged.into_iter().map(|(_, a, b)| (a, b)).collect();
+            return Ok((
+                vec![Step::OrderedJoin {
+                    outer: p1.clone(),
+                    inner: p2.clone(),
+                    rows: Arc::new(rows),
+                }],
+                JoinStats {
+                    strategy: JoinStrategy::Reordered,
+                    build_rows: indexed,
+                    probe_rows: Some(n2),
+                    distinct_keys: distinct,
+                    max_bucket,
+                    estimated_output: Some(estimated),
+                },
+            ));
+        }
+    }
+    // Textual orientation: the outer side scans (already evaluated — reuse the
+    // bag), the inner side is hashed.
+    let (index, stats) = build_index(p2, &bag2, build_vars, env, Some(n1))?;
+    Ok((
+        vec![
+            Step::Scan {
+                pattern: p1.clone(),
+                bag: bag1,
+            },
+            Step::HashJoin {
+                pattern: p2.clone(),
+                probe_vars: probe_vars.iter().map(|v| v.to_string()).collect(),
+                index: Arc::new(index),
+            },
+        ],
+        stats,
+    ))
+}
+
+/// Group a build-side bag's elements by the values the pattern binds to
+/// `build_vars` (a composite key when there are several), collecting the bucket
+/// histogram as statistics. Elements the pattern rejects are dropped, exactly as
+/// the nested loop would skip them.
+fn build_index(
+    pattern: &Pattern,
+    bag: &Bag,
+    build_vars: &[&str],
+    env: &Env,
+    probe_rows: Option<usize>,
+) -> Result<(HashMap<Value, Vec<Value>>, JoinStats), EvalError> {
+    let mut index: HashMap<Value, Vec<Value>> = HashMap::new();
+    let mut indexed = 0usize;
+    for element in bag.iter() {
+        let mut scratch = env.clone();
+        if match_pattern(pattern, element, &mut scratch)? {
+            if let Some(key) = key_from(&scratch, build_vars) {
+                index.entry(key).or_default().push(element.clone());
+                indexed += 1;
+            }
+        }
+    }
+    let distinct = index.len();
+    let max_bucket = index.values().map(Vec::len).max().unwrap_or(0);
+    let stats = JoinStats {
+        strategy: JoinStrategy::Hash,
+        build_rows: indexed,
+        probe_rows,
+        distinct_keys: distinct,
+        max_bucket,
+        estimated_output: probe_rows.map(|n| n as f64 * indexed as f64 / distinct.max(1) as f64),
+    };
+    Ok((index, stats))
+}
+
 /// Assemble a join key from its component values (single components stay bare so a
 /// one-column join key compares exactly like the filter would).
 fn composite_key(mut parts: Vec<Value>) -> Value {
@@ -566,11 +1147,20 @@ mod tests {
         Evaluator::new(fixture()).eval_closed(&q).unwrap()
     }
 
-    /// Evaluate with the planner and with nested loops; both must agree exactly
+    /// Evaluate with the planner (all optimisations), with reordering disabled,
+    /// with sequential fetch, and with nested loops; all four must agree exactly
     /// (including element order).
     fn run_both_ways(query: &str) -> Value {
         let q = parse(query).unwrap();
         let planned = Evaluator::new(fixture()).eval_closed(&q).unwrap();
+        let unordered = Evaluator::new(fixture())
+            .without_reorder()
+            .eval_closed(&q)
+            .unwrap();
+        let sequential = Evaluator::new(fixture())
+            .without_parallel_fetch()
+            .eval_closed(&q)
+            .unwrap();
         let naive = Evaluator::new(fixture())
             .with_nested_loops()
             .eval_closed(&q)
@@ -580,6 +1170,8 @@ mod tests {
         } else {
             assert_eq!(planned, naive, "planned vs naive for {query}");
         }
+        assert_eq!(planned, unordered, "reorder changed answers for {query}");
+        assert_eq!(planned, sequential, "parallel changed answers for {query}");
         planned
     }
 
@@ -859,5 +1451,268 @@ mod tests {
         assert_eq!(run("2 < 3"), Value::Bool(true));
         assert_eq!(run("'abc' <> 'abd'"), Value::Bool(true));
         assert_eq!(run("3 >= 3"), Value::Bool(true));
+    }
+
+    // ---------- statistics-driven reordering ----------
+
+    /// A fixture where the textual join order is wrong: the outer extent is tiny
+    /// and the inner extent is large, so the planner should hash the outer side.
+    fn skewed_fixture() -> MapExtents {
+        let mut m = MapExtents::new();
+        m.insert_pairs("small,v", vec![(1, "a"), (2, "b"), (2, "b2")]);
+        m.insert(
+            "big,v",
+            Bag::from_values(
+                (0..200)
+                    .map(|i| Value::pair(Value::Int(i % 5), Value::str(format!("x{i}"))))
+                    .collect(),
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn reordered_join_picks_smaller_build_side_and_preserves_order() {
+        let m = skewed_fixture();
+        let q =
+            parse("[{x, y} | {k1, x} <- <<small, v>>; {k2, y} <- <<big, v>>; k2 = k1]").unwrap();
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items(),
+            "reordered join must preserve nested-loop output order"
+        );
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].strategy, JoinStrategy::Reordered);
+        assert_eq!(stats[0].build_rows, 3, "small side builds the hash index");
+        assert_eq!(stats[0].probe_rows, Some(200));
+        assert_eq!(stats[0].distinct_keys, 2);
+        assert_eq!(stats[0].max_bucket, 2);
+    }
+
+    #[test]
+    fn textual_order_kept_when_outer_is_bigger() {
+        let m = skewed_fixture();
+        let q =
+            parse("[{x, y} | {k1, x} <- <<big, v>>; {k2, y} <- <<small, v>>; k2 = k1]").unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].strategy, JoinStrategy::Hash);
+        assert_eq!(stats[0].build_rows, 3, "small side still builds the index");
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn reorder_abandoned_when_output_estimate_explodes() {
+        // Every key is identical: the join is a near-cross-product, the output
+        // estimate blows past the cap and the planner must keep textual order.
+        let mut m = MapExtents::new();
+        m.insert(
+            "l,v",
+            Bag::from_values(
+                (0..40)
+                    .map(|i| Value::pair(Value::Int(1), Value::str(format!("l{i}"))))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "r,v",
+            Bag::from_values(
+                (0..90)
+                    .map(|i| Value::pair(Value::Int(1), Value::str(format!("r{i}"))))
+                    .collect(),
+            ),
+        );
+        let q = parse("[{x, y} | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k2 = k1]").unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats[0].strategy, JoinStrategy::Hash);
+        assert!(stats[0].estimated_output.unwrap() > 3600.0 - 1.0);
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn reordered_composite_key_join_agrees_with_naive() {
+        let mut m = MapExtents::new();
+        m.insert(
+            "acc",
+            Bag::from_values(vec![
+                Value::tuple(vec![Value::str("PEDRO"), Value::Int(1), Value::str("A")]),
+                Value::tuple(vec![Value::str("gpmDB"), Value::Int(2), Value::str("B")]),
+            ]),
+        );
+        m.insert(
+            "descr",
+            Bag::from_values(
+                (0..50)
+                    .map(|i| {
+                        Value::tuple(vec![
+                            Value::str(if i % 2 == 0 { "PEDRO" } else { "gpmDB" }),
+                            Value::Int(i % 4),
+                            Value::str(format!("d{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        let q = parse("[{x, d} | {s, k, x} <- <<acc>>; {s2, k2, d} <- <<descr>>; s2 = s; k2 = k]")
+            .unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats[0].strategy, JoinStrategy::Reordered);
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    // ---------- plan caching ----------
+
+    #[test]
+    fn plan_cache_hits_on_rerun_and_skips_replanning() {
+        let m = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let q = parse(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; k = k2]",
+        )
+        .unwrap();
+        let first = ev.eval_closed(&q).unwrap();
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.hit_count(), 0);
+        let second = ev.eval_closed(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.hit_count(), 1);
+        // A fresh evaluator over the same provider shares the cached plan.
+        let ev2 = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        assert_eq!(ev2.eval_closed(&q).unwrap(), first);
+        assert_eq!(cache.hit_count(), 2);
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_provider_version_change() {
+        let mut m = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let q = parse(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; k = k2]",
+        )
+        .unwrap();
+        let before = Evaluator::new(&m)
+            .with_plan_cache(Arc::clone(&cache))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(before.expect_bag().unwrap().len(), 2);
+        // Mutating the provider bumps its version; the stale plan must not serve.
+        m.insert_pairs(
+            "protein,organism",
+            vec![(1, "human"), (2, "mouse"), (3, "yeast")],
+        );
+        let after = Evaluator::new(&m)
+            .with_plan_cache(Arc::clone(&cache))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(after.expect_bag().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn correlated_nested_comprehensions_are_cacheable_only_when_closed() {
+        let m = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        // The inner comprehension's generator source mentions the outer variable k:
+        // its plan bakes in no data (plain iterate + filter), so it may cache, and
+        // re-running per outer row must keep per-row answers correct.
+        let q = parse(
+            "[{k, count [s | {k2, s} <- <<peptidehit, score>>; k2 = k]} | k <- [10, 11, 99]]",
+        )
+        .unwrap();
+        let v = ev.eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(v, naive);
+        // An env-dependent *fused* source must never be stored: craft one where the
+        // join build side mentions an outer variable.
+        let q2 = parse("[{k, x} | k <- <<protein>>; x <- [n | n <- [k]]; x = k]").unwrap();
+        let v2 = ev.eval_closed(&q2).unwrap();
+        let naive2 = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q2)
+            .unwrap();
+        assert_eq!(v2, naive2);
+    }
+
+    #[test]
+    fn plan_cache_explicit_invalidation_hook() {
+        let m = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let q = parse(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; k = k2]",
+        )
+        .unwrap();
+        ev.eval_closed(&q).unwrap();
+        assert!(!cache.is_empty());
+        cache.invalidate_all();
+        assert!(cache.is_empty());
+        ev.eval_closed(&q).unwrap();
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn explain_reports_no_joins_for_selections() {
+        let m = fixture();
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = 2]").unwrap();
+        assert!(Evaluator::new(&m)
+            .explain(&q, &Env::new())
+            .unwrap()
+            .is_empty());
+    }
+
+    #[test]
+    fn parallel_fetch_reports_first_error_in_qualifier_order() {
+        // Two fused sources, both unknown: the error must deterministically be the
+        // textually first one, with or without parallel fetch.
+        let mut fixture_one = MapExtents::new();
+        fixture_one.insert_keys("keys", vec![1]);
+        let q = parse(
+            "[{a, b} | k <- <<keys>>; {k2, a} <- <<missing1>>; k2 = k; {k3, b} <- <<missing2>>; k3 = k]",
+        )
+        .unwrap();
+        let parallel_err = Evaluator::new(&fixture_one).eval_closed(&q).unwrap_err();
+        let sequential_err = Evaluator::new(&fixture_one)
+            .without_parallel_fetch()
+            .eval_closed(&q)
+            .unwrap_err();
+        assert_eq!(parallel_err, sequential_err);
+        assert!(
+            matches!(&parallel_err, EvalError::UnknownScheme(s) if s.key() == "missing1"),
+            "expected missing1 first, got {parallel_err:?}"
+        );
     }
 }

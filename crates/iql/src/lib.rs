@@ -55,7 +55,7 @@ pub mod value;
 
 pub use ast::{BinOp, Expr, Literal, Pattern, Qualifier, SchemeRef, UnOp};
 pub use error::{EvalError, ParseError};
-pub use eval::{Evaluator, ExtentProvider};
+pub use eval::{Evaluator, ExtentProvider, JoinStats, JoinStrategy, PlanCache};
 pub use value::{Bag, Value};
 
 use std::collections::BTreeMap;
@@ -76,6 +76,9 @@ pub fn parse(input: &str) -> Result<Expr, ParseError> {
 #[derive(Debug, Clone, Default)]
 pub struct MapExtents {
     extents: BTreeMap<String, Arc<Bag>>,
+    /// Bumped on every mutation so attached [`PlanCache`]s invalidate (see
+    /// [`ExtentProvider::version`]).
+    version: u64,
 }
 
 impl MapExtents {
@@ -88,6 +91,7 @@ impl MapExtents {
     pub fn insert(&mut self, scheme_key: impl Into<String>, bag: Bag) {
         self.extents
             .insert(normalise_key(&scheme_key.into()), Arc::new(bag));
+        self.version += 1;
     }
 
     /// Convenience: insert a bag of `{key, value}` pairs for a column-like scheme.
@@ -132,6 +136,10 @@ impl ExtentProvider for MapExtents {
             .get(&key)
             .cloned()
             .ok_or(EvalError::UnknownScheme(scheme.clone()))
+    }
+
+    fn version(&self) -> u64 {
+        self.version
     }
 }
 

@@ -3,9 +3,9 @@
 use crate::error::RelError;
 use crate::schema::{DataType, RelSchema, RelTable};
 use iql::value::{Bag, Value};
-use std::cell::RefCell;
 use std::collections::BTreeMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
 
 /// A row of a table: one IQL value per column, in declaration order.
 pub type Row = Vec<Value>;
@@ -15,13 +15,41 @@ pub type Row = Vec<Value>;
 /// Inserts are validated against the schema (arity, types, nullability, primary-key
 /// uniqueness). The database also acts as an [`iql::ExtentProvider`] through the
 /// wrapper in [`crate::wrapper`], so IQL queries can be evaluated directly against it;
-/// computed extents are memoised per scheme (shared `Arc<Bag>` handles, invalidated on
-/// insert) so repeated queries never rebuild or deep-copy an extent.
-#[derive(Debug, Clone)]
+/// computed extents are memoised per scheme (shared `Arc<Bag>` handles) so repeated
+/// queries never rebuild or deep-copy an extent.
+///
+/// The extent memo sits behind an [`RwLock`] (not a `RefCell`), so a shared
+/// `&Database` can serve concurrent queries from many threads — the
+/// [`iql::ExtentProvider`] `Sync` contract. Inserts (which need `&mut self`)
+/// maintain cached extents **incrementally**: the new row's contribution is appended
+/// to each affected cached bag (copy-on-write) instead of throwing the bag away, so
+/// streaming loads interleaved with queries stay linear instead of quadratic.
+/// Every insert also bumps a monotonic version stamp, which is what invalidates any
+/// [`iql::PlanCache`] entries whose hash-join indexes baked in the old extents.
+#[derive(Debug)]
 pub struct Database {
     schema: RelSchema,
     rows: BTreeMap<String, Vec<Row>>,
-    extent_cache: RefCell<BTreeMap<String, Arc<Bag>>>,
+    extent_cache: RwLock<BTreeMap<String, Arc<Bag>>>,
+    version: AtomicU64,
+}
+
+impl Clone for Database {
+    /// Cloning carries the memoised extents along (shared `Arc` handles, no deep
+    /// copy) and the current version stamp.
+    fn clone(&self) -> Self {
+        Database {
+            schema: self.schema.clone(),
+            rows: self.rows.clone(),
+            extent_cache: RwLock::new(
+                self.extent_cache
+                    .read()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+            version: AtomicU64::new(self.version.load(Ordering::Relaxed)),
+        }
+    }
 }
 
 impl PartialEq for Database {
@@ -29,6 +57,17 @@ impl PartialEq for Database {
     fn eq(&self, other: &Self) -> bool {
         self.schema == other.schema && self.rows == other.rows
     }
+}
+
+/// What an insert does to one cached extent.
+enum Delta {
+    /// The extent does not cover the inserted row (different table, or a null
+    /// column value the extent omits): keep the cached bag as is.
+    Unchanged,
+    /// The extent gains exactly this element: append it to the cached bag.
+    Append(Value),
+    /// The key shape is not understood: drop the entry and let it recompute.
+    Drop,
 }
 
 impl Database {
@@ -41,29 +80,77 @@ impl Database {
         Database {
             schema,
             rows,
-            extent_cache: RefCell::new(BTreeMap::new()),
+            extent_cache: RwLock::new(BTreeMap::new()),
+            version: AtomicU64::new(0),
         }
     }
 
     /// Cached extent for a scheme key, if previously computed.
     pub(crate) fn cached_extent(&self, scheme_key: &str) -> Option<Arc<Bag>> {
-        self.extent_cache.borrow().get(scheme_key).cloned()
+        self.extent_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(scheme_key)
+            .cloned()
     }
 
     /// Memoise a computed extent.
     pub(crate) fn store_extent(&self, scheme_key: String, bag: Arc<Bag>) {
-        self.extent_cache.borrow_mut().insert(scheme_key, bag);
+        self.extent_cache
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+            .insert(scheme_key, bag);
     }
 
-    /// Drop every cached extent touching `table`. Scheme keys mention the table as
-    /// some comma-segment — first for abbreviated schemes (`protein`,
-    /// `protein,accession_num`), later for fully-qualified ones
-    /// (`sql,table,protein`) — so any key containing the segment is dropped.
-    /// Over-invalidation (a column sharing the table's name) only costs a recompute.
-    fn invalidate_extents(&mut self, table: &str) {
-        self.extent_cache
+    /// The database's data version: bumped on every mutation, so plan caches keyed
+    /// on [`iql::ExtentProvider::version`] invalidate (see [`iql::PlanCache`]).
+    pub fn data_version(&self) -> u64 {
+        self.version.load(Ordering::Acquire)
+    }
+
+    /// Plan the incremental extent maintenance for inserting `row` into `table`:
+    /// for each cached key, the element to append (`Some`) or a drop marker
+    /// (`None`). Computed *before* the row is moved into storage so the insert
+    /// path clones neither the row nor the table metadata.
+    fn extent_deltas(&self, table: &RelTable, row: &Row) -> Vec<(String, Option<Value>)> {
+        let cache = self
+            .extent_cache
+            .read()
+            .unwrap_or_else(PoisonError::into_inner);
+        cache
+            .keys()
+            .filter_map(|key| match extent_insert_delta(key, table, row) {
+                Delta::Unchanged => None,
+                Delta::Append(value) => Some((key.clone(), Some(value))),
+                Delta::Drop => Some((key.clone(), None)),
+            })
+            .collect()
+    }
+
+    /// Apply planned deltas: append the row's contribution to each cached bag
+    /// (copy-on-write — O(delta) when the bag is unshared, one copy when a reader
+    /// still holds the old handle) instead of invalidating per table. Keys whose
+    /// shape was not understood are dropped and recompute lazily.
+    fn apply_extent_deltas(&mut self, deltas: Vec<(String, Option<Value>)>) {
+        if deltas.is_empty() {
+            return;
+        }
+        let cache = self
+            .extent_cache
             .get_mut()
-            .retain(|key, _| key.split(',').all(|part| part != table));
+            .unwrap_or_else(PoisonError::into_inner);
+        for (key, delta) in deltas {
+            match delta {
+                Some(value) => {
+                    if let Some(bag) = cache.get_mut(&key) {
+                        Arc::make_mut(bag).push(value);
+                    }
+                }
+                None => {
+                    cache.remove(&key);
+                }
+            }
+        }
     }
 
     /// The database's schema.
@@ -107,8 +194,10 @@ impl Database {
                 });
             }
         }
+        let deltas = self.extent_deltas(t, &row);
         self.rows.entry(table.to_string()).or_default().push(row);
-        self.invalidate_extents(table);
+        self.apply_extent_deltas(deltas);
+        self.version.fetch_add(1, Ordering::AcqRel);
         Ok(())
     }
 
@@ -170,6 +259,46 @@ impl Database {
                 .collect(),
             None => Vec::new(),
         }
+    }
+}
+
+/// The contribution one inserted row makes to the cached extent stored under
+/// `key`, mirroring the wrapper conventions of [`crate::wrapper::extent_of`]:
+/// a table scheme gains the row's primary-key value, a column scheme gains a
+/// `{key, value}` pair (nothing when the column value is null), schemes over other
+/// tables are untouched, and fully-qualified `sql,…` keys are stripped and retried.
+fn extent_insert_delta(key: &str, table: &RelTable, row: &Row) -> Delta {
+    let parts: Vec<&str> = key.split(',').collect();
+    delta_for_parts(&parts, table, row)
+}
+
+fn delta_for_parts(parts: &[&str], table: &RelTable, row: &Row) -> Delta {
+    match parts {
+        [t] => {
+            if *t == table.name {
+                Delta::Append(key_of(table, row))
+            } else {
+                Delta::Unchanged
+            }
+        }
+        [t, column] => {
+            if *t != table.name {
+                return Delta::Unchanged;
+            }
+            let Some(idx) = table.column_index(column) else {
+                // A two-part key naming this table but no known column: not an
+                // extent shape we can maintain — recompute lazily.
+                return Delta::Drop;
+            };
+            let value = &row[idx];
+            if matches!(value, Value::Null) {
+                Delta::Unchanged
+            } else {
+                Delta::Append(Value::pair(key_of(table, row), value.clone()))
+            }
+        }
+        ["sql", _construct, rest @ ..] if !rest.is_empty() => delta_for_parts(rest, table, row),
+        _ => Delta::Drop,
     }
 }
 
@@ -324,6 +453,143 @@ mod tests {
         assert_eq!(found.len(), 1);
         assert_eq!(found[0][1], Value::str("P700"));
         assert!(db.find_by_key("protein", &Value::Int(8)).is_empty());
+    }
+
+    #[test]
+    fn insert_appends_to_cached_extents_instead_of_recomputing() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into(), "human".into()])
+            .unwrap();
+        // Prime the cache with a doctored sentinel bag: if an insert recomputed the
+        // extent the sentinel would vanish; incremental maintenance appends to it.
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "protein".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.store_extent(
+            "protein,accession_num".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.insert("protein", vec![2.into(), "P200".into(), Value::Null])
+            .unwrap();
+        let table_bag = db.cached_extent("protein").unwrap();
+        assert_eq!(
+            table_bag.items(),
+            &[sentinel.clone(), Value::Int(2)],
+            "table extent must gain the new key by append"
+        );
+        let col_bag = db.cached_extent("protein,accession_num").unwrap();
+        assert_eq!(
+            col_bag.items(),
+            &[
+                sentinel.clone(),
+                Value::pair(Value::Int(2), Value::str("P200"))
+            ]
+        );
+    }
+
+    #[test]
+    fn null_column_values_leave_cached_column_extent_unchanged() {
+        let mut db = Database::new(schema());
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "protein,organism".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        assert_eq!(
+            db.cached_extent("protein,organism").unwrap().items(),
+            &[sentinel],
+            "null organism contributes nothing to the column extent"
+        );
+    }
+
+    #[test]
+    fn insert_into_other_table_leaves_cached_extents_alone() {
+        let mut db = Database::new(schema());
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "protein".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.insert("link", vec![1.into(), 2.into()]).unwrap();
+        assert_eq!(db.cached_extent("protein").unwrap().items(), &[sentinel]);
+    }
+
+    #[test]
+    fn fully_qualified_cached_keys_are_maintained_too() {
+        let mut db = Database::new(schema());
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "sql,table,protein".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.insert("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        assert_eq!(
+            db.cached_extent("sql,table,protein").unwrap().items(),
+            &[sentinel, Value::Int(3)]
+        );
+    }
+
+    #[test]
+    fn unknown_cached_key_shapes_are_dropped_on_insert() {
+        let mut db = Database::new(schema());
+        db.store_extent(
+            "protein,no_such_column".into(),
+            Arc::new(Bag::from_values(vec![Value::Int(0)])),
+        );
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        assert!(db.cached_extent("protein,no_such_column").is_none());
+    }
+
+    #[test]
+    fn version_bumps_on_every_insert() {
+        let mut db = Database::new(schema());
+        let v0 = db.data_version();
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        db.insert("protein", vec![2.into(), "P200".into(), Value::Null])
+            .unwrap();
+        assert_eq!(db.data_version(), v0 + 2);
+        // Failed inserts mutate nothing and must not bump the version.
+        let v2 = db.data_version();
+        assert!(db
+            .insert("protein", vec![1.into(), "P999".into(), Value::Null])
+            .is_err());
+        assert_eq!(db.data_version(), v2);
+    }
+
+    #[test]
+    fn streaming_load_keeps_cached_extent_coherent() {
+        // Prime the extent once, then stream many inserts: the cached bag must
+        // track the table exactly (this is the incremental-maintenance path — the
+        // seed behaviour recomputed the extent from scratch on every access).
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![0.into(), "P0".into(), Value::Null])
+            .unwrap();
+        use iql::eval::ExtentProvider;
+        use iql::SchemeRef;
+        let _ = db.extent(&SchemeRef::table("protein")).unwrap();
+        for i in 1..200i64 {
+            db.insert(
+                "protein",
+                vec![i.into(), format!("P{i}").into(), Value::Null],
+            )
+            .unwrap();
+        }
+        let cached = db.extent(&SchemeRef::table("protein")).unwrap();
+        assert_eq!(cached.len(), 200);
+        assert_eq!(
+            cached.items(),
+            crate::wrapper::extent_of(&db, &SchemeRef::table("protein"))
+                .unwrap()
+                .items(),
+            "incrementally maintained extent equals a fresh recompute"
+        );
     }
 
     #[test]

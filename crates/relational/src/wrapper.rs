@@ -56,6 +56,24 @@ pub fn scheme_objects(schema: &RelSchema) -> Vec<WrappedObject> {
     out
 }
 
+/// Whether a scheme names an object of this relational schema — i.e. whether
+/// [`extent_of`] would succeed against a database over it. Used by the virtual
+/// query processor to decide statically whether a scheme reference inside a
+/// transformation query resolves in the source or recurses into the integrated
+/// schema (its cycle check depends on that distinction).
+pub fn covers(schema: &RelSchema, scheme: &SchemeRef) -> bool {
+    match scheme.parts.as_slice() {
+        [table] => schema.table(table).is_some(),
+        [table, column] => schema
+            .table(table)
+            .is_some_and(|t| t.column_index(column).is_some()),
+        [lang, _construct, rest @ ..] if lang == "sql" && !rest.is_empty() => {
+            covers(schema, &SchemeRef::new(rest.iter().cloned()))
+        }
+        _ => false,
+    }
+}
+
 /// Compute the extent of a scheme against a database, following the wrapper
 /// conventions described in the module documentation.
 pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
@@ -101,8 +119,11 @@ pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
 }
 
 impl ExtentProvider for Database {
-    /// Computed extents are memoised on the database (shared handles; invalidated by
-    /// inserts), so answering many queries against one source never rebuilds a bag.
+    /// Computed extents are memoised on the database (shared handles, maintained
+    /// incrementally by inserts), so answering many queries against one source never
+    /// rebuilds a bag. The memo is `RwLock`-guarded, satisfying the
+    /// [`ExtentProvider`] `Sync` contract: a shared `&Database` can serve concurrent
+    /// queries from many threads.
     fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
         let key = scheme.key();
         if let Some(bag) = self.cached_extent(&key) {
@@ -111,6 +132,12 @@ impl ExtentProvider for Database {
         let bag = Arc::new(extent_of(self, scheme)?);
         self.store_extent(key, Arc::clone(&bag));
         Ok(bag)
+    }
+
+    /// Inserts bump the database's version, invalidating plan-cache entries built
+    /// over the previous contents (see [`iql::PlanCache`]).
+    fn version(&self) -> u64 {
+        self.data_version()
     }
 }
 

@@ -1,0 +1,30 @@
+//! Regenerates the pinned golden snapshots of `tests/table1_golden.rs`:
+//! prints each Table-1 priority query's answer size and canonically sorted rows
+//! at `CaseStudyScale::tiny()`. Run with `cargo run --example golden_probe`.
+
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use proteomics::intersection_integration::all_iterations;
+use proteomics::queries::priority_queries;
+use proteomics::sources::{generate_gpmdb, generate_pedro, generate_pepseeker, CaseStudyScale};
+
+fn main() {
+    let scale = CaseStudyScale::tiny();
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        drop_redundant: false,
+        ..Default::default()
+    });
+    ds.add_source(generate_pedro(&scale)).unwrap();
+    ds.add_source(generate_gpmdb(&scale)).unwrap();
+    ds.add_source(generate_pepseeker(&scale)).unwrap();
+    ds.federate().unwrap();
+    for (_q, spec) in all_iterations().unwrap() {
+        ds.integrate(spec).unwrap();
+    }
+    for q in priority_queries() {
+        let bag = ds.query(&q.iql).unwrap();
+        let mut canon: Vec<String> = bag.iter().map(|v| v.to_string()).collect();
+        canon.sort();
+        println!("== {} len={} ==", q.name, bag.len());
+        println!("{}", canon.join("\n"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Differential testing of the comprehension planner: for randomly generated
+//! extents and randomly shaped comprehensions, **planned**, **nested-loop**,
+//! **statistics-reordered**, **sequentially fetched** and **plan-cached**
+//! evaluation must all agree — bag equality including multiplicities *and order*,
+//! since every planned strategy is required to preserve the nested-loop output
+//! order. A second suite runs the same differential over virtual (integrated)
+//! extents, exercising the parallel per-source contribution fetch.
+//!
+//! The vendored proptest shim derives its RNG seed from the test name, so every
+//! run (including the CI smoke step) replays the same fixed case sequence;
+//! `PROPTEST_CASES` scales the case count.
+
+use automed::qp::evaluator::{ViewDefinitions, VirtualExtents};
+use automed::qp::Contribution;
+use automed::wrapper::SourceRegistry;
+use iql::value::{Bag, Value};
+use iql::{parse, Evaluator, MapExtents, PlanCache};
+use proptest::prelude::*;
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+use std::sync::Arc;
+
+// ---------- random extents ----------
+
+/// A random extent: `{key, value}` pairs with small domains so joins hit often
+/// and duplicates occur (multiplicity coverage).
+fn extent_rows() -> impl Strategy<Value = Vec<(i64, usize)>> {
+    prop::collection::vec((0i64..8, 0usize..5), 0..22)
+}
+
+fn map_extents(rows: &[Vec<(i64, usize)>]) -> MapExtents {
+    let mut m = MapExtents::new();
+    for (i, rows) in rows.iter().enumerate() {
+        m.insert(
+            format!("s{i}"),
+            Bag::from_values(
+                rows.iter()
+                    .map(|(k, v)| Value::pair(Value::Int(*k), Value::str(format!("w{v}"))))
+                    .collect(),
+            ),
+        );
+    }
+    m
+}
+
+// ---------- random comprehension shapes ----------
+
+/// One generator of a random comprehension: which scheme it ranges over, which
+/// earlier generator it equi-joins to (modulo its position), and an optional
+/// literal filter on its value variable.
+type GenSpec = (usize, usize, Option<usize>);
+
+/// A query shape: 1–3 generators plus optional correlated tail and let-binding.
+type QueryShape = (Vec<GenSpec>, bool, bool);
+
+fn query_shape() -> impl Strategy<Value = QueryShape> {
+    (
+        prop::collection::vec(
+            (
+                0usize..3,
+                0usize..3,
+                prop_oneof![Just(None), (0usize..5).prop_map(Some)],
+            ),
+            1..4,
+        ),
+        any::<bool>(),
+        any::<bool>(),
+    )
+}
+
+/// Render a query shape as IQL text. Generator `i` binds `{k<i>, v<i>}`; joined
+/// generators emit the `k<i> = k<j>` equi-filter immediately after the generator
+/// (the planner's fusable shape); literal filters and the correlated tail fall
+/// outside the fusable shape and exercise the fallback paths.
+fn render_query((gens, correlated_tail, with_let): &QueryShape) -> String {
+    let mut quals: Vec<String> = Vec::new();
+    for (i, (scheme, join_to, lit)) in gens.iter().enumerate() {
+        quals.push(format!("{{k{i}, v{i}}} <- <<s{scheme}>>"));
+        if i > 0 {
+            let j = join_to % i;
+            quals.push(format!("k{i} = k{j}"));
+        }
+        if let Some(w) = lit {
+            quals.push(format!("v{i} <> 'w{w}'"));
+        }
+    }
+    if *with_let {
+        quals.push("let m = k0 * 2".to_string());
+        quals.push("m >= 0".to_string());
+    }
+    if *correlated_tail {
+        quals.push("n <- [k0, k0]".to_string());
+        quals.push("n < 8".to_string());
+    }
+    let head: Vec<String> = (0..gens.len())
+        .map(|i| format!("v{i}"))
+        .chain(std::iter::once("k0".to_string()))
+        .collect();
+    format!("[{{{}}} | {}]", head.join(", "), quals.join("; "))
+}
+
+fn items(v: &Value) -> Vec<Value> {
+    v.expect_bag().expect("bag result").items().to_vec()
+}
+
+proptest! {
+    /// planned ≡ nested-loop ≡ reorder-disabled ≡ sequential-fetch ≡ plan-cached,
+    /// element for element, for every generated query over every generated extent.
+    #[test]
+    fn planner_differential_over_random_extents(
+        e0 in extent_rows(),
+        e1 in extent_rows(),
+        e2 in extent_rows(),
+        shape in query_shape(),
+    ) {
+        let extents = map_extents(&[e0, e1, e2]);
+        let text = render_query(&shape);
+        let query = parse(&text).unwrap_or_else(|e| panic!("{text} does not parse: {e}"));
+
+        let naive = Evaluator::new(&extents)
+            .with_nested_loops()
+            .eval_closed(&query)
+            .expect("naive evaluation");
+        let planned = Evaluator::new(&extents)
+            .eval_closed(&query)
+            .expect("planned evaluation");
+        let no_reorder = Evaluator::new(&extents)
+            .without_reorder()
+            .eval_closed(&query)
+            .expect("reorder-disabled evaluation");
+        let sequential = Evaluator::new(&extents)
+            .without_parallel_fetch()
+            .eval_closed(&query)
+            .expect("sequential evaluation");
+
+        prop_assert_eq!(items(&planned), items(&naive), "planned vs naive: {}", &text);
+        prop_assert_eq!(items(&no_reorder), items(&naive), "no-reorder vs naive: {}", &text);
+        prop_assert_eq!(items(&sequential), items(&naive), "sequential vs naive: {}", &text);
+
+        // Plan-cached re-run: second evaluation must reuse the plan and agree.
+        let cache = Arc::new(PlanCache::new());
+        let cached_ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
+        let first = cached_ev.eval_closed(&query).expect("first cached evaluation");
+        let second = cached_ev.eval_closed(&query).expect("second cached evaluation");
+        prop_assert_eq!(items(&first), items(&naive), "cached(1) vs naive: {}", &text);
+        prop_assert_eq!(items(&second), items(&naive), "cached(2) vs naive: {}", &text);
+        prop_assert!(
+            cache.hit_count() >= 1,
+            "closed-source plans must be served from the cache on re-run: {}",
+            &text
+        );
+    }
+}
+
+// ---------- differential over virtual (integrated) extents ----------
+
+fn source(name: &str, rows: &[(i64, usize)]) -> Database {
+    let mut schema = RelSchema::new(name);
+    schema
+        .add_table(
+            RelTable::new("t")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("grp", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (i, (k, v)) in rows.iter().enumerate() {
+        db.insert(
+            "t",
+            vec![(i as i64).into(), (*k).into(), format!("w{v}").into()],
+        )
+        .unwrap();
+    }
+    db
+}
+
+/// The integrated-view shape of the paper: one `UAcc` object with one tagged
+/// contribution per source, plus a derived object joining the two tags.
+fn definitions() -> ViewDefinitions {
+    let mut defs = ViewDefinitions::new();
+    let uacc = iql::SchemeRef::table("UAcc");
+    defs.add_contribution(
+        &uacc,
+        Contribution::from_source(
+            "alpha",
+            parse("[{'ALPHA', k, x} | {k, x} <- <<t, label>>]").unwrap(),
+        ),
+    );
+    defs.add_contribution(
+        &uacc,
+        Contribution::from_source(
+            "beta",
+            parse("[{'BETA', k, x} | {k, x} <- <<t, label>>]").unwrap(),
+        ),
+    );
+    defs.add_contribution(
+        &iql::SchemeRef::table("Shared"),
+        Contribution::derived(
+            parse(
+                "[{k1, k2, x} | {s1, k1, x} <- <<UAcc>>; s1 = 'ALPHA'; {s2, k2, y} <- <<UAcc>>; x = y; s2 = 'BETA']",
+            )
+            .unwrap(),
+        ),
+    );
+    defs
+}
+
+proptest! {
+    /// Parallel per-source contribution fetch ≡ sequential fetch ≡ nested loops
+    /// over randomly populated wrapped sources.
+    #[test]
+    fn virtual_extent_differential(
+        alpha_rows in extent_rows(),
+        beta_rows in extent_rows(),
+    ) {
+        let mut registry = SourceRegistry::new();
+        registry.add_source(source("alpha", &alpha_rows)).unwrap();
+        registry.add_source(source("beta", &beta_rows)).unwrap();
+        let defs = definitions();
+
+        let queries = [
+            "count <<UAcc>>",
+            "[x | {s, k, x} <- <<UAcc>>; s = 'BETA']",
+            "[{k1, x} | {k1, k2, x} <- <<Shared>>]",
+            "[{a, b} | {s1, k1, a} <- <<UAcc>>; {s2, k2, b} <- <<UAcc>>; k2 = k1]",
+        ];
+        for text in queries {
+            let query = parse(text).unwrap();
+            let parallel = VirtualExtents::new(&registry, &defs)
+                .answer(&query)
+                .expect("parallel answer");
+            let sequential = VirtualExtents::new(&registry, &defs)
+                .sequential()
+                .answer(&query)
+                .expect("sequential answer");
+            let naive = VirtualExtents::new(&registry, &defs)
+                .sequential()
+                .answer_with_nested_loops(&query)
+                .expect("naive answer");
+            match (&parallel, &naive) {
+                (Value::Bag(p), Value::Bag(n)) => {
+                    prop_assert_eq!(p.items(), n.items(), "parallel vs naive order: {}", text);
+                }
+                _ => prop_assert_eq!(&parallel, &naive, "parallel vs naive: {}", text),
+            }
+            prop_assert_eq!(&parallel, &sequential, "parallel vs sequential: {}", text);
+        }
+    }
+}

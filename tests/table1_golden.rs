@@ -1,0 +1,200 @@
+//! Golden-result snapshot tests for the seven Table-1 priority queries (§3 of the
+//! paper), pinned at `CaseStudyScale::tiny()` (fixed seed): the exact multiset of
+//! answers for Q1–Q7 is written out below, so **no planner change can ever
+//! silently alter a query answer** — reordering, plan caching, parallel fetch and
+//! nested loops must all reproduce these rows exactly.
+//!
+//! Regenerate with `cargo run --example golden_probe` after an *intentional*
+//! semantic change (e.g. new data generator), and say so in the commit.
+
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use proteomics::intersection_integration::all_iterations;
+use proteomics::queries::priority_queries;
+use proteomics::sources::{generate_gpmdb, generate_pedro, generate_pepseeker, CaseStudyScale};
+
+fn integrated() -> Dataspace {
+    let scale = CaseStudyScale::tiny();
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        drop_redundant: false,
+        ..Default::default()
+    });
+    ds.add_source(generate_pedro(&scale)).unwrap();
+    ds.add_source(generate_gpmdb(&scale)).unwrap();
+    ds.add_source(generate_pepseeker(&scale)).unwrap();
+    ds.federate().unwrap();
+    for (_q, spec) in all_iterations().unwrap() {
+        ds.integrate(spec).unwrap();
+    }
+    ds
+}
+
+/// Canonical (sorted) display of a bag, element per line.
+fn canonical(bag: &iql::Bag) -> Vec<String> {
+    let mut rows: Vec<String> = bag.iter().map(|v| v.to_string()).collect();
+    rows.sort();
+    rows
+}
+
+fn golden_q1() -> Vec<&'static str> {
+    vec![
+        "{'PEDRO', 0}",
+        "{'PEDRO', 4}",
+        "{'PEDRO', 5}",
+        "{'PEDRO', 8}",
+        "{'pepSeeker', 'ACC00001'}",
+        "{'pepSeeker', 'ACC00001'}",
+    ]
+}
+
+fn golden_q2() -> Vec<&'static str> {
+    vec![
+        "{'PEDRO', 0, 'Uncharacterized transcription factor 962'}",
+        "{'PEDRO', 2, 'Putative membrane protein 110'}",
+        "{'PEDRO', 4, 'Conserved kinase 507'}",
+        "{'PEDRO', 5, 'Uncharacterized ribosomal protein 739'}",
+        "{'PEDRO', 6, 'Putative hydrolase 309'}",
+        "{'PEDRO', 8, 'Conserved transcription factor 171'}",
+    ]
+}
+
+fn golden_q3() -> Vec<&'static str> {
+    vec!["{'PEDRO', 3}", "{'PEDRO', 6}"]
+}
+
+fn golden_q4() -> Vec<&'static str> {
+    vec![
+        "{'PEDRO', 1, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 1, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 10, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 10, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 12, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 12, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 13, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 17, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 17, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 19, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 20, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 20, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 22, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 22, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 3, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 4, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 7, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 7, 'VGQNFKQACHSH'}",
+        "{'PEDRO', 8, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 0, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 1, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 10, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 10, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 12, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 12, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 18, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 19, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 22, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 22, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 23, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 23, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 4, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 4, 'VGQNFKQACHSH'}",
+        "{'pepSeeker', 6, 'VGQNFKQACHSH'}",
+    ]
+}
+
+fn golden_q5() -> Vec<&'static str> {
+    vec!["{'PEDRO', 1}", "{'PEDRO', 1}", "{'PEDRO', 4}"]
+}
+
+fn golden_q6() -> Vec<&'static str> {
+    vec![
+        "{'PEDRO', 1, 'GYNWKYNGISLK', 0.40243}",
+        "{'PEDRO', 11, 'LWNRMKRRMNHTFHE', 0.30562}",
+        "{'PEDRO', 13, 'VGQNFKQACHSH', 0.86936}",
+        "{'PEDRO', 19, 'MQCNRCHDFLPE', 0.48943}",
+        "{'PEDRO', 2, 'GGPEHNFHETPFHF', 0.58589}",
+        "{'PEDRO', 20, 'GYNWKYNGISLK', 0.9991}",
+        "{'PEDRO', 24, 'DINFLYKVWIWD', 0.10961}",
+        "{'PEDRO', 27, 'PYYCQVTPC', 0.18373}",
+        "{'PEDRO', 31, 'LGKFAFMPQTFC', 0.57062}",
+        "{'PEDRO', 35, 'DINFLYKVWIWD', 0.09169}",
+        "{'PEDRO', 38, 'DIPNCRFEVGIKGPTD', 0.66007}",
+        "{'PEDRO', 5, 'GYNWKYNGISLK', 0.40624}",
+        "{'PEDRO', 7, 'CISNECLA', 0.7831}",
+        "{'PEDRO', 9, 'VGQNFKQACHSH', 0.66945}",
+    ]
+}
+
+fn golden_q7() -> Vec<&'static str> {
+    vec![
+        "{14, 14, 38.7, 133.8}",
+        "{27, 27, 143.1, 187.8}",
+        "{36, 36, 5.4, 176.9}",
+    ]
+}
+
+fn goldens() -> Vec<(&'static str, Vec<&'static str>)> {
+    vec![
+        ("Q1", golden_q1()),
+        ("Q2", golden_q2()),
+        ("Q3", golden_q3()),
+        ("Q4", golden_q4()),
+        ("Q5", golden_q5()),
+        ("Q6", golden_q6()),
+        ("Q7", golden_q7()),
+    ]
+}
+
+#[test]
+fn table1_answers_match_pinned_goldens() {
+    let ds = integrated();
+    let queries = priority_queries();
+    for ((name, golden), q) in goldens().into_iter().zip(&queries) {
+        assert_eq!(name, q.name, "query order drifted");
+        let bag = ds
+            .query(&q.iql)
+            .unwrap_or_else(|e| panic!("{name} failed: {e}"));
+        assert_eq!(
+            canonical(&bag),
+            golden,
+            "{name} answers drifted from the pinned golden snapshot"
+        );
+    }
+}
+
+/// Every evaluation mode — planned (default: reorder + parallel fetch + the
+/// dataspace's shared plan cache), a cached re-run, and naive nested loops —
+/// must reproduce the same pinned answers.
+#[test]
+fn table1_agrees_across_all_evaluation_modes() {
+    let ds = integrated();
+    for (idx, q) in priority_queries().iter().enumerate() {
+        let expr = iql::parse(&q.iql).unwrap();
+        let golden = &goldens()[idx].1;
+        let planned = ds.provider().unwrap().answer_bag(&expr).unwrap();
+        assert_eq!(&canonical(&planned), golden, "{} planned", q.name);
+        // Re-run through the same dataspace: the plan cache serves this one.
+        let cached = ds.provider().unwrap().answer_bag(&expr).unwrap();
+        assert_eq!(
+            planned.items(),
+            cached.items(),
+            "{} cached re-run must preserve order exactly",
+            q.name
+        );
+        let naive = ds
+            .provider()
+            .unwrap()
+            .answer_with_nested_loops(&expr)
+            .unwrap()
+            .expect_bag()
+            .unwrap();
+        assert_eq!(
+            planned.items(),
+            naive.items(),
+            "{} planned vs nested loops order",
+            q.name
+        );
+    }
+    assert!(
+        ds.plan_cache().hit_count() > 0,
+        "re-runs must be served from the dataspace plan cache"
+    );
+}
