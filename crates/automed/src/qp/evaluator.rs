@@ -19,8 +19,9 @@
 //! [`VirtualExtents::with_shared_cache`]), so one `VirtualExtents` can serve queries
 //! from many threads at once. A scheme's per-source contributions are independent of
 //! each other (bag-union semantics), so when a scheme has two or more they are
-//! fetched and evaluated on a small scoped-thread pool (at most the machine's
-//! parallelism, each worker taking a contiguous slice); results are unioned in
+//! fetched and evaluated on scoped worker threads budgeted by the process-wide
+//! [`iql::FetchPool`] semaphore (each worker taking a contiguous slice; whatever
+//! the pool cannot grant runs inline on the caller); results are unioned in
 //! registration order, keeping extents deterministic. Cycle detection is **static**:
 //! before computing an extent the provider walks the scheme-dependency graph of the
 //! view definitions — a contribution's scheme reference recurses only when it names
@@ -36,10 +37,11 @@ use crate::wrapper::SourceRegistry;
 use iql::ast::{Expr, SchemeRef};
 use iql::error::EvalError;
 use iql::eval::{Evaluator, ExtentProvider, PlanCache};
+use iql::lru::LruMap;
 use iql::rewrite;
 use iql::value::{Bag, Value};
+use iql::FetchPool;
 use std::collections::{BTreeMap, BTreeSet};
-use std::num::NonZeroUsize;
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread;
 
@@ -115,22 +117,56 @@ fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
     lock.write().unwrap_or_else(PoisonError::into_inner)
 }
 
+/// Default number of extents an [`ExtentMemo`] holds before evicting.
+pub const DEFAULT_EXTENT_CAPACITY: usize = 1024;
+
 /// A version-stamped scheme-key → extent memo, shareable across provider
 /// instances (e.g. by a dataspace handing out one provider per query over the
 /// same definitions). Self-invalidating: every provider access first syncs the
 /// stamp against the provider's [`ExtentProvider::version`], clearing the memo
 /// when the underlying source data (or the owner's version salt) moved — a
 /// rebuilt plan can therefore never be constructed from stale memoised extents.
-#[derive(Debug, Default)]
+///
+/// The memo is **bounded**: at most [`ExtentMemo::capacity`] extents are held
+/// and the least recently used is evicted on overflow
+/// ([`ExtentMemo::with_capacity`] configures the bound, default
+/// [`DEFAULT_EXTENT_CAPACITY`]), so a long-lived dataspace serving an unbounded
+/// query stream keeps bounded memory. An evicted extent is simply recomputed on
+/// next use — eviction can never serve stale data.
+#[derive(Debug)]
 pub struct ExtentMemo {
     stamp: RwLock<u64>,
-    extents: RwLock<BTreeMap<String, Arc<Bag>>>,
+    extents: RwLock<LruMap<String, Arc<Bag>>>,
+}
+
+impl Default for ExtentMemo {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_EXTENT_CAPACITY)
+    }
 }
 
 impl ExtentMemo {
-    /// An empty memo (stamp 0).
+    /// An empty memo (stamp 0) with the default capacity.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty memo bounded to `capacity` extents (LRU eviction past that).
+    pub fn with_capacity(capacity: usize) -> Self {
+        ExtentMemo {
+            stamp: RwLock::new(0),
+            extents: RwLock::new(LruMap::new(capacity)),
+        }
+    }
+
+    /// The maximum number of extents held before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        read(&self.extents).capacity()
+    }
+
+    /// How many extents have been evicted for capacity so far.
+    pub fn eviction_count(&self) -> u64 {
+        read(&self.extents).evictions()
     }
 
     /// Clear the memo when `version` differs from the recorded stamp.
@@ -146,7 +182,8 @@ impl ExtentMemo {
         }
     }
 
-    /// The memoised extent for a scheme key, if any.
+    /// The memoised extent for a scheme key, if any (refreshes its LRU slot; the
+    /// refresh is atomic, so concurrent hits share the read lock).
     pub fn get(&self, key: &str) -> Option<Arc<Bag>> {
         read(&self.extents).get(key).cloned()
     }
@@ -330,32 +367,41 @@ impl<'a> VirtualExtents<'a> {
         }
     }
 
-    /// Evaluate all contributions, on a small scoped-thread pool when there are at
-    /// least two (contributions over distinct sources are independent): at most
-    /// the machine's parallelism *per fan-out*, each worker taking a contiguous
-    /// slice, and results come back in registration order (deterministic bag
-    /// union). Nested resolutions fan out again on their own workers, so deeply
-    /// nested wide hierarchies multiply; a process-wide pool is future work
-    /// (see ROADMAP).
+    /// Evaluate all contributions, on scoped worker threads when there are at
+    /// least two (contributions over distinct sources are independent), each
+    /// worker taking a contiguous slice with results reassembled in registration
+    /// order (deterministic bag union). Worker threads are budgeted by the
+    /// process-wide [`FetchPool`] semaphore — nested resolutions draw from the
+    /// same global budget instead of multiplying per-call caps, and whatever the
+    /// pool cannot grant runs inline on the calling thread.
     fn eval_contributions(
         &self,
         scheme: &SchemeRef,
         contributions: &[Contribution],
     ) -> Vec<Result<Value, EvalError>> {
-        if !self.parallel || contributions.len() < 2 {
+        // A single-core machine (pool capacity 1) gains nothing from running a
+        // worker alongside the caller — skip the fan-out entirely there.
+        let pool = FetchPool::global();
+        let mut permits = if self.parallel && contributions.len() >= 2 && pool.capacity() >= 2 {
+            pool.acquire_up_to(contributions.len() - 1)
+        } else {
+            pool.acquire_up_to(0)
+        };
+        if permits.count() == 0 {
             return contributions
                 .iter()
                 .map(|c| self.eval_contribution(scheme, c))
                 .collect();
         }
-        let workers = thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(4)
-            .min(contributions.len());
+        let workers = permits.count() + 1; // the calling thread takes a share too
         let chunk = contributions.len().div_ceil(workers);
+        // Ceil-division may need fewer chunks than workers: return the surplus
+        // permits instead of stranding them for the fan-out.
+        permits.truncate(contributions.len().div_ceil(chunk) - 1);
         thread::scope(|scope| {
-            let handles: Vec<_> = contributions
-                .chunks(chunk)
+            let mut chunks = contributions.chunks(chunk);
+            let caller_share = chunks.next().unwrap_or(&[]);
+            let handles: Vec<_> = chunks
                 .map(|slice| {
                     scope.spawn(move || {
                         slice
@@ -365,10 +411,14 @@ impl<'a> VirtualExtents<'a> {
                     })
                 })
                 .collect();
-            handles
-                .into_iter()
-                .flat_map(|h| h.join().expect("contribution worker panicked"))
-                .collect()
+            let mut results: Vec<Result<Value, EvalError>> = caller_share
+                .iter()
+                .map(|c| self.eval_contribution(scheme, c))
+                .collect();
+            for handle in handles {
+                results.extend(handle.join().expect("contribution worker panicked"));
+            }
+            results
         })
     }
 

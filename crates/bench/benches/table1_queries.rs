@@ -52,6 +52,32 @@ fn table1(c: &mut Criterion) {
     }
     naive.finish();
 
+    // The batched dataspace entry point over all seven priority queries at once
+    // (the pay-as-you-go re-run shape), against the same queries issued as a
+    // sequential loop. Both share the dataspace's persistent plan/extent caches;
+    // the batch fans out on the process-wide fetch pool.
+    let queries: Vec<String> = priority_queries().into_iter().map(|q| q.iql).collect();
+    let batch: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let mut batched = c.benchmark_group("table1_query_all");
+    batched
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(4));
+    batched.bench_function("sequential_loop", |b| {
+        b.iter(|| {
+            let results: Vec<_> = batch.iter().map(|q| ds.query(q)).collect();
+            assert!(results.iter().all(Result::is_ok));
+            results
+        })
+    });
+    batched.bench_function("batched", |b| {
+        b.iter(|| {
+            let results = ds.query_all(&batch);
+            assert!(results.iter().all(Result::is_ok));
+            results
+        })
+    });
+    batched.finish();
+
     let mut sweep = c.benchmark_group("table1_q1_scale_sweep");
     sweep
         .sample_size(10)

@@ -30,6 +30,19 @@
 //! * [`dataspace`] — the [`dataspace::Dataspace`] facade tying sources, repository,
 //!   view definitions and query answering together.
 //!
+//! ## Query answering at scale
+//!
+//! A [`dataspace::Dataspace`] is built for the paper's pay-as-you-go workload:
+//! many small priority queries re-issued after every integration iteration.
+//! [`dataspace::Dataspace::query`] answers one query;
+//! [`dataspace::Dataspace::query_all`] answers a whole batch concurrently,
+//! fanning out on the process-wide [`iql::FetchPool`] thread budget. Every query
+//! (batched or not) shares three bounded, LRU-evicted memos that persist across
+//! calls: a global-extent memo, an [`iql::PlanCache`] of built comprehension
+//! plans (with per-extent join-key histograms for the join-order cost model),
+//! and a parse memo for batched re-runs. All of them invalidate automatically
+//! when sources mutate or the schemas change, so answers are always current.
+//!
 //! ## Quick example
 //!
 //! ```

@@ -2,6 +2,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 /// A reference to a schema object by its *scheme*, e.g. `⟨⟨protein, accession_num⟩⟩`.
 ///
@@ -57,7 +58,16 @@ impl fmt::Display for SchemeRef {
 }
 
 /// Literal constants.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Literal` (and therefore every AST type built from it) implements [`Eq`] and
+/// [`Hash`] so expressions can key hash maps — most importantly the
+/// [`crate::PlanCache`], whose lookups hash the expression instead of
+/// pretty-printing it. Floats compare with IEEE equality (so
+/// `Float(-0.0) == Float(0.0)`) except that `NaN` equals `NaN` — the surface
+/// syntax cannot spell one, but programmatically built expressions can, and
+/// cache keying relies on `Eq`'s reflexivity holding for every constructible
+/// `Expr`. Hashing canonicalises every `NaN` to one bit pattern, consistently.
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub enum Literal {
     /// 64-bit integer.
     Int(i64),
@@ -71,10 +81,64 @@ pub enum Literal {
     Null,
 }
 
+impl PartialEq for Literal {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Literal::Int(a), Literal::Int(b)) => a == b,
+            // IEEE equality except NaN == NaN, keeping Eq reflexive for
+            // programmatically built expressions (consistent with Hash, which
+            // canonicalises every NaN to one bit pattern).
+            (Literal::Float(a), Literal::Float(b)) => a == b || (a.is_nan() && b.is_nan()),
+            (Literal::Str(a), Literal::Str(b)) => a == b,
+            (Literal::Bool(a), Literal::Bool(b)) => a == b,
+            (Literal::Null, Literal::Null) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Literal {}
+
+impl Hash for Literal {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        match self {
+            Literal::Int(i) => {
+                state.write_u8(0);
+                i.hash(state);
+            }
+            Literal::Float(f) => {
+                state.write_u8(1);
+                // `-0.0 == 0.0` under PartialEq, so both must hash
+                // identically; any NaN canonicalises to one bit pattern.
+                let bits = if *f == 0.0 {
+                    0.0f64.to_bits()
+                } else if f.is_nan() {
+                    f64::NAN.to_bits()
+                } else {
+                    f.to_bits()
+                };
+                bits.hash(state);
+            }
+            Literal::Str(s) => {
+                state.write_u8(2);
+                s.hash(state);
+            }
+            Literal::Bool(b) => {
+                state.write_u8(3);
+                b.hash(state);
+            }
+            Literal::Null => state.write_u8(4),
+        }
+    }
+}
+
 impl fmt::Display for Literal {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             Literal::Int(i) => write!(f, "{i}"),
+            // A float with no fractional part must keep its decimal point, or the
+            // printed form would reparse as an Int and break round-tripping.
+            Literal::Float(x) if x.is_finite() && x.fract() == 0.0 => write!(f, "{x:.1}"),
             Literal::Float(x) => write!(f, "{x}"),
             Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "\\'")),
             Literal::Bool(b) => write!(f, "{b}"),
@@ -84,7 +148,7 @@ impl fmt::Display for Literal {
 }
 
 /// Binary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BinOp {
     /// Equality `=`.
     Eq,
@@ -151,7 +215,7 @@ impl BinOp {
 }
 
 /// Unary operators.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum UnOp {
     /// Arithmetic negation `-`.
     Neg,
@@ -160,7 +224,7 @@ pub enum UnOp {
 }
 
 /// Patterns used on the left of generators and `let` bindings.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Pattern {
     /// Bind the whole value to a variable.
     Var(String),
@@ -204,7 +268,7 @@ impl fmt::Display for Pattern {
 }
 
 /// A qualifier on the right-hand side of a comprehension.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Qualifier {
     /// `pattern <- source`: iterate over the bag produced by `source`, binding the
     /// pattern for each element.
@@ -216,7 +280,11 @@ pub enum Qualifier {
 }
 
 /// An IQL expression.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+///
+/// `Expr` implements [`Eq`] and [`Hash`] (see [`Literal`] for the float caveat),
+/// which is what lets the [`crate::PlanCache`] key cached plans by the expression
+/// itself instead of pretty-printing a string key on every lookup.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum Expr {
     /// A literal constant.
     Lit(Literal),

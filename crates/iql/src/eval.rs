@@ -23,42 +23,63 @@
 //! # Parallel extent fetch
 //!
 //! The sources the planner decides to evaluate at plan time (join build sides, and
-//! the leading generator of a reorderable join pair) are independent of each other
-//! by construction, so when there are two or more of them they are fetched on a
-//! small scoped-thread pool ([`std::thread::scope`]) rather than sequentially. This
+//! the leading generator of a reorderable chain) are independent of each other
+//! by construction, so when there are two or more of them they are fetched on
+//! scoped worker threads ([`std::thread::scope`]) rather than sequentially. This
 //! is why [`ExtentProvider`] requires [`Sync`]: the evaluator shares the provider
-//! across those worker threads. Results are stitched back in qualifier order, so
-//! evaluation (including which error surfaces first) stays deterministic.
+//! across those worker threads. Worker threads are budgeted by the process-wide
+//! [`crate::FetchPool`] semaphore — nested fan-outs (batched queries resolving
+//! virtual extents that prefetch join sides) share one global bound instead of
+//! multiplying per-call caps, and any share the pool cannot cover runs inline on
+//! the caller. Results are stitched back in qualifier order, so evaluation
+//! (including which error surfaces first) stays deterministic.
 //! [`Evaluator::without_parallel_fetch`] forces sequential fetching.
 //!
 //! # Statistics-driven join ordering
 //!
-//! For the leading generator pair `p1 <- e1; p2 <- e2; <equi-run>` (no earlier
-//! bindings, every probe variable bound by `p1`), the planner collects both extent
-//! cardinalities and, when the *outer* extent is the smaller one, builds the hash
-//! index on it instead — the textbook "smallest extent builds the hash side" rule.
-//! Key selectivity is estimated from the freshly built hash-index bucket histogram
-//! (`probe rows × build rows / distinct keys`); if the estimated join output is
-//! disproportionate to the input sizes the reorder is abandoned (the final sort
-//! would dominate) and the textual orientation is kept. A reordered join iterates
-//! the big side, probes the small index, and then **restores the nested-loop output
-//! order** with a stable sort on the outer element's position — planned, reordered
-//! and naive evaluation produce identical bags in identical order.
-//! [`Evaluator::without_reorder`] disables the rule; [`Evaluator::explain`] exposes
-//! the per-join statistics ([`JoinStats`]) the decision was based on.
+//! The planner reorders the **leading generator chain** — the first plain
+//! generator plus the run of fused equi-join generators directly after it whose
+//! join keys all resolve to chain generators. For a chain of exactly two, the
+//! pair rule applies: both extent cardinalities are collected and, when the
+//! *outer* extent is the smaller one, the hash index is built on it instead —
+//! the textbook "smallest extent builds the hash side" rule. Key selectivity is
+//! estimated from the hash-index bucket histogram (`probe rows × build rows /
+//! distinct keys`); if the estimated join output is disproportionate to the
+//! input sizes the reorder is abandoned (the final sort would dominate) and the
+//! textual orientation is kept.
+//!
+//! Chains of three or more go through the **join graph**: each equi-filter pair
+//! becomes an edge between the generator binding its probe variable and the
+//! fused generator that owns the filter. The chain is then joined greedily —
+//! start from the smallest extent, repeatedly join in the smallest remaining
+//! generator connected to the joined set, hash-indexing whichever side of each
+//! edge join is smaller — with per-step output estimates drawn from **persisted
+//! per-extent key histograms** (see [`PlanCache`]) so planning over memoised
+//! extents needs no extra pass over the data. A step estimate past the cap, or
+//! a disconnected join graph, abandons the whole-chain reorder and falls back
+//! to the pair rule.
+//!
+//! Every reordered shape **restores the nested-loop output order** with a final
+//! sort on the original bag positions (in textual generator order) — planned,
+//! reordered and naive evaluation produce identical bags in identical order.
+//! [`Evaluator::without_reorder`] disables reordering; [`Evaluator::explain`]
+//! exposes the per-join statistics ([`JoinStats`]) the decisions were based on.
 //!
 //! # Plan caching
 //!
 //! Planning (and in particular evaluating + hash-indexing the build sides) is
 //! memoised per **expression identity** when a [`PlanCache`] is attached with
-//! [`Evaluator::with_plan_cache`]. The cache key is the pretty-printed
-//! comprehension; an entry is only stored when every plan-time-evaluated source is
-//! a *closed* expression (no free variables), so a cached plan can never smuggle
+//! [`Evaluator::with_plan_cache`]. The cache key is the comprehension expression
+//! itself ([`Expr`] implements `Hash`/`Eq`, so lookups never pretty-print); an
+//! entry is only stored when every plan-time-evaluated source is a *closed*
+//! expression (no free variables), so a cached plan can never smuggle
 //! environment-dependent data between evaluations. Entries are guarded by
 //! [`ExtentProvider::version`]: any provider mutation bumps the version and stale
-//! plans are transparently rebuilt. Pay-as-you-go workloads that re-run the same
-//! priority queries after every integration iteration therefore skip planning and
-//! index building entirely on re-runs.
+//! plans are transparently rebuilt. The cache is **bounded** — least recently
+//! used plans are evicted past [`PlanCache::capacity`] — so long-lived services
+//! can keep one cache for the life of the process. Pay-as-you-go workloads that
+//! re-run the same priority queries after every integration iteration therefore
+//! skip planning and index building entirely on re-runs.
 //!
 //! Everything that does not match the planned shapes — correlated generators (whose
 //! source mentions earlier variables), non-equality filters, filters over
@@ -82,6 +103,8 @@ use crate::ast::{BinOp, Expr, Pattern, Qualifier, SchemeRef, UnOp};
 use crate::builtins;
 use crate::env::{literal_value, match_pattern, Env};
 use crate::error::EvalError;
+use crate::fetch::FetchPool;
+use crate::lru::LruMap;
 use crate::rewrite;
 use crate::value::{Bag, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
@@ -94,6 +117,27 @@ use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 /// implements this for wrapped databases, the `automed` query processor implements it
 /// for *virtual* global-schema objects by reformulating queries down to the sources,
 /// and [`crate::MapExtents`] implements it for in-memory test fixtures.
+///
+/// Implementing the trait takes one method; a provider that computes extents on
+/// the fly just returns a fresh bag per call:
+///
+/// ```
+/// use iql::{Bag, Evaluator, ExtentProvider, SchemeRef, Value, parse};
+/// use iql::error::EvalError;
+/// use std::sync::Arc;
+///
+/// /// Serves `<<n>>` as the extent {0, 1, …, 9} for any scheme.
+/// struct Tens;
+///
+/// impl ExtentProvider for Tens {
+///     fn extent(&self, _scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
+///         Ok(Arc::new(Bag::from_values((0..10).map(Value::Int).collect())))
+///     }
+/// }
+///
+/// let q = parse("count [k | k <- <<anything>>; k > 6]").unwrap();
+/// assert_eq!(Evaluator::new(Tens).eval_closed(&q).unwrap(), Value::Int(3));
+/// ```
 ///
 /// Extents are returned as `Arc<Bag>` so providers can serve cached bags without deep
 /// copies — the evaluator and all layered providers share one allocation per extent.
@@ -182,6 +226,11 @@ pub enum JoinStrategy {
     /// Statistics-driven reorder: the *smaller, earlier* extent was hashed, the
     /// bigger one scans, and output order is restored by a stable positional sort.
     Reordered,
+    /// One step of a fully reordered generator chain (three or more generators):
+    /// the join graph was joined greedily smallest-build-side-first, and the
+    /// nested-loop output order restored by one final positional sort over the
+    /// whole chain. Each `Multiway` entry reports one edge join of that chain.
+    Multiway,
 }
 
 /// Per-join planning statistics: cardinalities and the hash-index bucket histogram
@@ -228,6 +277,13 @@ enum Step {
         inner: Pattern,
         rows: Arc<Vec<(Value, Value)>>,
     },
+    /// A fully reordered generator *chain* (three or more generators), joined
+    /// greedily at plan time with the nested-loop output order already restored:
+    /// each row binds the patterns in textual order to the row's elements.
+    MultiJoin {
+        patterns: Vec<Pattern>,
+        rows: Arc<Vec<Vec<Value>>>,
+    },
     /// A boolean filter.
     Filter(Expr),
     /// A `let` qualifier.
@@ -249,24 +305,76 @@ struct CacheEntry {
     plan: Arc<Plan>,
 }
 
-/// A memo of built comprehension plans, keyed by expression identity.
+/// A persisted per-extent join-key histogram: how the values a pattern binds to a
+/// set of key variables distribute over a source's extent. The planner's
+/// reordering estimates consult these instead of re-scanning the extent on every
+/// plan (see [`PlanCache`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KeyHistogram {
+    /// Rows that survived pattern matching and produced a key.
+    pub rows: usize,
+    /// Number of distinct key values.
+    pub distinct: usize,
+    /// Largest key group (worst-case skew).
+    pub max_bucket: usize,
+}
+
+/// Identity of a histogram: the source expression, the generator pattern that
+/// extracts the key, and the (ordered) key variables.
+type StatsKey = (Expr, Pattern, Vec<String>);
+
+struct StatsEntry {
+    version: u64,
+    histogram: KeyHistogram,
+}
+
+/// Default number of plans a [`PlanCache`] holds before evicting.
+pub const DEFAULT_PLAN_CAPACITY: usize = 512;
+
+/// A bounded memo of built comprehension plans, keyed by expression identity,
+/// plus the per-extent join-key histograms the reordering cost model reuses
+/// across plans.
 ///
 /// # Knobs and contract
 ///
 /// * Attach with [`Evaluator::with_plan_cache`]; share one cache across many
 ///   evaluations of the same workload (e.g. one cache per dataspace).
-/// * Entries are keyed by the pretty-printed comprehension and guarded by
-///   [`ExtentProvider::version`]: when the provider mutates (insert, schema change)
-///   its version changes and stale plans rebuild transparently on next use.
+/// * Entries are keyed by the comprehension expression itself — [`Expr`]
+///   implements `Hash`/`Eq`, so a lookup hashes the AST instead of
+///   pretty-printing a string key — and guarded by [`ExtentProvider::version`]:
+///   when the provider mutates (insert, schema change) its version changes and
+///   stale plans rebuild transparently on next use.
+/// * The memo is **bounded**: at most [`PlanCache::capacity`] plans are held and
+///   the least recently used plan is evicted on overflow
+///   ([`PlanCache::with_capacity`] configures the bound, default
+///   [`DEFAULT_PLAN_CAPACITY`]). Long-lived services can therefore share one
+///   cache for the life of the process without unbounded growth.
 /// * A cache must only be shared between evaluators over the **same logical
 ///   provider** — the version stamp detects staleness, not provider identity.
 /// * Only plans whose plan-time-evaluated sources are closed expressions are
-///   stored, so cached plans never capture environment-dependent data.
+///   stored, so cached plans never capture environment-dependent data. The same
+///   rule applies to the histogram side-table.
 /// * [`PlanCache::invalidate_all`] is the explicit invalidation hook for mutations
 ///   a provider's version cannot see (e.g. swapping view definitions).
-#[derive(Debug, Default)]
+///
+/// ```
+/// use iql::{parse, Evaluator, MapExtents, PlanCache};
+/// use std::sync::Arc;
+///
+/// let mut extents = MapExtents::new();
+/// extents.insert_pairs("t,v", vec![(1, "a"), (2, "b")]);
+/// let cache = Arc::new(PlanCache::with_capacity(64));
+/// let ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
+/// let q = parse("[{x, y} | {k, x} <- <<t, v>>; {k2, y} <- <<t, v>>; k2 = k]").unwrap();
+/// ev.eval_closed(&q).unwrap();
+/// ev.eval_closed(&q).unwrap(); // second run: planning skipped entirely
+/// assert!(cache.hit_count() >= 1);
+/// assert!(cache.len() <= cache.capacity());
+/// ```
+#[derive(Debug)]
 pub struct PlanCache {
-    entries: RwLock<HashMap<String, CacheEntry>>,
+    entries: RwLock<LruMap<Expr, CacheEntry>>,
+    stats: RwLock<LruMap<StatsKey, StatsEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
 }
@@ -280,15 +388,54 @@ impl std::fmt::Debug for CacheEntry {
     }
 }
 
+impl std::fmt::Debug for StatsEntry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StatsEntry")
+            .field("version", &self.version)
+            .field("histogram", &self.histogram)
+            .finish()
+    }
+}
+
+impl Default for PlanCache {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_PLAN_CAPACITY)
+    }
+}
+
 impl PlanCache {
-    /// An empty plan cache.
+    /// An empty plan cache with the default capacity ([`DEFAULT_PLAN_CAPACITY`]).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Drop every cached plan (explicit invalidation hook).
+    /// An empty plan cache bounded to `capacity` plans (LRU eviction past that).
+    /// The histogram side-table is bounded to four times the plan capacity —
+    /// histograms are per (extent, key) rather than per query, far smaller, and
+    /// several are consulted while planning one comprehension.
+    pub fn with_capacity(capacity: usize) -> Self {
+        PlanCache {
+            entries: RwLock::new(LruMap::new(capacity)),
+            stats: RwLock::new(LruMap::new(capacity.saturating_mul(4).max(4))),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
+    }
+
+    /// The maximum number of plans held before LRU eviction.
+    pub fn capacity(&self) -> usize {
+        read_lock(&self.entries).capacity()
+    }
+
+    /// How many plans have been evicted for capacity so far.
+    pub fn eviction_count(&self) -> u64 {
+        read_lock(&self.entries).evictions()
+    }
+
+    /// Drop every cached plan and histogram (explicit invalidation hook).
     pub fn invalidate_all(&self) {
         write_lock(&self.entries).clear();
+        write_lock(&self.stats).clear();
     }
 
     /// Number of cached plans.
@@ -301,6 +448,11 @@ impl PlanCache {
         self.len() == 0
     }
 
+    /// Number of persisted per-extent key histograms.
+    pub fn histogram_count(&self) -> usize {
+        read_lock(&self.stats).len()
+    }
+
     /// Lookups that returned a current plan.
     pub fn hit_count(&self) -> u64 {
         self.hits.load(AtomicOrdering::Relaxed)
@@ -311,7 +463,7 @@ impl PlanCache {
         self.misses.load(AtomicOrdering::Relaxed)
     }
 
-    fn lookup(&self, key: &str, version: u64) -> Option<Arc<Plan>> {
+    fn lookup(&self, key: &Expr, version: u64) -> Option<Arc<Plan>> {
         let entries = read_lock(&self.entries);
         match entries.get(key) {
             Some(entry) if entry.version == version => {
@@ -325,12 +477,46 @@ impl PlanCache {
         }
     }
 
-    fn store(&self, key: String, version: u64, plan: Arc<Plan>) {
+    fn store(&self, key: Expr, version: u64, plan: Arc<Plan>) {
         write_lock(&self.entries).insert(key, CacheEntry { version, plan });
+    }
+
+    /// A current persisted histogram for `(source, pattern, key vars)`, if any.
+    fn histogram(&self, key: &StatsKey, version: u64) -> Option<KeyHistogram> {
+        let stats = read_lock(&self.stats);
+        match stats.get(key) {
+            Some(entry) if entry.version == version => Some(entry.histogram),
+            _ => None,
+        }
+    }
+
+    fn store_histogram(&self, key: StatsKey, version: u64, histogram: KeyHistogram) {
+        write_lock(&self.stats).insert(key, StatsEntry { version, histogram });
     }
 }
 
 /// Evaluates IQL expressions against an [`ExtentProvider`].
+///
+/// A fresh evaluator has every optimisation on: comprehension planning with
+/// hash-join fusion, statistics-driven join(-graph) reordering, and parallel
+/// extent fetch. Each can be disabled individually — the differential test
+/// harness runs all configurations against the nested-loop reference and
+/// requires identical bags in identical order.
+///
+/// ```
+/// use iql::{parse, Evaluator, MapExtents, Value};
+///
+/// let mut extents = MapExtents::new();
+/// extents.insert_pairs("protein,organism", vec![(1, "human"), (2, "mouse")]);
+///
+/// let q = parse("[o | {k, o} <- <<protein, organism>>; k = 2]").unwrap();
+/// let v = Evaluator::new(&extents).eval_closed(&q).unwrap();
+/// assert_eq!(v.expect_bag().unwrap().items(), &[Value::str("mouse")]);
+///
+/// // The nested-loop reference semantics (used by property tests and benches):
+/// let naive = Evaluator::new(&extents).with_nested_loops().eval_closed(&q).unwrap();
+/// assert_eq!(v, naive);
+/// ```
 pub struct Evaluator<P> {
     provider: P,
     use_planner: bool,
@@ -426,11 +612,49 @@ fn analyse(qualifiers: &[Qualifier]) -> Vec<Slot<'_>> {
     slots
 }
 
-/// Find the index of a leading join pair eligible for statistics-driven reordering:
-/// the first binding slot must be a plain generator, immediately followed by a fused
-/// generator whose probe variables are all bound by the leading pattern (so the join
-/// key can be extracted from either side alone).
-fn reorder_candidate(slots: &[Slot<'_>]) -> Option<usize> {
+/// A maximal reorderable generator chain: the leading plain generator plus the
+/// run of fused generators directly after it whose probe variables all resolve to
+/// chain generators. The chain is the unit the join-graph reorder permutes.
+struct Chain {
+    /// Slot index of the leading plain generator.
+    start: usize,
+    /// Number of consecutive slots in the chain (1 leading `Gen` + fused runs).
+    len: usize,
+    /// The join-graph edges: one per equi-filter pair, connecting a fused
+    /// generator to the chain generator that binds its probe variable.
+    preds: Vec<ChainPred>,
+}
+
+/// A successful chain plan: the (single `MultiJoin`) step list plus the
+/// per-edge-join statistics.
+type ChainPlan = (Vec<Step>, Vec<JoinStats>);
+
+/// One generator's matched extent rows: original bag position, element, and the
+/// pattern-bound environment used for join-key extraction.
+type MatchedRows = Vec<(usize, Value, Env)>;
+
+/// One equality edge of the chain's join graph. Positions index into the chain
+/// (0 = the leading generator, in textual order).
+#[derive(Debug, Clone)]
+struct ChainPred {
+    /// Chain position of the fused generator the equi-filter followed.
+    later: usize,
+    /// Chain position of the generator binding the probe variable — resolved to
+    /// the *most recent* earlier binder, mirroring environment shadowing.
+    earlier: usize,
+    /// The variable bound by the later generator's pattern.
+    later_var: String,
+    /// The variable bound by the earlier generator's pattern.
+    earlier_var: String,
+}
+
+/// Find the leading reorderable chain: the first binding slot must be a plain
+/// generator (filters may precede it; a `let` disqualifies, because hoisted
+/// evaluation could not see its comp-local bindings), followed by one or more
+/// fused generators whose probe variables all resolve to chain patterns. Chains
+/// of length two are planned by the pair planner; longer chains go through the
+/// full join-graph reorder.
+fn chain_candidate(slots: &[Slot<'_>]) -> Option<Chain> {
     let mut first_gen = None;
     for (i, slot) in slots.iter().enumerate() {
         match slot {
@@ -439,21 +663,48 @@ fn reorder_candidate(slots: &[Slot<'_>]) -> Option<usize> {
                 first_gen = Some(i);
                 break;
             }
-            // A `let` before the first generator adds comp-local bindings the
-            // hoisted evaluation could not see; a fused slot cannot come first.
             _ => return None,
         }
     }
-    let g = first_gen?;
-    let Slot::Gen { pattern: p1, .. } = &slots[g] else {
+    let start = first_gen?;
+    let Slot::Gen { pattern: p0, .. } = &slots[start] else {
         return None;
     };
-    let Some(Slot::Fused { probe_vars, .. }) = slots.get(g + 1) else {
-        return None;
-    };
-    let p1_vars: BTreeSet<&str> = p1.bound_vars().into_iter().collect();
-    if probe_vars.iter().all(|v| p1_vars.contains(v)) {
-        Some(g)
+    // Patterns of the chain members so far, in textual order (position 0 = p0).
+    let mut patterns: Vec<&Pattern> = vec![p0];
+    let mut preds: Vec<ChainPred> = Vec::new();
+    let mut len = 1;
+    'extend: while let Some(Slot::Fused {
+        pattern,
+        probe_vars,
+        build_vars,
+        ..
+    }) = slots.get(start + len)
+    {
+        let later = patterns.len();
+        let mut new_preds = Vec::with_capacity(probe_vars.len());
+        for (probe, build) in probe_vars.iter().zip(build_vars) {
+            // Resolve the probe variable to its most recent earlier binder;
+            // variables bound only by the enclosing environment end the chain.
+            let Some(earlier) = patterns
+                .iter()
+                .rposition(|p| p.bound_vars().contains(probe))
+            else {
+                break 'extend;
+            };
+            new_preds.push(ChainPred {
+                later,
+                earlier,
+                later_var: build.to_string(),
+                earlier_var: probe.to_string(),
+            });
+        }
+        preds.extend(new_preds);
+        patterns.push(pattern);
+        len += 1;
+    }
+    if len >= 2 {
+        Some(Chain { start, len, preds })
     } else {
         None
     }
@@ -626,14 +877,13 @@ impl<P: ExtentProvider> Evaluator<P> {
         let Some(cache) = &self.plan_cache else {
             return Ok(Arc::new(self.plan_comprehension(qualifiers, env)?));
         };
-        let key = crate::pretty::print(comp);
         let version = self.provider.version();
-        if let Some(plan) = cache.lookup(&key, version) {
+        if let Some(plan) = cache.lookup(comp, version) {
             return Ok(plan);
         }
         let plan = Arc::new(self.plan_comprehension(qualifiers, env)?);
         if plan.cacheable {
-            cache.store(key, version, Arc::clone(&plan));
+            cache.store(comp.clone(), version, Arc::clone(&plan));
         }
         Ok(plan)
     }
@@ -641,6 +891,11 @@ impl<P: ExtentProvider> Evaluator<P> {
     /// Evaluate the plan-time sources, in parallel on scoped threads when there are
     /// at least two (they are independent by construction). Results and errors are
     /// reassembled in qualifier order so evaluation stays deterministic.
+    ///
+    /// Worker threads come out of the process-wide [`FetchPool`] budget: the
+    /// fan-out asks for up to `len - 1` permits (the calling thread works too) and
+    /// runs whatever share the pool cannot cover inline, so nested fan-outs across
+    /// the whole process never oversubscribe the machine.
     fn eval_sources(
         &self,
         wanted: &[(usize, &Expr)],
@@ -654,18 +909,44 @@ impl<P: ExtentProvider> Evaluator<P> {
             || wanted
                 .iter()
                 .any(|(_, source)| !matches!(source, Expr::Scheme(_)));
-        if self.parallel && worthwhile && wanted.len() >= 2 {
+        // A single-core machine (pool capacity 1) gains nothing from running a
+        // worker alongside the caller — skip the fan-out entirely there.
+        let pool = FetchPool::global();
+        let mut permits =
+            if self.parallel && worthwhile && wanted.len() >= 2 && pool.capacity() >= 2 {
+                pool.acquire_up_to(wanted.len() - 1)
+            } else {
+                pool.acquire_up_to(0)
+            };
+        if permits.count() > 0 {
+            let workers = permits.count() + 1; // the caller takes a share too
+            let chunk = wanted.len().div_ceil(workers);
+            // Ceil-division may need fewer chunks than workers: return the
+            // surplus permits instead of stranding them for the fan-out.
+            permits.truncate(wanted.len().div_ceil(chunk) - 1);
             let results: Vec<Result<Bag, EvalError>> = std::thread::scope(|scope| {
-                let handles: Vec<_> = wanted
-                    .iter()
-                    .map(|(_, source)| {
-                        scope.spawn(move || self.eval(source, env).and_then(|v| v.expect_bag()))
+                let mut chunks = wanted.chunks(chunk);
+                let caller_share = chunks.next().unwrap_or(&[]);
+                let handles: Vec<_> = chunks
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|(_, source)| {
+                                    self.eval(source, env).and_then(|v| v.expect_bag())
+                                })
+                                .collect::<Vec<_>>()
+                        })
                     })
                     .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("extent fetch thread panicked"))
-                    .collect()
+                let mut results: Vec<Result<Bag, EvalError>> = caller_share
+                    .iter()
+                    .map(|(_, source)| self.eval(source, env).and_then(|v| v.expect_bag()))
+                    .collect();
+                for handle in handles {
+                    results.extend(handle.join().expect("extent fetch thread panicked"));
+                }
+                results
             });
             for ((i, _), result) in wanted.iter().zip(results) {
                 out.insert(*i, result?);
@@ -679,21 +960,23 @@ impl<P: ExtentProvider> Evaluator<P> {
     }
 
     /// Build the step list for a comprehension: classify qualifiers, prefetch every
-    /// plan-time source (in parallel), apply the statistics-driven reorder to a
-    /// leading join pair when profitable, and fuse the remaining equi-join runs into
-    /// hash joins (see module docs).
+    /// plan-time source (in parallel), reorder the leading generator chain via its
+    /// join graph when profitable (pairs through the pair planner, longer chains
+    /// through the greedy multiway planner), and fuse the remaining equi-join runs
+    /// into hash joins (see module docs).
     fn plan_comprehension(&self, qualifiers: &[Qualifier], env: &Env) -> Result<Plan, EvalError> {
         let slots = analyse(qualifiers);
-        let candidate = if self.reorder {
-            reorder_candidate(&slots)
+        let chain = if self.reorder {
+            chain_candidate(&slots)
         } else {
             None
         };
+        let chain_start = chain.as_ref().map(|c| c.start);
         let mut wanted: Vec<(usize, &Expr)> = Vec::new();
         for (i, slot) in slots.iter().enumerate() {
             match slot {
                 Slot::Fused { source, .. } => wanted.push((i, source)),
-                Slot::Gen { source, .. } if Some(i) == candidate => wanted.push((i, source)),
+                Slot::Gen { source, .. } if Some(i) == chain_start => wanted.push((i, source)),
                 _ => {}
             }
         }
@@ -706,9 +989,25 @@ impl<P: ExtentProvider> Evaluator<P> {
         let mut join_stats = Vec::new();
         let mut i = 0;
         while i < slots.len() {
-            if Some(i) == candidate {
+            if Some(i) == chain_start {
+                let c = chain.as_ref().expect("chain start implies a chain");
+                if c.len >= 3 {
+                    // Whole-chain reorder; on a bail-out (cross-product estimate,
+                    // disconnected graph) fall through to the pair planner below.
+                    if let Some((chain_steps, stats)) =
+                        self.plan_chain_join(c, &slots, &bags, env)?
+                    {
+                        for pos in 0..c.len {
+                            bags.remove(&(c.start + pos));
+                        }
+                        steps.extend(chain_steps);
+                        join_stats.extend(stats);
+                        i += c.len;
+                        continue;
+                    }
+                }
                 let Slot::Gen { pattern: p1, .. } = &slots[i] else {
-                    unreachable!("candidate is a plain generator");
+                    unreachable!("chain starts with a plain generator");
                 };
                 let Slot::Fused {
                     pattern: p2,
@@ -717,7 +1016,7 @@ impl<P: ExtentProvider> Evaluator<P> {
                     ..
                 } = &slots[i + 1]
                 else {
-                    unreachable!("candidate is followed by a fused generator");
+                    unreachable!("chain continues with a fused generator");
                 };
                 let bag1 = bags.remove(&i).expect("prefetched outer source");
                 let bag2 = bags.remove(&(i + 1)).expect("prefetched inner source");
@@ -761,6 +1060,239 @@ impl<P: ExtentProvider> Evaluator<P> {
             join_stats,
             cacheable,
         })
+    }
+
+    /// Plan a generator chain of three or more via its join graph: match every
+    /// chain extent once, then join greedily — always the smallest not-yet-joined
+    /// connected generator next, hash-indexing whichever side of each edge join is
+    /// smaller — and restore the nested-loop output order with one final sort on
+    /// the original bag positions in textual generator order.
+    ///
+    /// Per-step output estimates come from the per-extent key histograms persisted
+    /// in the attached [`PlanCache`] (computed and stored on first use), so
+    /// planning over memoised extents needs no extra pass over the data. Returns
+    /// `Ok(None)` to bail out — join graph disconnected (a cross product the
+    /// greedy order cannot reach) or an estimate past [`REORDER_OUTPUT_CAP`] —
+    /// in which case the caller falls back to pair planning.
+    fn plan_chain_join(
+        &self,
+        chain: &Chain,
+        slots: &[Slot<'_>],
+        bags: &BTreeMap<usize, Bag>,
+        env: &Env,
+    ) -> Result<Option<ChainPlan>, EvalError> {
+        const UNSET: usize = usize::MAX;
+        let m = chain.len;
+        let mut patterns: Vec<&Pattern> = Vec::with_capacity(m);
+        let mut sources: Vec<&Expr> = Vec::with_capacity(m);
+        for pos in 0..m {
+            match &slots[chain.start + pos] {
+                Slot::Gen { pattern, source }
+                | Slot::Fused {
+                    pattern, source, ..
+                } => {
+                    patterns.push(pattern);
+                    sources.push(source);
+                }
+                _ => unreachable!("chain covers only generator slots"),
+            }
+        }
+        // Match each generator's extent once, keeping the original bag position,
+        // the element, and the pattern-bound environment for key extraction.
+        let mut matched: Vec<MatchedRows> = Vec::with_capacity(m);
+        for (pos, pattern) in patterns.iter().enumerate() {
+            let bag = bags
+                .get(&(chain.start + pos))
+                .expect("prefetched chain source");
+            let mut rows = Vec::new();
+            for (p, element) in bag.iter().enumerate() {
+                let mut scratch = env.clone();
+                if match_pattern(pattern, element, &mut scratch)? {
+                    rows.push((p, element.clone(), scratch));
+                }
+            }
+            matched.push(rows);
+        }
+        let mut in_set = vec![false; m];
+        let mut remaining: BTreeSet<usize> = (0..m).collect();
+        let seed = (0..m)
+            .min_by_key(|&g| matched[g].len())
+            .expect("chain is nonempty");
+        in_set[seed] = true;
+        remaining.remove(&seed);
+        // Intermediate rows: per chain position, an index into `matched[pos]`.
+        let mut rows: Vec<Vec<usize>> = (0..matched[seed].len())
+            .map(|idx| {
+                let mut row = vec![UNSET; m];
+                row[seed] = idx;
+                row
+            })
+            .collect();
+        let mut stats_out = Vec::new();
+        let mut used = vec![false; chain.preds.len()];
+        while !remaining.is_empty() {
+            let connected = |g: usize| {
+                chain.preds.iter().any(|p| {
+                    (p.later == g && in_set[p.earlier]) || (p.earlier == g && in_set[p.later])
+                })
+            };
+            let Some(n) = remaining
+                .iter()
+                .copied()
+                .filter(|&g| connected(g))
+                .min_by_key(|&g| matched[g].len())
+            else {
+                return Ok(None); // disconnected join graph: joining on would cross-product
+            };
+            // Every predicate between `n` and the joined set becomes one component
+            // of this edge join's composite key; predicates whose other endpoint
+            // is still unjoined stay deferred until that endpoint joins.
+            let mut n_vars: Vec<&str> = Vec::new();
+            let mut other: Vec<(usize, &str)> = Vec::new();
+            for (pi, p) in chain.preds.iter().enumerate() {
+                if used[pi] {
+                    continue;
+                }
+                if p.later == n && in_set[p.earlier] {
+                    n_vars.push(&p.later_var);
+                    other.push((p.earlier, &p.earlier_var));
+                    used[pi] = true;
+                } else if p.earlier == n && in_set[p.later] {
+                    n_vars.push(&p.earlier_var);
+                    other.push((p.later, &p.later_var));
+                    used[pi] = true;
+                }
+            }
+            let n_rows = matched[n].len();
+            let inter_rows = rows.len();
+            let histogram = self.chain_histogram(sources[n], patterns[n], &n_vars, &matched[n]);
+            let estimated = inter_rows as f64 * n_rows as f64 / histogram.distinct.max(1) as f64;
+            if estimated > REORDER_OUTPUT_CAP * (inter_rows + n_rows + 1) as f64 {
+                return Ok(None);
+            }
+            // Hash the smaller side of the edge join, probe from the bigger one;
+            // the final positional sort makes the probe order irrelevant.
+            let mut joined: Vec<Vec<usize>> = Vec::new();
+            if n_rows <= inter_rows {
+                let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (idx, (_, _, scratch)) in matched[n].iter().enumerate() {
+                    if let Some(key) = key_from(scratch, &n_vars) {
+                        index.entry(key).or_default().push(idx);
+                    }
+                }
+                for row in &rows {
+                    let Some(key) = chain_row_key(&matched, row, &other) else {
+                        continue;
+                    };
+                    if let Some(idxs) = index.get(&key) {
+                        for &idx in idxs {
+                            let mut r = row.clone();
+                            r[n] = idx;
+                            joined.push(r);
+                        }
+                    }
+                }
+            } else {
+                let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+                for (ri, row) in rows.iter().enumerate() {
+                    if let Some(key) = chain_row_key(&matched, row, &other) {
+                        index.entry(key).or_default().push(ri);
+                    }
+                }
+                for (idx, (_, _, scratch)) in matched[n].iter().enumerate() {
+                    if let Some(key) = key_from(scratch, &n_vars) {
+                        if let Some(ris) = index.get(&key) {
+                            for &ri in ris {
+                                let mut r = rows[ri].clone();
+                                r[n] = idx;
+                                joined.push(r);
+                            }
+                        }
+                    }
+                }
+            }
+            stats_out.push(JoinStats {
+                strategy: JoinStrategy::Multiway,
+                build_rows: n_rows.min(inter_rows),
+                probe_rows: Some(n_rows.max(inter_rows)),
+                distinct_keys: histogram.distinct,
+                max_bucket: histogram.max_bucket,
+                estimated_output: Some(estimated),
+            });
+            rows = joined;
+            in_set[n] = true;
+            remaining.remove(&n);
+        }
+        if used.iter().any(|u| !u) {
+            return Ok(None); // defensive: a predicate never became joinable
+        }
+        // Restore the nested-loop output order: lexicographic on the original bag
+        // positions in textual generator order (exactly the order the nested loop
+        // enumerates accepted combinations in).
+        rows.sort_by(|a, b| {
+            for g in 0..m {
+                match matched[g][a[g]].0.cmp(&matched[g][b[g]].0) {
+                    std::cmp::Ordering::Equal => continue,
+                    ord => return ord,
+                }
+            }
+            std::cmp::Ordering::Equal
+        });
+        let materialised: Vec<Vec<Value>> = rows
+            .into_iter()
+            .map(|row| (0..m).map(|g| matched[g][row[g]].1.clone()).collect())
+            .collect();
+        Ok(Some((
+            vec![Step::MultiJoin {
+                patterns: patterns.into_iter().cloned().collect(),
+                rows: Arc::new(materialised),
+            }],
+            stats_out,
+        )))
+    }
+
+    /// The key histogram for one side of a chain edge join: served from the
+    /// [`PlanCache`]'s persisted per-extent histograms when the source is a closed
+    /// expression (so the histogram is extent-intrinsic), computed — and persisted
+    /// for the next plan — otherwise.
+    fn chain_histogram(
+        &self,
+        source: &Expr,
+        pattern: &Pattern,
+        key_vars: &[&str],
+        matched: &[(usize, Value, Env)],
+    ) -> KeyHistogram {
+        let stats_key = match &self.plan_cache {
+            Some(_) if rewrite::free_vars(source).is_empty() => Some((
+                source.clone(),
+                pattern.clone(),
+                key_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+            )),
+            _ => None,
+        };
+        let version = self.provider.version();
+        if let (Some(cache), Some(key)) = (&self.plan_cache, &stats_key) {
+            if let Some(histogram) = cache.histogram(key, version) {
+                return histogram;
+            }
+        }
+        let mut counts: HashMap<Value, usize> = HashMap::new();
+        let mut rows = 0usize;
+        for (_, _, scratch) in matched {
+            if let Some(key) = key_from(scratch, key_vars) {
+                *counts.entry(key).or_insert(0) += 1;
+                rows += 1;
+            }
+        }
+        let histogram = KeyHistogram {
+            rows,
+            distinct: counts.len(),
+            max_bucket: counts.values().copied().max().unwrap_or(0),
+        };
+        if let (Some(cache), Some(key)) = (&self.plan_cache, stats_key) {
+            cache.store_histogram(key, version, histogram);
+        }
+        histogram
     }
 
     /// Run a planned comprehension. Mirrors [`Self::eval_comprehension`] step for
@@ -841,6 +1373,23 @@ impl<P: ExtentProvider> Evaluator<P> {
                     let mut bound = env.clone();
                     if match_pattern(outer, a, &mut bound)? && match_pattern(inner, b, &mut bound)?
                     {
+                        self.exec_plan(head, rest, &bound, out)?;
+                    }
+                }
+                Ok(())
+            }
+            Some((Step::MultiJoin { patterns, rows }, rest)) => {
+                for row in rows.iter() {
+                    let mut bound = env.clone();
+                    let mut all = true;
+                    // Bind in textual order so shadowing matches the nested loop.
+                    for (pattern, element) in patterns.iter().zip(row) {
+                        if !match_pattern(pattern, element, &mut bound)? {
+                            all = false;
+                            break;
+                        }
+                    }
+                    if all {
                         self.exec_plan(head, rest, &bound, out)?;
                     }
                 }
@@ -1087,6 +1636,18 @@ fn build_index(
         estimated_output: probe_rows.map(|n| n as f64 * indexed as f64 / distinct.max(1) as f64),
     };
     Ok((index, stats))
+}
+
+/// Extract the (composite) join key of an intermediate chain row: each component
+/// names a chain position and a variable bound by that position's pattern, looked
+/// up in the pattern-bound environment captured when the extent was matched.
+fn chain_row_key(matched: &[MatchedRows], row: &[usize], parts: &[(usize, &str)]) -> Option<Value> {
+    let mut vals = Vec::with_capacity(parts.len());
+    for (g, var) in parts {
+        let (_, _, scratch) = &matched[*g][row[*g]];
+        vals.push(scratch.get(var)?.clone());
+    }
+    Some(composite_key(vals))
 }
 
 /// Assemble a join key from its component values (single components stay bare so a
@@ -1590,6 +2151,213 @@ mod tests {
         );
     }
 
+    // ---------- whole-chain (join graph) reordering ----------
+
+    /// A fixture whose textual generator order is maximally wrong for a 3-chain:
+    /// the biggest extent leads and the smallest comes last.
+    fn chain_fixture() -> MapExtents {
+        let mut m = MapExtents::new();
+        m.insert(
+            "big,v",
+            Bag::from_values(
+                (0..120)
+                    .map(|i| Value::pair(Value::Int(i % 6), Value::str(format!("b{i}"))))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "mid,v",
+            Bag::from_values(
+                (0..30)
+                    .map(|i| Value::pair(Value::Int(i % 6), Value::str(format!("m{i}"))))
+                    .collect(),
+            ),
+        );
+        m.insert_pairs("small,v", vec![(0, "s0"), (1, "s1"), (2, "s2")]);
+        m
+    }
+
+    const CHAIN_Q: &str = "[{x, y, z} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; {k3, z} <- <<small, v>>; k3 = k2]";
+
+    #[test]
+    fn three_chain_reorders_multiway_and_preserves_order() {
+        let m = chain_fixture();
+        let q = parse(CHAIN_Q).unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats.len(), 2, "a 3-chain joins two edges");
+        assert!(
+            stats.iter().all(|s| s.strategy == JoinStrategy::Multiway),
+            "whole chain must go through the join-graph planner: {stats:?}"
+        );
+        // Greedy starts from the smallest extent (3 rows build first).
+        assert_eq!(stats[0].build_rows, 3);
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items(),
+            "multiway join must preserve nested-loop output order"
+        );
+        assert!(!planned.expect_bag().unwrap().is_empty());
+    }
+
+    #[test]
+    fn chain_joining_back_to_first_generator_agrees_with_naive() {
+        // The third generator joins to the FIRST, not its predecessor: the join
+        // graph is a star, which the old leading-pair reorder could not see.
+        let m = chain_fixture();
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; {k3, z} <- <<small, v>>; k3 = k1]",
+        )
+        .unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert!(stats.iter().all(|s| s.strategy == JoinStrategy::Multiway));
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn chain_bails_to_pair_planning_when_estimate_explodes() {
+        // Single-key extents: every chain estimate is a near-cross-product, so
+        // the multiway planner bails and the pair planner (which also bails to
+        // textual orientation) takes over. Answers must still match naive.
+        let mut m = MapExtents::new();
+        for (name, n) in [("a,v", 25usize), ("b,v", 30), ("c,v", 35)] {
+            m.insert(
+                name,
+                Bag::from_values(
+                    (0..n)
+                        .map(|i| Value::pair(Value::Int(1), Value::str(format!("{name}{i}"))))
+                        .collect(),
+                ),
+            );
+        }
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<a, v>>; {k2, y} <- <<b, v>>; k2 = k1; {k3, z} <- <<c, v>>; k3 = k2]",
+        )
+        .unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert!(
+            stats.iter().all(|s| s.strategy != JoinStrategy::Multiway),
+            "exploding estimates must abandon the chain reorder: {stats:?}"
+        );
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn chain_with_composite_keys_agrees_with_naive() {
+        let mut m = MapExtents::new();
+        m.insert(
+            "acc",
+            Bag::from_values(
+                (0..40)
+                    .map(|i| {
+                        Value::tuple(vec![
+                            Value::str(if i % 2 == 0 { "PEDRO" } else { "gpmDB" }),
+                            Value::Int(i % 5),
+                            Value::str(format!("a{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "descr",
+            Bag::from_values(
+                (0..12)
+                    .map(|i| {
+                        Value::tuple(vec![
+                            Value::str(if i % 2 == 0 { "PEDRO" } else { "gpmDB" }),
+                            Value::Int(i % 5),
+                            Value::str(format!("d{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert_pairs("org,v", vec![(0, "human"), (1, "mouse"), (2, "yeast")]);
+        let q = parse(
+            "[{x, d, o} | {s, k, x} <- <<acc>>; {s2, k2, d} <- <<descr>>; s2 = s; k2 = k; {k3, o} <- <<org, v>>; k3 = k]",
+        )
+        .unwrap();
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn four_chain_agrees_with_naive() {
+        let m = chain_fixture();
+        let q = parse(
+            "[{x, y, z, w} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; {k3, z} <- <<small, v>>; k3 = k2; {k4, w} <- <<small, v>>; k4 = k1]",
+        )
+        .unwrap();
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn chain_histograms_are_persisted_and_reused() {
+        let m = chain_fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let q = parse(CHAIN_Q).unwrap();
+        ev.eval_closed(&q).unwrap();
+        let after_first = cache.histogram_count();
+        assert!(
+            after_first > 0,
+            "chain planning must persist per-extent key histograms"
+        );
+        // A *different* query over the same extents and keys replans but reuses
+        // the persisted histograms rather than recomputing them.
+        let q2 = parse(
+            "[{y, x, z} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; {k3, z} <- <<small, v>>; k3 = k2]",
+        )
+        .unwrap();
+        let planned = ev.eval_closed(&q2).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q2)
+            .unwrap();
+        assert_eq!(planned, naive);
+        assert_eq!(
+            cache.histogram_count(),
+            after_first,
+            "same extents and keys: no new histograms needed"
+        );
+    }
+
     // ---------- plan caching ----------
 
     #[test]
@@ -1682,6 +2450,63 @@ mod tests {
         assert!(cache.is_empty());
         ev.eval_closed(&q).unwrap();
         assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn plan_cache_respects_lru_capacity_and_never_serves_wrong_plans() {
+        let m = fixture();
+        let cache = Arc::new(PlanCache::with_capacity(2));
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let queries: Vec<Expr> = (1..=4)
+            .map(|k| {
+                parse(&format!(
+                    "[x | {{k, x}} <- <<protein, accession_num>>; k = {k}]"
+                ))
+                .unwrap()
+            })
+            .collect();
+        for q in &queries {
+            ev.eval_closed(q).unwrap();
+            assert!(cache.len() <= 2, "cache must never exceed its capacity");
+        }
+        assert_eq!(cache.capacity(), 2);
+        assert!(cache.eviction_count() >= 2);
+        // Every query still answers correctly after (and despite) evictions.
+        for (i, q) in queries.iter().enumerate() {
+            let v = ev.eval_closed(q).unwrap();
+            let expected = if i < 3 { 1 } else { 0 }; // keys 1..3 exist, 4 doesn't
+            assert_eq!(v.expect_bag().unwrap().len(), expected, "query {i}");
+        }
+    }
+
+    #[test]
+    fn evicted_then_refetched_plans_respect_provider_version() {
+        // Fill a tiny cache so the join plan is evicted, mutate the provider,
+        // then re-run: the rebuilt plan must see the new data.
+        let mut m = fixture();
+        let cache = Arc::new(PlanCache::with_capacity(1));
+        let join = parse(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; k = k2]",
+        )
+        .unwrap();
+        let filler = parse("[x | {k, x} <- <<protein, accession_num>>; k = 1]").unwrap();
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        assert_eq!(
+            ev.eval_closed(&join).unwrap().expect_bag().unwrap().len(),
+            2
+        );
+        ev.eval_closed(&filler).unwrap(); // evicts the join plan (capacity 1)
+        assert_eq!(cache.len(), 1);
+        m.insert_pairs(
+            "protein,organism",
+            vec![(1, "human"), (2, "mouse"), (3, "yeast")],
+        );
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        assert_eq!(
+            ev.eval_closed(&join).unwrap().expect_bag().unwrap().len(),
+            3,
+            "rebuilt plan must reflect the mutated provider"
+        );
     }
 
     #[test]

@@ -1,0 +1,202 @@
+//! The process-wide fetch-thread budget.
+//!
+//! Several layers of the query engine fan work out on scoped threads: the
+//! evaluator prefetches independent generator sources, the virtual-extent
+//! resolver evaluates per-source contributions concurrently, and a dataspace
+//! answers batched queries in parallel. Each fan-out used to cap its own spawn
+//! count at the machine's parallelism — but the fan-outs *nest* (a batched query
+//! resolves virtual extents whose contributions prefetch join sides), so the
+//! per-call caps multiplied and a deep workload could spawn far more threads
+//! than cores.
+//!
+//! [`FetchPool`] replaces those per-call caps with one process-wide semaphore.
+//! A fan-out asks for up to `n - 1` worker permits (the calling thread always
+//! works too, so a fan-out of `n` tasks needs at most `n - 1` extra threads);
+//! whatever the pool cannot grant is simply not spawned and that share of the
+//! work runs inline on the caller. Acquisition never blocks — there is no
+//! waiting and therefore no possibility of deadlock between nested fan-outs —
+//! and permits release on drop, so the number of *extra* fetch threads alive in
+//! the whole process never exceeds the pool capacity.
+//!
+//! ```
+//! use iql::fetch::FetchPool;
+//!
+//! let permits = FetchPool::global().acquire_up_to(3);
+//! // spawn `permits.count()` workers (possibly zero), run the rest inline…
+//! drop(permits); // returns the permits to the global budget
+//! ```
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+use std::sync::OnceLock;
+use std::thread;
+
+/// A non-blocking counting semaphore bounding fetch worker threads. One global
+/// instance ([`FetchPool::global`]) is shared by every fan-out in the process.
+#[derive(Debug)]
+pub struct FetchPool {
+    available: AtomicIsize,
+    capacity: usize,
+}
+
+impl FetchPool {
+    /// A pool with the given number of worker permits (tests and embedders; the
+    /// engine itself uses [`FetchPool::global`]).
+    pub fn with_capacity(capacity: usize) -> Self {
+        FetchPool {
+            available: AtomicIsize::new(capacity as isize),
+            capacity,
+        }
+    }
+
+    /// The shared process-wide pool. Its capacity is the machine's available
+    /// parallelism: with every caller thread also working, a saturated system
+    /// runs at most `cores + live fan-out callers` runnable threads.
+    pub fn global() -> &'static FetchPool {
+        static GLOBAL: OnceLock<FetchPool> = OnceLock::new();
+        GLOBAL.get_or_init(|| {
+            FetchPool::with_capacity(
+                thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(4),
+            )
+        })
+    }
+
+    /// The total number of permits the pool was created with.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Permits currently free (may be stale the moment it returns; useful for
+    /// diagnostics only).
+    pub fn available(&self) -> usize {
+        self.available.load(Ordering::Relaxed).max(0) as usize
+    }
+
+    /// Acquire up to `want` permits without blocking; the returned batch may
+    /// hold fewer (including zero). Dropping the batch releases its permits.
+    pub fn acquire_up_to(&self, want: usize) -> Permits<'_> {
+        let mut granted = 0usize;
+        while granted < want {
+            let prev = self.available.fetch_sub(1, Ordering::AcqRel);
+            if prev <= 0 {
+                self.available.fetch_add(1, Ordering::AcqRel);
+                break;
+            }
+            granted += 1;
+        }
+        Permits {
+            pool: self,
+            count: granted,
+        }
+    }
+}
+
+/// A batch of worker permits held from a [`FetchPool`]; released on drop.
+#[derive(Debug)]
+pub struct Permits<'a> {
+    pool: &'a FetchPool,
+    count: usize,
+}
+
+impl Permits<'_> {
+    /// How many worker threads this batch allows the holder to spawn.
+    pub fn count(&self) -> usize {
+        self.count
+    }
+
+    /// Release all but `keep` permits back to the pool immediately. Fan-outs
+    /// that end up spawning fewer workers than they acquired for (ceil-division
+    /// chunking can need fewer chunks than permits) must return the surplus
+    /// rather than strand it for the duration of the fan-out.
+    pub fn truncate(&mut self, keep: usize) {
+        if self.count > keep {
+            self.pool
+                .available
+                .fetch_add((self.count - keep) as isize, Ordering::AcqRel);
+            self.count = keep;
+        }
+    }
+}
+
+impl Drop for Permits<'_> {
+    fn drop(&mut self) {
+        if self.count > 0 {
+            self.pool
+                .available
+                .fetch_add(self.count as isize, Ordering::AcqRel);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grants_at_most_capacity() {
+        let pool = FetchPool::with_capacity(3);
+        let a = pool.acquire_up_to(2);
+        assert_eq!(a.count(), 2);
+        let b = pool.acquire_up_to(5);
+        assert_eq!(b.count(), 1, "only one permit left");
+        let c = pool.acquire_up_to(1);
+        assert_eq!(c.count(), 0, "exhausted pools grant nothing");
+        drop(a);
+        let d = pool.acquire_up_to(5);
+        assert_eq!(d.count(), 2, "dropped permits return to the pool");
+    }
+
+    #[test]
+    fn zero_requests_are_free() {
+        let pool = FetchPool::with_capacity(1);
+        let none = pool.acquire_up_to(0);
+        assert_eq!(none.count(), 0);
+        assert_eq!(pool.available(), 1);
+    }
+
+    #[test]
+    fn global_pool_has_machine_capacity() {
+        let pool = FetchPool::global();
+        assert!(pool.capacity() >= 1);
+    }
+
+    #[test]
+    fn truncate_returns_surplus_permits() {
+        let pool = FetchPool::with_capacity(4);
+        let mut a = pool.acquire_up_to(4);
+        assert_eq!(a.count(), 4);
+        a.truncate(1);
+        assert_eq!(a.count(), 1);
+        assert_eq!(pool.available(), 3, "surplus returned immediately");
+        a.truncate(2); // growing is not a thing; keep stays at 1
+        assert_eq!(a.count(), 1);
+        drop(a);
+        assert_eq!(pool.available(), 4);
+    }
+
+    #[test]
+    fn concurrent_acquires_never_oversubscribe() {
+        use std::sync::atomic::AtomicUsize;
+        let pool = FetchPool::with_capacity(4);
+        let held = AtomicUsize::new(0);
+        let peak = AtomicUsize::new(0);
+        thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    for _ in 0..50 {
+                        let p = pool.acquire_up_to(2);
+                        let now = held.fetch_add(p.count(), Ordering::SeqCst) + p.count();
+                        peak.fetch_max(now, Ordering::SeqCst);
+                        thread::yield_now();
+                        held.fetch_sub(p.count(), Ordering::SeqCst);
+                        drop(p);
+                    }
+                });
+            }
+        });
+        // The concurrently-held permit count must never have exceeded capacity.
+        assert!(peak.load(Ordering::SeqCst) <= 4, "peak {:?}", peak);
+        assert_eq!(pool.available(), 4, "all permits replenished");
+    }
+}

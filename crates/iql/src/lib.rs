@@ -20,9 +20,15 @@
 //!
 //! ## Crate layout
 //!
-//! * [`ast`] / [`parser`] / [`lexer`] — surface syntax;
+//! * [`ast`] / [`parser`] / [`lexer`] — surface syntax; [`Expr`] implements
+//!   `Hash`/`Eq` so expressions can key caches directly;
 //! * [`value`] — runtime values and bag algebra;
-//! * [`eval`] — the evaluator, parameterised by an [`ExtentProvider`];
+//! * [`eval`] — the evaluator, parameterised by an [`ExtentProvider`]: hash-join
+//!   planning, join-graph reordering of whole generator chains, parallel extent
+//!   fetch, and the LRU-bounded [`PlanCache`] with persisted join-key histograms;
+//! * [`fetch`] — the process-wide [`FetchPool`] semaphore budgeting every fetch
+//!   fan-out in the process;
+//! * [`lru`] — the bounded [`lru::LruMap`] behind the engine's memos;
 //! * [`builtins`] — the built-in function library (`count`, `sum`, `distinct`, …);
 //! * [`rewrite`] — query rewriting utilities used by GAV unfolding and pathway
 //!   reformulation (scheme substitution, renaming, free-scheme collection);
@@ -46,7 +52,9 @@ pub mod builtins;
 pub mod env;
 pub mod error;
 pub mod eval;
+pub mod fetch;
 pub mod lexer;
+pub mod lru;
 pub mod parser;
 pub mod pretty;
 pub mod rewrite;
@@ -55,7 +63,8 @@ pub mod value;
 
 pub use ast::{BinOp, Expr, Literal, Pattern, Qualifier, SchemeRef, UnOp};
 pub use error::{EvalError, ParseError};
-pub use eval::{Evaluator, ExtentProvider, JoinStats, JoinStrategy, PlanCache};
+pub use eval::{Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache};
+pub use fetch::FetchPool;
 pub use value::{Bag, Value};
 
 use std::collections::BTreeMap;

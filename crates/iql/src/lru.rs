@@ -1,0 +1,205 @@
+//! A small bounded map with least-recently-used eviction.
+//!
+//! Both long-lived query-engine memos — the [`crate::PlanCache`] and the shared
+//! extent memo a dataspace keeps across queries — used to grow without bound.
+//! [`LruMap`] is the shared primitive that bounds them: a `HashMap` whose entries
+//! carry a last-used tick, evicting the stalest entry whenever an insert would
+//! exceed the configured capacity.
+//!
+//! Two deliberate design points for the concurrent read path:
+//!
+//! * [`LruMap::get`] takes `&self` — the recency touch is an atomic store, so a
+//!   map shared behind an `RwLock` serves concurrent hits under the *read* lock.
+//!   Only inserts and clears need the write lock. Batched queries hammering a
+//!   warm memo from many threads therefore never serialise on bookkeeping.
+//! * Eviction scans for the minimum tick, which is `O(len)` per overflowing
+//!   insert. Capacities here are in the hundreds-to-thousands and inserts are
+//!   planner-level (not per-row) events, so the scan is cheaper than the
+//!   linked-list bookkeeping (and unsafe code) of a classic LRU.
+//!
+//! ```
+//! use iql::lru::LruMap;
+//!
+//! let mut cache: LruMap<&str, i32> = LruMap::new(2);
+//! cache.insert("a", 1);
+//! cache.insert("b", 2);
+//! cache.get(&"a");          // refresh "a": "b" is now the LRU entry
+//! cache.insert("c", 3);     // evicts "b"
+//! assert!(cache.get(&"b").is_none());
+//! assert_eq!(cache.len(), 2);
+//! assert_eq!(cache.evictions(), 1);
+//! ```
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A hash map bounded to `capacity` entries, evicting the least recently used
+/// entry on overflow. `get` counts as a use; `insert` of an existing key
+/// refreshes it in place.
+#[derive(Debug)]
+pub struct LruMap<K, V> {
+    entries: HashMap<K, Slot<V>>,
+    capacity: usize,
+    tick: AtomicU64,
+    evictions: u64,
+}
+
+#[derive(Debug)]
+struct Slot<V> {
+    value: V,
+    last_used: AtomicU64,
+}
+
+impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
+    /// An empty map holding at most `capacity` entries. A capacity of zero is
+    /// clamped to one (a cache that can hold nothing would evict every insert).
+    pub fn new(capacity: usize) -> Self {
+        LruMap {
+            entries: HashMap::new(),
+            capacity: capacity.max(1),
+            tick: AtomicU64::new(0),
+            evictions: 0,
+        }
+    }
+
+    /// The configured capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of entries currently held.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the map holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// How many entries have been evicted for capacity so far.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Look up a key, marking the entry as most recently used on a hit. Takes
+    /// `&self`: the touch is an atomic store, so concurrent readers sharing the
+    /// map through an `RwLock` read guard never contend.
+    pub fn get<Q>(&self, key: &Q) -> Option<&V>
+    where
+        K: std::borrow::Borrow<Q>,
+        Q: Hash + Eq + ?Sized,
+    {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        self.entries.get(key).map(|slot| {
+            slot.last_used.store(tick, Ordering::Relaxed);
+            &slot.value
+        })
+    }
+
+    /// Insert (or refresh) an entry, evicting the least recently used one first
+    /// when the map is full and the key is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
+        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+            if let Some(stalest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&stalest);
+                self.evictions += 1;
+            }
+        }
+        self.entries.insert(
+            key,
+            Slot {
+                value,
+                last_used: AtomicU64::new(tick),
+            },
+        );
+    }
+
+    /// Remove every entry (the eviction counter is retained).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut m: LruMap<i32, i32> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.get(&1), Some(&10)); // 2 is now stalest
+        m.insert(3, 30);
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.get(&3), Some(&30));
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn refreshing_an_existing_key_does_not_evict() {
+        let mut m: LruMap<i32, i32> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        m.insert(1, 11); // refresh in place: still 2 entries, no eviction
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn never_exceeds_capacity() {
+        let mut m: LruMap<i32, i32> = LruMap::new(3);
+        for i in 0..50 {
+            m.insert(i, i);
+            assert!(m.len() <= 3);
+        }
+        assert_eq!(m.evictions(), 47);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped() {
+        let mut m: LruMap<i32, i32> = LruMap::new(0);
+        m.insert(1, 10);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.capacity(), 1);
+    }
+
+    #[test]
+    fn clear_empties_the_map() {
+        let mut m: LruMap<i32, i32> = LruMap::new(4);
+        for i in 0..4 {
+            m.insert(i, i * 10);
+        }
+        m.clear();
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn concurrent_reads_share_the_map_and_keep_recency() {
+        let mut m: LruMap<i32, i32> = LruMap::new(2);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..100 {
+                        assert_eq!(m.get(&1), Some(&10)); // &self: shared reads
+                    }
+                });
+            }
+        });
+        m.insert(3, 30); // 2 was never touched by the readers: it goes
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&1), Some(&10));
+    }
+}

@@ -14,6 +14,18 @@
 //!   modelling language is defined in terms of the HDM in the Model Definitions
 //!   Repository.
 //!
+//! ## Concurrency and versioning contract
+//!
+//! A [`Database`] is an [`iql::ExtentProvider`]: the layered query engine (the
+//! `automed` virtual-extent resolver, the `core` dataspace, and the evaluator's
+//! parallel extent fetch) calls [`iql::ExtentProvider::extent`] from many
+//! threads at once, so the per-scheme extent memo sits behind an `RwLock` and
+//! hands out shared `Arc<Bag>`s. Every insert bumps a monotonic **version
+//! stamp** ([`Database::data_version`]) and maintains cached extents
+//! *incrementally* (copy-on-write append) instead of invalidating them; the
+//! version stamp is what retires stale [`iql::PlanCache`] entries and clears
+//! the dataspace's stamped extent memo upstream (see `docs/ARCHITECTURE.md`).
+//!
 //! ```
 //! use relational::{schema::{RelSchema, RelTable, RelColumn, DataType}, store::Database};
 //! use iql::{parse, Evaluator};

@@ -5,6 +5,11 @@
 //! next priority query needs. The comparison metric is the paper's: the number of
 //! non-trivial, manually-defined transformations.
 //!
+//! Paper scenario: the E2 intersection-vs-classical effort comparison (§3.2 /
+//! Figure 6). Expected output: one effort table per methodology (non-trivial
+//! manual transformation counts per stage/iteration) followed by a summary
+//! line showing the intersection methodology's total is the smaller of the two.
+//!
 //! Run with: `cargo run --release --example classical_vs_intersection`
 
 use proteomics::case_study::compare_methodologies;

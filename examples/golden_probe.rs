@@ -1,6 +1,14 @@
 //! Regenerates the pinned golden snapshots of `tests/table1_golden.rs`:
 //! prints each Table-1 priority query's answer size and canonically sorted rows
-//! at `CaseStudyScale::tiny()`. Run with `cargo run --example golden_probe`.
+//! at `CaseStudyScale::tiny()`.
+//!
+//! Paper scenario: the Table 1 priority-query set over the fully integrated
+//! proteomics dataspace (maintenance tooling for this repo's golden tests, not
+//! a figure of the paper itself). Expected output: for each of Q1–Q7, a
+//! `<name>: <n> rows` header followed by the canonically sorted row listing —
+//! paste-ready for `tests/table1_golden.rs` when the fixture data changes.
+//!
+//! Run with: `cargo run --example golden_probe`.
 
 use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
 use proteomics::intersection_integration::all_iterations;

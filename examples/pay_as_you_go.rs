@@ -5,6 +5,12 @@
 //! and at what cumulative manual cost — the behaviour that distinguishes a dataspace
 //! (incremental, pay-as-you-go) from a classical up-front integration.
 //!
+//! Paper scenario: the pay-as-you-go curve over the Table 1 query set (§3,
+//! queries becoming answerable as intersection iterations land). Expected
+//! output: one block per iteration (federation, then I1…I5) listing the
+//! iteration's manual cost, the cumulative cost, and a ✓/✗ line per priority
+//! query — strictly more ✓s after every iteration, all seven at the end.
+//!
 //! Run with: `cargo run --release --example pay_as_you_go`
 
 use dataspace_core::dataspace::{Dataspace, DataspaceConfig};

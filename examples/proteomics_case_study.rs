@@ -2,6 +2,12 @@
 //! integration of Pedro, gpmDB and PepSeeker, the seven priority queries (Table 1),
 //! and the effort comparison against the classical integration.
 //!
+//! Paper scenario: the complete §3 iSpider proteomics case study — source
+//! wrapping, federation, the five intersection iterations, the Table 1 query
+//! set, and the effort accounting. Expected output: per-iteration integration
+//! reports, each Table-1 query's answer size at the generated scale (batched
+//! through `Dataspace::query_all`), and the closing effort comparison.
+//!
 //! Run with: `cargo run --release --example proteomics_case_study`
 
 use proteomics::case_study::{compare_methodologies, render_curve, render_table1};

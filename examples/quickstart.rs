@@ -1,5 +1,12 @@
 //! Quickstart: two tiny sources, one intersection schema, one cross-source query.
 //!
+//! Paper scenario: a minimal end-to-end pass over the six-step workflow of
+//! §2.3 (wrap → federate → intersect → derive global → query) — the smallest
+//! version of what the proteomics case study does at scale. Expected output: a
+//! handful of lines showing the federated query answers, the integration
+//! iteration's effort, and the final cross-source join result (the accession
+//! shared by both sources).
+//!
 //! Run with: `cargo run --example quickstart`
 
 use dataspace_core::dataspace::Dataspace;

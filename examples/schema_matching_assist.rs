@@ -3,6 +3,12 @@
 //! ones into an intersection schema with the headless Intersection Schema Tool
 //! (Figure 5 without the GUI).
 //!
+//! Paper scenario: the mapping-definition step of the workflow (§2.3 step 4,
+//! Figure 5) assisted by schema matching, as envisaged in the paper's E6/E8
+//! discussion. Expected output: the matcher's ranked correspondence proposals
+//! with scores, the accepted subset, and the resulting intersection schema's
+//! object list with its queryable extent sizes.
+//!
 //! Run with: `cargo run --release --example schema_matching_assist`
 
 use automed::wrapper::SourceRegistry;

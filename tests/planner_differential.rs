@@ -50,7 +50,10 @@ fn map_extents(rows: &[Vec<(i64, usize)>]) -> MapExtents {
 /// literal filter on its value variable.
 type GenSpec = (usize, usize, Option<usize>);
 
-/// A query shape: 1–3 generators plus optional correlated tail and let-binding.
+/// A query shape: 1–4 generators plus optional correlated tail and let-binding.
+/// Chains of 3+ generators (joined to *any* earlier generator, so stars as well
+/// as lines) drive the whole-chain join-graph reorder; shorter ones the pair
+/// reorder.
 type QueryShape = (Vec<GenSpec>, bool, bool);
 
 fn query_shape() -> impl Strategy<Value = QueryShape> {
@@ -58,10 +61,10 @@ fn query_shape() -> impl Strategy<Value = QueryShape> {
         prop::collection::vec(
             (
                 0usize..3,
-                0usize..3,
+                0usize..4,
                 prop_oneof![Just(None), (0usize..5).prop_map(Some)],
             ),
-            1..4,
+            1..5,
         ),
         any::<bool>(),
         any::<bool>(),

@@ -332,6 +332,76 @@ proptest! {
     }
 }
 
+// ---------- Expr Hash/Eq consistency (plan-cache keys) ----------
+
+fn hash_of(e: &iql::Expr) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    e.hash(&mut h);
+    h.finish()
+}
+
+proptest! {
+    /// The plan cache keys entries by `Expr` hashing: equal expressions must hash
+    /// identically (no cached plan can ever be missed or mixed up by the key),
+    /// clones must be equal, and a pretty-print round trip must preserve both
+    /// equality and hash.
+    #[test]
+    fn expr_hash_is_consistent_with_eq(
+        table in identifier(),
+        column in identifier(),
+        tag in "[A-Za-z]{1,8}",
+        threshold in 0i64..1000,
+        float in -1000.0f64..1000.0,
+    ) {
+        let sources = [
+            format!("[{{'{tag}', k}} | k <- <<{table}>>]"),
+            format!("[{{'{tag}', k, x}} | {{k, x}} <- <<{table}, {column}>>]"),
+            format!("[x | {{k, x}} <- <<{table}, {column}>>; k > {threshold}]"),
+            format!("[{{x, y}} | {{k, x}} <- <<{table}>>; {{k2, y}} <- <<{column}>>; k2 = k]"),
+            format!("count(<<{table}>>) + {threshold}"),
+            format!("{float} * 2.0 + {threshold}"),
+            format!("let n = count <<{table}>> in if n > {threshold} then 'many' else 'few'"),
+        ];
+        let exprs: Vec<iql::Expr> = sources.iter().map(|s| parse(s).unwrap()).collect();
+        for e in &exprs {
+            // Reflexivity + clone identity.
+            prop_assert_eq!(e, &e.clone());
+            prop_assert_eq!(hash_of(e), hash_of(&e.clone()));
+            // Pretty-print round trip is the same cache key.
+            let reparsed = parse(&pretty::print(e)).unwrap();
+            prop_assert_eq!(e, &reparsed);
+            prop_assert_eq!(hash_of(e), hash_of(&reparsed));
+        }
+        // Pairwise: Eq implies hash-eq (collide-safety of the hashed cache key).
+        for a in &exprs {
+            for b in &exprs {
+                if a == b {
+                    prop_assert_eq!(hash_of(a), hash_of(b));
+                }
+            }
+        }
+    }
+
+    /// Float edge cases the manual `Literal` hash must get right: `-0.0 == 0.0`
+    /// must hash identically.
+    #[test]
+    fn expr_float_zero_hashing(sign in any::<bool>()) {
+        let zero = parse("0.0 + 1").unwrap();
+        let signed = if sign {
+            iql::Expr::BinOp {
+                op: iql::BinOp::Add,
+                lhs: Box::new(iql::Expr::Lit(iql::Literal::Float(-0.0))),
+                rhs: Box::new(iql::Expr::int(1)),
+            }
+        } else {
+            zero.clone()
+        };
+        prop_assert_eq!(&zero, &signed, "-0.0 and 0.0 literals compare equal");
+        prop_assert_eq!(hash_of(&zero), hash_of(&signed));
+    }
+}
+
 // ---------- pathway reversal ----------
 
 proptest! {

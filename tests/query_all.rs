@@ -1,0 +1,183 @@
+//! Differential and stress tests for the batched dataspace query path:
+//! `Dataspace::query_all` must equal the sequential `query` loop per item —
+//! answers **and** errors, in input order — over randomly populated sources and
+//! mixed query batches, under concurrent callers, and with the LRU-bounded
+//! plan/extent caches forced to evict.
+
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use dataspace_core::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+use proptest::prelude::*;
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+use std::thread;
+
+fn source(name: &str, table: &str, rows: &[(i64, usize)]) -> Database {
+    let mut schema = RelSchema::new(name);
+    schema
+        .add_table(
+            RelTable::new(table)
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("grp", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (i, (k, v)) in rows.iter().enumerate() {
+        db.insert(
+            table,
+            vec![(i as i64).into(), (*k).into(), format!("w{v}").into()],
+        )
+        .unwrap();
+    }
+    db
+}
+
+fn uacc_spec() -> IntersectionSpec {
+    IntersectionSpec::new("I1").with_mapping(
+        ObjectMapping::column("UAcc", "label")
+            .with_contribution(
+                SourceContribution::parsed(
+                    "alpha",
+                    "[{'ALPHA', k, x} | {k, x} <- <<t, label>>]",
+                    ["t,label"],
+                )
+                .unwrap(),
+            )
+            .with_contribution(
+                SourceContribution::parsed(
+                    "beta",
+                    "[{'BETA', k, x} | {k, x} <- <<u, label>>]",
+                    ["u,label"],
+                )
+                .unwrap(),
+            ),
+    )
+}
+
+fn integrated(alpha_rows: &[(i64, usize)], beta_rows: &[(i64, usize)]) -> Dataspace {
+    let mut ds = Dataspace::new();
+    ds.add_source(source("alpha", "t", alpha_rows)).unwrap();
+    ds.add_source(source("beta", "u", beta_rows)).unwrap();
+    ds.federate().unwrap();
+    ds.integrate(uacc_spec()).unwrap();
+    ds
+}
+
+/// The batch mixes selections, joins (including a 3-generator chain for the
+/// multiway reorder), an unknown-scheme error and an unparseable query, so the
+/// per-item contract is exercised for every outcome kind.
+fn query_batch() -> Vec<&'static str> {
+    vec![
+        "[x | {s, k, x} <- <<UAcc, label>>; s = 'ALPHA']",
+        "[{x, y} | {s1, k1, x} <- <<UAcc, label>>; {s2, k2, y} <- <<UAcc, label>>; k2 = k1]",
+        "[{x, y, z} | {s1, k1, x} <- <<UAcc, label>>; {s2, k2, y} <- <<UAcc, label>>; k2 = k1; {s3, k3, z} <- <<UAcc, label>>; k3 = k1]",
+        "[k | k <- <<NoSuchScheme>>]",
+        "[oops",
+        "[x | {s, k, x} <- <<UAcc, label>>; s = 'BETA']",
+        "[{k, x} | {s, k, x} <- <<UAcc, label>>]",
+    ]
+}
+
+fn extent_rows() -> impl Strategy<Value = Vec<(i64, usize)>> {
+    prop::collection::vec((0i64..6, 0usize..4), 0..16)
+}
+
+proptest! {
+    /// query_all ≡ the sequential query loop, item for item and in input order —
+    /// matching answers (order included) and matching error/success outcomes.
+    #[test]
+    fn query_all_equals_sequential_loop(
+        alpha_rows in extent_rows(),
+        beta_rows in extent_rows(),
+    ) {
+        let ds = integrated(&alpha_rows, &beta_rows);
+        let batch = query_batch();
+        let batched = ds.query_all(&batch);
+        let sequential: Vec<_> = batch.iter().map(|q| ds.query(q)).collect();
+        prop_assert_eq!(batched.len(), sequential.len());
+        for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+            match (b, s) {
+                (Ok(bb), Ok(sb)) => {
+                    prop_assert_eq!(bb.items(), sb.items(), "order differs for query {}", i);
+                }
+                (Err(_), Err(_)) => {}
+                _ => prop_assert!(false, "outcome kind differs for query {}: batched {:?} vs sequential {:?}", i, b.is_ok(), s.is_ok()),
+            }
+        }
+    }
+}
+
+#[test]
+fn query_all_under_concurrent_callers_is_deterministic() {
+    let rows: Vec<(i64, usize)> = (0..24).map(|i| (i % 6, (i % 4) as usize)).collect();
+    let ds = integrated(&rows, &rows);
+    let batch = query_batch();
+    let reference = ds.query_all(&batch);
+    thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| scope.spawn(|| ds.query_all(&batch)))
+            .collect();
+        for handle in handles {
+            let got = handle.join().expect("query_all caller panicked");
+            assert_eq!(got.len(), reference.len());
+            for (g, r) in got.iter().zip(&reference) {
+                match (g, r) {
+                    (Ok(gb), Ok(rb)) => assert_eq!(gb.items(), rb.items()),
+                    (Err(_), Err(_)) => {}
+                    _ => panic!("concurrent query_all outcome diverged"),
+                }
+            }
+        }
+    });
+}
+
+#[test]
+fn lru_bounded_caches_enforce_caps_and_stay_correct() {
+    let rows: Vec<(i64, usize)> = (0..20).map(|i| (i % 5, (i % 3) as usize)).collect();
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        plan_cache_capacity: 2,
+        extent_cache_capacity: 2,
+        ..DataspaceConfig::default()
+    });
+    ds.add_source(source("alpha", "t", &rows)).unwrap();
+    ds.add_source(source("beta", "u", &rows)).unwrap();
+    ds.federate().unwrap();
+    ds.integrate(uacc_spec()).unwrap();
+
+    // Many distinct queries: both memos must stay within their caps while every
+    // answer stays correct (eviction recomputes, never corrupts).
+    let templates: Vec<String> = (0..8)
+        .map(|k| format!("[x | {{s, k, x}} <- <<UAcc, label>>; k = {k}]"))
+        .collect();
+    let all: Vec<&str> = templates.iter().map(String::as_str).collect();
+    let first = ds.query_all(&all);
+    assert!(
+        ds.plan_cache().len() <= 2,
+        "plan cache exceeded its LRU cap"
+    );
+    assert!(
+        ds.cached_extent_count() <= 2,
+        "extent memo exceeded its LRU cap"
+    );
+    assert!(ds.plan_cache().capacity() == 2);
+    // Re-run sequentially: evicted plans rebuild and answers are identical.
+    for (i, q) in all.iter().enumerate() {
+        let again = ds.query(q).unwrap();
+        assert_eq!(
+            again.items(),
+            first[i].as_ref().unwrap().items(),
+            "eviction changed the answer of query {i}"
+        );
+    }
+}
+
+#[test]
+fn query_all_handles_tiny_batches() {
+    let rows: Vec<(i64, usize)> = (0..4).map(|i| (i, i as usize)).collect();
+    let ds = integrated(&rows, &rows);
+    assert!(ds.query_all(&[]).is_empty());
+    let one = ds.query_all(&["[x | {s, k, x} <- <<UAcc, label>>]"]);
+    assert_eq!(one.len(), 1);
+    assert_eq!(one[0].as_ref().unwrap().len(), 8);
+}
