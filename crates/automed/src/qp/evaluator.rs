@@ -226,6 +226,9 @@ pub struct VirtualExtents<'a> {
     fallback_sources: Vec<String>,
     /// Evaluate a scheme's contributions on scoped worker threads when ≥ 2.
     parallel: bool,
+    /// Plan chains of joined generators with the bushy enumerator (on by
+    /// default; off restricts the planner to the greedy chain reorder).
+    bushy: bool,
     /// Plan cache attached to the evaluators spawned by [`VirtualExtents::answer`].
     plan_cache: Option<Arc<PlanCache>>,
     /// Folded into [`ExtentProvider::version`] so the owner can invalidate plan
@@ -243,6 +246,7 @@ impl<'a> VirtualExtents<'a> {
             verified_acyclic: RwLock::new(BTreeSet::new()),
             fallback_sources: Vec::new(),
             parallel: true,
+            bushy: true,
             plan_cache: None,
             version_salt: 0,
         }
@@ -275,6 +279,14 @@ impl<'a> VirtualExtents<'a> {
     /// thread-free reference leg of the differential tests.
     pub fn sequential(mut self) -> Self {
         self.parallel = false;
+        self
+    }
+
+    /// Disable the bushy join enumerator in the evaluators this provider spawns:
+    /// generator chains are reordered with the greedy rule only (see
+    /// [`Evaluator::without_bushy`]). A differential-test and benchmarking leg.
+    pub fn without_bushy(mut self) -> Self {
+        self.bushy = false;
         self
     }
 
@@ -311,6 +323,9 @@ impl<'a> VirtualExtents<'a> {
         if !self.parallel {
             ev = ev.without_parallel_fetch();
         }
+        if !self.bushy {
+            ev = ev.without_bushy();
+        }
         match &self.plan_cache {
             Some(cache) => ev.with_plan_cache(Arc::clone(cache)),
             None => ev,
@@ -320,6 +335,15 @@ impl<'a> VirtualExtents<'a> {
     /// Answer a query posed on the integrated schema.
     pub fn answer(&self, query: &Expr) -> Result<Value, AutomedError> {
         Ok(self.evaluator().eval_closed(query)?)
+    }
+
+    /// Plan `query`'s top-level comprehension (without executing it) and report
+    /// the join statistics and strategies — including bushy trees — the same
+    /// way [`Evaluator::explain`] does for a plain provider. Resolving the
+    /// extents the planner needs may itself evaluate contributions (GAV
+    /// unfolding), so this can fail like [`VirtualExtents::answer`].
+    pub fn explain(&self, query: &Expr) -> Result<Vec<iql::JoinStats>, AutomedError> {
+        Ok(self.evaluator().explain(query, &iql::env::Env::new())?)
     }
 
     /// Answer a query with comprehension planning disabled (naive nested loops).

@@ -140,7 +140,9 @@ impl fmt::Display for Literal {
             // printed form would reparse as an Int and break round-tripping.
             Literal::Float(x) if x.is_finite() && x.fract() == 0.0 => write!(f, "{x:.1}"),
             Literal::Float(x) => write!(f, "{x}"),
-            Literal::Str(s) => write!(f, "'{}'", s.replace('\'', "\\'")),
+            // Escape backslashes before quotes, or a literal `\` would print as
+            // the start of an escape sequence and break round-tripping.
+            Literal::Str(s) => write!(f, "'{}'", s.replace('\\', "\\\\").replace('\'', "\\'")),
             Literal::Bool(b) => write!(f, "{b}"),
             Literal::Null => write!(f, "null"),
         }

@@ -1,0 +1,428 @@
+//! Bushy join enumeration: a DPsize/DPccp-style dynamic program over the
+//! connected subgraphs of a comprehension's join graph.
+//!
+//! The planner's greedy chain reorder (see [`crate::eval`]) always grows one
+//! intermediate result left-deep, picking the smallest *extent* next. That rule
+//! is blind to selectivity: on a star schema whose hub joins one satellite on a
+//! low-distinct key and another on a near-unique key, joining the small but
+//! unselective satellite first materialises a huge intermediate that the
+//! selective join then has to grind down. The enumerator here searches **every
+//! join-tree shape** — bushy trees included — and scores each with a cost model
+//! over the same per-extent key histograms the greedy planner consults, so the
+//! selective join runs first regardless of extent sizes, and independent
+//! subchains may be joined separately before being combined.
+//!
+//! # Algorithm
+//!
+//! Classic DPsize over subset bitmasks, restricted to *connected* subproblems
+//! (the DPccp refinement that never enumerates cross products):
+//!
+//! 1. `est[S]` — the estimated output cardinality of joining the relation set
+//!    `S`: the product of member cardinalities times the selectivity of every
+//!    join edge internal to `S`. Edge selectivity is `1 / max(distinct keys on
+//!    either side)`, the textbook equi-join estimate, with the distinct counts
+//!    drawn from the persisted histograms.
+//! 2. `best[S]` — the cheapest tree for `S`, minimised over every partition
+//!    `S = L ⊎ R` where both halves have a plan and at least one join edge
+//!    crosses the cut. The cost of a join node is
+//!    `cost(L) + cost(R) + min(est(L), est(R)) + est(S)` — the build side of
+//!    the hash join (the smaller input) plus the materialised output, summed
+//!    over the whole tree (a `C_out`-style model with an explicit build term).
+//!
+//! Subsets are enumerated in increasing mask order (every proper subset
+//! precedes its superset) and partitions via the standard sub-mask walk, so the
+//! program is exhaustive and deterministic: ties keep the first partition
+//! found. With at most [`MAX_DP_RELATIONS`] relations the table has ≤ 64
+//! entries — enumeration costs microseconds, far below one hash-join build.
+//! Longer chains fall back to the greedy reorder (see
+//! [`crate::eval::Evaluator`]).
+//!
+//! The module is pure planning: it sees only cardinalities and selectivities
+//! and returns a [`JoinTree`]; the evaluator executes the tree with recursive
+//! hash joins and restores nested-loop output order with one positional sort.
+
+use std::fmt;
+
+/// The largest relation count enumerated exhaustively. `2^6 = 64` subset table
+/// entries; beyond this the planner's greedy chain reorder takes over (DP cost
+/// grows as `3^n` partitions, and chains that long are rare in practice).
+pub const MAX_DP_RELATIONS: usize = 6;
+
+/// The shape of a planned join over a generator chain, reported through
+/// [`crate::JoinStrategy::Bushy`]. Leaves are chain positions in **textual
+/// generator order** (0 = the leading generator); internal nodes join the
+/// results of their two subtrees with a hash join on every equi-predicate that
+/// crosses the cut.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum JoinTree {
+    /// One generator of the chain, by textual position.
+    Leaf(usize),
+    /// Hash-join the results of two subtrees.
+    Join {
+        /// Left input subtree.
+        left: Box<JoinTree>,
+        /// Right input subtree.
+        right: Box<JoinTree>,
+    },
+}
+
+impl JoinTree {
+    /// The chain positions covered by this subtree, in ascending order.
+    pub fn leaves(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_leaves(&mut out);
+        out.sort_unstable();
+        out
+    }
+
+    fn collect_leaves(&self, out: &mut Vec<usize>) {
+        match self {
+            JoinTree::Leaf(g) => out.push(*g),
+            JoinTree::Join { left, right } => {
+                left.collect_leaves(out);
+                right.collect_leaves(out);
+            }
+        }
+    }
+
+    /// Bitmask of the chain positions covered by this subtree.
+    pub(crate) fn leaf_mask(&self) -> u64 {
+        match self {
+            JoinTree::Leaf(g) => 1u64 << g,
+            JoinTree::Join { left, right } => left.leaf_mask() | right.leaf_mask(),
+        }
+    }
+
+    /// Number of join (internal) nodes in the tree.
+    pub fn join_count(&self) -> usize {
+        match self {
+            JoinTree::Leaf(_) => 0,
+            JoinTree::Join { left, right } => 1 + left.join_count() + right.join_count(),
+        }
+    }
+
+    /// Whether the tree is *linear*: every join has at least one
+    /// single-relation input, i.e. the tree is a left- or right-deep chain.
+    /// The greedy chain reorder can only produce linear orders; a `false`
+    /// here means the enumerator found a genuinely bushy shape (two
+    /// multi-relation subtrees joined together).
+    pub fn is_linear(&self) -> bool {
+        match self {
+            JoinTree::Leaf(_) => true,
+            JoinTree::Join { left, right } => match (&**left, &**right) {
+                (JoinTree::Leaf(_), t) | (t, JoinTree::Leaf(_)) => t.is_linear(),
+                _ => false,
+            },
+        }
+    }
+}
+
+impl fmt::Display for JoinTree {
+    /// Render as e.g. `((2 ⋈ 1) ⋈ (0 ⋈ 3))`, leaves being textual positions.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JoinTree::Leaf(g) => write!(f, "{g}"),
+            JoinTree::Join { left, right } => write!(f, "({left} ⋈ {right})"),
+        }
+    }
+}
+
+/// One equi-join edge of the chain's join graph, with its estimated
+/// selectivity (`1 / max(distinct keys on either endpoint)`). Multiple
+/// predicates between the same pair of relations contribute one `EdgeSel`
+/// each; their selectivities multiply (independence assumption).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct EdgeSel {
+    /// Chain position of one endpoint.
+    pub a: usize,
+    /// Chain position of the other endpoint.
+    pub b: usize,
+    /// Estimated fraction of the cross product the predicate keeps.
+    pub selectivity: f64,
+}
+
+/// The enumerator's verdict: the cheapest tree, its estimated output
+/// cardinality, and the total model cost (build sides + intermediates).
+#[derive(Debug, Clone)]
+pub(crate) struct Enumerated {
+    /// The chosen join tree.
+    pub tree: JoinTree,
+    /// Estimated root output cardinality (used by tests; the caller
+    /// thresholds `max_intermediate`, which includes the root).
+    #[allow(dead_code)]
+    pub est_rows: f64,
+    /// Largest estimated output over **every** join node of the chosen tree
+    /// (root included) — the caller's bail-out threshold, so a plan is
+    /// rejected if *any* intermediate it must materialise looks explosive,
+    /// not just its final output.
+    pub max_intermediate: f64,
+    /// Total cost under the model (used by tests).
+    #[allow(dead_code)]
+    pub cost: f64,
+}
+
+/// Exhaustively enumerate join trees over `cards.len()` relations connected by
+/// `edges`, returning the cheapest. `None` when the join graph is disconnected
+/// (some cut has no edge, so any complete tree would cross-product), when
+/// there are fewer than two relations, or when the relation count exceeds
+/// [`MAX_DP_RELATIONS`].
+pub(crate) fn enumerate(cards: &[usize], edges: &[EdgeSel]) -> Option<Enumerated> {
+    let n = cards.len();
+    if !(2..=MAX_DP_RELATIONS).contains(&n) {
+        return None;
+    }
+    let full: u64 = (1u64 << n) - 1;
+
+    // Pairwise combined selectivity and adjacency.
+    let mut sel = vec![vec![1.0f64; n]; n];
+    let mut adj = vec![vec![false; n]; n];
+    for e in edges {
+        if e.a >= n || e.b >= n || e.a == e.b {
+            continue;
+        }
+        sel[e.a][e.b] *= e.selectivity;
+        sel[e.b][e.a] *= e.selectivity;
+        adj[e.a][e.b] = true;
+        adj[e.b][e.a] = true;
+    }
+
+    // est[S]: cardinality estimate for the subset `S`, built incrementally by
+    // peeling the lowest relation off — its internal edges to the rest of `S`
+    // contribute their selectivities exactly once.
+    let mut est = vec![0.0f64; (full + 1) as usize];
+    for s in 1..=full {
+        let low = s.trailing_zeros() as usize;
+        let rest = s & (s - 1);
+        if rest == 0 {
+            est[s as usize] = cards[low] as f64;
+            continue;
+        }
+        let mut e = est[rest as usize] * cards[low] as f64;
+        for (other, s_low) in sel[low].iter().enumerate() {
+            if rest & (1 << other) != 0 {
+                e *= s_low;
+            }
+        }
+        est[s as usize] = e;
+    }
+
+    let crosses = |l: u64, r: u64| -> bool {
+        adj.iter().enumerate().any(|(a, row)| {
+            l & (1 << a) != 0
+                && row
+                    .iter()
+                    .enumerate()
+                    .any(|(b, &edge)| r & (1 << b) != 0 && edge)
+        })
+    };
+
+    // best[S]: (cost, split) — split == 0 marks a leaf.
+    let mut best: Vec<Option<(f64, u64)>> = vec![None; (full + 1) as usize];
+    for g in 0..n {
+        best[1usize << g] = Some((0.0, 0));
+    }
+    for s in 1..=full {
+        if (s & (s - 1)) == 0 {
+            continue; // singleton, already seeded
+        }
+        let mut chosen: Option<(f64, u64)> = None;
+        // Walk every proper nonempty sub-mask; taking only halves that contain
+        // the lowest bit visits each unordered partition once.
+        let lowbit = s & s.wrapping_neg();
+        let mut l = (s - 1) & s;
+        while l != 0 {
+            let r = s ^ l;
+            if l & lowbit != 0 {
+                if let (Some((cl, _)), Some((cr, _))) = (best[l as usize], best[r as usize]) {
+                    if crosses(l, r) {
+                        let build = est[l as usize].min(est[r as usize]);
+                        let cost = cl + cr + build + est[s as usize];
+                        if chosen.is_none_or(|(c, _)| cost < c) {
+                            chosen = Some((cost, l));
+                        }
+                    }
+                }
+            }
+            l = (l - 1) & s;
+        }
+        best[s as usize] = chosen;
+    }
+
+    let (cost, _) = best[full as usize]?;
+    let tree = rebuild(full, &best);
+    let max_intermediate = max_join_estimate(&tree, &est);
+    Some(Enumerated {
+        tree,
+        est_rows: est[full as usize],
+        max_intermediate,
+        cost,
+    })
+}
+
+/// The largest subset estimate over the tree's join (internal) nodes.
+fn max_join_estimate(tree: &JoinTree, est: &[f64]) -> f64 {
+    match tree {
+        JoinTree::Leaf(_) => 0.0,
+        JoinTree::Join { left, right } => est[tree.leaf_mask() as usize]
+            .max(max_join_estimate(left, est))
+            .max(max_join_estimate(right, est)),
+    }
+}
+
+/// Reconstruct the tree for `mask` from the recorded splits. The half holding
+/// the lowest set bit becomes the left child (a deterministic orientation; the
+/// executor hashes whichever side is smaller at run time regardless).
+fn rebuild(mask: u64, best: &[Option<(f64, u64)>]) -> JoinTree {
+    let (_, split) = best[mask as usize].expect("rebuild only visits planned subsets");
+    if split == 0 {
+        return JoinTree::Leaf(mask.trailing_zeros() as usize);
+    }
+    JoinTree::Join {
+        left: Box::new(rebuild(split, best)),
+        right: Box::new(rebuild(mask ^ split, best)),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(a: usize, b: usize, selectivity: f64) -> EdgeSel {
+        EdgeSel { a, b, selectivity }
+    }
+
+    #[test]
+    fn chain_of_three_orders_by_cost_not_size() {
+        // big(120) — mid(30) — small(3), all keys 1/6 selective: joining
+        // small with mid first (15 rows) beats starting from big.
+        let out = enumerate(
+            &[120, 30, 3],
+            &[edge(0, 1, 1.0 / 6.0), edge(1, 2, 1.0 / 6.0)],
+        )
+        .expect("connected");
+        assert_eq!(out.tree.leaves(), vec![0, 1, 2]);
+        assert!((out.est_rows - 300.0).abs() < 1e-9);
+        // The chosen tree joins {mid, small} before touching big.
+        let JoinTree::Join { left, right } = &out.tree else {
+            panic!("expected a join at the root");
+        };
+        let inner = if matches!(**left, JoinTree::Join { .. }) {
+            left
+        } else {
+            right
+        };
+        assert_eq!(inner.leaves(), vec![1, 2]);
+    }
+
+    #[test]
+    fn four_chain_prefers_genuinely_bushy_tree() {
+        // A(100)-B(4)-C(4)-D(100): the outer edges are selective but the middle
+        // edge keeps everything, so growing one intermediate through the middle
+        // (any linear order, cost 60) loses to joining the two selective ends
+        // separately and combining them last: (A⋈B) ⋈ (C⋈D) costs 36.
+        let out = enumerate(
+            &[100, 4, 4, 100],
+            &[edge(0, 1, 0.01), edge(1, 2, 1.0), edge(2, 3, 0.01)],
+        )
+        .expect("connected");
+        assert!(
+            !out.tree.is_linear(),
+            "expected a bushy tree, got {}",
+            out.tree
+        );
+        let JoinTree::Join { left, right } = &out.tree else {
+            panic!("expected a join at the root");
+        };
+        assert_eq!(left.leaves(), vec![0, 1]);
+        assert_eq!(right.leaves(), vec![2, 3]);
+        assert!(
+            (out.cost - 36.0).abs() < 1e-9,
+            "cost model drifted: {out:?}"
+        );
+    }
+
+    #[test]
+    fn star_graphs_admit_only_left_deep_trees() {
+        // hub(0) joined to three satellites: every connected subset of size ≥ 2
+        // contains the hub, so no bushy partition exists.
+        let out = enumerate(
+            &[50, 10, 10, 10],
+            &[edge(0, 1, 0.1), edge(0, 2, 0.1), edge(0, 3, 0.1)],
+        )
+        .expect("connected");
+        assert!(out.tree.is_linear());
+        assert_eq!(out.tree.join_count(), 3);
+    }
+
+    #[test]
+    fn disconnected_graph_is_refused() {
+        assert!(enumerate(&[5, 5, 5], &[edge(0, 1, 0.5)]).is_none());
+        assert!(enumerate(&[5, 5], &[]).is_none());
+    }
+
+    #[test]
+    fn size_limits_are_enforced() {
+        assert!(enumerate(&[5], &[]).is_none());
+        let cards = vec![5usize; MAX_DP_RELATIONS + 1];
+        let edges: Vec<EdgeSel> = (1..cards.len()).map(|i| edge(i - 1, i, 0.5)).collect();
+        assert!(enumerate(&cards, &edges).is_none());
+    }
+
+    #[test]
+    fn max_intermediate_covers_every_join_node() {
+        // Unselective 0-1 edge, selective 1-2 edge: the winner joins {1, 2}
+        // first (est 1), then 0 (root est 20) — max_intermediate is the
+        // worst node of the *chosen* tree, here the root, not the 400-row
+        // intermediate the rejected left-deep order would have built.
+        let out =
+            enumerate(&[20, 20, 3], &[edge(0, 1, 1.0), edge(1, 2, 1.0 / 60.0)]).expect("connected");
+        let JoinTree::Join { left, right } = &out.tree else {
+            panic!("expected a join at the root");
+        };
+        let inner = if matches!(**left, JoinTree::Join { .. }) {
+            left
+        } else {
+            right
+        };
+        assert_eq!(inner.leaves(), vec![1, 2], "selective pair joins first");
+        assert!((out.est_rows - 20.0).abs() < 1e-9);
+        assert!((out.max_intermediate - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn multiple_predicates_between_a_pair_multiply() {
+        // Two edges between the same pair: est = 10*10*0.1*0.1 = 1.
+        let out = enumerate(&[10, 10], &[edge(0, 1, 0.1), edge(0, 1, 0.1)]).expect("connected");
+        assert!((out.est_rows - 1.0).abs() < 1e-9);
+        assert_eq!(out.tree.join_count(), 1);
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let cards = [40, 7, 19, 23, 11];
+        let edges = [
+            edge(0, 1, 0.2),
+            edge(1, 2, 0.05),
+            edge(0, 3, 0.5),
+            edge(3, 4, 0.125),
+        ];
+        let a = enumerate(&cards, &edges).expect("connected");
+        let b = enumerate(&cards, &edges).expect("connected");
+        assert_eq!(a.tree, b.tree);
+        assert_eq!(a.cost, b.cost);
+    }
+
+    #[test]
+    fn display_renders_positions() {
+        let t = JoinTree::Join {
+            left: Box::new(JoinTree::Join {
+                left: Box::new(JoinTree::Leaf(2)),
+                right: Box::new(JoinTree::Leaf(0)),
+            }),
+            right: Box::new(JoinTree::Leaf(1)),
+        };
+        assert_eq!(t.to_string(), "((2 ⋈ 0) ⋈ 1)");
+        assert_eq!(t.leaves(), vec![0, 1, 2]);
+        assert!(t.is_linear());
+    }
+}

@@ -50,14 +50,34 @@
 //!
 //! Chains of three or more go through the **join graph**: each equi-filter pair
 //! becomes an edge between the generator binding its probe variable and the
-//! fused generator that owns the filter. The chain is then joined greedily —
-//! start from the smallest extent, repeatedly join in the smallest remaining
+//! fused generator that owns the filter.
+//!
+//! # Bushy join enumeration
+//!
+//! Chains of three to [`crate::bushy::MAX_DP_RELATIONS`] generators are planned
+//! by the exhaustive enumerator in [`crate::bushy`]: a DPsize/DPccp-style
+//! dynamic program over the connected subsets of the join graph that considers
+//! **every tree shape — bushy included**, scoring each join node by its hash
+//! build side plus estimated output, with edge selectivities
+//! (`1 / max(distinct keys)`) drawn from the **persisted per-extent key
+//! histograms** (see [`PlanCache`]) so planning over memoised extents needs no
+//! extra pass over the data. The winning tree executes as recursive hash joins
+//! (the `BushyJoin` plan step): leaves are the matched extents, each internal node
+//! hash-indexes its smaller input on the composite key of every equi-predicate
+//! crossing the cut, and one final positional sort restores nested-loop output
+//! order. [`Evaluator::explain`] reports the shape via
+//! [`JoinStrategy::Bushy`], one entry per join node in execution (post-)order.
+//!
+//! Chains longer than the DP bound — or chains the enumerator refuses (an
+//! estimated intermediate of the winning tree past the cap) — fall back to
+//! the **greedy** reorder: start
+//! from the smallest extent, repeatedly join in the smallest remaining
 //! generator connected to the joined set, hash-indexing whichever side of each
-//! edge join is smaller — with per-step output estimates drawn from **persisted
-//! per-extent key histograms** (see [`PlanCache`]) so planning over memoised
-//! extents needs no extra pass over the data. A step estimate past the cap, or
-//! a disconnected join graph, abandons the whole-chain reorder and falls back
-//! to the pair rule.
+//! edge join is smaller ([`JoinStrategy::Multiway`]). A greedy step estimate
+//! past the cap, or a disconnected join graph, abandons the whole-chain
+//! reorder and falls back to the pair rule. [`Evaluator::without_bushy`]
+//! disables the enumerator (greedy only) — the differential harness and the
+//! `table1_star_join` bench group compare the two.
 //!
 //! Every reordered shape **restores the nested-loop output order** with a final
 //! sort on the original bag positions (in textual generator order) — planned,
@@ -101,6 +121,7 @@
 
 use crate::ast::{BinOp, Expr, Pattern, Qualifier, SchemeRef, UnOp};
 use crate::builtins;
+use crate::bushy::{self, JoinTree};
 use crate::env::{literal_value, match_pattern, Env};
 use crate::error::EvalError;
 use crate::fetch::FetchPool;
@@ -219,18 +240,30 @@ fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
 }
 
 /// How a planned join step executes (reported by [`Evaluator::explain`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum JoinStrategy {
     /// Textual orientation: the earlier generator scans, the later one is hashed.
     Hash,
     /// Statistics-driven reorder: the *smaller, earlier* extent was hashed, the
     /// bigger one scans, and output order is restored by a stable positional sort.
     Reordered,
-    /// One step of a fully reordered generator chain (three or more generators):
-    /// the join graph was joined greedily smallest-build-side-first, and the
-    /// nested-loop output order restored by one final positional sort over the
-    /// whole chain. Each `Multiway` entry reports one edge join of that chain.
+    /// One step of a *greedily* reordered generator chain (more generators than
+    /// the DP bound, or the enumerator bailed): the join graph was joined
+    /// greedily smallest-build-side-first, and the nested-loop output order
+    /// restored by one final positional sort over the whole chain. Each
+    /// `Multiway` entry reports one edge join of that chain.
     Multiway,
+    /// One join node of a cost-based **bushy** join tree over the generator
+    /// chain (see [`crate::bushy`]): the enumerator searched every connected
+    /// tree shape and this node hash-joined the two subtrees' results, with the
+    /// nested-loop output order restored by one final positional sort over the
+    /// whole chain. Each `Bushy` entry reports one internal node, carrying the
+    /// subtree rooted there; the last entry's tree spans the whole chain.
+    Bushy {
+        /// The join subtree rooted at this node; leaves are chain positions in
+        /// textual generator order.
+        tree: Arc<JoinTree>,
+    },
 }
 
 /// Per-join planning statistics: cardinalities and the hash-index bucket histogram
@@ -284,10 +317,86 @@ enum Step {
         patterns: Vec<Pattern>,
         rows: Arc<Vec<Vec<Value>>>,
     },
+    /// A generator chain joined along a cost-enumerated **bushy** tree
+    /// (recursive hash joins over sub-plans, executed at plan time) with the
+    /// nested-loop output order already restored by one positional sort: each
+    /// row binds the patterns in textual order to the row's elements.
+    BushyJoin {
+        patterns: Vec<Pattern>,
+        rows: Arc<Vec<Vec<Value>>>,
+    },
     /// A boolean filter.
     Filter(Expr),
     /// A `let` qualifier.
     Bind { pattern: Pattern, value: Expr },
+}
+
+/// The kind of one planned step, as counted by a [`StepProbe`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StepKind {
+    /// A plain generator evaluated per incoming row.
+    Iterate,
+    /// A pre-evaluated generator scan.
+    Scan,
+    /// A fused equi-join probe against a prebuilt hash index.
+    HashJoin,
+    /// A statistics-reordered join pair, materialised at plan time.
+    OrderedJoin,
+    /// A greedily reordered generator chain, materialised at plan time.
+    MultiJoin,
+    /// A cost-enumerated bushy join tree, materialised at plan time.
+    BushyJoin,
+    /// A boolean filter.
+    Filter,
+    /// A `let` qualifier.
+    Bind,
+}
+
+const STEP_KINDS: usize = 8;
+
+/// Counts the steps of every plan the evaluator executes, by [`StepKind`].
+///
+/// Attach with [`Evaluator::with_step_probe`]. Each time a comprehension plan
+/// begins executing (including re-executions of nested or correlated
+/// comprehensions), every step in its step list is counted once. The
+/// differential test harness uses this to assert that the strategies
+/// [`Evaluator::explain`] reports are the strategies that actually ran —
+/// e.g. a [`JoinStrategy::Bushy`] explain must execute a
+/// [`StepKind::BushyJoin`] step and vice versa.
+#[derive(Debug, Default)]
+pub struct StepProbe {
+    counts: [AtomicU64; STEP_KINDS],
+}
+
+impl StepProbe {
+    /// A fresh probe with all counters at zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// How many steps of `kind` have been executed so far.
+    pub fn count(&self, kind: StepKind) -> u64 {
+        self.counts[kind as usize].load(AtomicOrdering::Relaxed)
+    }
+
+    fn record(&self, kind: StepKind) {
+        self.counts[kind as usize].fetch_add(1, AtomicOrdering::Relaxed);
+    }
+}
+
+impl Step {
+    fn kind(&self) -> StepKind {
+        match self {
+            Step::Iterate { .. } => StepKind::Iterate,
+            Step::Scan { .. } => StepKind::Scan,
+            Step::HashJoin { .. } => StepKind::HashJoin,
+            Step::OrderedJoin { .. } => StepKind::OrderedJoin,
+            Step::MultiJoin { .. } => StepKind::MultiJoin,
+            Step::BushyJoin { .. } => StepKind::BushyJoin,
+            Step::Filter(_) => StepKind::Filter,
+            Step::Bind { .. } => StepKind::Bind,
+        }
+    }
 }
 
 /// A planned comprehension: the step list plus the statistics and cacheability
@@ -517,17 +626,50 @@ impl PlanCache {
 /// let naive = Evaluator::new(&extents).with_nested_loops().eval_closed(&q).unwrap();
 /// assert_eq!(v, naive);
 /// ```
+///
+/// Chains of three or more joined generators are planned as cost-based
+/// **bushy** join trees; [`Evaluator::explain`] reports the chosen shape:
+///
+/// ```
+/// use iql::env::Env;
+/// use iql::{parse, Evaluator, JoinStrategy, MapExtents};
+///
+/// let mut extents = MapExtents::new();
+/// extents.insert_pairs("hub,v", (0..60).map(|i| (i % 6, "h")).collect());
+/// extents.insert_pairs("left,v", vec![(0, "l"), (1, "l2"), (2, "l3")]);
+/// extents.insert_pairs("right,v", (0..12).map(|i| (i % 6, "r")).collect());
+///
+/// let q = parse(
+///     "[{x, y, z} | {k1, x} <- <<hub, v>>; {k2, y} <- <<left, v>>; k2 = k1; \
+///      {k3, z} <- <<right, v>>; k3 = k1]",
+/// )
+/// .unwrap();
+/// let stats = Evaluator::new(&extents).explain(&q, &Env::new()).unwrap();
+/// // One entry per join node of the tree; the last spans the whole chain.
+/// let JoinStrategy::Bushy { tree } = &stats.last().unwrap().strategy else {
+///     panic!("expected a bushy plan");
+/// };
+/// assert_eq!(tree.leaves(), vec![0, 1, 2]);
+/// // The hub joins its selective satellite before the unselective one.
+/// assert_eq!(tree.to_string(), "((0 ⋈ 1) ⋈ 2)");
+/// ```
 pub struct Evaluator<P> {
     provider: P,
     use_planner: bool,
     reorder: bool,
+    bushy: bool,
     parallel: bool,
     plan_cache: Option<Arc<PlanCache>>,
+    step_probe: Option<Arc<StepProbe>>,
 }
 
 /// When the estimated join output exceeds this multiple of the combined input
 /// cardinalities, a reorder is abandoned: the order-restoring sort would dominate.
 const REORDER_OUTPUT_CAP: f64 = 16.0;
+
+/// Marker for "this generator not joined yet" in intermediate chain-join rows
+/// (each row is one index per chain position into that generator's matched rows).
+const UNSET: usize = usize::MAX;
 
 /// A pre-planning classification of one or two fused qualifiers.
 enum Slot<'q> {
@@ -727,8 +869,10 @@ impl<P: ExtentProvider> Evaluator<P> {
             provider,
             use_planner: true,
             reorder: true,
+            bushy: true,
             parallel: true,
             plan_cache: None,
+            step_probe: None,
         }
     }
 
@@ -743,6 +887,23 @@ impl<P: ExtentProvider> Evaluator<P> {
     /// Disable statistics-driven join reordering (keep textual join orientation).
     pub fn without_reorder(mut self) -> Self {
         self.reorder = false;
+        self
+    }
+
+    /// Disable the bushy join enumerator: chains of three or more generators
+    /// are reordered with the greedy smallest-extent-first rule only
+    /// ([`JoinStrategy::Multiway`]). The differential harness runs this
+    /// configuration as its own leg, and the `table1_star_join` bench group
+    /// uses it as the baseline the enumerator is measured against.
+    pub fn without_bushy(mut self) -> Self {
+        self.bushy = false;
+        self
+    }
+
+    /// Count the steps of every plan this evaluator executes in `probe`
+    /// (see [`StepProbe`]).
+    pub fn with_step_probe(mut self, probe: Arc<StepProbe>) -> Self {
+        self.step_probe = Some(probe);
         self
     }
 
@@ -802,6 +963,11 @@ impl<P: ExtentProvider> Evaluator<P> {
                 let mut out = Bag::empty();
                 if self.use_planner {
                     let plan = self.plan_for(expr, qualifiers, env)?;
+                    if let Some(probe) = &self.step_probe {
+                        for step in &plan.steps {
+                            probe.record(step.kind());
+                        }
+                    }
                     self.exec_plan(head, &plan.steps, env, &mut out)?;
                 } else {
                     self.eval_comprehension(head, qualifiers, env, &mut out)?;
@@ -992,11 +1158,21 @@ impl<P: ExtentProvider> Evaluator<P> {
             if Some(i) == chain_start {
                 let c = chain.as_ref().expect("chain start implies a chain");
                 if c.len >= 3 {
-                    // Whole-chain reorder; on a bail-out (cross-product estimate,
-                    // disconnected graph) fall through to the pair planner below.
-                    if let Some((chain_steps, stats)) =
-                        self.plan_chain_join(c, &slots, &bags, env)?
-                    {
+                    // Whole-chain reorder: the bushy enumerator first (exhaustive
+                    // for small chains), the greedy order as fallback; on a full
+                    // bail-out (cross-product estimate, disconnected graph) fall
+                    // through to the pair planner below.
+                    let (patterns, sources) = chain_parts(c, &slots);
+                    let matched = match_chain_rows(&patterns, c.start, &bags, env)?;
+                    let mut planned = if self.bushy {
+                        self.plan_bushy_join(c, &patterns, &sources, &matched)?
+                    } else {
+                        None
+                    };
+                    if planned.is_none() {
+                        planned = self.plan_chain_join(c, &patterns, &sources, &matched)?;
+                    }
+                    if let Some((chain_steps, stats)) = planned {
                         for pos in 0..c.len {
                             bags.remove(&(c.start + pos));
                         }
@@ -1062,11 +1238,12 @@ impl<P: ExtentProvider> Evaluator<P> {
         })
     }
 
-    /// Plan a generator chain of three or more via its join graph: match every
-    /// chain extent once, then join greedily — always the smallest not-yet-joined
-    /// connected generator next, hash-indexing whichever side of each edge join is
-    /// smaller — and restore the nested-loop output order with one final sort on
-    /// the original bag positions in textual generator order.
+    /// Plan a generator chain of three or more via its join graph, **greedily**:
+    /// always the smallest not-yet-joined connected generator next,
+    /// hash-indexing whichever side of each edge join is smaller, and restore
+    /// the nested-loop output order with one final sort on the original bag
+    /// positions in textual generator order. This is the fallback for chains
+    /// the bushy enumerator does not cover (too long, or bailed out).
     ///
     /// Per-step output estimates come from the per-extent key histograms persisted
     /// in the attached [`PlanCache`] (computed and stored on first use), so
@@ -1077,42 +1254,11 @@ impl<P: ExtentProvider> Evaluator<P> {
     fn plan_chain_join(
         &self,
         chain: &Chain,
-        slots: &[Slot<'_>],
-        bags: &BTreeMap<usize, Bag>,
-        env: &Env,
+        patterns: &[&Pattern],
+        sources: &[&Expr],
+        matched: &[MatchedRows],
     ) -> Result<Option<ChainPlan>, EvalError> {
-        const UNSET: usize = usize::MAX;
         let m = chain.len;
-        let mut patterns: Vec<&Pattern> = Vec::with_capacity(m);
-        let mut sources: Vec<&Expr> = Vec::with_capacity(m);
-        for pos in 0..m {
-            match &slots[chain.start + pos] {
-                Slot::Gen { pattern, source }
-                | Slot::Fused {
-                    pattern, source, ..
-                } => {
-                    patterns.push(pattern);
-                    sources.push(source);
-                }
-                _ => unreachable!("chain covers only generator slots"),
-            }
-        }
-        // Match each generator's extent once, keeping the original bag position,
-        // the element, and the pattern-bound environment for key extraction.
-        let mut matched: Vec<MatchedRows> = Vec::with_capacity(m);
-        for (pos, pattern) in patterns.iter().enumerate() {
-            let bag = bags
-                .get(&(chain.start + pos))
-                .expect("prefetched chain source");
-            let mut rows = Vec::new();
-            for (p, element) in bag.iter().enumerate() {
-                let mut scratch = env.clone();
-                if match_pattern(pattern, element, &mut scratch)? {
-                    rows.push((p, element.clone(), scratch));
-                }
-            }
-            matched.push(rows);
-        }
         let mut in_set = vec![false; m];
         let mut remaining: BTreeSet<usize> = (0..m).collect();
         let seed = (0..m)
@@ -1181,7 +1327,7 @@ impl<P: ExtentProvider> Evaluator<P> {
                     }
                 }
                 for row in &rows {
-                    let Some(key) = chain_row_key(&matched, row, &other) else {
+                    let Some(key) = chain_row_key(matched, row, &other) else {
                         continue;
                     };
                     if let Some(idxs) = index.get(&key) {
@@ -1195,7 +1341,7 @@ impl<P: ExtentProvider> Evaluator<P> {
             } else {
                 let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
                 for (ri, row) in rows.iter().enumerate() {
-                    if let Some(key) = chain_row_key(&matched, row, &other) {
+                    if let Some(key) = chain_row_key(matched, row, &other) {
                         index.entry(key).or_default().push(ri);
                     }
                 }
@@ -1226,26 +1372,98 @@ impl<P: ExtentProvider> Evaluator<P> {
         if used.iter().any(|u| !u) {
             return Ok(None); // defensive: a predicate never became joinable
         }
-        // Restore the nested-loop output order: lexicographic on the original bag
-        // positions in textual generator order (exactly the order the nested loop
-        // enumerates accepted combinations in).
-        rows.sort_by(|a, b| {
-            for g in 0..m {
-                match matched[g][a[g]].0.cmp(&matched[g][b[g]].0) {
-                    std::cmp::Ordering::Equal => continue,
-                    ord => return ord,
-                }
-            }
-            std::cmp::Ordering::Equal
-        });
-        let materialised: Vec<Vec<Value>> = rows
-            .into_iter()
-            .map(|row| (0..m).map(|g| matched[g][row[g]].1.clone()).collect())
-            .collect();
         Ok(Some((
             vec![Step::MultiJoin {
-                patterns: patterns.into_iter().cloned().collect(),
-                rows: Arc::new(materialised),
+                patterns: patterns.iter().map(|p| (*p).clone()).collect(),
+                rows: Arc::new(materialise_chain_rows(matched, rows)),
+            }],
+            stats_out,
+        )))
+    }
+
+    /// Plan a generator chain of three to [`bushy::MAX_DP_RELATIONS`] via the
+    /// exhaustive bushy enumerator (see [`crate::bushy`]): build the join
+    /// graph's edge selectivities from the persisted per-extent key histograms
+    /// (one histogram per predicate endpoint, computed — and cached in the
+    /// attached [`PlanCache`] — on first use), let the dynamic program pick the
+    /// cheapest tree over every connected shape, then execute the tree with
+    /// recursive hash joins and restore the nested-loop output order with one
+    /// positional sort.
+    ///
+    /// Returns `Ok(None)` to bail out — chain too long for the DP, join graph
+    /// disconnected, or any estimated intermediate of the winning tree past
+    /// [`REORDER_OUTPUT_CAP`] — in which case the caller falls back to the
+    /// greedy chain reorder.
+    fn plan_bushy_join(
+        &self,
+        chain: &Chain,
+        patterns: &[&Pattern],
+        sources: &[&Expr],
+        matched: &[MatchedRows],
+    ) -> Result<Option<ChainPlan>, EvalError> {
+        if chain.len > bushy::MAX_DP_RELATIONS || chain.preds.is_empty() {
+            return Ok(None);
+        }
+        // Local memo over (chain position, key var): a star hub shares one
+        // endpoint across every predicate, and without an attached PlanCache
+        // each chain_histogram call would rescan that generator's matched rows.
+        let mut histograms: HashMap<(usize, &str), KeyHistogram> = HashMap::new();
+        let mut edges: Vec<bushy::EdgeSel> = Vec::with_capacity(chain.preds.len());
+        for p in &chain.preds {
+            let earlier = *histograms
+                .entry((p.earlier, p.earlier_var.as_str()))
+                .or_insert_with(|| {
+                    self.chain_histogram(
+                        sources[p.earlier],
+                        patterns[p.earlier],
+                        &[p.earlier_var.as_str()],
+                        &matched[p.earlier],
+                    )
+                });
+            let later = *histograms
+                .entry((p.later, p.later_var.as_str()))
+                .or_insert_with(|| {
+                    self.chain_histogram(
+                        sources[p.later],
+                        patterns[p.later],
+                        &[p.later_var.as_str()],
+                        &matched[p.later],
+                    )
+                });
+            let distinct = earlier.distinct.max(later.distinct).max(1);
+            edges.push(bushy::EdgeSel {
+                a: p.earlier,
+                b: p.later,
+                selectivity: 1.0 / distinct as f64,
+            });
+        }
+        let cards: Vec<usize> = matched.iter().map(Vec::len).collect();
+        let Some(best) = bushy::enumerate(&cards, &edges) else {
+            return Ok(None); // disconnected join graph (or out of DP range)
+        };
+        // Cap every intermediate the winning tree would materialise, not just
+        // its root output — mirroring the greedy planner's per-step cap, so a
+        // chain whose cheapest tree still passes through an explosive
+        // intermediate bails out instead of building it at plan time.
+        let total: usize = cards.iter().sum();
+        let row_cap = REORDER_OUTPUT_CAP * (total + 1) as f64;
+        if best.max_intermediate > row_cap {
+            return Ok(None);
+        }
+        // The estimate trusts `1/max(distinct)`, which key skew betrays (one
+        // heavy bucket in a high-distinct column); the executor therefore
+        // re-checks **actual** intermediate row counts against the same cap
+        // and aborts mid-join, falling back to the greedy planner — whose own
+        // per-step estimates feed on observed intermediate sizes.
+        let mut stats_out = Vec::new();
+        let Some(rows) = exec_join_tree(&best.tree, matched, &chain.preds, row_cap, &mut stats_out)
+        else {
+            return Ok(None);
+        };
+        Ok(Some((
+            vec![Step::BushyJoin {
+                patterns: patterns.iter().map(|p| (*p).clone()).collect(),
+                rows: Arc::new(materialise_chain_rows(matched, rows)),
             }],
             stats_out,
         )))
@@ -1378,7 +1596,10 @@ impl<P: ExtentProvider> Evaluator<P> {
                 }
                 Ok(())
             }
-            Some((Step::MultiJoin { patterns, rows }, rest)) => {
+            Some((
+                Step::MultiJoin { patterns, rows } | Step::BushyJoin { patterns, rows },
+                rest,
+            )) => {
                 for row in rows.iter() {
                     let mut bound = env.clone();
                     let mut all = true;
@@ -1636,6 +1857,166 @@ fn build_index(
         estimated_output: probe_rows.map(|n| n as f64 * indexed as f64 / distinct.max(1) as f64),
     };
     Ok((index, stats))
+}
+
+/// The patterns and sources of a chain's generator slots, in textual order.
+fn chain_parts<'q>(chain: &Chain, slots: &[Slot<'q>]) -> (Vec<&'q Pattern>, Vec<&'q Expr>) {
+    let mut patterns = Vec::with_capacity(chain.len);
+    let mut sources = Vec::with_capacity(chain.len);
+    for pos in 0..chain.len {
+        match &slots[chain.start + pos] {
+            Slot::Gen { pattern, source }
+            | Slot::Fused {
+                pattern, source, ..
+            } => {
+                patterns.push(*pattern);
+                sources.push(*source);
+            }
+            _ => unreachable!("chain covers only generator slots"),
+        }
+    }
+    (patterns, sources)
+}
+
+/// Match each chain generator's prefetched extent once, keeping the original
+/// bag position, the element, and the pattern-bound environment for join-key
+/// extraction. Both chain planners (bushy and greedy) work off these rows.
+fn match_chain_rows(
+    patterns: &[&Pattern],
+    start: usize,
+    bags: &BTreeMap<usize, Bag>,
+    env: &Env,
+) -> Result<Vec<MatchedRows>, EvalError> {
+    let mut matched = Vec::with_capacity(patterns.len());
+    for (pos, pattern) in patterns.iter().enumerate() {
+        let bag = bags.get(&(start + pos)).expect("prefetched chain source");
+        let mut rows = Vec::new();
+        for (p, element) in bag.iter().enumerate() {
+            let mut scratch = env.clone();
+            if match_pattern(pattern, element, &mut scratch)? {
+                rows.push((p, element.clone(), scratch));
+            }
+        }
+        matched.push(rows);
+    }
+    Ok(matched)
+}
+
+/// Restore the nested-loop output order — lexicographic on the original bag
+/// positions in textual generator order, exactly the order the nested loop
+/// enumerates accepted combinations in — and clone out the element values.
+fn materialise_chain_rows(matched: &[MatchedRows], mut rows: Vec<Vec<usize>>) -> Vec<Vec<Value>> {
+    let m = matched.len();
+    rows.sort_by(|a, b| {
+        for g in 0..m {
+            match matched[g][a[g]].0.cmp(&matched[g][b[g]].0) {
+                std::cmp::Ordering::Equal => continue,
+                ord => return ord,
+            }
+        }
+        std::cmp::Ordering::Equal
+    });
+    rows.into_iter()
+        .map(|row| (0..m).map(|g| matched[g][row[g]].1.clone()).collect())
+        .collect()
+}
+
+/// Execute a bushy join tree bottom-up over the matched chain extents: a leaf
+/// yields one intermediate row per matched element, an internal node hash-joins
+/// its two subtrees' rows on the composite key of every predicate crossing the
+/// cut (each predicate's endpoints land in different subtrees exactly at their
+/// lowest common ancestor, so every predicate is applied exactly once). The
+/// smaller input builds the hash index; the final positional sort makes probe
+/// order irrelevant. One [`JoinStats`] entry is pushed per internal node, in
+/// execution (post-)order.
+///
+/// Returns `None` as soon as any node's **actual** output exceeds `row_cap`:
+/// the enumerator admitted the tree on estimates alone, and key skew can make
+/// an estimate arbitrarily optimistic — aborting here keeps plan-time
+/// materialisation bounded and lets the caller fall back to the greedy
+/// planner.
+fn exec_join_tree(
+    tree: &JoinTree,
+    matched: &[MatchedRows],
+    preds: &[ChainPred],
+    row_cap: f64,
+    stats: &mut Vec<JoinStats>,
+) -> Option<Vec<Vec<usize>>> {
+    let m = matched.len();
+    match tree {
+        JoinTree::Leaf(g) => Some(
+            (0..matched[*g].len())
+                .map(|idx| {
+                    let mut row = vec![UNSET; m];
+                    row[*g] = idx;
+                    row
+                })
+                .collect(),
+        ),
+        JoinTree::Join { left, right } => {
+            let lrows = exec_join_tree(left, matched, preds, row_cap, stats)?;
+            let rrows = exec_join_tree(right, matched, preds, row_cap, stats)?;
+            let (lmask, rmask) = (left.leaf_mask(), right.leaf_mask());
+            let mut lparts: Vec<(usize, &str)> = Vec::new();
+            let mut rparts: Vec<(usize, &str)> = Vec::new();
+            for p in preds {
+                if lmask & (1 << p.earlier) != 0 && rmask & (1 << p.later) != 0 {
+                    lparts.push((p.earlier, &p.earlier_var));
+                    rparts.push((p.later, &p.later_var));
+                } else if lmask & (1 << p.later) != 0 && rmask & (1 << p.earlier) != 0 {
+                    lparts.push((p.later, &p.later_var));
+                    rparts.push((p.earlier, &p.earlier_var));
+                }
+            }
+            debug_assert!(!lparts.is_empty(), "enumerated trees never cross-product");
+            let (build, bparts, probe, pparts) = if lrows.len() <= rrows.len() {
+                (&lrows, &lparts, &rrows, &rparts)
+            } else {
+                (&rrows, &rparts, &lrows, &lparts)
+            };
+            let mut index: HashMap<Value, Vec<usize>> = HashMap::new();
+            for (i, row) in build.iter().enumerate() {
+                if let Some(key) = chain_row_key(matched, row, bparts) {
+                    index.entry(key).or_default().push(i);
+                }
+            }
+            let distinct = index.len();
+            let max_bucket = index.values().map(Vec::len).max().unwrap_or(0);
+            let mut joined = Vec::new();
+            for prow in probe {
+                let Some(key) = chain_row_key(matched, prow, pparts) else {
+                    continue;
+                };
+                if let Some(matches) = index.get(&key) {
+                    for &bi in matches {
+                        let mut merged = prow.clone();
+                        for (g, idx) in build[bi].iter().enumerate() {
+                            if *idx != UNSET {
+                                merged[g] = *idx;
+                            }
+                        }
+                        joined.push(merged);
+                    }
+                }
+                if joined.len() as f64 > row_cap {
+                    return None; // the estimate was skew-fooled: abort mid-join
+                }
+            }
+            stats.push(JoinStats {
+                strategy: JoinStrategy::Bushy {
+                    tree: Arc::new(tree.clone()),
+                },
+                build_rows: build.len(),
+                probe_rows: Some(probe.len()),
+                distinct_keys: distinct,
+                max_bucket,
+                estimated_output: Some(
+                    probe.len() as f64 * build.len() as f64 / distinct.max(1) as f64,
+                ),
+            });
+            Some(joined)
+        }
+    }
 }
 
 /// Extract the (composite) join key of an intermediate chain row: each component
@@ -2180,17 +2561,24 @@ mod tests {
     const CHAIN_Q: &str = "[{x, y, z} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; {k3, z} <- <<small, v>>; k3 = k2]";
 
     #[test]
-    fn three_chain_reorders_multiway_and_preserves_order() {
+    fn three_chain_reorders_bushy_and_preserves_order() {
         let m = chain_fixture();
         let q = parse(CHAIN_Q).unwrap();
         let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
-        assert_eq!(stats.len(), 2, "a 3-chain joins two edges");
+        assert_eq!(stats.len(), 2, "a 3-chain joins two tree nodes");
         assert!(
-            stats.iter().all(|s| s.strategy == JoinStrategy::Multiway),
-            "whole chain must go through the join-graph planner: {stats:?}"
+            stats
+                .iter()
+                .all(|s| matches!(s.strategy, JoinStrategy::Bushy { .. })),
+            "whole chain must go through the bushy enumerator: {stats:?}"
         );
-        // Greedy starts from the smallest extent (3 rows build first).
+        // The enumerator joins the small and mid extents before touching big:
+        // the 3-row extent builds the first hash index.
         assert_eq!(stats[0].build_rows, 3);
+        let JoinStrategy::Bushy { tree } = &stats[1].strategy else {
+            unreachable!("checked above");
+        };
+        assert_eq!(tree.leaves(), vec![0, 1, 2], "root spans the whole chain");
         let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
         let naive = Evaluator::new(&m)
             .with_nested_loops()
@@ -2214,7 +2602,9 @@ mod tests {
         )
         .unwrap();
         let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
-        assert!(stats.iter().all(|s| s.strategy == JoinStrategy::Multiway));
+        assert!(stats
+            .iter()
+            .all(|s| matches!(s.strategy, JoinStrategy::Bushy { .. })));
         let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
         let naive = Evaluator::new(&m)
             .with_nested_loops()
@@ -2248,7 +2638,8 @@ mod tests {
         .unwrap();
         let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
         assert!(
-            stats.iter().all(|s| s.strategy != JoinStrategy::Multiway),
+            stats.iter().all(|s| s.strategy != JoinStrategy::Multiway
+                && !matches!(s.strategy, JoinStrategy::Bushy { .. })),
             "exploding estimates must abandon the chain reorder: {stats:?}"
         );
         let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
@@ -2356,6 +2747,257 @@ mod tests {
             after_first,
             "same extents and keys: no new histograms needed"
         );
+    }
+
+    // ---------- bushy join enumeration ----------
+
+    #[test]
+    fn without_bushy_falls_back_to_greedy_multiway() {
+        let m = chain_fixture();
+        let q = parse(CHAIN_Q).unwrap();
+        let stats = Evaluator::new(&m)
+            .without_bushy()
+            .explain(&q, &Env::new())
+            .unwrap();
+        assert!(
+            stats.iter().all(|s| s.strategy == JoinStrategy::Multiway),
+            "bushy disabled: the greedy join-graph reorder must run: {stats:?}"
+        );
+        let planned = Evaluator::new(&m).without_bushy().eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    /// A 4-chain whose middle join keeps everything while the two outer joins
+    /// are selective: the cheapest plan joins the two ends separately and
+    /// combines them last — a genuinely bushy shape no linear order matches.
+    fn bushy_fixture() -> (MapExtents, Expr) {
+        let mut m = MapExtents::new();
+        m.insert(
+            "a,v",
+            Bag::from_values(
+                (0..30)
+                    .map(|i| Value::pair(Value::Int(i), Value::str(format!("a{i}"))))
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "b,v",
+            Bag::from_values(
+                (0..4)
+                    .map(|i| {
+                        Value::tuple(vec![
+                            Value::Int(i * 7 % 30),
+                            Value::Int(1),
+                            Value::str(format!("b{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "c,v",
+            Bag::from_values(
+                (0..4)
+                    .map(|i| {
+                        Value::tuple(vec![
+                            Value::Int(1),
+                            Value::Int(10 + i),
+                            Value::str(format!("c{i}")),
+                        ])
+                    })
+                    .collect(),
+            ),
+        );
+        m.insert(
+            "d,v",
+            Bag::from_values(
+                (0..30)
+                    .map(|i| Value::pair(Value::Int(i), Value::str(format!("d{i}"))))
+                    .collect(),
+            ),
+        );
+        let q = parse(
+            "[{x, y, z, w} | {k1, x} <- <<a, v>>; {k2, m1, y} <- <<b, v>>; k2 = k1; \
+             {m2, k3, z} <- <<c, v>>; m2 = m1; {k4, w} <- <<d, v>>; k4 = k3]",
+        )
+        .unwrap();
+        (m, q)
+    }
+
+    #[test]
+    fn genuinely_bushy_tree_executes_and_matches_naive() {
+        let (m, q) = bushy_fixture();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats.len(), 3, "a 4-chain tree has three join nodes");
+        let JoinStrategy::Bushy { tree } = &stats.last().unwrap().strategy else {
+            panic!("expected a bushy plan: {stats:?}");
+        };
+        assert!(
+            !tree.is_linear(),
+            "outer-selective chain must produce a genuinely bushy tree, got {tree}"
+        );
+        assert_eq!(tree.leaves(), vec![0, 1, 2, 3]);
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items(),
+            "bushy execution must preserve nested-loop output order"
+        );
+        assert_eq!(planned.expect_bag().unwrap().len(), 16);
+    }
+
+    #[test]
+    fn bushy_plans_are_cached_and_version_guarded() {
+        let (mut m, q) = bushy_fixture();
+        let cache = Arc::new(PlanCache::new());
+        let before = Evaluator::new(&m)
+            .with_plan_cache(Arc::clone(&cache))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(cache.len(), 1, "the bushy plan must be stored");
+        let again = Evaluator::new(&m)
+            .with_plan_cache(Arc::clone(&cache))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(before, again);
+        assert!(
+            cache.hit_count() >= 1,
+            "the re-run must be served from the cache"
+        );
+        // Mutating the provider bumps its version; the stale bushy plan (with
+        // its baked-in materialised rows) must be rebuilt, not served.
+        m.insert(
+            "d,v",
+            Bag::from_values(
+                (0..30)
+                    .map(|i| Value::pair(Value::Int(i / 2), Value::str(format!("d{i}"))))
+                    .collect(),
+            ),
+        );
+        let after = Evaluator::new(&m)
+            .with_plan_cache(Arc::clone(&cache))
+            .eval_closed(&q)
+            .unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            after.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items(),
+            "rebuilt plan must reflect the mutated provider"
+        );
+        assert_ne!(before, after, "the mutation changes the answer");
+    }
+
+    #[test]
+    fn bushy_bails_when_skew_betrays_the_estimate() {
+        // Three extents whose join column has 21 distinct keys — but one heavy
+        // bucket holds 80 of the 100 rows. The `1/max(distinct)` estimate
+        // admits the tree (every node estimate is under the cap), while the
+        // actual first join materialises 80·80 + 20 rows, well past it. The
+        // executor's actual-count guard must abort and fall back to the
+        // greedy planner; answers still match the nested-loop oracle.
+        let mut m = MapExtents::new();
+        for name in ["a,v", "b,v", "c,v"] {
+            m.insert(
+                name,
+                Bag::from_values(
+                    (0..100)
+                        .map(|i| {
+                            let key = if i < 80 { 0 } else { i - 79 };
+                            Value::pair(Value::Int(key), Value::str(format!("{name}{i}")))
+                        })
+                        .collect(),
+                ),
+            );
+        }
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<a, v>>; {k2, y} <- <<b, v>>; k2 = k1; {k3, z} <- <<c, v>>; k3 = k2]",
+        )
+        .unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert!(
+            stats
+                .iter()
+                .all(|s| !matches!(s.strategy, JoinStrategy::Bushy { .. })),
+            "skew-blown actual cardinalities must abort the bushy plan: {stats:?}"
+        );
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn chains_past_the_dp_bound_use_the_greedy_reorder() {
+        let mut m = MapExtents::new();
+        for i in 0..7 {
+            m.insert_pairs(
+                format!("s{i},v"),
+                (0..3).map(|k| (k, "w")).collect::<Vec<_>>(),
+            );
+        }
+        let mut quals = vec!["{k0, v0} <- <<s0, v>>".to_string()];
+        for i in 1..7 {
+            quals.push(format!("{{k{i}, v{i}}} <- <<s{i}, v>>"));
+            quals.push(format!("k{i} = k{}", i - 1));
+        }
+        let text = format!("[{{v0, v6}} | {}]", quals.join("; "));
+        let q = parse(&text).unwrap();
+        let stats = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(stats.len(), 6, "seven generators join six edges");
+        assert!(
+            stats.iter().all(|s| s.strategy == JoinStrategy::Multiway),
+            "chains past MAX_DP_RELATIONS must use the greedy reorder: {stats:?}"
+        );
+        let planned = Evaluator::new(&m).eval_closed(&q).unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(
+            planned.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+    }
+
+    #[test]
+    fn step_probe_counts_match_explained_strategies() {
+        let (m, q) = bushy_fixture();
+        let probe = Arc::new(StepProbe::new());
+        Evaluator::new(&m)
+            .with_step_probe(Arc::clone(&probe))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(probe.count(StepKind::BushyJoin), 1);
+        assert_eq!(probe.count(StepKind::MultiJoin), 0);
+        assert_eq!(probe.count(StepKind::OrderedJoin), 0);
+        // Greedy leg: the same query without bushy runs a MultiJoin instead.
+        let probe2 = Arc::new(StepProbe::new());
+        Evaluator::new(&m)
+            .without_bushy()
+            .with_step_probe(Arc::clone(&probe2))
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(probe2.count(StepKind::BushyJoin), 0);
+        assert_eq!(probe2.count(StepKind::MultiJoin), 1);
     }
 
     // ---------- plan caching ----------

@@ -26,6 +26,8 @@
 //! * [`eval`] — the evaluator, parameterised by an [`ExtentProvider`]: hash-join
 //!   planning, join-graph reordering of whole generator chains, parallel extent
 //!   fetch, and the LRU-bounded [`PlanCache`] with persisted join-key histograms;
+//! * [`bushy`] — the cost-based bushy join enumerator (DPsize over connected
+//!   subgraphs) behind [`JoinStrategy::Bushy`] plans;
 //! * [`fetch`] — the process-wide [`FetchPool`] semaphore budgeting every fetch
 //!   fan-out in the process;
 //! * [`lru`] — the bounded [`lru::LruMap`] behind the engine's memos;
@@ -49,6 +51,7 @@
 
 pub mod ast;
 pub mod builtins;
+pub mod bushy;
 pub mod env;
 pub mod error;
 pub mod eval;
@@ -62,8 +65,12 @@ pub mod token;
 pub mod value;
 
 pub use ast::{BinOp, Expr, Literal, Pattern, Qualifier, SchemeRef, UnOp};
+pub use bushy::JoinTree;
 pub use error::{EvalError, ParseError};
-pub use eval::{Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache};
+pub use eval::{
+    Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, StepKind,
+    StepProbe,
+};
 pub use fetch::FetchPool;
 pub use value::{Bag, Value};
 

@@ -64,6 +64,14 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
                         out.push_str(" <- ");
                         write_expr(out, source, 0);
                     }
+                    // A filter that is itself a `let … in …` expression must be
+                    // parenthesised: bare, the qualifier parser would read it
+                    // as a `let` *binding* qualifier and reject the `in`.
+                    Qualifier::Filter(e @ Expr::Let { .. }) => {
+                        out.push('(');
+                        write_expr(out, e, 0);
+                        out.push(')');
+                    }
                     Qualifier::Filter(e) => write_expr(out, e, 0),
                     Qualifier::Binding { pattern, value } => {
                         out.push_str("let ");
@@ -112,35 +120,61 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
             write_expr(out, expr, 0);
             out.push(')');
         }
+        // `if`/`let`/`Range` are top-level expression forms in the grammar: used
+        // as an operand of a binary operator they must be parenthesised, or the
+        // re-parse would either swallow the rest of the operator chain into
+        // their last sub-expression (`if`/`let`) or stop short of it (`Range`,
+        // which never continues into a binary expression).
         Expr::If {
             cond,
             then,
             otherwise,
         } => {
+            let needs_parens = parent_prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
             out.push_str("if ");
             write_expr(out, cond, 0);
             out.push_str(" then ");
             write_expr(out, then, 0);
             out.push_str(" else ");
             write_expr(out, otherwise, 0);
+            if needs_parens {
+                out.push(')');
+            }
         }
         Expr::Let {
             pattern,
             value,
             body,
         } => {
+            let needs_parens = parent_prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
             out.push_str("let ");
             out.push_str(&pattern.to_string());
             out.push_str(" = ");
             write_expr(out, value, 0);
             out.push_str(" in ");
             write_expr(out, body, 0);
+            if needs_parens {
+                out.push(')');
+            }
         }
         Expr::Range { lower, upper } => {
+            let needs_parens = parent_prec > 0;
+            if needs_parens {
+                out.push('(');
+            }
             out.push_str("Range ");
             write_operand(out, lower);
             out.push(' ');
             write_operand(out, upper);
+            if needs_parens {
+                out.push(')');
+            }
         }
     }
 }

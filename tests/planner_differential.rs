@@ -1,20 +1,36 @@
 //! Differential testing of the comprehension planner: for randomly generated
-//! extents and randomly shaped comprehensions, **planned**, **nested-loop**,
-//! **statistics-reordered**, **sequentially fetched** and **plan-cached**
-//! evaluation must all agree — bag equality including multiplicities *and order*,
-//! since every planned strategy is required to preserve the nested-loop output
-//! order. A second suite runs the same differential over virtual (integrated)
-//! extents, exercising the parallel per-source contribution fetch.
+//! extents and randomly shaped comprehensions, **planned** (bushy enumeration
+//! on), **nested-loop**, **statistics-reordered**, **bushy-disabled** (greedy
+//! chain reorder only), **sequentially fetched** and **plan-cached** evaluation
+//! must all agree — bag equality including multiplicities *and order*, since
+//! every planned strategy is required to preserve the nested-loop output order.
+//!
+//! Query shapes cover every join-graph topology the planner distinguishes:
+//! **lines** (each generator joins its predecessor), **stars** (every
+//! satellite joins the leading generator), **cliques** (every generator joins
+//! all of its predecessors, producing composite keys), and free mixtures — up
+//! to six generators, the bushy enumerator's full DP range, over extents with
+//! hub-style cardinality skew (the `s0` extent is several times larger, with a
+//! narrower key domain, than the satellites). An explain-consistency check
+//! rides along: the strategies [`Evaluator::explain`] reports for each case
+//! must match the step kinds the execution actually runs, counted through
+//! [`StepProbe`].
+//!
+//! A second suite runs the same differential over virtual (integrated)
+//! extents, exercising the parallel per-source contribution fetch and the
+//! automed explain/bushy pass-throughs.
 //!
 //! The vendored proptest shim derives its RNG seed from the test name, so every
-//! run (including the CI smoke step) replays the same fixed case sequence;
-//! `PROPTEST_CASES` scales the case count.
+//! run (including the CI smoke steps) replays the same fixed case sequence;
+//! `PROPTEST_CASES` scales the case count and `PROPTEST_SEED` perturbs the
+//! sequence (CI runs a small fixed-seed matrix).
 
 use automed::qp::evaluator::{ViewDefinitions, VirtualExtents};
 use automed::qp::Contribution;
 use automed::wrapper::SourceRegistry;
+use iql::env::Env;
 use iql::value::{Bag, Value};
-use iql::{parse, Evaluator, MapExtents, PlanCache};
+use iql::{parse, Evaluator, JoinStrategy, MapExtents, PlanCache, StepKind, StepProbe};
 use proptest::prelude::*;
 use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
 use relational::Database;
@@ -22,10 +38,17 @@ use std::sync::Arc;
 
 // ---------- random extents ----------
 
-/// A random extent: `{key, value}` pairs with small domains so joins hit often
-/// and duplicates occur (multiplicity coverage).
+/// A random satellite extent: `{key, value}` pairs with small domains so joins
+/// hit often and duplicates occur (multiplicity coverage).
 fn extent_rows() -> impl Strategy<Value = Vec<(i64, usize)>> {
-    prop::collection::vec((0i64..8, 0usize..5), 0..22)
+    prop::collection::vec((0i64..8, 0usize..5), 0..8)
+}
+
+/// The hub extent: several times more rows than a satellite, drawn from a
+/// *narrower* key domain — heavy buckets exercise the skew statistics
+/// (`max_bucket`) and give the cost model something to reorder around.
+fn hub_rows() -> impl Strategy<Value = Vec<(i64, usize)>> {
+    prop::collection::vec((0i64..4, 0usize..5), 0..20)
 }
 
 fn map_extents(rows: &[Vec<(i64, usize)>]) -> MapExtents {
@@ -45,26 +68,26 @@ fn map_extents(rows: &[Vec<(i64, usize)>]) -> MapExtents {
 
 // ---------- random comprehension shapes ----------
 
-/// One generator of a random comprehension: which scheme it ranges over, which
-/// earlier generator it equi-joins to (modulo its position), and an optional
-/// literal filter on its value variable.
+/// One generator of a random comprehension: which scheme it ranges over
+/// (modulo its position's allowance), which earlier generator it equi-joins to
+/// in free mode (modulo its position), and an optional literal filter on its
+/// value variable (which also splits the reorderable chain).
 type GenSpec = (usize, usize, Option<usize>);
 
-/// A query shape: 1–4 generators plus optional correlated tail and let-binding.
-/// Chains of 3+ generators (joined to *any* earlier generator, so stars as well
-/// as lines) drive the whole-chain join-graph reorder; shorter ones the pair
-/// reorder.
-type QueryShape = (Vec<GenSpec>, bool, bool);
+/// A query shape: the join-graph topology mode (line/star/clique/free), 1–6
+/// generators, and optional correlated tail and let-binding.
+type QueryShape = (usize, Vec<GenSpec>, bool, bool);
 
 fn query_shape() -> impl Strategy<Value = QueryShape> {
     (
+        0usize..4,
         prop::collection::vec(
             (
-                0usize..3,
-                0usize..4,
+                0usize..6,
+                0usize..6,
                 prop_oneof![Just(None), (0usize..5).prop_map(Some)],
             ),
-            1..5,
+            1..7,
         ),
         any::<bool>(),
         any::<bool>(),
@@ -72,16 +95,34 @@ fn query_shape() -> impl Strategy<Value = QueryShape> {
 }
 
 /// Render a query shape as IQL text. Generator `i` binds `{k<i>, v<i>}`; joined
-/// generators emit the `k<i> = k<j>` equi-filter immediately after the generator
-/// (the planner's fusable shape); literal filters and the correlated tail fall
-/// outside the fusable shape and exercise the fallback paths.
-fn render_query((gens, correlated_tail, with_let): &QueryShape) -> String {
+/// generators emit their `k<i> = k<j>` equi-filters immediately after the
+/// generator (the planner's fusable shape); literal filters and the correlated
+/// tail fall outside the fusable shape and exercise the fallback paths.
+///
+/// Only the leading generator may range over the large hub extent `s0`, so the
+/// nested-loop oracle stays polynomially bounded; later generators draw from
+/// the satellites (repeats allowed — self-joins stay covered).
+fn render_query((mode, gens, correlated_tail, with_let): &QueryShape) -> String {
     let mut quals: Vec<String> = Vec::new();
-    for (i, (scheme, join_to, lit)) in gens.iter().enumerate() {
+    for (i, (scheme_sel, join_to, lit)) in gens.iter().enumerate() {
+        let scheme = if i == 0 {
+            scheme_sel % 6
+        } else {
+            1 + (scheme_sel % 5)
+        };
         quals.push(format!("{{k{i}, v{i}}} <- <<s{scheme}>>"));
         if i > 0 {
-            let j = join_to % i;
-            quals.push(format!("k{i} = k{j}"));
+            match mode % 4 {
+                0 => quals.push(format!("k{i} = k{}", i - 1)), // line
+                1 => quals.push(format!("k{i} = k0")),         // star
+                2 => {
+                    // clique: join every earlier generator (composite keys)
+                    for j in 0..i {
+                        quals.push(format!("k{i} = k{j}"));
+                    }
+                }
+                _ => quals.push(format!("k{i} = k{}", join_to % i)), // free
+            }
         }
         if let Some(w) = lit {
             quals.push(format!("v{i} <> 'w{w}'"));
@@ -107,16 +148,21 @@ fn items(v: &Value) -> Vec<Value> {
 }
 
 proptest! {
-    /// planned ≡ nested-loop ≡ reorder-disabled ≡ sequential-fetch ≡ plan-cached,
-    /// element for element, for every generated query over every generated extent.
+    /// planned ≡ nested-loop ≡ reorder-disabled ≡ bushy-disabled ≡
+    /// sequential-fetch ≡ plan-cached, element for element, for every generated
+    /// query over every generated extent; and the strategies `explain` reports
+    /// are the step kinds the execution runs.
     #[test]
     fn planner_differential_over_random_extents(
-        e0 in extent_rows(),
+        e0 in hub_rows(),
         e1 in extent_rows(),
         e2 in extent_rows(),
+        e3 in extent_rows(),
+        e4 in extent_rows(),
+        e5 in extent_rows(),
         shape in query_shape(),
     ) {
-        let extents = map_extents(&[e0, e1, e2]);
+        let extents = map_extents(&[e0, e1, e2, e3, e4, e5]);
         let text = render_query(&shape);
         let query = parse(&text).unwrap_or_else(|e| panic!("{text} does not parse: {e}"));
 
@@ -131,6 +177,10 @@ proptest! {
             .without_reorder()
             .eval_closed(&query)
             .expect("reorder-disabled evaluation");
+        let no_bushy = Evaluator::new(&extents)
+            .without_bushy()
+            .eval_closed(&query)
+            .expect("bushy-disabled evaluation");
         let sequential = Evaluator::new(&extents)
             .without_parallel_fetch()
             .eval_closed(&query)
@@ -138,6 +188,7 @@ proptest! {
 
         prop_assert_eq!(items(&planned), items(&naive), "planned vs naive: {}", &text);
         prop_assert_eq!(items(&no_reorder), items(&naive), "no-reorder vs naive: {}", &text);
+        prop_assert_eq!(items(&no_bushy), items(&naive), "no-bushy vs naive: {}", &text);
         prop_assert_eq!(items(&sequential), items(&naive), "sequential vs naive: {}", &text);
 
         // Plan-cached re-run: second evaluation must reuse the plan and agree.
@@ -152,6 +203,52 @@ proptest! {
             "closed-source plans must be served from the cache on re-run: {}",
             &text
         );
+
+        // Explain consistency: these queries hold exactly one comprehension, so
+        // the top-level plan is the only plan the probe can see — each join
+        // strategy `explain` reports must appear as an executed step kind, and
+        // no join step may execute without its strategy being reported.
+        let stats = Evaluator::new(&extents)
+            .explain(&query, &Env::new())
+            .expect("explain");
+        let probe = Arc::new(StepProbe::new());
+        let probed = Evaluator::new(&extents)
+            .with_step_probe(Arc::clone(&probe))
+            .eval_closed(&query)
+            .expect("probed evaluation");
+        prop_assert_eq!(items(&probed), items(&naive), "probed vs naive: {}", &text);
+        let pairs: [(&str, bool, StepKind); 4] = [
+            (
+                "bushy",
+                stats.iter().any(|s| matches!(s.strategy, JoinStrategy::Bushy { .. })),
+                StepKind::BushyJoin,
+            ),
+            (
+                "multiway",
+                stats.iter().any(|s| s.strategy == JoinStrategy::Multiway),
+                StepKind::MultiJoin,
+            ),
+            (
+                "reordered",
+                stats.iter().any(|s| s.strategy == JoinStrategy::Reordered),
+                StepKind::OrderedJoin,
+            ),
+            (
+                "hash",
+                stats.iter().any(|s| s.strategy == JoinStrategy::Hash),
+                StepKind::HashJoin,
+            ),
+        ];
+        for (name, explained, kind) in pairs {
+            prop_assert_eq!(
+                explained,
+                probe.count(kind) > 0,
+                "explain ({}) disagrees with executed steps for {} — stats: {:?}",
+                name,
+                &text,
+                &stats
+            );
+        }
     }
 }
 
@@ -211,8 +308,9 @@ fn definitions() -> ViewDefinitions {
 }
 
 proptest! {
-    /// Parallel per-source contribution fetch ≡ sequential fetch ≡ nested loops
-    /// over randomly populated wrapped sources.
+    /// Parallel per-source contribution fetch ≡ sequential fetch ≡ bushy-disabled
+    /// ≡ nested loops over randomly populated wrapped sources; the star-join
+    /// query drives the bushy enumerator through the automed pass-through.
     #[test]
     fn virtual_extent_differential(
         alpha_rows in extent_rows(),
@@ -228,6 +326,9 @@ proptest! {
             "[x | {s, k, x} <- <<UAcc>>; s = 'BETA']",
             "[{k1, x} | {k1, k2, x} <- <<Shared>>]",
             "[{a, b} | {s1, k1, a} <- <<UAcc>>; {s2, k2, b} <- <<UAcc>>; k2 = k1]",
+            // A 3-chain over the virtual extent: drives the bushy enumerator
+            // (and its explain pass-through) through the automed layer.
+            "[{a, b, c} | {s1, k1, a} <- <<UAcc>>; {s2, k2, b} <- <<UAcc>>; k2 = k1; {s3, k3, c} <- <<UAcc>>; k3 = k1]",
         ];
         for text in queries {
             let query = parse(text).unwrap();
@@ -238,6 +339,10 @@ proptest! {
                 .sequential()
                 .answer(&query)
                 .expect("sequential answer");
+            let no_bushy = VirtualExtents::new(&registry, &defs)
+                .without_bushy()
+                .answer(&query)
+                .expect("bushy-disabled answer");
             let naive = VirtualExtents::new(&registry, &defs)
                 .sequential()
                 .answer_with_nested_loops(&query)
@@ -249,6 +354,27 @@ proptest! {
                 _ => prop_assert_eq!(&parallel, &naive, "parallel vs naive: {}", text),
             }
             prop_assert_eq!(&parallel, &sequential, "parallel vs sequential: {}", text);
+            prop_assert_eq!(&parallel, &no_bushy, "parallel vs bushy-disabled: {}", text);
+
+            // The explain pass-through plans without executing and never
+            // reports a strategy the evaluator below it cannot run.
+            let stats = VirtualExtents::new(&registry, &defs)
+                .explain(&query)
+                .expect("explain");
+            for s in &stats {
+                prop_assert!(
+                    matches!(
+                        s.strategy,
+                        JoinStrategy::Hash
+                            | JoinStrategy::Reordered
+                            | JoinStrategy::Multiway
+                            | JoinStrategy::Bushy { .. }
+                    ),
+                    "unexpected strategy for {}: {:?}",
+                    text,
+                    s
+                );
+            }
         }
     }
 }
