@@ -337,6 +337,22 @@ impl<'a> VirtualExtents<'a> {
         Ok(self.evaluator().eval_closed(query)?)
     }
 
+    /// Answer a query under a set of named parameter bindings (`?name`
+    /// placeholders in the query resolve through `params` at execution time).
+    ///
+    /// This is the execution path of prepared queries: the expression — and
+    /// therefore the plan-cache key — is the same for every binding, so all
+    /// executions of one query shape share one cached plan.
+    pub fn answer_with(&self, query: &Expr, params: &iql::Params) -> Result<Value, AutomedError> {
+        let env = iql::env::Env::new().with_params(params.clone());
+        Ok(self.evaluator().eval(query, &env)?)
+    }
+
+    /// Answer a query under parameter bindings and insist on a bag result.
+    pub fn answer_bag_with(&self, query: &Expr, params: &iql::Params) -> Result<Bag, AutomedError> {
+        Ok(self.answer_with(query, params)?.expect_bag()?)
+    }
+
     /// Plan `query`'s top-level comprehension (without executing it) and report
     /// the join statistics and strategies — including bushy trees — the same
     /// way [`Evaluator::explain`] does for a plain provider. Resolving the
@@ -352,6 +368,17 @@ impl<'a> VirtualExtents<'a> {
     /// evaluator via [`ExtentProvider`].
     pub fn answer_with_nested_loops(&self, query: &Expr) -> Result<Value, AutomedError> {
         Ok(self.evaluator().with_nested_loops().eval_closed(query)?)
+    }
+
+    /// Answer a query with planning disabled, under parameter bindings — the
+    /// reference leg the prepared-execution differentials compare against.
+    pub fn answer_with_nested_loops_params(
+        &self,
+        query: &Expr,
+        params: &iql::Params,
+    ) -> Result<Value, AutomedError> {
+        let env = iql::env::Env::new().with_params(params.clone());
+        Ok(self.evaluator().with_nested_loops().eval(query, &env)?)
     }
 
     /// Answer a query and insist on a bag result.

@@ -1,0 +1,88 @@
+//! Prepared execution vs parse-plus-plan-per-call text queries.
+//!
+//! The pay-as-you-go workload re-runs the same query shapes under different
+//! parameters after every integration iteration. This bench pits the two ways
+//! of doing that against each other, on the integrated dataspace at the bench
+//! scale:
+//!
+//! * **prepared**: `Dataspace::prepare` once, then `PreparedQuery::execute`
+//!   with a *fresh binding every iteration* — the expression is identical
+//!   across bindings, so every execution after the first hits the plan cache;
+//! * **text**: the pre-redesign client pattern — splice the parameter into the
+//!   query text with `format!` and call `Dataspace::query`. Every iteration
+//!   produces a never-seen text, so every call pays parse + plan (for the
+//!   join queries that includes rebuilding the hash indexes).
+//!
+//! Both legs advance the same monotone counter, so each iteration of either
+//! leg sees a binding no earlier iteration used — neither leg gets to coast on
+//! a previously cached text.
+
+use bench::{bench_scale, integrated_dataspace};
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteomics::queries::{q1, q6, Q1_IQL, Q6_IQL};
+use std::cell::Cell;
+use std::time::Duration;
+
+fn table1_prepared(c: &mut Criterion) {
+    let ds = integrated_dataspace(&bench_scale());
+
+    let mut group = c.benchmark_group("table1_prepared");
+    group
+        .sample_size(30)
+        .measurement_time(Duration::from_secs(3));
+
+    // Q1: a single-generator selection — the prepared win here is parse + plan
+    // bookkeeping only, the cheapest case for the text path.
+    let prepared_q1 = ds.prepare(Q1_IQL).expect("q1 prepares");
+    let ticks = Cell::new(0u64);
+    group.bench_function("q1_prepared_execute", |b| {
+        b.iter(|| {
+            let i = ticks.get();
+            ticks.set(i + 1);
+            let acc = format!("ACC{i:05}q");
+            prepared_q1.execute(&q1(&acc)).expect("q1 answers")
+        })
+    });
+    group.bench_function("q1_text_parse_plan_per_call", |b| {
+        b.iter(|| {
+            let i = ticks.get();
+            ticks.set(i + 1);
+            // A fresh text per call: parameter spliced as a literal, so the
+            // expression differs every iteration and nothing is reusable.
+            let text = format!(
+                "[{{s, k}} | {{s, k, x}} <- <<UProtein, accession_num>>; x = 'ACC{i:05}q']"
+            );
+            ds.query(&text).expect("q1 text answers")
+        })
+    });
+
+    // Q6: a three-generator join chain — the text path replans and rebuilds
+    // the join hash indexes on every call, the prepared path reuses one plan.
+    let prepared_q6 = ds.prepare(Q6_IQL).expect("q6 prepares");
+    group.bench_function("q6_prepared_execute", |b| {
+        b.iter(|| {
+            let i = ticks.get();
+            ticks.set(i + 1);
+            prepared_q6
+                .execute(&q6("PEDRO", i as i64))
+                .expect("q6 answers")
+        })
+    });
+    group.bench_function("q6_text_parse_plan_per_call", |b| {
+        b.iter(|| {
+            let i = ticks.get();
+            ticks.set(i + 1);
+            let text = format!(
+                "[{{s1, k1, seq, prob}} | {{{{s1, k1}}, {{s2, k2}}}} <- \
+                 <<uPeptideHitToProteinHit_mm>>; s2 = 'PEDRO'; k2 = {i}; \
+                 {{s3, k3, seq}} <- <<UPeptideHit, sequence>>; s3 = s1; k3 = k1; \
+                 {{s4, k4, prob}} <- <<UPeptideHit, probability>>; s4 = s1; k4 = k1]"
+            );
+            ds.query(&text).expect("q6 text answers")
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, table1_prepared);
+criterion_main!(benches);

@@ -2,6 +2,8 @@
 //!
 //! Regenerates the paper's Table 1 by printing each query's answer size once, then
 //! benchmarks the per-query evaluation latency and sweeps Q1 across data scales.
+//! Every query executes through the prepared path: the parameterised text plans
+//! once and each timed iteration runs under the query's default bindings.
 
 use bench::{bench_scale, integrated_dataspace, scale_sweep};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
@@ -14,7 +16,11 @@ fn table1(c: &mut Criterion) {
     // Print the Table-1-style rows once so the bench output doubles as the report.
     eprintln!("\n[E1/Table 1] query answer sizes at the bench scale:");
     for q in priority_queries() {
-        let n = ds.query(&q.iql).map(|b| b.len()).unwrap_or(0);
+        let n = ds
+            .prepare(&q.iql)
+            .and_then(|p| p.execute(&q.params))
+            .map(|b| b.len())
+            .unwrap_or(0);
         eprintln!("  {}: {} tuples — {}", q.name, n, q.description);
     }
 
@@ -27,7 +33,9 @@ fn table1(c: &mut Criterion) {
         group.bench_function(&q.name, |b| {
             b.iter(|| {
                 let provider = ds.provider().expect("provider");
-                provider.answer(&expr).expect("query answers")
+                provider
+                    .answer_bag_with(&expr, &q.params)
+                    .expect("query answers")
             })
         });
     }
@@ -45,7 +53,7 @@ fn table1(c: &mut Criterion) {
             b.iter(|| {
                 let provider = ds.provider().expect("provider");
                 provider
-                    .answer_with_nested_loops(&expr)
+                    .answer_with_nested_loops_params(&expr, &q.params)
                     .expect("query answers")
             })
         });
@@ -56,22 +64,28 @@ fn table1(c: &mut Criterion) {
     // (the pay-as-you-go re-run shape), against the same queries issued as a
     // sequential loop. Both share the dataspace's persistent plan/extent caches;
     // the batch fans out on the process-wide fetch pool.
-    let queries: Vec<String> = priority_queries().into_iter().map(|q| q.iql).collect();
-    let batch: Vec<&str> = queries.iter().map(String::as_str).collect();
+    let queries = priority_queries();
+    let batch: Vec<(&str, &iql::Params)> = queries
+        .iter()
+        .map(|q| (q.iql.as_str(), &q.params))
+        .collect();
     let mut batched = c.benchmark_group("table1_query_all");
     batched
         .sample_size(30)
         .measurement_time(Duration::from_secs(4));
     batched.bench_function("sequential_loop", |b| {
         b.iter(|| {
-            let results: Vec<_> = batch.iter().map(|q| ds.query(q)).collect();
+            let results: Vec<_> = batch
+                .iter()
+                .map(|(q, params)| ds.prepare(q).and_then(|p| p.execute(params)))
+                .collect();
             assert!(results.iter().all(Result::is_ok));
             results
         })
     });
     batched.bench_function("batched", |b| {
         b.iter(|| {
-            let results = ds.query_all(&batch);
+            let results = ds.query_all_bound(&batch);
             assert!(results.iter().all(Result::is_ok));
             results
         })
@@ -84,11 +98,14 @@ fn table1(c: &mut Criterion) {
         .measurement_time(Duration::from_secs(2));
     for (factor, scale) in scale_sweep() {
         let ds = integrated_dataspace(&scale);
-        let q1 = iql::parse(&priority_queries()[0].iql).expect("q1 parses");
+        let q1 = &priority_queries()[0];
+        let expr = iql::parse(&q1.iql).expect("q1 parses");
         sweep.bench_with_input(BenchmarkId::from_parameter(factor), &factor, |b, _| {
             b.iter(|| {
                 let provider = ds.provider().expect("provider");
-                provider.answer(&q1).expect("query answers")
+                provider
+                    .answer_bag_with(&expr, &q1.params)
+                    .expect("query answers")
             })
         });
     }

@@ -11,7 +11,9 @@
 //!    becomes the first global schema;
 //! 3. repeatedly [`Dataspace::integrate`] with an [`IntersectionSpec`] (steps 3–5),
 //!    each call re-deriving the global schema;
-//! 4. [`Dataspace::query`] at any point (step 6 / data services).
+//! 4. [`Dataspace::prepare`] + [`PreparedQuery::execute`] at any point (step 6 /
+//!    data services) — or the [`Dataspace::query`] convenience wrapper for
+//!    one-off, placeholder-free texts.
 
 use crate::error::CoreError;
 use crate::federated::{federate, Federation};
@@ -24,8 +26,9 @@ use automed::wrapper::SourceRegistry;
 use automed::{Repository, Schema};
 use iql::lru::LruMap;
 use iql::value::{Bag, Value};
-use iql::PlanCache;
+use iql::{Params, PlanCache};
 use relational::Database;
+use std::collections::BTreeSet;
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// Configuration of a dataspace.
@@ -90,11 +93,12 @@ pub struct Dataspace {
     extent_cache: SharedExtentCache,
     /// Plan memo shared by every provider this dataspace hands out.
     plan_cache: Arc<PlanCache>,
-    /// Bounded query-text → AST memo (prepared-statement style): pay-as-you-go
-    /// workloads re-run the same priority-query set after every iteration, so
-    /// re-issued texts — through [`Dataspace::query`], [`Dataspace::query_all`]
-    /// and friends — skip the parser. Pure syntax, so entries never go stale.
-    parse_cache: RwLock<LruMap<String, Arc<iql::Expr>>>,
+    /// Bounded query-text → parsed-query memo: pay-as-you-go workloads re-run
+    /// the same priority-query set after every iteration, so re-issued texts —
+    /// through [`Dataspace::prepare`], [`Dataspace::query`],
+    /// [`Dataspace::query_all`] and friends — skip the parser *and* the
+    /// placeholder-set walk. Pure syntax, so entries never go stale.
+    parse_cache: RwLock<LruMap<String, ParsedQuery>>,
     /// Bumped whenever the queryable definitions change; folded into the provider
     /// version so stale plans can never serve.
     generation: u64,
@@ -134,22 +138,29 @@ impl Dataspace {
     }
 
     /// Parse through the bounded parse memo: batch re-runs of the same query
-    /// text skip the parser (syntax only — never invalidated by schema changes).
-    fn parse_cached(&self, query: &str) -> Result<Arc<iql::Expr>, CoreError> {
-        if let Some(expr) = self
+    /// text skip the parser and the placeholder-set walk (syntax only — never
+    /// invalidated by schema changes). Re-preparing a memoised text is three
+    /// `Arc` bumps, no allocation or AST traversal.
+    fn parse_cached(&self, query: &str) -> Result<ParsedQuery, CoreError> {
+        if let Some(parsed) = self
             .parse_cache
             .read()
             .unwrap_or_else(PoisonError::into_inner)
             .get(query)
         {
-            return Ok(Arc::clone(expr));
+            return Ok(parsed.clone());
         }
         let expr = Arc::new(iql::parse(query)?);
+        let parsed = ParsedQuery {
+            text: Arc::from(query),
+            params: Arc::new(iql::rewrite::collect_params(&expr)),
+            expr,
+        };
         self.parse_cache
             .write()
             .unwrap_or_else(PoisonError::into_inner)
-            .insert(query.to_string(), Arc::clone(&expr));
-        Ok(expr)
+            .insert(query.to_string(), parsed.clone());
+        Ok(parsed)
     }
 
     /// The queryable definitions changed: advance the generation so every cached
@@ -296,12 +307,58 @@ impl Dataspace {
             .with_version_salt(self.generation))
     }
 
+    /// Prepare a query for repeated execution: parse it once (through the same
+    /// bounded memo every string entry point shares) and record its `?name`
+    /// placeholder set. The returned [`PreparedQuery`] executes under
+    /// [`Params`] binding sets — **one plan per query shape**: because the
+    /// parameterised expression is identical across bindings, every execution
+    /// after the first is a [`PlanCache`] hit, where literal-splicing query
+    /// text replans per value (and breaks outright on values containing `'`).
+    ///
+    /// ```
+    /// use dataspace_core::dataspace::Dataspace;
+    /// use iql::Params;
+    /// use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+    /// use relational::Database;
+    ///
+    /// let mut schema = RelSchema::new("pedro");
+    /// schema
+    ///     .add_table(
+    ///         RelTable::new("protein")
+    ///             .with_column(RelColumn::new("id", DataType::Int))
+    ///             .with_column(RelColumn::new("accession_num", DataType::Text))
+    ///             .with_primary_key(["id"]),
+    ///     )
+    ///     .unwrap();
+    /// let mut db = Database::new(schema);
+    /// db.insert("protein", vec![1.into(), "ACC1".into()]).unwrap();
+    /// db.insert("protein", vec![2.into(), "ACC2".into()]).unwrap();
+    ///
+    /// let mut ds = Dataspace::new();
+    /// ds.add_source(db).unwrap();
+    /// ds.federate().unwrap();
+    ///
+    /// let q = ds
+    ///     .prepare("[k | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>; x = ?acc]")
+    ///     .unwrap();
+    /// let hit = q.execute(&Params::new().with("acc", "ACC2")).unwrap();
+    /// assert_eq!(hit.len(), 1);
+    /// let miss = q.execute(&Params::new().with("acc", "it's-not-there")).unwrap();
+    /// assert_eq!(miss.len(), 0); // quotes in values are safe: no text splicing
+    /// ```
+    pub fn prepare(&self, query: &str) -> Result<PreparedQuery<'_>, CoreError> {
+        Ok(PreparedQuery {
+            dataspace: self,
+            parsed: self.parse_cached(query)?,
+        })
+    }
+
     /// Parse and answer an IQL query over the current global schema, expecting a bag
-    /// result. Parsing goes through the same bounded memo as [`Dataspace::query_all`],
-    /// so re-issued query texts skip the parser.
+    /// result. A thin convenience wrapper over [`Dataspace::prepare`] +
+    /// [`PreparedQuery::execute`] with no parameter bindings; queries that
+    /// contain `?name` placeholders must go through [`Dataspace::prepare`].
     pub fn query(&self, query: &str) -> Result<Bag, CoreError> {
-        let expr = self.parse_cached(query)?;
-        Ok(self.provider()?.answer_bag(&expr)?)
+        self.prepare(query)?.execute(&Params::new())
     }
 
     /// Answer a batch of independent IQL queries concurrently, returning one
@@ -351,38 +408,77 @@ impl Dataspace {
     /// assert_eq!(results[1].as_ref().unwrap().len(), 1);
     /// ```
     pub fn query_all(&self, queries: &[&str]) -> Vec<Result<Bag, CoreError>> {
-        if queries.is_empty() {
+        // Validate against the empty binding set, so a placeholder-bearing
+        // text reports the same typed `UnboundParam` error here as it does
+        // through `query` or `execute`.
+        let no_params = Params::new();
+        let items = queries.iter().map(|q| (*q, &no_params)).collect::<Vec<_>>();
+        self.query_all_bound(&items)
+    }
+
+    /// Answer a batch of (query text, parameter binding) pairs concurrently,
+    /// one result per pair **in input order** — the batched entry point for
+    /// workloads whose queries carry bindings (e.g. re-running the case
+    /// study's seven parameterised priority queries after an integration
+    /// iteration). Rides the same [`iql::FetchPool`] fan-out as
+    /// [`Dataspace::query_all`]; per-item preparation or validation errors
+    /// surface in that item's slot without failing the batch.
+    pub fn query_all_bound(&self, queries: &[(&str, &Params)]) -> Vec<Result<Bag, CoreError>> {
+        let items = queries
+            .iter()
+            .map(
+                |(q, params)| -> Result<(Arc<iql::Expr>, Params), CoreError> {
+                    let prepared = self.prepare(q)?;
+                    prepared.validate(params)?;
+                    Ok((prepared.parsed.expr, (*params).clone()))
+                },
+            )
+            .collect();
+        self.answer_bound_batch(items)
+    }
+
+    /// The shared batch executor behind [`Dataspace::query_all`],
+    /// [`Dataspace::query_all_bound`] and [`PreparedQuery::execute_all`]: each
+    /// item is an already-parsed expression plus the parameter bindings to
+    /// execute it under (or the per-item error to report). Worker threads come
+    /// out of the process-wide [`iql::FetchPool`] budget — batching never
+    /// oversubscribes the machine, and with no permits available the batch
+    /// degrades gracefully to a sequential loop.
+    #[allow(clippy::type_complexity)]
+    fn answer_bound_batch(
+        &self,
+        items: Vec<Result<(Arc<iql::Expr>, Params), CoreError>>,
+    ) -> Vec<Result<Bag, CoreError>> {
+        if items.is_empty() {
             return Vec::new();
         }
         let provider = match self.provider() {
             Ok(p) => p,
-            Err(e) => return queries.iter().map(|_| Err(e.clone())).collect(),
+            Err(e) => return items.iter().map(|_| Err(e.clone())).collect(),
         };
-        let exprs: Vec<Result<Arc<iql::Expr>, CoreError>> =
-            queries.iter().map(|q| self.parse_cached(q)).collect();
-        let answer =
-            |provider: &VirtualExtents<'_>, expr: &Result<Arc<iql::Expr>, CoreError>| match expr {
-                Ok(e) => Ok(provider.answer_bag(e)?),
-                Err(e) => Err(e.clone()),
-            };
+        type Item = Result<(Arc<iql::Expr>, Params), CoreError>;
+        let answer = |provider: &VirtualExtents<'_>, item: &Item| match item {
+            Ok((expr, params)) => Ok(provider.answer_bag_with(expr, params)?),
+            Err(e) => Err(e.clone()),
+        };
         // Fan out only when the machine can actually run workers alongside the
         // caller; a single-core host answers the whole batch inline (still
         // amortising parse + provider setup over the batch).
-        let mut permits = if queries.len() >= 2 && iql::FetchPool::global().capacity() >= 2 {
-            iql::FetchPool::global().acquire_up_to(queries.len() - 1)
+        let mut permits = if items.len() >= 2 && iql::FetchPool::global().capacity() >= 2 {
+            iql::FetchPool::global().acquire_up_to(items.len() - 1)
         } else {
             iql::FetchPool::global().acquire_up_to(0)
         };
         if permits.count() == 0 {
-            return exprs.iter().map(|e| answer(&provider, e)).collect();
+            return items.iter().map(|e| answer(&provider, e)).collect();
         }
         let workers = permits.count() + 1; // the calling thread takes a share too
-        let chunk = exprs.len().div_ceil(workers);
+        let chunk = items.len().div_ceil(workers);
         // Ceil-division may need fewer chunks than workers: return the surplus
         // permits instead of stranding them for the fan-out.
-        permits.truncate(exprs.len().div_ceil(chunk) - 1);
+        permits.truncate(items.len().div_ceil(chunk) - 1);
         std::thread::scope(|scope| {
-            let mut chunks = exprs.chunks(chunk);
+            let mut chunks = items.chunks(chunk);
             let caller_share = chunks.next().unwrap_or(&[]);
             let handles: Vec<_> = chunks
                 .map(|slice| {
@@ -407,10 +503,10 @@ impl Dataspace {
     }
 
     /// Parse and answer an IQL query over the current global schema, returning any
-    /// value (useful for aggregates). Parses through the bounded memo.
+    /// value (useful for aggregates). A thin wrapper over [`Dataspace::prepare`] +
+    /// [`PreparedQuery::execute_value`] with no parameter bindings.
     pub fn query_value(&self, query: &str) -> Result<Value, CoreError> {
-        let expr = self.parse_cached(query)?;
-        Ok(self.provider()?.answer(&expr)?)
+        self.prepare(query)?.execute_value(&Params::new())
     }
 
     /// Answer an already-parsed query.
@@ -419,15 +515,18 @@ impl Dataspace {
     }
 
     /// Whether a query can currently be answered (parses, reformulates and evaluates
-    /// without error). Used to build pay-as-you-go curves.
+    /// without error). Used to build pay-as-you-go curves. Queries with `?name`
+    /// placeholders need bindings — use [`Dataspace::can_answer_with`].
     pub fn can_answer(&self, query: &str) -> bool {
-        match self.parse_cached(query) {
-            Ok(expr) => self
-                .provider()
-                .map(|p| p.answer(&expr).is_ok())
-                .unwrap_or(false),
-            Err(_) => false,
-        }
+        self.can_answer_with(query, &Params::new())
+    }
+
+    /// Whether a parameterised query can currently be answered under the given
+    /// bindings (prepares, validates, reformulates and evaluates without error).
+    pub fn can_answer_with(&self, query: &str, params: &Params) -> bool {
+        self.prepare(query)
+            .and_then(|q| q.execute_value(params))
+            .is_ok()
     }
 
     /// Names of the registered member (source) schemas.
@@ -461,6 +560,190 @@ impl Dataspace {
             .as_ref()
             .map(|g| g.dropped_redundant.as_slice())
             .unwrap_or(&[])
+    }
+
+    /// A point-in-time snapshot of the dataspace's caching and concurrency
+    /// machinery — the observability hook for asserting (in tests) and
+    /// monitoring (in services) that the pay-as-you-go workload actually hits
+    /// its caches: re-executing a prepared query under a *different* binding
+    /// must be a plan-cache hit, not a replan.
+    pub fn stats(&self) -> DataspaceStats {
+        DataspaceStats {
+            plan_cache_hits: self.plan_cache.hit_count(),
+            plan_cache_misses: self.plan_cache.miss_count(),
+            plan_cache_evictions: self.plan_cache.eviction_count(),
+            plan_cache_len: self.plan_cache.len(),
+            plan_cache_capacity: self.plan_cache.capacity(),
+            extent_memo_len: self.extent_cache.len(),
+            extent_memo_evictions: self.extent_cache.eviction_count(),
+            parse_memo_len: self
+                .parse_cache
+                .read()
+                .unwrap_or_else(PoisonError::into_inner)
+                .len(),
+            fetch_pool_capacity: iql::FetchPool::global().capacity(),
+        }
+    }
+}
+
+/// A snapshot of the dataspace's cache and pool state (see
+/// [`Dataspace::stats`]). Counters are cumulative over the dataspace's
+/// lifetime; lengths are current.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataspaceStats {
+    /// Plan-cache lookups served from a current cached plan.
+    pub plan_cache_hits: u64,
+    /// Plan-cache lookups that found nothing (or only a stale plan).
+    pub plan_cache_misses: u64,
+    /// Plans evicted from the plan cache for capacity.
+    pub plan_cache_evictions: u64,
+    /// Plans currently cached.
+    pub plan_cache_len: usize,
+    /// Maximum number of plans held before LRU eviction.
+    pub plan_cache_capacity: usize,
+    /// Global-schema extents currently memoised.
+    pub extent_memo_len: usize,
+    /// Extents evicted from the memo for capacity.
+    pub extent_memo_evictions: u64,
+    /// Query texts currently held in the parse memo.
+    pub parse_memo_len: usize,
+    /// Worker budget of the process-wide [`iql::FetchPool`].
+    pub fetch_pool_capacity: usize,
+}
+
+/// A query parsed and validated once, executable many times under different
+/// [`Params`] bindings — the dataspace's prepared-statement API (see
+/// [`Dataspace::prepare`]).
+///
+/// Borrowing the dataspace keeps executions anchored to the caches the plan
+/// economy depends on: every [`PreparedQuery::execute`] call answers through a
+/// provider sharing the dataspace's extent memo and [`PlanCache`], so the
+/// first execution plans (and builds join hash indexes) and every later
+/// execution — under *any* binding — reuses that plan. Values bind as runtime
+/// values, never as spliced text, so parameter strings containing `'` or `\`
+/// round-trip exactly.
+///
+/// ```
+/// use dataspace_core::dataspace::Dataspace;
+/// use iql::Params;
+/// use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+/// use relational::Database;
+///
+/// let mut schema = RelSchema::new("pedro");
+/// schema
+///     .add_table(
+///         RelTable::new("protein")
+///             .with_column(RelColumn::new("id", DataType::Int))
+///             .with_column(RelColumn::new("accession_num", DataType::Text))
+///             .with_primary_key(["id"]),
+///     )
+///     .unwrap();
+/// let mut db = Database::new(schema);
+/// db.insert("protein", vec![1.into(), "ACC1".into()]).unwrap();
+/// db.insert("protein", vec![2.into(), "ACC2".into()]).unwrap();
+///
+/// let mut ds = Dataspace::new();
+/// ds.add_source(db).unwrap();
+/// ds.federate().unwrap();
+///
+/// let q = ds
+///     .prepare("[k | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>; x = ?acc]")
+///     .unwrap();
+/// assert_eq!(q.param_names().collect::<Vec<_>>(), vec!["acc"]);
+///
+/// // One prepared query, many bindings — including a whole batch at once.
+/// let bindings: Vec<Params> = ["ACC1", "ACC2", "ACC3"]
+///     .iter()
+///     .map(|acc| Params::new().with("acc", *acc))
+///     .collect();
+/// let results = q.execute_all(&bindings);
+/// let sizes: Vec<usize> = results.into_iter().map(|r| r.unwrap().len()).collect();
+/// assert_eq!(sizes, vec![1, 1, 0]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PreparedQuery<'ds> {
+    dataspace: &'ds Dataspace,
+    parsed: ParsedQuery,
+}
+
+/// A memoised parsed query: the text, its AST and its placeholder set, all
+/// shared behind `Arc`s so re-preparing a known text allocates nothing.
+#[derive(Debug, Clone)]
+struct ParsedQuery {
+    text: Arc<str>,
+    expr: Arc<iql::Expr>,
+    params: Arc<BTreeSet<String>>,
+}
+
+impl PreparedQuery<'_> {
+    /// The query text this prepared query was built from.
+    pub fn text(&self) -> &str {
+        &self.parsed.text
+    }
+
+    /// The parsed expression (shared with the dataspace's parse memo).
+    pub fn expr(&self) -> &iql::Expr {
+        &self.parsed.expr
+    }
+
+    /// The names of the query's `?name` placeholders, in sorted order.
+    pub fn param_names(&self) -> impl Iterator<Item = &str> {
+        self.parsed.params.iter().map(String::as_str)
+    }
+
+    /// Check a binding set against the placeholder set: every placeholder must
+    /// be bound ([`CoreError::UnboundParam`] otherwise) and every binding must
+    /// name a placeholder ([`CoreError::UnknownParam`] — catching typos before
+    /// they silently bind nothing).
+    fn validate(&self, params: &Params) -> Result<(), CoreError> {
+        for name in self.parsed.params.iter() {
+            if params.get(name).is_none() {
+                return Err(CoreError::UnboundParam(name.clone()));
+            }
+        }
+        for name in params.names() {
+            if !self.parsed.params.contains(name) {
+                return Err(CoreError::UnknownParam(name.to_string()));
+            }
+        }
+        Ok(())
+    }
+
+    /// Execute under the given bindings, expecting a bag result.
+    pub fn execute(&self, params: &Params) -> Result<Bag, CoreError> {
+        self.validate(params)?;
+        Ok(self
+            .dataspace
+            .provider()?
+            .answer_bag_with(&self.parsed.expr, params)?)
+    }
+
+    /// Execute under the given bindings, returning any value (useful for
+    /// aggregates like `count`).
+    pub fn execute_value(&self, params: &Params) -> Result<Value, CoreError> {
+        self.validate(params)?;
+        Ok(self
+            .dataspace
+            .provider()?
+            .answer_with(&self.parsed.expr, params)?)
+    }
+
+    /// Execute the query once per binding set, concurrently, returning one
+    /// result per binding **in input order** — the pay-as-you-go fan-out for
+    /// one query shape across many parameter values. All executions share the
+    /// dataspace's plan cache (one plan serves the whole batch) and worker
+    /// threads come out of the process-wide [`iql::FetchPool`] budget, exactly
+    /// like [`Dataspace::query_all`]; a binding that fails validation reports
+    /// its error in its own slot without failing the batch.
+    pub fn execute_all(&self, bindings: &[Params]) -> Vec<Result<Bag, CoreError>> {
+        let items = bindings
+            .iter()
+            .map(|params| {
+                self.validate(params)
+                    .map(|()| (Arc::clone(&self.parsed.expr), params.clone()))
+            })
+            .collect();
+        self.dataspace.answer_bound_batch(items)
     }
 }
 

@@ -19,6 +19,12 @@ pub enum CoreError {
     WorkflowOrder(String),
     /// A dataspace query failed to evaluate.
     Query(String),
+    /// A prepared query was executed without a binding for one of its `?name`
+    /// placeholders.
+    UnboundParam(String),
+    /// A prepared query was executed with a binding for a name that does not
+    /// occur in the query (almost always a typo in the binding set).
+    UnknownParam(String),
 }
 
 impl fmt::Display for CoreError {
@@ -30,6 +36,15 @@ impl fmt::Display for CoreError {
             CoreError::InvalidSpec(e) => write!(f, "invalid integration specification: {e}"),
             CoreError::WorkflowOrder(e) => write!(f, "workflow error: {e}"),
             CoreError::Query(e) => write!(f, "query error: {e}"),
+            CoreError::UnboundParam(p) => {
+                write!(f, "no binding for query parameter `?{p}`")
+            }
+            CoreError::UnknownParam(p) => {
+                write!(
+                    f,
+                    "binding for `?{p}` does not match any parameter of the query"
+                )
+            }
         }
     }
 }

@@ -34,14 +34,24 @@
 //!
 //! A [`dataspace::Dataspace`] is built for the paper's pay-as-you-go workload:
 //! many small priority queries re-issued after every integration iteration.
-//! [`dataspace::Dataspace::query`] answers one query;
-//! [`dataspace::Dataspace::query_all`] answers a whole batch concurrently,
-//! fanning out on the process-wide [`iql::FetchPool`] thread budget. Every query
-//! (batched or not) shares three bounded, LRU-evicted memos that persist across
+//! The primary entry point is the prepared-statement API —
+//! [`dataspace::Dataspace::prepare`] parses and validates a query once, and
+//! the returned [`dataspace::PreparedQuery`] executes it under any number of
+//! [`iql::Params`] bindings ([`dataspace::PreparedQuery::execute`], or
+//! [`dataspace::PreparedQuery::execute_all`] for a concurrent batch of
+//! bindings). Because `?name` placeholders keep the expression identical
+//! across bindings, one query shape costs **one** plan: every execution after
+//! the first is a plan-cache hit, and parameter values bind as runtime values
+//! rather than spliced text (a `'` in an accession cannot break the parse).
+//! [`dataspace::Dataspace::query`] / [`dataspace::Dataspace::query_all`]
+//! remain as thin wrappers for placeholder-free texts, fanning batches out on
+//! the process-wide [`iql::FetchPool`] thread budget. Every query (prepared,
+//! batched or not) shares three bounded, LRU-evicted memos that persist across
 //! calls: a global-extent memo, an [`iql::PlanCache`] of built comprehension
 //! plans (with per-extent join-key histograms for the join-order cost model),
-//! and a parse memo for batched re-runs. All of them invalidate automatically
-//! when sources mutate or the schemas change, so answers are always current.
+//! and a parse memo for re-issued texts. All of them invalidate automatically
+//! when sources mutate or the schemas change, so answers are always current;
+//! [`dataspace::Dataspace::stats`] exposes the hit/miss/eviction counters.
 //!
 //! ## Quick example
 //!
@@ -104,7 +114,7 @@ pub mod metrics;
 pub mod tool;
 pub mod workflow;
 
-pub use dataspace::Dataspace;
+pub use dataspace::{Dataspace, DataspaceStats, PreparedQuery};
 pub use error::CoreError;
 pub use mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
 pub use metrics::{EffortReport, IterationEffort, MethodologyComparison};

@@ -19,18 +19,27 @@ use crate::error::CoreError;
 use crate::mapping::IntersectionSpec;
 use crate::metrics::{IterationEffort, PayAsYouGoPoint};
 use iql::value::Value;
+use iql::Params;
 use relational::Database;
 use serde::Serialize;
 
-/// A named priority query driving the integration.
-#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+/// A named priority query driving the integration: parameterised query text
+/// (`?name` placeholders) plus the default bindings the workflow tests it
+/// under. One `PriorityQuery` is one query *shape* — the session prepares the
+/// text once and can re-execute it under [`PriorityQuery::params`] or any
+/// caller-supplied binding set, sharing one cached plan across all of them.
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct PriorityQuery {
     /// Short name (e.g. `"Q1"`).
     pub name: String,
     /// Human-readable description (the paper's query list in §3).
     pub description: String,
-    /// The IQL text of the query over the (eventual) global schema.
+    /// The parameterised IQL text of the query over the (eventual) global
+    /// schema; parameters are `?name` placeholders.
     pub iql: String,
+    /// The default parameter bindings (the paper's example parameter values);
+    /// empty for queries that take no parameters.
+    pub params: Params,
     /// Priority rank; lower is more important.
     pub priority: usize,
 }
@@ -116,7 +125,7 @@ impl IntegrationSession {
     fn answerable_queries(&self) -> Vec<String> {
         self.queries
             .iter()
-            .filter(|q| self.dataspace.can_answer(&q.iql))
+            .filter(|q| self.dataspace.can_answer_with(&q.iql, &q.params))
             .map(|q| q.name.clone())
             .collect()
     }
@@ -144,14 +153,26 @@ impl IntegrationSession {
         }
     }
 
-    /// Step 6 on demand: run one of the registered priority queries by name.
+    /// Step 6 on demand: run one of the registered priority queries by name,
+    /// under its default parameter bindings.
     pub fn run_priority_query(&self, name: &str) -> Result<Value, CoreError> {
-        let q = self
-            .queries
+        let q = self.find_query(name)?;
+        self.dataspace.prepare(&q.iql)?.execute_value(&q.params)
+    }
+
+    /// Run a registered priority query under caller-supplied bindings — the
+    /// pay-as-you-go re-run with fresh parameters. The prepared text and its
+    /// cached plan are shared with every other execution of the same query.
+    pub fn run_priority_query_with(&self, name: &str, params: &Params) -> Result<Value, CoreError> {
+        let q = self.find_query(name)?;
+        self.dataspace.prepare(&q.iql)?.execute_value(params)
+    }
+
+    fn find_query(&self, name: &str) -> Result<&PriorityQuery, CoreError> {
+        self.queries
             .iter()
             .find(|q| q.name == name)
-            .ok_or_else(|| CoreError::Query(format!("no priority query named `{name}`")))?;
-        self.dataspace.query_value(&q.iql)
+            .ok_or_else(|| CoreError::Query(format!("no priority query named `{name}`")))
     }
 
     /// The pay-as-you-go curve recorded so far (one point per completed iteration).
@@ -169,11 +190,12 @@ impl IntegrationSession {
         &self.dataspace
     }
 
-    /// Whether all registered priority queries are answerable.
+    /// Whether all registered priority queries are answerable (each under its
+    /// default bindings).
     pub fn all_queries_answerable(&self) -> bool {
         self.queries
             .iter()
-            .all(|q| self.dataspace.can_answer(&q.iql))
+            .all(|q| self.dataspace.can_answer_with(&q.iql, &q.params))
     }
 
     /// Render the pay-as-you-go curve as a fixed-width table.
@@ -244,13 +266,15 @@ mod tests {
             PriorityQuery {
                 name: "Q1".into(),
                 description: "protein identifications for an accession number".into(),
-                iql: "[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = 'ACC2']".into(),
+                iql: "[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = ?accession]".into(),
+                params: Params::new().with("accession", "ACC2"),
                 priority: 1,
             },
             PriorityQuery {
                 name: "Q2".into(),
                 description: "all accession values in pedro (federated)".into(),
                 iql: "[x | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>]".into(),
+                params: Params::new(),
                 priority: 2,
             },
         ]);
@@ -301,6 +325,11 @@ mod tests {
         // Running Q1 returns the identifications from both sources for ACC2.
         let v = s.run_priority_query("Q1").unwrap();
         assert_eq!(v.expect_bag().unwrap().len(), 2);
+        // The same prepared shape re-executes under a fresh binding.
+        let v = s
+            .run_priority_query_with("Q1", &Params::new().with("accession", "ACC1"))
+            .unwrap();
+        assert_eq!(v.expect_bag().unwrap().len(), 1);
     }
 
     #[test]

@@ -292,6 +292,18 @@ pub enum Expr {
     Lit(Literal),
     /// A variable reference.
     Var(String),
+    /// A named query parameter `?name`, bound to a concrete value only at
+    /// execution time through an [`crate::env::Params`] map.
+    ///
+    /// Parameters are what make prepared queries plan-stable: a query shape
+    /// like `x = ?accession` is one `Expr` (and therefore one
+    /// [`crate::PlanCache`] key) no matter which accession is bound, where the
+    /// literal-splicing equivalent `x = 'ACC1'` produces a distinct expression
+    /// per value and replans every time. The planner treats parameters as
+    /// opaque non-constants: they never participate in join-key fusion or the
+    /// cost model, and any plan-time-evaluated source mentioning one is
+    /// excluded from the plan cache (see [`crate::rewrite::collect_params`]).
+    Param(String),
     /// A scheme reference `⟨⟨…⟩⟩`, whose value is the extent of the named schema object.
     Scheme(SchemeRef),
     /// A tuple constructor `{e1, …, en}`.
@@ -374,6 +386,17 @@ impl Expr {
     /// Shorthand for a variable reference.
     pub fn var(name: impl Into<String>) -> Expr {
         Expr::Var(name.into())
+    }
+
+    /// Shorthand for a named query-parameter placeholder `?name`.
+    pub fn param(name: impl Into<String>) -> Expr {
+        Expr::Param(name.into())
+    }
+
+    /// The set of parameter names (`?name` placeholders) occurring anywhere in
+    /// this expression, in sorted order.
+    pub fn params(&self) -> std::collections::BTreeSet<String> {
+        crate::rewrite::collect_params(self)
     }
 
     /// Shorthand for a scheme reference expression.

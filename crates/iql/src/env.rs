@@ -1,10 +1,81 @@
-//! Lexical environments and pattern matching.
+//! Lexical environments, query-parameter bindings and pattern matching.
 
 use crate::ast::{Literal, Pattern};
 use crate::error::EvalError;
 use crate::value::Value;
+use serde::Serialize;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
+
+/// Named query-parameter bindings: the values a prepared query's `?name`
+/// placeholders take for one execution.
+///
+/// Parameters are ordinary runtime [`Value`]s, so any value the language can
+/// produce can be bound — including bags (e.g. the accession *group* of the
+/// case study's Q2, probed with `member(?group, x)`). Binding is by name;
+/// binding the same name again replaces the previous value.
+///
+/// ```
+/// use iql::{Params, Value};
+///
+/// let params = Params::new()
+///     .with("accession", "ACC00001")
+///     .with("limit", 10);
+/// assert_eq!(params.get("accession"), Some(&Value::str("ACC00001")));
+/// assert_eq!(params.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Serialize)]
+pub struct Params {
+    map: BTreeMap<String, Value>,
+}
+
+impl Params {
+    /// An empty binding set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style binding: returns the set with `name` bound to `value`.
+    pub fn with(mut self, name: impl Into<String>, value: impl Into<Value>) -> Self {
+        self.set(name, value);
+        self
+    }
+
+    /// Bind `name` to `value`, replacing any previous binding.
+    pub fn set(&mut self, name: impl Into<String>, value: impl Into<Value>) {
+        self.map.insert(name.into(), value.into());
+    }
+
+    /// The value bound to `name`, if any.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.map.get(name)
+    }
+
+    /// The bound names, in sorted order.
+    pub fn names(&self) -> impl Iterator<Item = &str> {
+        self.map.keys().map(String::as_str)
+    }
+
+    /// Number of bound names.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether no parameter is bound.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+impl<N: Into<String>, V: Into<Value>> FromIterator<(N, V)> for Params {
+    fn from_iter<T: IntoIterator<Item = (N, V)>>(iter: T) -> Self {
+        let mut params = Params::new();
+        for (name, value) in iter {
+            params.set(name, value);
+        }
+        params
+    }
+}
 
 /// A lexical environment mapping variable names to values.
 ///
@@ -15,9 +86,14 @@ use std::sync::Arc;
 /// is the difference between O(1) and O(bindings · log bindings) per row. Lookup walks
 /// the chain innermost-first, which also gives shadowing for free. Comprehension
 /// environments hold a handful of variables, so the linear walk beats a tree.
+/// Query parameters live beside the scope chain, not in it: a `?name`
+/// placeholder can never be shadowed by a generator binding, and attaching a
+/// whole binding set is one `Arc` clone regardless of how many parameters it
+/// holds.
 #[derive(Debug, Clone, Default)]
 pub struct Env {
     head: Option<Arc<Frame>>,
+    params: Option<Arc<Params>>,
 }
 
 #[derive(Debug)]
@@ -61,6 +137,20 @@ impl Env {
         e
     }
 
+    /// A copy of this environment carrying the given query-parameter bindings
+    /// (replacing any previously attached set). O(1) per later clone: the set
+    /// is shared behind an `Arc`.
+    pub fn with_params(&self, params: Params) -> Env {
+        let mut e = self.clone();
+        e.params = Some(Arc::new(params));
+        e
+    }
+
+    /// The value bound to query parameter `?name`, if any.
+    pub fn param(&self, name: &str) -> Option<&Value> {
+        self.params.as_deref()?.get(name)
+    }
+
     /// Names bound in this environment, in sorted order (shadowed duplicates
     /// appear once).
     pub fn names(&self) -> impl Iterator<Item = &str> {
@@ -96,9 +186,12 @@ impl Env {
 }
 
 impl PartialEq for Env {
-    /// Environments compare by visible bindings, not by chain structure.
+    /// Environments compare by visible bindings (and attached parameters), not
+    /// by chain structure.
     fn eq(&self, other: &Self) -> bool {
         self.flatten() == other.flatten()
+            && self.params.as_deref().unwrap_or(&Params::new())
+                == other.params.as_deref().unwrap_or(&Params::new())
     }
 }
 

@@ -35,6 +35,9 @@ impl std::error::Error for ParseError {}
 pub enum EvalError {
     /// A variable was referenced that is not bound in the environment.
     UnboundVariable(String),
+    /// A query parameter `?name` was evaluated without a binding for it in the
+    /// execution's parameter set.
+    UnboundParam(String),
     /// A scheme reference could not be resolved to an extent.
     UnknownScheme(SchemeRef),
     /// A built-in function was called that does not exist.
@@ -62,6 +65,7 @@ impl fmt::Display for EvalError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             EvalError::UnboundVariable(v) => write!(f, "unbound variable `{v}`"),
+            EvalError::UnboundParam(p) => write!(f, "no binding for query parameter `?{p}`"),
             EvalError::UnknownScheme(s) => write!(f, "no extent for scheme {s}"),
             EvalError::UnknownFunction(n) => write!(f, "unknown function `{n}`"),
             EvalError::ArityError {

@@ -101,6 +101,21 @@
 //! re-run the same priority queries after every integration iteration therefore
 //! skip planning and index building entirely on re-runs.
 //!
+//! # Query parameters
+//!
+//! `?name` placeholders ([`Expr::Param`]) make plans **shape-stable**: the
+//! expression — and therefore the plan-cache key — is the same for every
+//! binding, so one prepared query shares one plan (including its built hash
+//! indexes, which key on join columns, never on parameter values) across all
+//! executions. Parameters resolve at execution time through the
+//! [`crate::env::Params`] set attached to the environment
+//! ([`crate::env::Env::with_params`]); evaluating an unbound one fails with
+//! [`EvalError::UnboundParam`]. To the planner a parameter is an opaque
+//! non-constant: `x = ?p` filters never fuse into join keys, and a generator
+//! *source* mentioning a parameter disqualifies its plan from the cache (and
+//! its histogram from the persisted side-table), since plan-time evaluation
+//! under one binding must not leak into executions under another.
+//!
 //! Everything that does not match the planned shapes — correlated generators (whose
 //! source mentions earlier variables), non-equality filters, filters over
 //! expressions rather than plain variables — falls back to exactly the nested-loop
@@ -944,6 +959,10 @@ impl<P: ExtentProvider> Evaluator<P> {
                 .get(name)
                 .cloned()
                 .ok_or_else(|| EvalError::UnboundVariable(name.clone())),
+            Expr::Param(name) => env
+                .param(name)
+                .cloned()
+                .ok_or_else(|| EvalError::UnboundParam(name.clone())),
             Expr::Scheme(scheme) => Ok(Value::Bag((*self.provider.extent(scheme)?).clone())),
             Expr::Tuple(items) => {
                 let mut vals = Vec::with_capacity(items.len());
@@ -1147,9 +1166,15 @@ impl<P: ExtentProvider> Evaluator<P> {
             }
         }
         let mut bags = self.eval_sources(&wanted, env)?;
-        let cacheable = wanted
-            .iter()
-            .all(|(_, source)| rewrite::free_vars(source).is_empty());
+        // A plan may only be cached when everything evaluated at plan time is a
+        // *closed* expression: no free variables, and no `?name` parameters —
+        // a source evaluated under one parameter binding must not be baked into
+        // a plan that other bindings would share. Parameters in *filters* are
+        // fine (and the whole point of prepared queries): filters stay in the
+        // plan as expressions and re-resolve per execution.
+        let cacheable = wanted.iter().all(|(_, source)| {
+            rewrite::free_vars(source).is_empty() && rewrite::collect_params(source).is_empty()
+        });
 
         let mut steps = Vec::with_capacity(slots.len());
         let mut join_stats = Vec::new();
@@ -1481,11 +1506,18 @@ impl<P: ExtentProvider> Evaluator<P> {
         matched: &[(usize, Value, Env)],
     ) -> KeyHistogram {
         let stats_key = match &self.plan_cache {
-            Some(_) if rewrite::free_vars(source).is_empty() => Some((
-                source.clone(),
-                pattern.clone(),
-                key_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
-            )),
+            // Closed means no free variables *and* no parameters: a histogram
+            // computed under one parameter binding is not extent-intrinsic.
+            Some(_)
+                if rewrite::free_vars(source).is_empty()
+                    && rewrite::collect_params(source).is_empty() =>
+            {
+                Some((
+                    source.clone(),
+                    pattern.clone(),
+                    key_vars.iter().map(|v| v.to_string()).collect::<Vec<_>>(),
+                ))
+            }
             _ => None,
         };
         let version = self.provider.version();
@@ -2115,6 +2147,67 @@ mod tests {
         assert_eq!(planned, unordered, "reorder changed answers for {query}");
         assert_eq!(planned, sequential, "parallel changed answers for {query}");
         planned
+    }
+
+    #[test]
+    fn params_bind_at_execution_time() {
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = ?key]").unwrap();
+        let ev = Evaluator::new(fixture());
+        for (key, expected) in [(1, "P100"), (2, "P200")] {
+            let env = Env::new().with_params(crate::Params::new().with("key", key));
+            let v = ev.eval(&q, &env).unwrap();
+            assert_eq!(v.expect_bag().unwrap().items(), &[Value::str(expected)]);
+        }
+        // Unbound parameter: typed error, not a silent empty answer.
+        assert_eq!(
+            ev.eval(&q, &Env::new()),
+            Err(EvalError::UnboundParam("key".into()))
+        );
+    }
+
+    #[test]
+    fn one_plan_serves_every_binding() {
+        let extents = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
+        // A parameterised join: the filter re-resolves ?org per execution, but
+        // the join (and its hash index) is planned once.
+        let q = parse(
+            "[{a, o} | {k, a} <- <<protein, accession_num>>; {k2, o} <- <<protein, organism>>; \
+             k = k2; o = ?org]",
+        )
+        .unwrap();
+        for org in ["human", "mouse", "human", "axolotl"] {
+            let env = Env::new().with_params(crate::Params::new().with("org", org));
+            ev.eval(&q, &env).unwrap();
+        }
+        assert_eq!(cache.len(), 1, "one plan per query shape");
+        assert_eq!(cache.miss_count(), 1);
+        assert_eq!(cache.hit_count(), 3, "every re-binding is a cache hit");
+        // And the answers still track the binding.
+        let env = Env::new().with_params(crate::Params::new().with("org", "mouse"));
+        let bag = ev.eval(&q, &env).unwrap().expect_bag().unwrap();
+        assert_eq!(
+            bag.items(),
+            &[Value::pair(Value::str("P200"), Value::str("mouse"))]
+        );
+    }
+
+    #[test]
+    fn parameterised_sources_are_not_cached() {
+        // A parameter inside a *generator source* is evaluated at plan time, so
+        // the plan is binding-specific and must bypass the cache.
+        let extents = fixture();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
+        let q = parse("[x | x <- ?bag; y <- <<protein>>; y = x]").unwrap();
+        for keys in [vec![1i64, 2], vec![3]] {
+            let bag = Bag::from_values(keys.iter().copied().map(Value::Int).collect());
+            let env = Env::new().with_params(crate::Params::new().with("bag", Value::Bag(bag)));
+            let v = ev.eval(&q, &env).unwrap();
+            assert_eq!(v.expect_bag().unwrap().len(), keys.len());
+        }
+        assert_eq!(cache.len(), 0, "parameterised sources must not be cached");
     }
 
     #[test]

@@ -193,40 +193,73 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                     i += 1;
                 }
             },
+            '?' => {
+                // `?name`: a named query-parameter placeholder. The name follows
+                // identifier rules; a bare `?` stays a lex error.
+                let mut j = i + 1;
+                while j < bytes.len() {
+                    let cj = bytes[j] as char;
+                    if cj.is_ascii_alphanumeric() || cj == '_' {
+                        j += 1;
+                    } else {
+                        break;
+                    }
+                }
+                if j == i + 1
+                    || !(bytes[i + 1] as char).is_ascii_alphabetic() && bytes[i + 1] != b'_'
+                {
+                    return Err(ParseError::new(
+                        "expected a parameter name after `?`",
+                        start,
+                    ));
+                }
+                tokens.push(Spanned {
+                    token: Token::Param(input[i + 1..j].to_string()),
+                    offset: start,
+                });
+                i = j;
+            }
             '\'' => {
                 // Single-quoted string, backslash escapes for `\'` and `\\`.
-                let mut s = String::new();
+                // Content bytes are collected raw — the loop only ever splits at
+                // the ASCII bytes `\` and `'`, so multi-byte UTF-8 characters
+                // pass through unmangled (byte-as-char pushing used to corrupt
+                // them, caught by the prepared≡literal differential).
+                let mut buf: Vec<u8> = Vec::new();
                 let mut j = i + 1;
                 let mut closed = false;
                 while j < bytes.len() {
-                    let cj = bytes[j] as char;
-                    if cj == '\\' {
-                        match bytes.get(j + 1).copied().map(|b| b as char) {
-                            Some('\'') => {
-                                s.push('\'');
+                    match bytes[j] {
+                        b'\\' => match bytes.get(j + 1) {
+                            Some(b'\'') => {
+                                buf.push(b'\'');
                                 j += 2;
                             }
-                            Some('\\') => {
-                                s.push('\\');
+                            Some(b'\\') => {
+                                buf.push(b'\\');
                                 j += 2;
                             }
                             _ => {
-                                s.push('\\');
+                                buf.push(b'\\');
                                 j += 1;
                             }
+                        },
+                        b'\'' => {
+                            closed = true;
+                            j += 1;
+                            break;
                         }
-                    } else if cj == '\'' {
-                        closed = true;
-                        j += 1;
-                        break;
-                    } else {
-                        s.push(cj);
-                        j += 1;
+                        other => {
+                            buf.push(other);
+                            j += 1;
+                        }
                     }
                 }
                 if !closed {
                     return Err(ParseError::new("unterminated string literal", start));
                 }
+                let s = String::from_utf8(buf)
+                    .expect("splits only happen at ASCII bytes, so content stays valid UTF-8");
                 tokens.push(Spanned {
                     token: Token::Str(s),
                     offset: start,
@@ -269,11 +302,14 @@ pub fn lex(input: &str) -> Result<Vec<Spanned>, ParseError> {
                 });
                 i = j;
             }
-            c if c.is_alphabetic() || c == '_' => {
+            // Identifiers are ASCII-only: a non-ASCII byte outside a string
+            // literal is a lex error (never a mangled identifier or a panic on
+            // a char-boundary slice).
+            c if c.is_ascii_alphabetic() || c == '_' => {
                 let mut j = i;
                 while j < bytes.len() {
                     let cj = bytes[j] as char;
-                    if cj.is_alphanumeric() || cj == '_' {
+                    if cj.is_ascii_alphanumeric() || cj == '_' {
                         j += 1;
                     } else {
                         break;
@@ -402,8 +438,42 @@ mod tests {
     }
 
     #[test]
+    fn parameter_placeholders() {
+        assert_eq!(
+            kinds("x = ?accession_num"),
+            vec![
+                Token::Ident("x".into()),
+                Token::Eq,
+                Token::Param("accession_num".into()),
+                Token::Eof
+            ]
+        );
+        // A bare `?`, or one followed by a non-name, stays a lex error.
+        assert!(lex("?").is_err());
+        assert!(lex("x = ?").is_err());
+        assert!(lex("x = ?1").is_err());
+    }
+
+    #[test]
     fn unexpected_character_is_error() {
         assert!(lex("a ? b").is_err());
+    }
+
+    #[test]
+    fn unicode_survives_string_literals_and_errors_elsewhere() {
+        // Multi-byte characters inside a string literal lex to the exact same
+        // string (byte-as-char pushing used to mangle them into Latin-1).
+        assert_eq!(
+            kinds("'протеин αβ→γ 寿司'"),
+            vec![Token::Str("протеин αβ→γ 寿司".into()), Token::Eof]
+        );
+        assert_eq!(
+            kinds(r"'caf\'é'"),
+            vec![Token::Str("caf'é".into()), Token::Eof]
+        );
+        // Outside a string, non-ASCII is a lex error — never a panic.
+        assert!(lex("café").is_err());
+        assert!(lex("?café").is_err());
     }
 
     #[test]

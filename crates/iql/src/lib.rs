@@ -21,8 +21,12 @@
 //! ## Crate layout
 //!
 //! * [`ast`] / [`parser`] / [`lexer`] — surface syntax; [`Expr`] implements
-//!   `Hash`/`Eq` so expressions can key caches directly;
+//!   `Hash`/`Eq` so expressions can key caches directly, and `?name`
+//!   placeholders ([`Expr::Param`]) keep one expression per query *shape*
+//!   across parameter bindings;
 //! * [`value`] — runtime values and bag algebra;
+//! * [`env`](mod@env) — lexical environments and the [`Params`] binding sets
+//!   prepared queries execute under;
 //! * [`eval`] — the evaluator, parameterised by an [`ExtentProvider`]: hash-join
 //!   planning, join-graph reordering of whole generator chains, parallel extent
 //!   fetch, and the LRU-bounded [`PlanCache`] with persisted join-key histograms;
@@ -66,6 +70,7 @@ pub mod value;
 
 pub use ast::{BinOp, Expr, Literal, Pattern, Qualifier, SchemeRef, UnOp};
 pub use bushy::JoinTree;
+pub use env::Params;
 pub use error::{EvalError, ParseError};
 pub use eval::{
     Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, StepKind,

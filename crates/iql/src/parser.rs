@@ -228,6 +228,7 @@ impl Parser {
                 | Token::Int(_)
                 | Token::Float(_)
                 | Token::Str(_)
+                | Token::Param(_)
                 | Token::Void
                 | Token::Any
         )
@@ -244,6 +245,7 @@ impl Parser {
                 | Token::Int(_)
                 | Token::Float(_)
                 | Token::Str(_)
+                | Token::Param(_)
                 | Token::True
                 | Token::False
                 | Token::Null
@@ -291,6 +293,10 @@ impl Parser {
             Token::Ident(name) => {
                 self.advance();
                 Ok(Expr::Var(name))
+            }
+            Token::Param(name) => {
+                self.advance();
+                Ok(Expr::Param(name))
             }
             Token::LParen => {
                 self.advance();

@@ -27,6 +27,10 @@ fn write_expr(out: &mut String, expr: &Expr, parent_prec: u8) {
     match expr {
         Expr::Lit(l) => out.push_str(&l.to_string()),
         Expr::Var(v) => out.push_str(v),
+        Expr::Param(p) => {
+            out.push('?');
+            out.push_str(p);
+        }
         Expr::Scheme(s) => out.push_str(&s.to_string()),
         Expr::Void => out.push_str("Void"),
         Expr::Any => out.push_str("Any"),
@@ -186,6 +190,7 @@ fn write_operand(out: &mut String, expr: &Expr) {
         expr,
         Expr::Lit(_)
             | Expr::Var(_)
+            | Expr::Param(_)
             | Expr::Scheme(_)
             | Expr::Void
             | Expr::Any
@@ -236,6 +241,14 @@ mod tests {
         round_trip("a ++ b -- c");
         round_trip("x = 1 and y <> 2 or not (z < 3)");
         round_trip("count(<<protein>>) + 1");
+    }
+
+    #[test]
+    fn round_trip_parameters() {
+        round_trip("[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = ?accession]");
+        round_trip("?p + 1");
+        round_trip("count(?group)");
+        round_trip("[x | x <- <<t>>; member(?group, x); x <> ?excluded]");
     }
 
     #[test]

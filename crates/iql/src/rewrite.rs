@@ -25,7 +25,9 @@ fn free_vars_into(expr: &Expr, bound: &BTreeSet<String>, out: &mut BTreeSet<Stri
                 out.insert(name.clone());
             }
         }
-        Expr::Lit(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {}
+        // Parameters are not variables: they resolve through the execution's
+        // parameter set, never through the lexical environment.
+        Expr::Lit(_) | Expr::Param(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {}
         Expr::Tuple(items) | Expr::Bag(items) => {
             for e in items {
                 free_vars_into(e, bound, out);
@@ -96,6 +98,52 @@ pub fn collect_schemes(expr: &Expr) -> BTreeSet<SchemeRef> {
     out
 }
 
+/// Collect every query-parameter name (`?name` placeholder) occurring anywhere
+/// in the expression (duplicates removed, deterministic order). Preparing a
+/// query uses this to validate binding sets, and the planner uses it to keep
+/// parameter-dependent data out of cached plans.
+pub fn collect_params(expr: &Expr) -> BTreeSet<String> {
+    let mut out = BTreeSet::new();
+    visit(expr, &mut |e| {
+        if let Expr::Param(p) = e {
+            out.insert(p.clone());
+        }
+    });
+    out
+}
+
+/// Substitute `?name` placeholders by literal expressions of their bound
+/// values. Parameters without a binding are left untouched; bound values that
+/// have no literal spelling (nested bags of tuples are fine; `Void`/`Any` are
+/// kept as their expression forms) substitute structurally.
+///
+/// This is the *reference semantics* of prepared execution: running a prepared
+/// query under a binding set must answer exactly like the literal-substituted
+/// query — the differential test suite holds the two sides together.
+pub fn substitute_params(expr: &Expr, params: &crate::env::Params) -> Expr {
+    transform(expr, &|e| match e {
+        Expr::Param(name) => params.get(name).map(value_to_expr),
+        _ => None,
+    })
+}
+
+/// Spell a runtime value as the expression that evaluates back to it.
+fn value_to_expr(value: &crate::value::Value) -> Expr {
+    use crate::ast::Literal;
+    use crate::value::Value;
+    match value {
+        Value::Null => Expr::Lit(Literal::Null),
+        Value::Bool(b) => Expr::Lit(Literal::Bool(*b)),
+        Value::Int(i) => Expr::Lit(Literal::Int(*i)),
+        Value::Float(f) => Expr::Lit(Literal::Float(*f)),
+        Value::Str(s) => Expr::Lit(Literal::Str(s.to_string())),
+        Value::Tuple(items) => Expr::Tuple(items.iter().map(value_to_expr).collect()),
+        Value::Bag(bag) => Expr::Bag(bag.iter().map(value_to_expr).collect()),
+        Value::Void => Expr::Void,
+        Value::Any => Expr::Any,
+    }
+}
+
 /// Substitute scheme references by expressions according to `substitutions`.
 /// References not present in the map are left untouched.
 pub fn substitute_schemes(expr: &Expr, substitutions: &BTreeMap<SchemeRef, Expr>) -> Expr {
@@ -125,7 +173,9 @@ pub fn transform(expr: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
         return replacement;
     }
     match expr {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => expr.clone(),
+        Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {
+            expr.clone()
+        }
         Expr::Tuple(items) => Expr::Tuple(items.iter().map(|e| transform(e, f)).collect()),
         Expr::Bag(items) => Expr::Bag(items.iter().map(|e| transform(e, f)).collect()),
         Expr::Comp { head, qualifiers } => Expr::Comp {
@@ -187,7 +237,8 @@ pub fn transform(expr: &Expr, f: &dyn Fn(&Expr) -> Option<Expr>) -> Expr {
 pub fn visit(expr: &Expr, f: &mut dyn FnMut(&Expr)) {
     f(expr);
     match expr {
-        Expr::Lit(_) | Expr::Var(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {}
+        Expr::Lit(_) | Expr::Var(_) | Expr::Param(_) | Expr::Scheme(_) | Expr::Void | Expr::Any => {
+        }
         Expr::Tuple(items) | Expr::Bag(items) => {
             for e in items {
                 visit(e, f);

@@ -13,6 +13,8 @@ pub enum Token {
     Float(f64),
     /// Single-quoted string literal (already unescaped).
     Str(String),
+    /// Named query-parameter placeholder `?name`.
+    Param(String),
     /// `[`
     LBracket,
     /// `]`
@@ -125,6 +127,7 @@ impl fmt::Display for Token {
             Token::Int(i) => write!(f, "{i}"),
             Token::Float(x) => write!(f, "{x}"),
             Token::Str(s) => write!(f, "'{s}'"),
+            Token::Param(s) => write!(f, "?{s}"),
             Token::LBracket => write!(f, "["),
             Token::RBracket => write!(f, "]"),
             Token::LBrace => write!(f, "{{"),

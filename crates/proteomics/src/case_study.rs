@@ -69,11 +69,15 @@ pub fn run_case_study(scale: &CaseStudyScale) -> Result<CaseStudyRun, CoreError>
 
     // Final answers: the seven priority queries are independent, so they go
     // through the batched entry point in one call (the pay-as-you-go re-run
-    // shape `Dataspace::query_all` is built for). A per-item error simply means
-    // the query is not answerable yet.
+    // shape the prepared API is built for), each executed under its default
+    // parameter bindings. A per-item error simply means the query is not
+    // answerable yet.
     let queries = priority_queries();
-    let batch: Vec<&str> = queries.iter().map(|q| q.iql.as_str()).collect();
-    let results = session.dataspace().query_all(&batch);
+    let batch: Vec<(&str, &iql::Params)> = queries
+        .iter()
+        .map(|q| (q.iql.as_str(), &q.params))
+        .collect();
+    let results = session.dataspace().query_all_bound(&batch);
     let mut answers = Vec::new();
     for (q, result) in queries.into_iter().zip(results) {
         let (answerable, result_count) = match result {

@@ -1,4 +1,5 @@
-//! The seven priority queries of the case study (§3, Table 1).
+//! The seven priority queries of the case study (§3, Table 1), as prepared,
+//! parameterised specifications.
 //!
 //! The iSpider domain experts identified seven high-priority queries the integrated
 //! resource had to answer. The paper uses their priority order to drive the
@@ -7,8 +8,17 @@
 //! global schema produced by [`crate::intersection_integration`]; Q7 needs only the
 //! initial federated schema (PepSeeker's ion table), mirroring the paper's observation
 //! that no further concepts are needed for it.
+//!
+//! Each query is a **fixed text** (`Q1_IQL` … `Q7_IQL`) whose parameters are
+//! `?name` placeholders, plus a binding builder (`q1(...)` … `q7()`) producing
+//! the [`Params`] for one execution. The texts never change per parameter
+//! value, so `Dataspace::prepare` caches one plan per query that every
+//! re-binding reuses — and parameter values travel as runtime values, never as
+//! spliced text, so an accession containing `'` or `\` is handled exactly
+//! (the old `format!`-splicing builders mis-parsed it).
 
 use dataspace_core::workflow::PriorityQuery;
+use iql::{Bag, Params, Value};
 
 /// Default protein accession parameter (drawn from the shared cross-source pool, so it
 /// is very likely to occur in more than one source at the default scales).
@@ -18,57 +28,84 @@ pub const DEFAULT_ACCESSION: &str = "ACC00001";
 pub const DEFAULT_ORGANISM: &str = "Homo sapiens";
 
 /// Q1 — retrieve all protein identifications for a given protein accession number.
-pub fn q1(accession: &str) -> String {
-    format!("[{{s, k}} | {{s, k, x}} <- <<UProtein, accession_num>>; x = '{accession}']")
-}
+/// Parameter: `?accession`.
+pub const Q1_IQL: &str = "[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = ?accession]";
 
 /// Q2 — retrieve all protein identifications for a given group of proteins (the group
-/// being specified by a set of accession numbers).
-pub fn q2(accessions: &[&str]) -> String {
-    let list = accessions
-        .iter()
-        .map(|a| format!("'{a}'"))
-        .collect::<Vec<_>>()
-        .join(", ");
-    format!(
-        "[{{s, k, d}} | {{s, k, x}} <- <<UProtein, accession_num>>; member([{list}], x); {{s2, k2, d}} <- <<UProtein, description>>; s2 = s; k2 = k]"
-    )
-}
+/// being specified by a set of accession numbers). Parameter: `?group` (a bag).
+pub const Q2_IQL: &str = "[{s, k, d} | {s, k, x} <- <<UProtein, accession_num>>; \
+     member(?group, x); {s2, k2, d} <- <<UProtein, description>>; s2 = s; k2 = k]";
 
 /// Q3 — retrieve all protein identifications for a given organism.
-pub fn q3(organism: &str) -> String {
-    format!("[{{s, k}} | {{s, k, o}} <- <<UProtein, organism>>; o = '{organism}']")
-}
+/// Parameter: `?organism`.
+pub const Q3_IQL: &str = "[{s, k} | {s, k, o} <- <<UProtein, organism>>; o = ?organism]";
 
 /// Q4 — retrieve all protein identifications given a certain peptide, and their
-/// related amino-acid (sequence) information.
-pub fn q4(peptide_sequence: &str) -> String {
-    format!(
-        "[{{s2, k2, seq}} | {{s1, k1, seq}} <- <<UPeptideHit, sequence>>; seq = '{peptide_sequence}'; {{{{s1b, k1b}}, {{s2, k2}}}} <- <<uPeptideHitToProteinHit_mm>>; s1b = s1; k1b = k1]"
-    )
-}
+/// related amino-acid (sequence) information. Parameter: `?sequence`.
+pub const Q4_IQL: &str = "[{s2, k2, seq} | {s1, k1, seq} <- <<UPeptideHit, sequence>>; \
+     seq = ?sequence; {{s1b, k1b}, {s2, k2}} <- <<uPeptideHitToProteinHit_mm>>; \
+     s1b = s1; k1b = k1]";
 
 /// Q5 — retrieve all identifications of a given protein given a certain peptide.
-pub fn q5(peptide_sequence: &str, protein_key: i64) -> String {
-    format!(
-        "[{{s2, k2}} | {{s1, k1, seq}} <- <<UPeptideHit, sequence>>; seq = '{peptide_sequence}'; {{{{s1b, k1b}}, {{s2, k2}}}} <- <<uPeptideHitToProteinHit_mm>>; s1b = s1; k1b = k1; {{s3, k3, p}} <- <<UProteinHit, protein>>; s3 = s2; k3 = k2; p = {protein_key}]"
-    )
-}
+/// Parameters: `?sequence`, `?protein`.
+pub const Q5_IQL: &str = "[{s2, k2} | {s1, k1, seq} <- <<UPeptideHit, sequence>>; \
+     seq = ?sequence; {{s1b, k1b}, {s2, k2}} <- <<uPeptideHitToProteinHit_mm>>; \
+     s1b = s1; k1b = k1; {s3, k3, p} <- <<UProteinHit, protein>>; s3 = s2; k3 = k2; \
+     p = ?protein]";
 
 /// Q6 — retrieve all peptide-related information for a given protein identification.
-pub fn q6(source_tag: &str, protein_hit_key: i64) -> String {
-    format!(
-        "[{{s1, k1, seq, prob}} | {{{{s1, k1}}, {{s2, k2}}}} <- <<uPeptideHitToProteinHit_mm>>; s2 = '{source_tag}'; k2 = {protein_hit_key}; {{s3, k3, seq}} <- <<UPeptideHit, sequence>>; s3 = s1; k3 = k1; {{s4, k4, prob}} <- <<UPeptideHit, probability>>; s4 = s1; k4 = k1]"
-    )
-}
+/// Parameters: `?source`, `?hit`.
+pub const Q6_IQL: &str = "[{s1, k1, seq, prob} | {{s1, k1}, {s2, k2}} <- \
+     <<uPeptideHitToProteinHit_mm>>; s2 = ?source; k2 = ?hit; \
+     {s3, k3, seq} <- <<UPeptideHit, sequence>>; s3 = s1; k3 = k1; \
+     {s4, k4, prob} <- <<UPeptideHit, probability>>; s4 = s1; k4 = k1]";
 
 /// Q7 — retrieve all ion-related information. Ion-series data lives only in PepSeeker,
-/// so the federated schema already answers this query (no integration needed).
-pub fn q7() -> String {
+/// so the federated schema already answers this query (no integration needed — and no
+/// parameters).
+pub const Q7_IQL: &str =
     "[{k, ph, imm, b} | {k, ph} <- <<PEPSEEKER_iontable, PEPSEEKER_peptidehit>>; \
       {k2, imm} <- <<PEPSEEKER_iontable, PEPSEEKER_immonium>>; k2 = k; \
-      {k3, b} <- <<PEPSEEKER_iontable, PEPSEEKER_b_ion>>; k3 = k]"
-        .to_string()
+      {k3, b} <- <<PEPSEEKER_iontable, PEPSEEKER_b_ion>>; k3 = k]";
+
+/// Bindings for [`Q1_IQL`].
+pub fn q1(accession: &str) -> Params {
+    Params::new().with("accession", accession)
+}
+
+/// Bindings for [`Q2_IQL`]: the accession group binds as one bag value.
+pub fn q2(accessions: &[&str]) -> Params {
+    let group = Bag::from_values(accessions.iter().map(|a| Value::str(*a)).collect());
+    Params::new().with("group", Value::Bag(group))
+}
+
+/// Bindings for [`Q3_IQL`].
+pub fn q3(organism: &str) -> Params {
+    Params::new().with("organism", organism)
+}
+
+/// Bindings for [`Q4_IQL`].
+pub fn q4(peptide_sequence: &str) -> Params {
+    Params::new().with("sequence", peptide_sequence)
+}
+
+/// Bindings for [`Q5_IQL`].
+pub fn q5(peptide_sequence: &str, protein_key: i64) -> Params {
+    Params::new()
+        .with("sequence", peptide_sequence)
+        .with("protein", protein_key)
+}
+
+/// Bindings for [`Q6_IQL`].
+pub fn q6(source_tag: &str, protein_hit_key: i64) -> Params {
+    Params::new()
+        .with("source", source_tag)
+        .with("hit", protein_hit_key)
+}
+
+/// Bindings for [`Q7_IQL`] (no parameters).
+pub fn q7() -> Params {
+    Params::new()
 }
 
 /// The shared-pool peptide sequence for a given pool index — the same deterministic
@@ -85,50 +122,58 @@ pub fn shared_peptide_sequence(index: usize) -> String {
     seq
 }
 
-/// The full prioritised query list used to drive the case study (Table 1), with
-/// default parameters.
+/// The full prioritised query list used to drive the case study (Table 1): each
+/// entry carries the parameterised query text plus the paper's default
+/// bindings.
 pub fn priority_queries() -> Vec<PriorityQuery> {
     vec![
         PriorityQuery {
             name: "Q1".into(),
             description: "Retrieve all protein identifications for a given protein accession number".into(),
-            iql: q1(DEFAULT_ACCESSION),
+            iql: Q1_IQL.into(),
+            params: q1(DEFAULT_ACCESSION),
             priority: 1,
         },
         PriorityQuery {
             name: "Q2".into(),
             description: "Retrieve all protein identifications for a given group of proteins".into(),
-            iql: q2(&["ACC00000", "ACC00001", "ACC00002"]),
+            iql: Q2_IQL.into(),
+            params: q2(&["ACC00000", "ACC00001", "ACC00002"]),
             priority: 2,
         },
         PriorityQuery {
             name: "Q3".into(),
             description: "Retrieve all protein identifications for a given organism".into(),
-            iql: q3(DEFAULT_ORGANISM),
+            iql: Q3_IQL.into(),
+            params: q3(DEFAULT_ORGANISM),
             priority: 3,
         },
         PriorityQuery {
             name: "Q4".into(),
             description: "Retrieve all protein identifications given a certain peptide and their related amino acid information".into(),
-            iql: q4(&shared_peptide_sequence(0)),
+            iql: Q4_IQL.into(),
+            params: q4(&shared_peptide_sequence(0)),
             priority: 4,
         },
         PriorityQuery {
             name: "Q5".into(),
             description: "Retrieve all identifications of a given protein given a certain peptide".into(),
-            iql: q5(&shared_peptide_sequence(0), 1),
+            iql: Q5_IQL.into(),
+            params: q5(&shared_peptide_sequence(0), 1),
             priority: 5,
         },
         PriorityQuery {
             name: "Q6".into(),
             description: "Retrieve all peptide-related information for a given protein identification".into(),
-            iql: q6("PEDRO", 1),
+            iql: Q6_IQL.into(),
+            params: q6("PEDRO", 1),
             priority: 6,
         },
         PriorityQuery {
             name: "Q7".into(),
             description: "Retrieve all ion related information".into(),
-            iql: q7(),
+            iql: Q7_IQL.into(),
+            params: q7(),
             priority: 7,
         },
     ]
@@ -147,12 +192,39 @@ mod tests {
     }
 
     #[test]
-    fn parameterised_builders_embed_parameters() {
-        assert!(q1("ACC12345").contains("ACC12345"));
-        assert!(q3("Mus musculus").contains("Mus musculus"));
-        assert!(q2(&["A", "B"]).contains("member(['A', 'B']"));
-        assert!(q5("PEPTIDE", 42).contains("p = 42"));
-        assert!(q6("gpmDB", 3).contains("'gpmDB'"));
+    fn default_bindings_cover_exactly_the_placeholders() {
+        for q in priority_queries() {
+            let expr = iql::parse(&q.iql).unwrap();
+            let placeholders = expr.params();
+            let bound: std::collections::BTreeSet<String> =
+                q.params.names().map(str::to_string).collect();
+            assert_eq!(
+                placeholders, bound,
+                "{}: placeholder set and default bindings drifted apart",
+                q.name
+            );
+        }
+    }
+
+    #[test]
+    fn binding_builders_carry_the_parameters() {
+        assert_eq!(
+            q1("ACC12345").get("accession"),
+            Some(&Value::str("ACC12345"))
+        );
+        assert_eq!(
+            q3("Mus musculus").get("organism"),
+            Some(&Value::str("Mus musculus"))
+        );
+        let group = q2(&["A", "B"]);
+        let Some(Value::Bag(bag)) = group.get("group") else {
+            panic!("group must bind a bag");
+        };
+        assert_eq!(bag.len(), 2);
+        assert!(bag.contains(&Value::str("B")));
+        assert_eq!(q5("PEPTIDE", 42).get("protein"), Some(&Value::Int(42)));
+        assert_eq!(q6("gpmDB", 3).get("source"), Some(&Value::str("gpmDB")));
+        assert!(q7().is_empty());
     }
 
     #[test]

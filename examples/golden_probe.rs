@@ -29,7 +29,7 @@ fn main() {
         ds.integrate(spec).unwrap();
     }
     for q in priority_queries() {
-        let bag = ds.query(&q.iql).unwrap();
+        let bag = ds.prepare(&q.iql).unwrap().execute(&q.params).unwrap();
         let mut canon: Vec<String> = bag.iter().map(|v| v.to_string()).collect();
         canon.sort();
         println!("== {} len={} ==", q.name, bag.len());

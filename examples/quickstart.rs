@@ -4,8 +4,9 @@
 //! §2.3 (wrap → federate → intersect → derive global → query) — the smallest
 //! version of what the proteomics case study does at scale. Expected output: a
 //! handful of lines showing the federated query answers, the integration
-//! iteration's effort, and the final cross-source join result (the accession
-//! shared by both sources).
+//! iteration's effort, the final cross-source join result (the accession
+//! shared by both sources), and a prepared accession lookup re-executed
+//! across bindings — one cached plan serving all of them.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -118,6 +119,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "total protein records across the dataspace: {}",
         ds.query_value("count <<UProtein>>")?
     );
+
+    // 5. The service shape: prepare a parameterised query once, execute it
+    //    under many bindings — one cached plan serves all of them, and the
+    //    values never touch the query text (quotes are safe).
+    let by_accession =
+        ds.prepare("[{s, k} | {s, k, x} <- <<UProtein, accession_num>>; x = ?acc]")?;
+    println!("\n== prepared lookups (one plan, many bindings) ==");
+    for acc in ["ACC00002", "ACC00003", "ACC00099", "it's-not-there"] {
+        let hits = by_accession.execute(&iql::Params::new().with("acc", acc))?;
+        println!("  {acc}: {} identification(s)", hits.len());
+    }
+    let stats = ds.stats();
+    println!(
+        "plan cache: {} hit(s), {} miss(es), {} plan(s) held",
+        stats.plan_cache_hits, stats.plan_cache_misses, stats.plan_cache_len
+    );
+
     println!("\neffort report:\n{}", ds.effort_report().render());
     Ok(())
 }

@@ -85,8 +85,13 @@ fn query_answers_reflect_planted_cross_source_overlap() {
         "no cross-source protein overlap surfaced"
     );
 
-    // The organism query returns only Pedro-backed identifications.
-    let q3 = ds.query(&queries::q3("Homo sapiens")).unwrap();
+    // The organism query returns only Pedro-backed identifications: one
+    // prepared shape, executed under a caller-chosen binding.
+    let q3 = ds
+        .prepare(queries::Q3_IQL)
+        .unwrap()
+        .execute(&queries::q3("Homo sapiens"))
+        .unwrap();
     for item in q3.iter() {
         let text = item.to_string();
         assert!(

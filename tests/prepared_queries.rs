@@ -1,0 +1,353 @@
+//! The prepared, parameterised query API end-to-end:
+//!
+//! * the **quoting regression**: parameter values containing `'`, `\` or
+//!   multi-byte characters round-trip exactly through prepared execution
+//!   (the old `format!`-splicing builders mis-parsed them);
+//! * the **plan economy**: executing one `PreparedQuery` under N distinct
+//!   bindings produces exactly one `PlanCache` entry, with every re-binding a
+//!   cache **hit** (asserted through `DataspaceStats`);
+//! * the **differential property**: `prepare(q).execute(params)` must answer
+//!   exactly — answers *and order* — like the literal-substituted text query,
+//!   over random string (quotes/backslashes/unicode), int and float values;
+//! * the batched `execute_all` ≡ the sequential `execute` loop, per item and
+//!   in input order, including validation errors;
+//! * typed `UnboundParam` / `UnknownParam` validation errors.
+
+use dataspace_core::dataspace::Dataspace;
+use dataspace_core::error::CoreError;
+use dataspace_core::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+use iql::{Params, Value};
+use proptest::prelude::*;
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+
+fn source(name: &str, table: &str, rows: &[(i64, &str)]) -> Database {
+    let mut schema = RelSchema::new(name);
+    schema
+        .add_table(
+            RelTable::new(table)
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (k, v) in rows {
+        db.insert(table, vec![(*k).into(), (*v).into()]).unwrap();
+    }
+    db
+}
+
+fn uacc_spec() -> IntersectionSpec {
+    IntersectionSpec::new("I1").with_mapping(
+        ObjectMapping::column("UAcc", "label")
+            .with_contribution(
+                SourceContribution::parsed(
+                    "alpha",
+                    "[{'ALPHA', k, x} | {k, x} <- <<t, label>>]",
+                    ["t,label"],
+                )
+                .unwrap(),
+            )
+            .with_contribution(
+                SourceContribution::parsed(
+                    "beta",
+                    "[{'BETA', k, x} | {k, x} <- <<u, label>>]",
+                    ["u,label"],
+                )
+                .unwrap(),
+            ),
+    )
+}
+
+fn integrated(alpha_rows: &[(i64, &str)], beta_rows: &[(i64, &str)]) -> Dataspace {
+    let mut ds = Dataspace::new();
+    ds.add_source(source("alpha", "t", alpha_rows)).unwrap();
+    ds.add_source(source("beta", "u", beta_rows)).unwrap();
+    ds.federate().unwrap();
+    ds.integrate(uacc_spec()).unwrap();
+    ds
+}
+
+const SELECT_BY_LABEL: &str = "[{s, k} | {s, k, x} <- <<UAcc, label>>; x = ?label]";
+
+// ---------------------------------------------------------------- regression
+
+/// Pinned regression for the injection-style quoting bug: an accession
+/// containing `'` (or `\`, or multi-byte characters) must round-trip exactly
+/// through prepared execution. The old `format!`-splicing path produced
+/// `x = 'it's'`, which fails to parse.
+#[test]
+fn quote_bearing_parameter_values_round_trip() {
+    let awkward = [
+        "it's",
+        "back\\slash",
+        "both\\'mixed",
+        "ACC'); drop table protein; --",
+        "протеин αβ→γ 寿司",
+    ];
+    let rows: Vec<(i64, &str)> = awkward
+        .iter()
+        .enumerate()
+        .map(|(i, a)| (i as i64, *a))
+        .collect();
+    let ds = integrated(&rows, &[(100, "plain")]);
+    let q = ds.prepare(SELECT_BY_LABEL).unwrap();
+    for (i, accession) in awkward.iter().enumerate() {
+        let bag = q.execute(&Params::new().with("label", *accession)).unwrap();
+        assert_eq!(
+            bag.items(),
+            &[Value::pair(Value::str("ALPHA"), Value::Int(i as i64))],
+            "prepared lookup failed for awkward accession {accession:?}"
+        );
+    }
+    // The literal-splicing equivalent of the first accession does not even
+    // parse — this is the bug the prepared API retires.
+    let spliced = format!(
+        "[{{s, k}} | {{s, k, x}} <- <<UAcc, label>>; x = '{}']",
+        awkward[0]
+    );
+    assert!(
+        matches!(ds.query(&spliced), Err(CoreError::Parse(_))),
+        "unescaped splicing should fail to parse"
+    );
+}
+
+// ------------------------------------------------------------- plan economy
+
+/// N distinct bindings of one prepared query ⇒ exactly one plan-cache entry,
+/// and every execution after the first is a hit.
+#[test]
+fn rebinding_a_prepared_query_hits_the_plan_cache() {
+    let ds = integrated(&[(1, "a"), (2, "b"), (3, "a")], &[(10, "a"), (11, "c")]);
+    let q = ds.prepare(SELECT_BY_LABEL).unwrap();
+
+    let before = ds.stats();
+    let bindings: Vec<Params> = ["a", "b", "c", "nope", "a"]
+        .iter()
+        .map(|l| Params::new().with("label", *l))
+        .collect();
+    for params in &bindings {
+        q.execute(params).unwrap();
+    }
+    let after = ds.stats();
+
+    assert_eq!(
+        after.plan_cache_misses - before.plan_cache_misses,
+        1,
+        "one miss: the first execution plans"
+    );
+    assert_eq!(
+        after.plan_cache_hits - before.plan_cache_hits,
+        bindings.len() as u64 - 1,
+        "every re-binding is a plan-cache hit"
+    );
+    assert_eq!(
+        after.plan_cache_len - before.plan_cache_len,
+        1,
+        "N distinct bindings produce exactly one plan-cache entry"
+    );
+    assert_eq!(after.plan_cache_evictions, before.plan_cache_evictions);
+    // The observability snapshot also reports the memo/pool dimensions.
+    assert!(
+        after.extent_memo_len >= 1,
+        "extents memoised across bindings"
+    );
+    assert!(
+        after.parse_memo_len >= 1,
+        "prepared text held in the parse memo"
+    );
+    assert!(after.fetch_pool_capacity >= 1);
+    assert!(after.plan_cache_capacity >= after.plan_cache_len);
+}
+
+// ---------------------------------------------------------------- validation
+
+#[test]
+fn binding_validation_errors_are_typed() {
+    let ds = integrated(&[(1, "a")], &[(2, "b")]);
+    let q = ds.prepare(SELECT_BY_LABEL).unwrap();
+    assert_eq!(q.param_names().collect::<Vec<_>>(), vec!["label"]);
+
+    assert!(matches!(
+        q.execute(&Params::new()),
+        Err(CoreError::UnboundParam(name)) if name == "label"
+    ));
+    assert!(matches!(
+        q.execute(&Params::new().with("label", "a").with("lable", "typo")),
+        Err(CoreError::UnknownParam(name)) if name == "lable"
+    ));
+    // `query` and `query_all` stay thin wrappers: placeholder-bearing texts
+    // report the same typed error through every entry point.
+    assert!(matches!(
+        ds.query(SELECT_BY_LABEL),
+        Err(CoreError::UnboundParam(_))
+    ));
+    let batch = ds.query_all(&[SELECT_BY_LABEL, "[x | {s, k, x} <- <<UAcc, label>>]"]);
+    assert!(matches!(batch[0], Err(CoreError::UnboundParam(_))));
+    assert!(batch[1].is_ok());
+}
+
+// ------------------------------------------------------------- batched legs
+
+#[test]
+fn execute_all_equals_the_sequential_execute_loop() {
+    let ds = integrated(
+        &[(1, "a"), (2, "b"), (3, "a"), (4, "c")],
+        &[(10, "a"), (11, "b"), (12, "d")],
+    );
+    let q = ds
+        .prepare("[{s, k} | {s, k, x} <- <<UAcc, label>>; x = ?label]")
+        .unwrap();
+    let mut bindings: Vec<Params> = ["a", "b", "c", "d", "missing", "a", "b"]
+        .iter()
+        .map(|l| Params::new().with("label", *l))
+        .collect();
+    bindings.push(Params::new()); // validation error in one slot
+    bindings.push(Params::new().with("label", "a").with("oops", 1));
+
+    let batched = q.execute_all(&bindings);
+    let sequential: Vec<_> = bindings.iter().map(|p| q.execute(p)).collect();
+    assert_eq!(batched.len(), sequential.len());
+    for (i, (b, s)) in batched.iter().zip(&sequential).enumerate() {
+        match (b, s) {
+            (Ok(bb), Ok(sb)) => assert_eq!(bb.items(), sb.items(), "answer order at {i}"),
+            (Err(be), Err(se)) => assert_eq!(be, se, "error at {i}"),
+            other => panic!("batched vs sequential diverged at {i}: {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn query_all_bound_reports_per_item_errors() {
+    let ds = integrated(&[(1, "a")], &[(2, "b")]);
+    let p_ok = Params::new().with("label", "a");
+    let p_empty = Params::new();
+    let batch: Vec<(&str, &Params)> = vec![
+        (SELECT_BY_LABEL, &p_ok),
+        ("[oops", &p_empty),
+        (SELECT_BY_LABEL, &p_empty),
+        ("[k | k <- <<UAcc, label>>]", &p_ok),
+    ];
+    let results = ds.query_all_bound(&batch);
+    assert_eq!(results.len(), 4);
+    assert_eq!(results[0].as_ref().unwrap().len(), 1);
+    assert!(matches!(results[1], Err(CoreError::Parse(_))));
+    assert!(matches!(results[2], Err(CoreError::UnboundParam(_))));
+    assert!(matches!(results[3], Err(CoreError::UnknownParam(_))));
+}
+
+// ------------------------------------------------------------- differential
+
+/// One randomly generated parameter value: the kinds the paper's workload
+/// binds (accession strings — including quote/backslash/unicode-bearing ones —
+/// integer keys, floating-point thresholds).
+#[derive(Debug, Clone)]
+enum ParamValue {
+    Str(String),
+    Int(i64),
+    Float(f64),
+}
+
+impl ParamValue {
+    fn to_value(&self) -> Value {
+        match self {
+            ParamValue::Str(s) => Value::str(s.as_str()),
+            ParamValue::Int(i) => Value::Int(*i),
+            ParamValue::Float(f) => Value::Float(*f),
+        }
+    }
+}
+
+/// Characters the random labels/parameters draw from: plain ASCII, the two
+/// escape-relevant characters, and multi-byte UTF-8.
+const LABEL_CHARS: &[&str] = &["a", "b", "'", "\\", " ", "ю", "百", "→", "ß"];
+
+fn label() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..LABEL_CHARS.len(), 0..6)
+        .prop_map(|idxs| idxs.into_iter().map(|i| LABEL_CHARS[i]).collect())
+}
+
+fn param_value() -> impl Strategy<Value = ParamValue> {
+    (0usize..3, label(), -100i64..100, -800i64..800).prop_map(|(kind, s, i, eighths)| {
+        match kind {
+            0 => ParamValue::Str(s),
+            1 => ParamValue::Int(i),
+            // Eighths are binary-exact, so the literal-substituted text prints
+            // and reparses the float losslessly.
+            _ => ParamValue::Float(eighths as f64 / 8.0),
+        }
+    })
+}
+
+proptest! {
+    /// `prepare(q).execute(params)` ≡ the literal-substituted text query —
+    /// answers and order — for a parameterised selection and a parameterised
+    /// join chain over randomly populated sources.
+    #[test]
+    fn prepared_equals_literal_substitution(
+        alpha in prop::collection::vec(label(), 0..8),
+        beta in prop::collection::vec(label(), 0..8),
+        value in param_value(),
+    ) {
+        // Row index doubles as the primary key; ALPHA and BETA share key
+        // ranges, so the self-join shape below matches across sources.
+        let alpha_rows: Vec<(i64, &str)> =
+            alpha.iter().enumerate().map(|(i, v)| (i as i64, v.as_str())).collect();
+        let beta_rows: Vec<(i64, &str)> =
+            beta.iter().enumerate().map(|(i, v)| (i as i64, v.as_str())).collect();
+        let ds = integrated(&alpha_rows, &beta_rows);
+
+        // A parameterised selection, a numeric-comparison filter, and a join
+        // chain whose trailing filter carries the parameter.
+        let shapes = [
+            SELECT_BY_LABEL,
+            "[{s, k} | {s, k, x} <- <<UAcc, label>>; x <> ?label]",
+            "[k | {s, k, x} <- <<UAcc, label>>; k < ?label]",
+            "[{x, y} | {s1, k1, x} <- <<UAcc, label>>; {s2, k2, y} <- <<UAcc, label>>; \
+             k2 = k1; y = ?label]",
+        ];
+        for text in shapes {
+            let prepared = ds.prepare(text).unwrap();
+            let params = Params::new().with("label", value.to_value());
+            let via_params = prepared.execute(&params).unwrap();
+
+            // Reference: substitute the value as a literal into the AST, print
+            // it, and run the resulting text through the plain query path.
+            let substituted =
+                iql::rewrite::substitute_params(prepared.expr(), &params);
+            prop_assert!(substituted.params().is_empty());
+            let literal_text = iql::pretty::print(&substituted);
+            let via_literal = ds.query(&literal_text).unwrap();
+
+            prop_assert_eq!(
+                via_params.items(),
+                via_literal.items(),
+                "prepared vs literal-substituted diverged for `{}` under {:?} (literal text `{}`)",
+                text, value, literal_text
+            );
+        }
+    }
+
+    /// The same property for a *bag-valued* parameter (the case study's Q2
+    /// group shape, probed with `member(?group, x)`).
+    #[test]
+    fn prepared_bag_parameters_equal_literal_substitution(
+        alpha in prop::collection::vec(label(), 0..8),
+        group in prop::collection::vec(label(), 0..5),
+    ) {
+        let alpha_rows: Vec<(i64, &str)> =
+            alpha.iter().enumerate().map(|(i, v)| (i as i64, v.as_str())).collect();
+        let ds = integrated(&alpha_rows, &[(999, "fixed")]);
+        let text = "[{s, k} | {s, k, x} <- <<UAcc, label>>; member(?group, x)]";
+        let bag = iql::Bag::from_values(group.iter().map(|s| Value::str(s.as_str())).collect());
+        let params = Params::new().with("group", Value::Bag(bag));
+
+        let prepared = ds.prepare(text).unwrap();
+        let via_params = prepared.execute(&params).unwrap();
+        let literal_text =
+            iql::pretty::print(&iql::rewrite::substitute_params(prepared.expr(), &params));
+        let via_literal = ds.query(&literal_text).unwrap();
+        prop_assert_eq!(via_params.items(), via_literal.items());
+    }
+}

@@ -32,8 +32,8 @@ use proptest::test_runner::TestRng;
 const IDENTS: &[&str] = &["x", "y", "z2", "acc", "organism", "k_1", "pep"];
 
 /// Characters string literals draw from; includes the two escape-relevant
-/// characters (`'`, `\`) alongside plain text.
-const STRING_CHARS: &[char] = &['a', 'b', ' ', '\'', '\\', '0', 'P'];
+/// characters (`'`, `\`) and multi-byte UTF-8 alongside plain text.
+const STRING_CHARS: &[char] = &['a', 'b', ' ', '\'', '\\', '0', 'P', 'é', '百', '→'];
 
 fn ident(rng: &mut TestRng) -> String {
     IDENTS[rng.usize_in(0..IDENTS.len())].to_string()
@@ -118,9 +118,9 @@ const BIN_OPS: &[BinOp] = &[
 /// recursion (at zero only leaves are produced).
 fn expr(rng: &mut TestRng, depth: usize) -> Expr {
     let variant = if depth == 0 {
-        rng.usize_in(0..5)
+        rng.usize_in(0..6)
     } else {
-        rng.usize_in(0..14)
+        rng.usize_in(0..15)
     };
     match variant {
         0 => Expr::Lit(literal(rng)),
@@ -128,34 +128,35 @@ fn expr(rng: &mut TestRng, depth: usize) -> Expr {
         2 => Expr::Scheme(scheme(rng)),
         3 => Expr::Void,
         4 => Expr::Any,
-        5 => {
+        5 => Expr::Param(ident(rng)),
+        6 => {
             let n = rng.usize_in(0..4);
             Expr::Tuple((0..n).map(|_| expr(rng, depth - 1)).collect())
         }
-        6 => {
+        7 => {
             let n = rng.usize_in(0..4);
             Expr::Bag((0..n).map(|_| expr(rng, depth - 1)).collect())
         }
-        7 => {
+        8 => {
             let n = rng.usize_in(1..4);
             Expr::Comp {
                 head: Box::new(expr(rng, depth - 1)),
                 qualifiers: (0..n).map(|_| qualifier(rng, depth - 1)).collect(),
             }
         }
-        8 => {
+        9 => {
             let n = rng.usize_in(0..3);
             Expr::Apply {
                 function: BUILTINS[rng.usize_in(0..BUILTINS.len())].to_string(),
                 args: (0..n).map(|_| expr(rng, depth - 1)).collect(),
             }
         }
-        9 => Expr::BinOp {
+        10 => Expr::BinOp {
             op: BIN_OPS[rng.usize_in(0..BIN_OPS.len())],
             lhs: Box::new(expr(rng, depth - 1)),
             rhs: Box::new(expr(rng, depth - 1)),
         },
-        10 => Expr::UnOp {
+        11 => Expr::UnOp {
             op: if rng.usize_in(0..2) == 0 {
                 UnOp::Neg
             } else {
@@ -163,12 +164,12 @@ fn expr(rng: &mut TestRng, depth: usize) -> Expr {
             },
             expr: Box::new(expr(rng, depth - 1)),
         },
-        11 => Expr::If {
+        12 => Expr::If {
             cond: Box::new(expr(rng, depth - 1)),
             then: Box::new(expr(rng, depth - 1)),
             otherwise: Box::new(expr(rng, depth - 1)),
         },
-        12 => Expr::Let {
+        13 => Expr::Let {
             pattern: pattern(rng, 2),
             value: Box::new(expr(rng, depth - 1)),
             body: Box::new(expr(rng, depth - 1)),

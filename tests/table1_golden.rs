@@ -150,7 +150,8 @@ fn table1_answers_match_pinned_goldens() {
     for ((name, golden), q) in goldens().into_iter().zip(&queries) {
         assert_eq!(name, q.name, "query order drifted");
         let bag = ds
-            .query(&q.iql)
+            .prepare(&q.iql)
+            .and_then(|p| p.execute(&q.params))
             .unwrap_or_else(|e| panic!("{name} failed: {e}"));
         assert_eq!(
             canonical(&bag),
@@ -169,10 +170,18 @@ fn table1_agrees_across_all_evaluation_modes() {
     for (idx, q) in priority_queries().iter().enumerate() {
         let expr = iql::parse(&q.iql).unwrap();
         let golden = &goldens()[idx].1;
-        let planned = ds.provider().unwrap().answer_bag(&expr).unwrap();
+        let planned = ds
+            .provider()
+            .unwrap()
+            .answer_bag_with(&expr, &q.params)
+            .unwrap();
         assert_eq!(&canonical(&planned), golden, "{} planned", q.name);
         // Re-run through the same dataspace: the plan cache serves this one.
-        let cached = ds.provider().unwrap().answer_bag(&expr).unwrap();
+        let cached = ds
+            .provider()
+            .unwrap()
+            .answer_bag_with(&expr, &q.params)
+            .unwrap();
         assert_eq!(
             planned.items(),
             cached.items(),
@@ -182,7 +191,7 @@ fn table1_agrees_across_all_evaluation_modes() {
         let naive = ds
             .provider()
             .unwrap()
-            .answer_with_nested_loops(&expr)
+            .answer_with_nested_loops_params(&expr, &q.params)
             .unwrap()
             .expect_bag()
             .unwrap();
