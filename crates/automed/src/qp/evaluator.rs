@@ -41,6 +41,7 @@ use iql::lru::LruMap;
 use iql::rewrite;
 use iql::value::{Bag, Value};
 use iql::FetchPool;
+use iql::IndexStore;
 use std::collections::{BTreeMap, BTreeSet};
 use std::sync::{Arc, PoisonError, RwLock};
 use std::thread;
@@ -231,6 +232,14 @@ pub struct VirtualExtents<'a> {
     bushy: bool,
     /// Plan cache attached to the evaluators spawned by [`VirtualExtents::answer`].
     plan_cache: Option<Arc<PlanCache>>,
+    /// Secondary point-lookup index store attached to spawned evaluators (see
+    /// [`iql::IndexStore`]).
+    index_store: Option<Arc<IndexStore>>,
+    /// Plan point-equality filter runs as index lookups (on by default; off is
+    /// the index-disabled differential/bench leg).
+    use_index: bool,
+    /// Override for the evaluators' re-optimisation divergence factor.
+    reopt_factor: Option<f64>,
     /// Folded into [`ExtentProvider::version`] so the owner can invalidate plan
     /// caches on definition changes the registry's versions cannot see.
     version_salt: u64,
@@ -248,6 +257,9 @@ impl<'a> VirtualExtents<'a> {
             parallel: true,
             bushy: true,
             plan_cache: None,
+            index_store: None,
+            use_index: true,
+            reopt_factor: None,
             version_salt: 0,
         }
     }
@@ -297,6 +309,29 @@ impl<'a> VirtualExtents<'a> {
         self
     }
 
+    /// Attach a secondary point-lookup index store to the evaluators created by
+    /// [`VirtualExtents::answer`] (see [`iql::IndexStore`] for the design; same
+    /// sharing contract as the plan cache: one store per logical provider).
+    pub fn with_index_store(mut self, store: Arc<IndexStore>) -> Self {
+        self.index_store = Some(store);
+        self
+    }
+
+    /// Disable point-lookup index planning in the evaluators this provider
+    /// spawns (see [`Evaluator::without_index`]). The index-disabled
+    /// differential-test and benchmarking leg.
+    pub fn without_index(mut self) -> Self {
+        self.use_index = false;
+        self
+    }
+
+    /// Set the actual/estimated divergence factor past which spawned
+    /// evaluators re-optimise cached plans (see [`Evaluator::with_reopt_factor`]).
+    pub fn with_reopt_factor(mut self, factor: f64) -> Self {
+        self.reopt_factor = Some(factor);
+        self
+    }
+
     /// Fold an owner-managed generation counter into this provider's version, so
     /// view-definition changes invalidate plan caches (see
     /// [`ExtentProvider::version`]).
@@ -325,6 +360,15 @@ impl<'a> VirtualExtents<'a> {
         }
         if !self.bushy {
             ev = ev.without_bushy();
+        }
+        if !self.use_index {
+            ev = ev.without_index();
+        }
+        if let Some(store) = &self.index_store {
+            ev = ev.with_index_store(Arc::clone(store));
+        }
+        if let Some(factor) = self.reopt_factor {
+            ev = ev.with_reopt_factor(factor);
         }
         match &self.plan_cache {
             Some(cache) => ev.with_plan_cache(Arc::clone(cache)),

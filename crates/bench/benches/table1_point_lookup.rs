@@ -1,0 +1,68 @@
+//! Prepared point lookups: secondary-index probes vs linear residual scans.
+//!
+//! The pay-as-you-go workload's hottest shape is Q1 — a prepared
+//! single-generator selection `x = ?accession` re-executed under a fresh
+//! binding per call. With `point_lookup_indexes` on (the default), the cached
+//! plan carries a secondary hash index over the scanned extent and each
+//! execution probes it in O(1); with the indexes disabled, each execution
+//! re-scans the extent and filters linearly.
+//!
+//! Both legs run over the 1×/2×/4× data-scale sweep so the growth curves are
+//! directly comparable: the `no_index` leg is expected to grow roughly
+//! linearly with scale, the `indexed` leg to stay near-flat. Every iteration
+//! rotates the bound accession through the generated pool, so both legs mix
+//! hit and miss probes the same way.
+
+use bench::{integrated_dataspace, integrated_dataspace_with, scale_sweep};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataspace_core::dataspace::DataspaceConfig;
+use proteomics::queries::{q1, Q1_IQL};
+use std::cell::Cell;
+use std::time::Duration;
+
+fn table1_point_lookup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table1_point_lookup");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    for (factor, scale) in scale_sweep() {
+        // The accession pool tracks the protein count, so rotating through
+        // `proteins` distinct bindings touches existing and absent keys alike.
+        let pool = scale.proteins as u64;
+
+        let indexed = integrated_dataspace(&scale);
+        let prepared = indexed.prepare(Q1_IQL).expect("q1 prepares");
+        let ticks = Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::new("indexed", factor), &factor, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                let acc = format!("ACC{:05}", i % pool);
+                prepared.execute(&q1(&acc)).expect("q1 answers")
+            })
+        });
+
+        let no_index = integrated_dataspace_with(
+            &scale,
+            DataspaceConfig {
+                point_lookup_indexes: false,
+                ..Default::default()
+            },
+        );
+        let prepared = no_index.prepare(Q1_IQL).expect("q1 prepares");
+        let ticks = Cell::new(0u64);
+        group.bench_with_input(BenchmarkId::new("no_index", factor), &factor, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                let acc = format!("ACC{:05}", i % pool);
+                prepared.execute(&q1(&acc)).expect("q1 answers")
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_point_lookup);
+criterion_main!(benches);

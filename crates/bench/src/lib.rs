@@ -35,6 +35,26 @@ pub fn integrated_dataspace(scale: &CaseStudyScale) -> Dataspace {
     ds
 }
 
+/// Build a fully integrated dataspace under a custom engine configuration
+/// (`drop_redundant` is forced off, as everywhere in the harness). The
+/// point-lookup bench uses this to pit the secondary-index leg against an
+/// otherwise identical dataspace with `point_lookup_indexes: false`.
+pub fn integrated_dataspace_with(scale: &CaseStudyScale, config: DataspaceConfig) -> Dataspace {
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        drop_redundant: false,
+        ..config
+    });
+    ds.add_source(generate_pedro(scale)).expect("add pedro");
+    ds.add_source(generate_gpmdb(scale)).expect("add gpmdb");
+    ds.add_source(generate_pepseeker(scale))
+        .expect("add pepseeker");
+    ds.federate().expect("federate");
+    for (_query, spec) in all_iterations().expect("specs") {
+        ds.integrate(spec).expect("integrate");
+    }
+    ds
+}
+
 /// Build a fully integrated integration session (dataspace + priority queries +
 /// pay-as-you-go history).
 pub fn integrated_session(scale: &CaseStudyScale) -> IntegrationSession {

@@ -26,7 +26,7 @@ use automed::wrapper::SourceRegistry;
 use automed::{Repository, Schema};
 use iql::lru::LruMap;
 use iql::value::{Bag, Value};
-use iql::{Params, PlanCache};
+use iql::{IndexStore, Params, PlanCache};
 use relational::Database;
 use std::collections::BTreeSet;
 use std::sync::{Arc, PoisonError, RwLock};
@@ -50,6 +50,23 @@ pub struct DataspaceConfig {
     /// recently used extent is evicted past this bound (and recomputed on next
     /// use — eviction never affects answers).
     pub extent_cache_capacity: usize,
+    /// Whether residual point-equality filters (`x = ?p` / `x = literal`) in
+    /// prepared queries are served by secondary hash indexes from the shared
+    /// [`iql::IndexStore`] instead of per-execution extent scans. On by
+    /// default; disable for the index-free differential/benchmark leg.
+    pub point_lookup_indexes: bool,
+    /// Maximum number of point-lookup indexes the shared [`iql::IndexStore`]
+    /// holds (LRU eviction past this bound).
+    pub index_cache_capacity: usize,
+    /// Byte budget for the [`PlanCache`]'s materialised plan state: eviction
+    /// weighs each cached plan by its estimated footprint besides counting it.
+    pub plan_cache_bytes: u64,
+    /// Byte budget for the [`iql::IndexStore`]'s indexes.
+    pub index_cache_bytes: u64,
+    /// Actual/estimated cardinality divergence factor past which a cached plan
+    /// re-optimises on its next execution (see
+    /// [`iql::eval::Evaluator::with_reopt_factor`]).
+    pub reopt_divergence_factor: f64,
 }
 
 impl Default for DataspaceConfig {
@@ -60,6 +77,11 @@ impl Default for DataspaceConfig {
             global_prefix: "G".into(),
             plan_cache_capacity: iql::eval::DEFAULT_PLAN_CAPACITY,
             extent_cache_capacity: automed::qp::evaluator::DEFAULT_EXTENT_CAPACITY,
+            point_lookup_indexes: true,
+            index_cache_capacity: iql::index::DEFAULT_INDEX_CAPACITY,
+            plan_cache_bytes: iql::eval::DEFAULT_PLAN_CACHE_BYTES,
+            index_cache_bytes: iql::index::DEFAULT_INDEX_BYTES,
+            reopt_divergence_factor: iql::eval::DEFAULT_REOPT_FACTOR,
         }
     }
 }
@@ -93,6 +115,9 @@ pub struct Dataspace {
     extent_cache: SharedExtentCache,
     /// Plan memo shared by every provider this dataspace hands out.
     plan_cache: Arc<PlanCache>,
+    /// Secondary point-lookup indexes shared by every provider this dataspace
+    /// hands out (see [`iql::IndexStore`]).
+    index_store: Arc<IndexStore>,
     /// Bounded query-text → parsed-query memo: pay-as-you-go workloads re-run
     /// the same priority-query set after every iteration, so re-issued texts —
     /// through [`Dataspace::prepare`], [`Dataspace::query`],
@@ -119,7 +144,14 @@ impl Dataspace {
     /// A dataspace with a custom configuration.
     pub fn with_config(config: DataspaceConfig) -> Self {
         let extent_cache = Arc::new(ExtentMemo::with_capacity(config.extent_cache_capacity));
-        let plan_cache = Arc::new(PlanCache::with_capacity(config.plan_cache_capacity));
+        let plan_cache = Arc::new(PlanCache::with_capacity_and_bytes(
+            config.plan_cache_capacity,
+            config.plan_cache_bytes,
+        ));
+        let index_store = Arc::new(IndexStore::with_capacity_and_bytes(
+            config.index_cache_capacity,
+            config.index_cache_bytes,
+        ));
         let parse_cache = RwLock::new(LruMap::new(config.plan_cache_capacity));
         Dataspace {
             registry: SourceRegistry::new(),
@@ -132,6 +164,7 @@ impl Dataspace {
             config,
             extent_cache,
             plan_cache,
+            index_store,
             parse_cache,
             generation: 0,
         }
@@ -175,6 +208,13 @@ impl Dataspace {
     /// explicit invalidation hook live on it).
     pub fn plan_cache(&self) -> &Arc<PlanCache> {
         &self.plan_cache
+    }
+
+    /// The shared secondary point-lookup index store backing prepared
+    /// point-query execution (hit/miss/build counters and the explicit
+    /// invalidation hook live on it).
+    pub fn index_store(&self) -> &Arc<IndexStore> {
+        &self.index_store
     }
 
     /// Number of global-schema extents currently memoised across queries.
@@ -301,10 +341,16 @@ impl Dataspace {
             .global
             .as_ref()
             .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))?;
-        Ok(VirtualExtents::new(&self.registry, &global.definitions)
+        let provider = VirtualExtents::new(&self.registry, &global.definitions)
             .with_shared_cache(Arc::clone(&self.extent_cache))
             .with_plan_cache(Arc::clone(&self.plan_cache))
-            .with_version_salt(self.generation))
+            .with_reopt_factor(self.config.reopt_divergence_factor)
+            .with_version_salt(self.generation);
+        Ok(if self.config.point_lookup_indexes {
+            provider.with_index_store(Arc::clone(&self.index_store))
+        } else {
+            provider.without_index()
+        })
     }
 
     /// Prepare a query for repeated execution: parse it once (through the same
@@ -574,6 +620,14 @@ impl Dataspace {
             plan_cache_evictions: self.plan_cache.eviction_count(),
             plan_cache_len: self.plan_cache.len(),
             plan_cache_capacity: self.plan_cache.capacity(),
+            plan_reopts: self.plan_cache.reopt_count(),
+            histogram_refreshes: self.plan_cache.histogram_refresh_count(),
+            index_hits: self.index_store.hit_count(),
+            index_misses: self.index_store.miss_count(),
+            index_builds: self.index_store.build_count(),
+            index_refreshes: self.index_store.refresh_count(),
+            index_evictions: self.index_store.eviction_count(),
+            index_len: self.index_store.len(),
             extent_memo_len: self.extent_cache.len(),
             extent_memo_evictions: self.extent_cache.eviction_count(),
             parse_memo_len: self
@@ -601,6 +655,23 @@ pub struct DataspaceStats {
     pub plan_cache_len: usize,
     /// Maximum number of plans held before LRU eviction.
     pub plan_cache_capacity: usize,
+    /// Cached plans re-optimised after observed/estimated cardinality
+    /// divergence (the adaptive feedback loop).
+    pub plan_reopts: u64,
+    /// Stale key histograms refreshed copy-on-write from an appended tail.
+    pub histogram_refreshes: u64,
+    /// Point-lookup index probes served from a current index.
+    pub index_hits: u64,
+    /// Point-lookup index probes that found no usable index.
+    pub index_misses: u64,
+    /// Point-lookup indexes built from a full extent scan.
+    pub index_builds: u64,
+    /// Stale point-lookup indexes refreshed copy-on-write on insert.
+    pub index_refreshes: u64,
+    /// Point-lookup indexes evicted for capacity or byte budget.
+    pub index_evictions: u64,
+    /// Point-lookup indexes currently held.
+    pub index_len: usize,
     /// Global-schema extents currently memoised.
     pub extent_memo_len: usize,
     /// Extents evicted from the memo for capacity.

@@ -140,6 +140,7 @@ use crate::bushy::{self, JoinTree};
 use crate::env::{literal_value, match_pattern, Env};
 use crate::error::EvalError;
 use crate::fetch::FetchPool;
+use crate::index::{IndexKey, IndexStore, PointIndex};
 use crate::lru::LruMap;
 use crate::rewrite;
 use crate::value::{Bag, Value};
@@ -216,6 +217,22 @@ pub trait ExtentProvider: Sync {
     fn prefers_parallel_fetch(&self) -> bool {
         false
     }
+
+    /// Whether every extent this provider serves only ever grows by appending
+    /// at the tail: a mutation may push new elements onto the end of a bag but
+    /// never reorders, removes, or rewrites existing positions.
+    ///
+    /// When `true`, version-stale derived structures (the point-lookup indexes
+    /// of an [`crate::IndexStore`], the [`PlanCache`]'s key histograms) are
+    /// refreshed copy-on-write from the appended tail instead of being rebuilt
+    /// from scratch. The default `false` is always safe; answering `true` for
+    /// a provider that ever mutates in place silently corrupts those
+    /// structures. The relational store qualifies (inserts append to table and
+    /// column extents); virtual extents do not (an insert into one member
+    /// source lands mid-bag in the unioned global extent).
+    fn extents_append_only(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a provider is expected.
@@ -230,6 +247,10 @@ impl<P: ExtentProvider + ?Sized> ExtentProvider for &P {
 
     fn prefers_parallel_fetch(&self) -> bool {
         (**self).prefers_parallel_fetch()
+    }
+
+    fn extents_append_only(&self) -> bool {
+        (**self).extents_append_only()
     }
 }
 
@@ -279,6 +300,11 @@ pub enum JoinStrategy {
         /// textual generator order.
         tree: Arc<JoinTree>,
     },
+    /// A generator plus a run of `var = ?param` / `var = literal` filters served
+    /// by a secondary point-lookup index (see [`crate::IndexStore`]): each
+    /// execution evaluates the key expressions under the current bindings and
+    /// probes in O(1) instead of scanning the extent.
+    IndexLookup,
 }
 
 /// Per-join planning statistics: cardinalities and the hash-index bucket histogram
@@ -298,6 +324,12 @@ pub struct JoinStats {
     /// Estimated join output cardinality: `probe_rows × build_rows / distinct_keys`
     /// (present when `probe_rows` is known).
     pub estimated_output: Option<f64>,
+    /// Rows the join **actually** produced. Joins that materialise at plan time
+    /// (reordered pairs, greedy chains, bushy tree nodes) know this exactly;
+    /// deferred probes (`Hash`, `IndexLookup`) report `None`. The adaptive
+    /// re-optimiser compares this against the enumerator's estimate and replans
+    /// with observed selectivities when they diverge (see [`PlanCache`]).
+    pub actual_output: Option<usize>,
 }
 
 /// One step of a planned comprehension. Steps own their data (cloned AST fragments,
@@ -340,6 +372,16 @@ enum Step {
         patterns: Vec<Pattern>,
         rows: Arc<Vec<Vec<Value>>>,
     },
+    /// A generator + run of point-equality filters (`var = ?param` /
+    /// `var = literal`) served by a secondary index: the source's elements are
+    /// bucketed by the filtered variables' values; each execution evaluates the
+    /// key expressions (parameters resolve against the live bindings) and
+    /// probes one bucket, whose elements keep source order.
+    IndexLookup {
+        pattern: Pattern,
+        key_exprs: Vec<Expr>,
+        index: Arc<PointIndex>,
+    },
     /// A boolean filter.
     Filter(Expr),
     /// A `let` qualifier.
@@ -365,9 +407,11 @@ pub enum StepKind {
     Filter,
     /// A `let` qualifier.
     Bind,
+    /// A point-equality filter run probed against a secondary index.
+    IndexLookup,
 }
 
-const STEP_KINDS: usize = 8;
+const STEP_KINDS: usize = 9;
 
 /// Counts the steps of every plan the evaluator executes, by [`StepKind`].
 ///
@@ -408,6 +452,7 @@ impl Step {
             Step::OrderedJoin { .. } => StepKind::OrderedJoin,
             Step::MultiJoin { .. } => StepKind::MultiJoin,
             Step::BushyJoin { .. } => StepKind::BushyJoin,
+            Step::IndexLookup { .. } => StepKind::IndexLookup,
             Step::Filter(_) => StepKind::Filter,
             Step::Bind { .. } => StepKind::Bind,
         }
@@ -422,11 +467,77 @@ struct Plan {
     /// True when every plan-time-evaluated source was a closed expression, so the
     /// baked-in indexes/rows are environment-independent and the plan may be cached.
     cacheable: bool,
+    /// Actual-vs-estimated cardinality feedback collected while the bushy join
+    /// tree executed (absent for plans without an enumerated chain).
+    feedback: Option<PlanFeedback>,
+}
+
+/// Per-edge observed join selectivities, keyed by the normalised
+/// `(min, max)` chain-position pair the edge connects.
+type ObservedSelectivities = Vec<((usize, usize), f64)>;
+
+/// Cardinality feedback from executing a bushy join tree at plan time: what
+/// each cut *actually* selected, and how far the worst node strayed from the
+/// enumerator's estimate. Stored with the cached plan; when the divergence
+/// passes the evaluator's threshold the next execution re-enumerates with the
+/// observed selectivities in place of the histogram estimates.
+struct PlanFeedback {
+    observed: ObservedSelectivities,
+    /// Largest `actual / estimated` output ratio across the tree's join nodes
+    /// (underestimates only — an overestimate materialised less than planned
+    /// for, which never hurts).
+    max_divergence: f64,
+}
+
+impl Plan {
+    /// Estimated resident bytes of the plan's materialised state (indexes,
+    /// pre-joined rows): the weight the [`PlanCache`]'s byte-aware eviction
+    /// charges this entry. Values are `Arc`-shared, so per-row constants cover
+    /// structure, not payload.
+    fn approx_bytes(&self) -> u64 {
+        let mut bytes = 256u64;
+        for step in &self.steps {
+            bytes += match step {
+                Step::Scan { bag, .. } => bag.len() as u64 * 48,
+                Step::HashJoin { index, .. } => index
+                    .values()
+                    .map(|bucket| bucket.len() as u64 * 48 + 96)
+                    .sum::<u64>(),
+                Step::IndexLookup { index, .. } => index.approx_bytes(),
+                Step::OrderedJoin { rows, .. } => rows.len() as u64 * 112,
+                Step::MultiJoin { patterns, rows } | Step::BushyJoin { patterns, rows } => {
+                    rows.len() as u64 * (patterns.len() as u64 * 48 + 32)
+                }
+                Step::Iterate { .. } | Step::Filter(_) | Step::Bind { .. } => 64,
+            };
+        }
+        bytes
+    }
 }
 
 struct CacheEntry {
     version: u64,
     plan: Arc<Plan>,
+    /// Observed selectivities awaiting a re-optimisation round (set when the
+    /// plan's feedback diverged past the evaluator's threshold).
+    pending: Option<Arc<ObservedSelectivities>>,
+    /// Whether this entry already went through a re-optimisation round at this
+    /// version (one round per version: prevents oscillation).
+    reoptimized: bool,
+}
+
+/// What a [`PlanCache`] lookup found for an execution.
+enum PlanLookup {
+    /// A current plan: execute it as-is.
+    Hit(Arc<Plan>),
+    /// A current plan whose recorded cardinality feedback diverged: replan with
+    /// the observed selectivities and keep whichever plan is actually cheaper.
+    Reoptimize {
+        plan: Arc<Plan>,
+        observed: Arc<ObservedSelectivities>,
+    },
+    /// Nothing current cached.
+    Miss,
 }
 
 /// A persisted per-extent join-key histogram: how the values a pattern binds to a
@@ -450,10 +561,29 @@ type StatsKey = (Expr, Pattern, Vec<String>);
 struct StatsEntry {
     version: u64,
     histogram: KeyHistogram,
+    /// Matched-row count the histogram covered: an append-only provider
+    /// refreshes a stale histogram by counting only rows past this point.
+    scanned: usize,
+    /// The per-key counts behind the histogram, kept so a refresh can extend
+    /// them copy-on-write instead of recounting the whole extent.
+    counts: Arc<HashMap<Value, usize>>,
 }
 
 /// Default number of plans a [`PlanCache`] holds before evicting.
 pub const DEFAULT_PLAN_CAPACITY: usize = 512;
+
+/// Default byte budget for a [`PlanCache`]'s materialised plan state (64 MiB of
+/// estimated footprint; see [`PlanCache::with_capacity_and_bytes`]).
+pub const DEFAULT_PLAN_CACHE_BYTES: u64 = 64 << 20;
+
+/// Default actual/estimated divergence factor past which a cached plan
+/// re-optimises (see [`Evaluator::with_reopt_factor`]).
+pub const DEFAULT_REOPT_FACTOR: f64 = 4.0;
+
+/// Bushy nodes below this many actual rows never count towards re-optimisation
+/// divergence: ratios over tiny results are noise, and replanning them saves
+/// nothing.
+const MIN_FEEDBACK_ROWS: f64 = 8.0;
 
 /// A bounded memo of built comprehension plans, keyed by expression identity,
 /// plus the per-extent join-key histograms the reordering cost model reuses
@@ -501,6 +631,8 @@ pub struct PlanCache {
     stats: RwLock<LruMap<StatsKey, StatsEntry>>,
     hits: AtomicU64,
     misses: AtomicU64,
+    reopts: AtomicU64,
+    histogram_refreshes: AtomicU64,
 }
 
 impl std::fmt::Debug for CacheEntry {
@@ -508,6 +640,7 @@ impl std::fmt::Debug for CacheEntry {
         f.debug_struct("CacheEntry")
             .field("version", &self.version)
             .field("steps", &self.plan.steps.len())
+            .field("reoptimized", &self.reoptimized)
             .finish()
     }
 }
@@ -533,16 +666,33 @@ impl PlanCache {
         Self::default()
     }
 
-    /// An empty plan cache bounded to `capacity` plans (LRU eviction past that).
+    /// An empty plan cache bounded to `capacity` plans (LRU eviction past that)
+    /// with the default byte budget ([`DEFAULT_PLAN_CACHE_BYTES`]).
     /// The histogram side-table is bounded to four times the plan capacity —
     /// histograms are per (extent, key) rather than per query, far smaller, and
     /// several are consulted while planning one comprehension.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_bytes(capacity, DEFAULT_PLAN_CACHE_BYTES)
+    }
+
+    /// An empty plan cache bounded by plan count **and** by the estimated bytes
+    /// of materialised plan state. Cached plans carry real data — hash-join
+    /// indexes, pre-joined chain rows, point-lookup indexes — and two plans can
+    /// differ in footprint by orders of magnitude, so eviction weighs each
+    /// entry by its estimated bytes besides counting it (see
+    /// [`crate::lru::LruMap::with_weight_budget`]). The histogram side-table
+    /// gets a quarter of the byte budget.
+    pub fn with_capacity_and_bytes(capacity: usize, byte_budget: u64) -> Self {
         PlanCache {
-            entries: RwLock::new(LruMap::new(capacity)),
-            stats: RwLock::new(LruMap::new(capacity.saturating_mul(4).max(4))),
+            entries: RwLock::new(LruMap::with_weight_budget(capacity, byte_budget)),
+            stats: RwLock::new(LruMap::with_weight_budget(
+                capacity.saturating_mul(4).max(4),
+                (byte_budget / 4).max(1),
+            )),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
+            reopts: AtomicU64::new(0),
+            histogram_refreshes: AtomicU64::new(0),
         }
     }
 
@@ -587,22 +737,78 @@ impl PlanCache {
         self.misses.load(AtomicOrdering::Relaxed)
     }
 
-    fn lookup(&self, key: &Expr, version: u64) -> Option<Arc<Plan>> {
+    /// Cached plans re-optimised after their recorded cardinality feedback
+    /// diverged past the evaluator's threshold.
+    pub fn reopt_count(&self) -> u64 {
+        self.reopts.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Stale key histograms refreshed copy-on-write from an appended tail
+    /// instead of being recounted from scratch (append-only providers only).
+    pub fn histogram_refresh_count(&self) -> u64 {
+        self.histogram_refreshes.load(AtomicOrdering::Relaxed)
+    }
+
+    /// Estimated resident bytes of all cached plans' materialised state.
+    pub fn approx_bytes(&self) -> u64 {
+        read_lock(&self.entries).total_weight()
+    }
+
+    fn lookup(&self, key: &Expr, version: u64) -> PlanLookup {
         let entries = read_lock(&self.entries);
         match entries.get(key) {
             Some(entry) if entry.version == version => {
                 self.hits.fetch_add(1, AtomicOrdering::Relaxed);
-                Some(Arc::clone(&entry.plan))
+                match &entry.pending {
+                    Some(observed) if !entry.reoptimized => PlanLookup::Reoptimize {
+                        plan: Arc::clone(&entry.plan),
+                        observed: Arc::clone(observed),
+                    },
+                    _ => PlanLookup::Hit(Arc::clone(&entry.plan)),
+                }
             }
             _ => {
                 self.misses.fetch_add(1, AtomicOrdering::Relaxed);
-                None
+                PlanLookup::Miss
             }
         }
     }
 
-    fn store(&self, key: Expr, version: u64, plan: Arc<Plan>) {
-        write_lock(&self.entries).insert(key, CacheEntry { version, plan });
+    fn store(
+        &self,
+        key: Expr,
+        version: u64,
+        plan: Arc<Plan>,
+        pending: Option<Arc<ObservedSelectivities>>,
+    ) {
+        let weight = plan.approx_bytes();
+        write_lock(&self.entries).insert_weighted(
+            key,
+            CacheEntry {
+                version,
+                plan,
+                pending,
+                reoptimized: false,
+            },
+            weight,
+        );
+    }
+
+    /// Store the winner of a re-optimisation round, marked so the entry does
+    /// not re-enter the feedback loop until the provider's version changes.
+    fn store_reoptimized(&self, key: Expr, version: u64, plan: Arc<Plan>) {
+        self.reopts.fetch_add(1, AtomicOrdering::Relaxed);
+        let weight = plan.approx_bytes();
+        write_lock(&self.entries).insert_weighted(
+            key,
+            CacheEntry {
+                version,
+                plan,
+                pending: None,
+                reoptimized: true,
+            },
+            weight,
+        );
     }
 
     /// A current persisted histogram for `(source, pattern, key vars)`, if any.
@@ -614,8 +820,39 @@ impl PlanCache {
         }
     }
 
-    fn store_histogram(&self, key: StatsKey, version: u64, histogram: KeyHistogram) {
-        write_lock(&self.stats).insert(key, StatsEntry { version, histogram });
+    /// A stale histogram's per-key counts and covered-row count, for
+    /// copy-on-write refresh against an append-only provider.
+    fn stale_histogram(&self, key: &StatsKey) -> Option<(usize, Arc<HashMap<Value, usize>>)> {
+        let stats = read_lock(&self.stats);
+        stats
+            .get(key)
+            .map(|entry| (entry.scanned, Arc::clone(&entry.counts)))
+    }
+
+    fn store_histogram(
+        &self,
+        key: StatsKey,
+        version: u64,
+        histogram: KeyHistogram,
+        scanned: usize,
+        counts: Arc<HashMap<Value, usize>>,
+        refreshed: bool,
+    ) {
+        if refreshed {
+            self.histogram_refreshes
+                .fetch_add(1, AtomicOrdering::Relaxed);
+        }
+        let weight = counts.len() as u64 * 56 + 96;
+        write_lock(&self.stats).insert_weighted(
+            key,
+            StatsEntry {
+                version,
+                histogram,
+                scanned,
+                counts,
+            },
+            weight,
+        );
     }
 }
 
@@ -674,8 +911,11 @@ pub struct Evaluator<P> {
     reorder: bool,
     bushy: bool,
     parallel: bool,
+    use_index: bool,
     plan_cache: Option<Arc<PlanCache>>,
+    index_store: Option<Arc<IndexStore>>,
     step_probe: Option<Arc<StepProbe>>,
+    reopt_factor: f64,
 }
 
 /// When the estimated join output exceeds this multiple of the combined input
@@ -782,9 +1022,14 @@ struct Chain {
     preds: Vec<ChainPred>,
 }
 
-/// A successful chain plan: the (single `MultiJoin`) step list plus the
-/// per-edge-join statistics.
-type ChainPlan = (Vec<Step>, Vec<JoinStats>);
+/// A successful chain plan: the (single `MultiJoin`/`BushyJoin`) step list,
+/// the per-edge-join statistics, and — for enumerated trees — the
+/// actual-vs-estimated cardinality feedback driving adaptive re-optimisation.
+struct ChainPlan {
+    steps: Vec<Step>,
+    stats: Vec<JoinStats>,
+    feedback: Option<PlanFeedback>,
+}
 
 /// One generator's matched extent rows: original bag position, element, and the
 /// pattern-bound environment used for join-key extraction.
@@ -886,8 +1131,11 @@ impl<P: ExtentProvider> Evaluator<P> {
             reorder: true,
             bushy: true,
             parallel: true,
+            use_index: true,
             plan_cache: None,
+            index_store: None,
             step_probe: None,
+            reopt_factor: DEFAULT_REOPT_FACTOR,
         }
     }
 
@@ -934,6 +1182,54 @@ impl<P: ExtentProvider> Evaluator<P> {
         self
     }
 
+    /// Persist point-lookup indexes in `store` (see [`IndexStore`]), so they
+    /// survive plan-cache invalidation and are refreshed copy-on-write across
+    /// inserts on append-only providers. The same logical-provider sharing
+    /// contract as [`PlanCache`] applies.
+    pub fn with_index_store(mut self, store: Arc<IndexStore>) -> Self {
+        self.index_store = Some(store);
+        self
+    }
+
+    /// Disable point-lookup index planning entirely: residual equality filters
+    /// (`x = ?p`, `x = literal`) execute as plain filtered scans, exactly as
+    /// they did before secondary indexes existed. The differential harness runs
+    /// this configuration as its own leg.
+    ///
+    /// ```
+    /// use iql::env::Env;
+    /// use iql::{parse, Evaluator, JoinStrategy, MapExtents, IndexStore, StepKind};
+    /// use std::sync::Arc;
+    ///
+    /// let mut extents = MapExtents::new();
+    /// extents.insert_pairs("t,v", (0..50).map(|i| (i, "x")).collect());
+    /// let q = parse("[v | {k, v} <- <<t, v>>; k = 7]").unwrap();
+    ///
+    /// let store = Arc::new(IndexStore::new());
+    /// let indexed = Evaluator::new(&extents).with_index_store(Arc::clone(&store));
+    /// let stats = indexed.explain(&q, &Env::new()).unwrap();
+    /// assert!(matches!(stats[0].strategy, JoinStrategy::IndexLookup));
+    ///
+    /// let disabled = Evaluator::new(&extents)
+    ///     .with_index_store(store)
+    ///     .without_index();
+    /// assert!(disabled.explain(&q, &Env::new()).unwrap().is_empty());
+    /// // Both legs return identical bags, in identical order.
+    /// assert_eq!(indexed.eval_closed(&q), disabled.eval_closed(&q));
+    /// ```
+    pub fn without_index(mut self) -> Self {
+        self.use_index = false;
+        self
+    }
+
+    /// Set the actual/estimated output divergence factor past which a cached
+    /// plan re-optimises on its next execution (default
+    /// [`DEFAULT_REOPT_FACTOR`]). Values below 1.0 are clamped to 1.0.
+    pub fn with_reopt_factor(mut self, factor: f64) -> Self {
+        self.reopt_factor = factor.max(1.0);
+        self
+    }
+
     /// Evaluate an expression in an empty environment.
     pub fn eval_closed(&self, expr: &Expr) -> Result<Value, EvalError> {
         self.eval(expr, &Env::new())
@@ -941,11 +1237,13 @@ impl<P: ExtentProvider> Evaluator<P> {
 
     /// Plan the top-level comprehension of `expr` (without executing it) and return
     /// the per-join statistics the planner's ordering decisions were based on.
-    /// Non-comprehension expressions report no joins.
+    /// Non-comprehension expressions report no joins. With a [`PlanCache`]
+    /// attached, this reports the plan an execution would actually use —
+    /// including one adopted by a re-optimisation round.
     pub fn explain(&self, expr: &Expr, env: &Env) -> Result<Vec<JoinStats>, EvalError> {
         match expr {
             Expr::Comp { qualifiers, .. } => {
-                Ok(self.plan_comprehension(qualifiers, env)?.join_stats)
+                Ok(self.plan_for(expr, qualifiers, env)?.join_stats.clone())
             }
             _ => Ok(Vec::new()),
         }
@@ -1053,6 +1351,12 @@ impl<P: ExtentProvider> Evaluator<P> {
 
     /// Fetch a comprehension's plan: from the attached [`PlanCache`] when current,
     /// otherwise by planning now (storing the result when it is cacheable).
+    ///
+    /// A hit whose recorded cardinality feedback diverged past
+    /// [`Evaluator::with_reopt_factor`] triggers one **re-optimisation round**:
+    /// replan with the observed selectivities fed back into the bushy cost
+    /// model, keep whichever plan actually materialised fewer intermediate
+    /// rows, and pin the winner for the rest of this provider version.
     fn plan_for(
         &self,
         comp: &Expr,
@@ -1060,17 +1364,40 @@ impl<P: ExtentProvider> Evaluator<P> {
         env: &Env,
     ) -> Result<Arc<Plan>, EvalError> {
         let Some(cache) = &self.plan_cache else {
-            return Ok(Arc::new(self.plan_comprehension(qualifiers, env)?));
+            return Ok(Arc::new(self.plan_comprehension(qualifiers, env, None)?));
         };
         let version = self.provider.version();
-        if let Some(plan) = cache.lookup(comp, version) {
-            return Ok(plan);
+        match cache.lookup(comp, version) {
+            PlanLookup::Hit(plan) => Ok(plan),
+            PlanLookup::Reoptimize {
+                plan: previous,
+                observed,
+            } => {
+                let replanned =
+                    Arc::new(self.plan_comprehension(qualifiers, env, Some(&observed))?);
+                let chosen = if replanned.cacheable
+                    && plan_actual_cost(&replanned) < plan_actual_cost(&previous)
+                {
+                    replanned
+                } else {
+                    previous
+                };
+                cache.store_reoptimized(comp.clone(), version, Arc::clone(&chosen));
+                Ok(chosen)
+            }
+            PlanLookup::Miss => {
+                let plan = Arc::new(self.plan_comprehension(qualifiers, env, None)?);
+                if plan.cacheable {
+                    let pending = plan
+                        .feedback
+                        .as_ref()
+                        .filter(|fb| fb.max_divergence > self.reopt_factor)
+                        .map(|fb| Arc::new(fb.observed.clone()));
+                    cache.store(comp.clone(), version, Arc::clone(&plan), pending);
+                }
+                Ok(plan)
+            }
         }
-        let plan = Arc::new(self.plan_comprehension(qualifiers, env)?);
-        if plan.cacheable {
-            cache.store(comp.clone(), version, Arc::clone(&plan));
-        }
-        Ok(plan)
     }
 
     /// Evaluate the plan-time sources, in parallel on scoped threads when there are
@@ -1149,7 +1476,16 @@ impl<P: ExtentProvider> Evaluator<P> {
     /// join graph when profitable (pairs through the pair planner, longer chains
     /// through the greedy multiway planner), and fuse the remaining equi-join runs
     /// into hash joins (see module docs).
-    fn plan_comprehension(&self, qualifiers: &[Qualifier], env: &Env) -> Result<Plan, EvalError> {
+    ///
+    /// `overrides` carries observed per-edge selectivities from a cached plan's
+    /// execution feedback; when present they replace the histogram estimates in
+    /// the bushy enumerator (the adaptive re-optimisation round).
+    fn plan_comprehension(
+        &self,
+        qualifiers: &[Qualifier],
+        env: &Env,
+        overrides: Option<&ObservedSelectivities>,
+    ) -> Result<Plan, EvalError> {
         let slots = analyse(qualifiers);
         let chain = if self.reorder {
             chain_candidate(&slots)
@@ -1178,6 +1514,7 @@ impl<P: ExtentProvider> Evaluator<P> {
 
         let mut steps = Vec::with_capacity(slots.len());
         let mut join_stats = Vec::new();
+        let mut feedback = None;
         let mut i = 0;
         while i < slots.len() {
             if Some(i) == chain_start {
@@ -1190,19 +1527,20 @@ impl<P: ExtentProvider> Evaluator<P> {
                     let (patterns, sources) = chain_parts(c, &slots);
                     let matched = match_chain_rows(&patterns, c.start, &bags, env)?;
                     let mut planned = if self.bushy {
-                        self.plan_bushy_join(c, &patterns, &sources, &matched)?
+                        self.plan_bushy_join(c, &patterns, &sources, &matched, overrides)?
                     } else {
                         None
                     };
                     if planned.is_none() {
                         planned = self.plan_chain_join(c, &patterns, &sources, &matched)?;
                     }
-                    if let Some((chain_steps, stats)) = planned {
+                    if let Some(chain_plan) = planned {
                         for pos in 0..c.len {
                             bags.remove(&(c.start + pos));
                         }
-                        steps.extend(chain_steps);
-                        join_stats.extend(stats);
+                        steps.extend(chain_plan.steps);
+                        join_stats.extend(chain_plan.stats);
+                        feedback = chain_plan.feedback;
                         i += c.len;
                         continue;
                     }
@@ -1234,10 +1572,24 @@ impl<P: ExtentProvider> Evaluator<P> {
                     pattern: (*pattern).clone(),
                     value: (*value).clone(),
                 }),
-                Slot::Gen { pattern, source } => steps.push(Step::Iterate {
-                    pattern: (*pattern).clone(),
-                    source: (*source).clone(),
-                }),
+                Slot::Gen { pattern, source } => {
+                    // A generator directly followed by point-equality filters
+                    // (`var = ?param` / `var = literal`) over its own pattern
+                    // variables becomes one index probe per execution instead
+                    // of a per-execution scan.
+                    if let Some((step, stats, consumed)) =
+                        self.plan_point_lookup(&slots, i, pattern, source, env)?
+                    {
+                        steps.push(step);
+                        join_stats.push(stats);
+                        i += 1 + consumed;
+                        continue;
+                    }
+                    steps.push(Step::Iterate {
+                        pattern: (*pattern).clone(),
+                        source: (*source).clone(),
+                    });
+                }
                 Slot::Fused {
                     pattern,
                     probe_vars,
@@ -1260,7 +1612,122 @@ impl<P: ExtentProvider> Evaluator<P> {
             steps,
             join_stats,
             cacheable,
+            feedback,
         })
+    }
+
+    /// Detect a point-lookup run: the maximal sequence of filters directly
+    /// after a plain generator whose shape is `var = ?param` / `var = literal`
+    /// (either side order) with `var` bound by the generator's pattern. Returns
+    /// the [`Step::IndexLookup`] replacing the generator and those filters,
+    /// its stats, and how many filter slots were consumed.
+    ///
+    /// Requires a closed source (the index is baked into the plan) and either
+    /// an [`IndexStore`] or a [`PlanCache`] attached — without any persistence
+    /// the index would be rebuilt per evaluation, costing more than the scan it
+    /// replaces.
+    fn plan_point_lookup(
+        &self,
+        slots: &[Slot<'_>],
+        at: usize,
+        pattern: &Pattern,
+        source: &Expr,
+        env: &Env,
+    ) -> Result<Option<(Step, JoinStats, usize)>, EvalError> {
+        if !self.use_index || (self.index_store.is_none() && self.plan_cache.is_none()) {
+            return Ok(None);
+        }
+        if !rewrite::free_vars(source).is_empty() || !rewrite::collect_params(source).is_empty() {
+            return Ok(None);
+        }
+        let bound: BTreeSet<&str> = pattern.bound_vars().into_iter().collect();
+        let mut vars: Vec<&str> = Vec::new();
+        let mut key_exprs: Vec<Expr> = Vec::new();
+        let mut j = at + 1;
+        while let Some(Slot::Filter(cond)) = slots.get(j) {
+            let Some((var, key_expr)) = point_filter_key(cond, &bound) else {
+                break;
+            };
+            vars.push(var);
+            key_exprs.push(key_expr.clone());
+            j += 1;
+        }
+        if vars.is_empty() {
+            return Ok(None);
+        }
+        let (index, stats) = self.point_index(source, pattern, &vars, env)?;
+        Ok(Some((
+            Step::IndexLookup {
+                pattern: pattern.clone(),
+                key_exprs,
+                index,
+            },
+            stats,
+            j - at - 1,
+        )))
+    }
+
+    /// Fetch or build the point-lookup index over `source` keyed by the values
+    /// `pattern` binds to `vars`. Serves from the attached [`IndexStore`] when
+    /// current; on a stale entry over an append-only provider, refreshes
+    /// copy-on-write by indexing only the appended tail; otherwise builds from
+    /// a full scan (persisting when a store is attached).
+    fn point_index(
+        &self,
+        source: &Expr,
+        pattern: &Pattern,
+        vars: &[&str],
+        env: &Env,
+    ) -> Result<(Arc<PointIndex>, JoinStats), EvalError> {
+        let version = self.provider.version();
+        let key: IndexKey = (
+            source.clone(),
+            pattern.clone(),
+            vars.iter().map(|v| v.to_string()).collect(),
+        );
+        if let Some(store) = &self.index_store {
+            if let Some(index) = store.lookup(&key, version) {
+                let stats = point_stats(&index);
+                return Ok((index, stats));
+            }
+        }
+        let bag = self.eval(source, env)?.expect_bag()?;
+        if let Some(store) = &self.index_store {
+            if self.provider.extents_append_only() {
+                if let Some((scanned, stale)) = store.stale(&key) {
+                    if scanned <= bag.len() {
+                        let mut refreshed = stale;
+                        let map = Arc::make_mut(&mut refreshed);
+                        for element in &bag.items()[scanned..] {
+                            let mut scratch = env.clone();
+                            if match_pattern(pattern, element, &mut scratch)? {
+                                if let Some(k) = key_from(&scratch, vars) {
+                                    map.push(k, element.clone());
+                                }
+                            }
+                        }
+                        store.store(key, version, bag.len(), Arc::clone(&refreshed), true);
+                        let stats = point_stats(&refreshed);
+                        return Ok((refreshed, stats));
+                    }
+                }
+            }
+        }
+        let mut index = PointIndex::default();
+        for element in bag.iter() {
+            let mut scratch = env.clone();
+            if match_pattern(pattern, element, &mut scratch)? {
+                if let Some(k) = key_from(&scratch, vars) {
+                    index.push(k, element.clone());
+                }
+            }
+        }
+        let index = Arc::new(index);
+        if let Some(store) = &self.index_store {
+            store.store(key, version, bag.len(), Arc::clone(&index), false);
+        }
+        let stats = point_stats(&index);
+        Ok((index, stats))
     }
 
     /// Plan a generator chain of three or more via its join graph, **greedily**:
@@ -1389,6 +1856,7 @@ impl<P: ExtentProvider> Evaluator<P> {
                 distinct_keys: histogram.distinct,
                 max_bucket: histogram.max_bucket,
                 estimated_output: Some(estimated),
+                actual_output: Some(joined.len()),
             });
             rows = joined;
             in_set[n] = true;
@@ -1397,13 +1865,14 @@ impl<P: ExtentProvider> Evaluator<P> {
         if used.iter().any(|u| !u) {
             return Ok(None); // defensive: a predicate never became joinable
         }
-        Ok(Some((
-            vec![Step::MultiJoin {
+        Ok(Some(ChainPlan {
+            steps: vec![Step::MultiJoin {
                 patterns: patterns.iter().map(|p| (*p).clone()).collect(),
                 rows: Arc::new(materialise_chain_rows(matched, rows)),
             }],
-            stats_out,
-        )))
+            stats: stats_out,
+            feedback: None,
+        }))
     }
 
     /// Plan a generator chain of three to [`bushy::MAX_DP_RELATIONS`] via the
@@ -1425,6 +1894,7 @@ impl<P: ExtentProvider> Evaluator<P> {
         patterns: &[&Pattern],
         sources: &[&Expr],
         matched: &[MatchedRows],
+        overrides: Option<&ObservedSelectivities>,
     ) -> Result<Option<ChainPlan>, EvalError> {
         if chain.len > bushy::MAX_DP_RELATIONS || chain.preds.is_empty() {
             return Ok(None);
@@ -1462,6 +1932,19 @@ impl<P: ExtentProvider> Evaluator<P> {
                 selectivity: 1.0 / distinct as f64,
             });
         }
+        // Adaptive re-optimisation: when a previous execution of this plan
+        // recorded observed per-edge selectivities (because an estimate
+        // diverged past the configured factor), they replace the histogram
+        // estimates before enumeration — so the DP reconsiders trees with the
+        // cardinalities the workload actually produced.
+        if let Some(observed) = overrides {
+            for edge in &mut edges {
+                let pair = (edge.a.min(edge.b), edge.a.max(edge.b));
+                if let Some((_, sel)) = observed.iter().find(|(p, _)| *p == pair) {
+                    edge.selectivity = *sel;
+                }
+            }
+        }
         let cards: Vec<usize> = matched.iter().map(Vec::len).collect();
         let Some(best) = bushy::enumerate(&cards, &edges) else {
             return Ok(None); // disconnected join graph (or out of DP range)
@@ -1485,13 +1968,19 @@ impl<P: ExtentProvider> Evaluator<P> {
         else {
             return Ok(None);
         };
-        Ok(Some((
-            vec![Step::BushyJoin {
+        // Joins materialise at plan time, so actual node cardinalities are in
+        // hand right here: compare them against what the (possibly overridden)
+        // edge selectivities predicted, and carry the divergence + observed
+        // selectivities out as feedback for the plan cache.
+        let feedback = bushy_feedback(&stats_out, &cards, &edges);
+        Ok(Some(ChainPlan {
+            steps: vec![Step::BushyJoin {
                 patterns: patterns.iter().map(|p| (*p).clone()).collect(),
                 rows: Arc::new(materialise_chain_rows(matched, rows)),
             }],
-            stats_out,
-        )))
+            stats: stats_out,
+            feedback,
+        }))
     }
 
     /// The key histogram for one side of a chain edge join: served from the
@@ -1525,6 +2014,39 @@ impl<P: ExtentProvider> Evaluator<P> {
             if let Some(histogram) = cache.histogram(key, version) {
                 return histogram;
             }
+            // Incremental refresh: an append-only provider's extents only grow
+            // at the tail, so a stale histogram whose counts covered the first
+            // `scanned` matched rows is completed by counting just the tail —
+            // not recounted from scratch on every version bump.
+            if self.provider.extents_append_only() {
+                if let Some((scanned, counts)) = cache.stale_histogram(key) {
+                    if scanned <= matched.len() {
+                        let mut counts = counts;
+                        let fresh = Arc::make_mut(&mut counts);
+                        let mut rows: usize = fresh.values().sum();
+                        for (_, _, scratch) in &matched[scanned..] {
+                            if let Some(k) = key_from(scratch, key_vars) {
+                                *fresh.entry(k).or_insert(0) += 1;
+                                rows += 1;
+                            }
+                        }
+                        let histogram = KeyHistogram {
+                            rows,
+                            distinct: fresh.len(),
+                            max_bucket: fresh.values().copied().max().unwrap_or(0),
+                        };
+                        cache.store_histogram(
+                            key.clone(),
+                            version,
+                            histogram,
+                            matched.len(),
+                            counts,
+                            true,
+                        );
+                        return histogram;
+                    }
+                }
+            }
         }
         let mut counts: HashMap<Value, usize> = HashMap::new();
         let mut rows = 0usize;
@@ -1540,7 +2062,14 @@ impl<P: ExtentProvider> Evaluator<P> {
             max_bucket: counts.values().copied().max().unwrap_or(0),
         };
         if let (Some(cache), Some(key)) = (&self.plan_cache, stats_key) {
-            cache.store_histogram(key, version, histogram);
+            cache.store_histogram(
+                key,
+                version,
+                histogram,
+                matched.len(),
+                Arc::new(counts),
+                false,
+            );
         }
         histogram
     }
@@ -1609,6 +2138,35 @@ impl<P: ExtentProvider> Evaluator<P> {
                     parts.push(v.clone());
                 }
                 if let Some(matches) = index.get(&composite_key(parts)) {
+                    for element in matches {
+                        let mut inner = env.clone();
+                        if match_pattern(pattern, element, &mut inner)? {
+                            self.exec_plan(head, rest, &inner, out)?;
+                        }
+                    }
+                }
+                Ok(())
+            }
+            Some((
+                Step::IndexLookup {
+                    pattern,
+                    key_exprs,
+                    index,
+                },
+                rest,
+            )) => {
+                // An empty index means no source element matched the pattern:
+                // the nested loop would never reach the filters, so the key
+                // expressions must not be evaluated (an unbound `?param` there
+                // raises no error under naive evaluation either).
+                if index.buckets.is_empty() {
+                    return Ok(());
+                }
+                let mut parts = Vec::with_capacity(key_exprs.len());
+                for expr in key_exprs {
+                    parts.push(self.eval(expr, env)?);
+                }
+                if let Some(matches) = index.buckets.get(&composite_key(parts)) {
                     for element in matches {
                         let mut inner = env.clone();
                         if match_pattern(pattern, element, &mut inner)? {
@@ -1820,6 +2378,7 @@ fn plan_join_pair(
             // their inner-extent order, restoring the nested-loop output order.
             tagged.sort_by_key(|(pos, _, _)| *pos);
             let rows: Vec<(Value, Value)> = tagged.into_iter().map(|(_, a, b)| (a, b)).collect();
+            let actual = rows.len();
             return Ok((
                 vec![Step::OrderedJoin {
                     outer: p1.clone(),
@@ -1833,6 +2392,7 @@ fn plan_join_pair(
                     distinct_keys: distinct,
                     max_bucket,
                     estimated_output: Some(estimated),
+                    actual_output: Some(actual),
                 },
             ));
         }
@@ -1887,6 +2447,7 @@ fn build_index(
         distinct_keys: distinct,
         max_bucket,
         estimated_output: probe_rows.map(|n| n as f64 * indexed as f64 / distinct.max(1) as f64),
+        actual_output: None,
     };
     Ok((index, stats))
 }
@@ -2045,6 +2606,7 @@ fn exec_join_tree(
                 estimated_output: Some(
                     probe.len() as f64 * build.len() as f64 / distinct.max(1) as f64,
                 ),
+                actual_output: Some(joined.len()),
             });
             Some(joined)
         }
@@ -2097,6 +2659,147 @@ fn equi_join_key<'q>(cond: &'q Expr, pattern: &Pattern) -> Option<(&'q str, &'q 
         (false, true) => Some((a.as_str(), b.as_str())),
         _ => None,
     }
+}
+
+/// If `cond` is a point-equality filter — `Var(v) = ?param` or `Var(v) = literal`
+/// (either side order) with `v` in `bound` (the generator's pattern variables) —
+/// return `(v, key_expr)`: the indexed variable and the expression whose
+/// per-execution value probes the index.
+fn point_filter_key<'q>(cond: &'q Expr, bound: &BTreeSet<&str>) -> Option<(&'q str, &'q Expr)> {
+    let Expr::BinOp {
+        op: BinOp::Eq,
+        lhs,
+        rhs,
+    } = cond
+    else {
+        return None;
+    };
+    match (lhs.as_ref(), rhs.as_ref()) {
+        (Expr::Var(v), key @ (Expr::Param(_) | Expr::Lit(_))) if bound.contains(v.as_str()) => {
+            Some((v.as_str(), key))
+        }
+        (key @ (Expr::Param(_) | Expr::Lit(_)), Expr::Var(v)) if bound.contains(v.as_str()) => {
+            Some((v.as_str(), key))
+        }
+        _ => None,
+    }
+}
+
+/// The [`JoinStats`] entry a point-lookup index reports: build-side figures are
+/// the index itself; the probe side is unknowable at plan time (one probe per
+/// execution, under bindings the plan never sees).
+fn point_stats(index: &PointIndex) -> JoinStats {
+    JoinStats {
+        strategy: JoinStrategy::IndexLookup,
+        build_rows: index.rows,
+        probe_rows: None,
+        distinct_keys: index.buckets.len(),
+        max_bucket: index.max_bucket,
+        estimated_output: None,
+        actual_output: None,
+    }
+}
+
+/// The summed per-node cardinality a plan *actually* materialised (falling back
+/// to the estimate for nodes that do not execute at plan time). Used to pick
+/// the winner of a re-optimisation round: joins materialise at plan time, so
+/// both candidates' true intermediate work is known.
+fn plan_actual_cost(plan: &Plan) -> f64 {
+    plan.join_stats
+        .iter()
+        .map(|s| {
+            s.actual_output
+                .map(|a| a as f64)
+                .or(s.estimated_output)
+                .unwrap_or(0.0)
+        })
+        .sum()
+}
+
+/// The cost model's output estimate for a join subtree: the product of its leaf
+/// cardinalities and the selectivities of every edge both of whose endpoints lie
+/// inside the subtree (the independence assumption the DP enumerates under).
+fn tree_est(tree: &JoinTree, cards: &[usize], edges: &[bushy::EdgeSel]) -> f64 {
+    let mask = tree.leaf_mask();
+    let mut est: f64 = tree.leaves().iter().map(|&g| cards[g] as f64).product();
+    for e in edges {
+        if mask & (1 << e.a) != 0 && mask & (1 << e.b) != 0 {
+            est *= e.selectivity;
+        }
+    }
+    est
+}
+
+/// Compare each bushy node's materialised cardinality against what the edge
+/// selectivities predicted, producing the observed per-edge selectivities and
+/// the worst underestimate ratio. `edges` must be the selectivities the
+/// enumeration actually used (including any re-optimisation overrides), so a
+/// replanned plan whose estimates now match reality reports low divergence and
+/// the feedback loop converges.
+///
+/// Each internal node's combined crossing-edge selectivity is
+/// `actual / (build × probe)`; with `k` edges crossing the node it is
+/// distributed as the k-th root per edge (the DP multiplies crossing-edge
+/// selectivities independently). Nodes below [`MIN_FEEDBACK_ROWS`] actual rows
+/// do not count towards divergence: tiny results make ratios noisy and
+/// replanning them saves nothing.
+fn bushy_feedback(
+    stats: &[JoinStats],
+    cards: &[usize],
+    edges: &[bushy::EdgeSel],
+) -> Option<PlanFeedback> {
+    let mut observed: ObservedSelectivities = Vec::new();
+    let mut max_divergence = 0.0f64;
+    for stat in stats {
+        let JoinStrategy::Bushy { tree } = &stat.strategy else {
+            continue;
+        };
+        let Some(actual) = stat.actual_output else {
+            continue;
+        };
+        let est = tree_est(tree, cards, edges).max(f64::MIN_POSITIVE);
+        let divergence = actual as f64 / est;
+        if actual as f64 >= MIN_FEEDBACK_ROWS {
+            max_divergence = max_divergence.max(divergence);
+        }
+        let JoinTree::Join { left, right } = tree.as_ref() else {
+            continue;
+        };
+        let (lmask, rmask) = (left.leaf_mask(), right.leaf_mask());
+        let crossing: Vec<(usize, usize)> = edges
+            .iter()
+            .filter(|e| {
+                (lmask & (1 << e.a) != 0 && rmask & (1 << e.b) != 0)
+                    || (lmask & (1 << e.b) != 0 && rmask & (1 << e.a) != 0)
+            })
+            .map(|e| (e.a.min(e.b), e.a.max(e.b)))
+            .collect();
+        if crossing.is_empty() {
+            continue;
+        }
+        let inputs = stat.build_rows as f64 * stat.probe_rows.unwrap_or(0) as f64;
+        if inputs <= 0.0 {
+            continue;
+        }
+        let combined = (actual as f64 / inputs).min(1.0);
+        let per_edge = combined.powf(1.0 / crossing.len() as f64);
+        for pair in crossing {
+            // Each edge crosses exactly one node (where its endpoints first
+            // meet), so this is an insert in practice; replace defensively.
+            if let Some(slot) = observed.iter_mut().find(|(p, _)| *p == pair) {
+                slot.1 = per_edge;
+            } else {
+                observed.push((pair, per_edge));
+            }
+        }
+    }
+    if observed.is_empty() {
+        return None;
+    }
+    Some(PlanFeedback {
+        observed,
+        max_divergence,
+    })
 }
 
 #[cfg(test)]
@@ -3273,6 +3976,398 @@ mod tests {
         assert!(
             matches!(&parallel_err, EvalError::UnknownScheme(s) if s.key() == "missing1"),
             "expected missing1 first, got {parallel_err:?}"
+        );
+    }
+
+    /// An append-only provider: bags only ever grow at the tail, mirroring the
+    /// relational store's memoised extents. Exercises the copy-on-write
+    /// maintenance paths (index refresh, histogram refresh) that
+    /// [`MapExtents`] — whose inserts replace whole bags — never takes.
+    struct AppendOnly {
+        extents: RwLock<BTreeMap<String, Arc<Bag>>>,
+        version: AtomicU64,
+    }
+
+    impl AppendOnly {
+        fn new() -> Self {
+            AppendOnly {
+                extents: RwLock::new(BTreeMap::new()),
+                version: AtomicU64::new(0),
+            }
+        }
+
+        fn append_pairs(&self, key: &str, pairs: Vec<(i64, &str)>) {
+            let mut guard = self.extents.write().unwrap();
+            let entry = guard
+                .entry(key.to_string())
+                .or_insert_with(|| Arc::new(Bag::empty()));
+            let bag = Arc::make_mut(entry);
+            for (k, v) in pairs {
+                bag.push(Value::pair(Value::Int(k), Value::str(v)));
+            }
+            self.version.fetch_add(1, AtomicOrdering::Relaxed);
+        }
+    }
+
+    impl ExtentProvider for AppendOnly {
+        fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
+            self.extents
+                .read()
+                .unwrap()
+                .get(&scheme.key())
+                .cloned()
+                .ok_or(EvalError::UnknownScheme(scheme.clone()))
+        }
+
+        fn version(&self) -> u64 {
+            self.version.load(AtomicOrdering::Relaxed)
+        }
+
+        fn extents_append_only(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn point_lookup_serves_params_and_literals_from_one_index() {
+        let extents = fixture();
+        let store = Arc::new(IndexStore::new());
+        let ev = Evaluator::new(&extents).with_index_store(Arc::clone(&store));
+        let naive = Evaluator::new(&extents).with_nested_loops();
+        // Parameterised point lookup: one index, probed per binding.
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = ?key]").unwrap();
+        for key in [1, 2, 3, 7, 2] {
+            let env = Env::new().with_params(crate::Params::new().with("key", key));
+            let got = ev.eval(&q, &env).unwrap();
+            let want = naive.eval(&q, &env).unwrap();
+            assert_eq!(
+                got.expect_bag().unwrap().items(),
+                want.expect_bag().unwrap().items(),
+                "indexed vs naive for key {key}"
+            );
+        }
+        assert_eq!(store.build_count(), 1, "one index build for the shape");
+        assert_eq!(store.hit_count(), 4, "later executions probe the index");
+        // A literal filter over the same (source, pattern, var) shares the index.
+        let q_lit = parse("[x | {k, x} <- <<protein, accession_num>>; 2 = k]").unwrap();
+        let got = ev.eval_closed(&q_lit).unwrap();
+        assert_eq!(
+            got.expect_bag().unwrap().items(),
+            naive
+                .eval_closed(&q_lit)
+                .unwrap()
+                .expect_bag()
+                .unwrap()
+                .items()
+        );
+        assert_eq!(store.build_count(), 1, "literal probe reuses the index");
+    }
+
+    #[test]
+    fn composite_point_lookup_preserves_order_and_multiplicity() {
+        let mut m = MapExtents::new();
+        // Duplicate (k, v) rows: bucket order must reproduce source order and
+        // keep both copies.
+        m.insert(
+            "mm",
+            Bag::from_values(vec![
+                Value::tuple(vec![Value::Int(1), Value::str("a"), Value::str("x")]),
+                Value::tuple(vec![Value::Int(2), Value::str("b"), Value::str("y")]),
+                Value::tuple(vec![Value::Int(1), Value::str("a"), Value::str("z")]),
+                Value::tuple(vec![Value::Int(1), Value::str("c"), Value::str("w")]),
+            ]),
+        );
+        let q = parse("[t | {k, s, t} <- <<mm>>; k = ?k; s = 'a']").unwrap();
+        let env = Env::new().with_params(crate::Params::new().with("k", 1));
+        let store = Arc::new(IndexStore::new());
+        let indexed = Evaluator::new(&m)
+            .with_index_store(Arc::clone(&store))
+            .eval(&q, &env)
+            .unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval(&q, &env)
+            .unwrap();
+        assert_eq!(
+            indexed.expect_bag().unwrap().items(),
+            naive.expect_bag().unwrap().items()
+        );
+        assert_eq!(
+            indexed.expect_bag().unwrap().items(),
+            &[Value::str("x"), Value::str("z")]
+        );
+        assert_eq!(store.build_count(), 1, "both filters fold into one index");
+    }
+
+    #[test]
+    fn trailing_non_point_filters_stay_filters() {
+        // Only the leading run of point filters is consumed; the `x <> 'P100'`
+        // filter must still execute (and the answers must match naive).
+        let extents = fixture();
+        let store = Arc::new(IndexStore::new());
+        let ev = Evaluator::new(&extents).with_index_store(Arc::clone(&store));
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = ?key; x <> 'P100']").unwrap();
+        for (key, expect) in [(1, 0usize), (2, 1)] {
+            let env = Env::new().with_params(crate::Params::new().with("key", key));
+            let got = ev.eval(&q, &env).unwrap().expect_bag().unwrap().len();
+            assert_eq!(got, expect, "key {key}");
+        }
+        assert_eq!(store.build_count(), 1);
+    }
+
+    #[test]
+    fn empty_extent_point_lookup_skips_key_evaluation() {
+        // Naive evaluation never reaches the filter when the extent is empty, so
+        // an unbound parameter raises no error; the index probe must agree.
+        let mut m = MapExtents::new();
+        m.insert("empty", Bag::empty());
+        let q = parse("[x | {k, x} <- <<empty>>; k = ?missing]").unwrap();
+        let store = Arc::new(IndexStore::new());
+        let indexed = Evaluator::new(&m)
+            .with_index_store(Arc::clone(&store))
+            .eval_closed(&q)
+            .unwrap();
+        let naive = Evaluator::new(&m)
+            .with_nested_loops()
+            .eval_closed(&q)
+            .unwrap();
+        assert_eq!(indexed, naive);
+        assert!(indexed.expect_bag().unwrap().is_empty());
+        // A non-empty extent must still surface the unbound parameter.
+        let q2 = parse("[x | {k, x} <- <<protein, accession_num>>; k = ?missing]").unwrap();
+        let extents = fixture();
+        let ev = Evaluator::new(&extents).with_index_store(Arc::new(IndexStore::new()));
+        assert_eq!(
+            ev.eval_closed(&q2),
+            Err(EvalError::UnboundParam("missing".into()))
+        );
+    }
+
+    #[test]
+    fn point_lookup_requires_persistence_to_pay_off() {
+        // No index store and no plan cache: building an index per evaluation
+        // costs more than the scan it replaces, so the planner must not emit
+        // IndexLookup steps.
+        let extents = fixture();
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = 2]").unwrap();
+        let stats = Evaluator::new(&extents).explain(&q, &Env::new()).unwrap();
+        assert!(stats.is_empty(), "no persistence, no index: {stats:?}");
+        let stats = Evaluator::new(&extents)
+            .with_index_store(Arc::new(IndexStore::new()))
+            .explain(&q, &Env::new())
+            .unwrap();
+        assert!(
+            matches!(stats.as_slice(), [s] if s.strategy == JoinStrategy::IndexLookup),
+            "store attached: index lookup expected, got {stats:?}"
+        );
+    }
+
+    #[test]
+    fn index_refreshes_copy_on_write_on_append() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("t,v", vec![(1, "a"), (2, "b"), (1, "c")]);
+        let store = Arc::new(IndexStore::new());
+        let ev = Evaluator::new(&provider).with_index_store(Arc::clone(&store));
+        let q = parse("[x | {k, x} <- <<t, v>>; k = ?k]").unwrap();
+        let env1 = Env::new().with_params(crate::Params::new().with("k", 1));
+        let bag = ev.eval(&q, &env1).unwrap().expect_bag().unwrap();
+        assert_eq!(bag.items(), &[Value::str("a"), Value::str("c")]);
+        assert_eq!(store.build_count(), 1);
+        // Append at the tail: the stale index must refresh from the appended
+        // rows only, not rebuild — and serve the new row in source order.
+        provider.append_pairs("t,v", vec![(1, "d"), (3, "e")]);
+        let bag = ev.eval(&q, &env1).unwrap().expect_bag().unwrap();
+        assert_eq!(
+            bag.items(),
+            &[Value::str("a"), Value::str("c"), Value::str("d")]
+        );
+        assert_eq!(store.build_count(), 1, "no full rebuild");
+        assert_eq!(store.refresh_count(), 1, "one copy-on-write refresh");
+        // The refreshed index serves the next version-current probe as a hit.
+        let env3 = Env::new().with_params(crate::Params::new().with("k", 3));
+        let bag = ev.eval(&q, &env3).unwrap().expect_bag().unwrap();
+        assert_eq!(bag.items(), &[Value::str("e")]);
+        assert_eq!(store.hit_count(), 1);
+    }
+
+    #[test]
+    fn non_append_only_providers_rebuild_instead_of_refreshing() {
+        // MapExtents inserts replace whole bags (prefixes are not stable), so a
+        // version bump must trigger a full rebuild, never a tail refresh.
+        let mut m = MapExtents::new();
+        m.insert_pairs("t,v", vec![(1, "a"), (2, "b")]);
+        let store = Arc::new(IndexStore::new());
+        let q = parse("[x | {k, x} <- <<t, v>>; k = ?k]").unwrap();
+        let env = Env::new().with_params(crate::Params::new().with("k", 1));
+        {
+            let ev = Evaluator::new(&m).with_index_store(Arc::clone(&store));
+            ev.eval(&q, &env).unwrap();
+        }
+        m.insert_pairs("t,v", vec![(1, "z"), (2, "b"), (1, "a")]);
+        let ev = Evaluator::new(&m).with_index_store(Arc::clone(&store));
+        let bag = ev.eval(&q, &env).unwrap().expect_bag().unwrap();
+        assert_eq!(bag.items(), &[Value::str("z"), Value::str("a")]);
+        assert_eq!(store.build_count(), 2, "replaced bag forces a full rebuild");
+        assert_eq!(store.refresh_count(), 0);
+    }
+
+    #[test]
+    fn explain_and_step_probe_agree_on_index_lookup() {
+        let extents = fixture();
+        let store = Arc::new(IndexStore::new());
+        let probe = Arc::new(StepProbe::new());
+        let ev = Evaluator::new(&extents)
+            .with_index_store(Arc::clone(&store))
+            .with_step_probe(Arc::clone(&probe));
+        let q = parse("[x | {k, x} <- <<protein, accession_num>>; k = ?key]").unwrap();
+        let stats = ev.explain(&q, &Env::new()).unwrap();
+        assert!(
+            matches!(stats.as_slice(), [s] if s.strategy == JoinStrategy::IndexLookup),
+            "explain must report the index lookup: {stats:?}"
+        );
+        let env = Env::new().with_params(crate::Params::new().with("key", 2));
+        ev.eval(&q, &env).unwrap();
+        assert_eq!(
+            probe.count(StepKind::IndexLookup),
+            1,
+            "the explained strategy is the executed step"
+        );
+        assert_eq!(probe.count(StepKind::Iterate), 0);
+        assert_eq!(probe.count(StepKind::Filter), 0, "filters were consumed");
+    }
+
+    /// The skewed star workload for the re-optimisation tests: `hub` has 60
+    /// rows over 20 distinct keys but 41 of them share key 0 (skew the
+    /// `1/max(distinct)` estimate cannot see); `probe` has 12 rows, all key 0;
+    /// `wide` has 40 rows spread uniformly over the 20 keys.
+    fn reopt_fixture() -> (MapExtents, Expr) {
+        let mut m = MapExtents::new();
+        let mut hub = Vec::new();
+        for i in 0..41 {
+            hub.push((0i64, if i % 2 == 0 { "h" } else { "h2" }));
+        }
+        for k in 1..20 {
+            hub.push((k as i64, "h3"));
+        }
+        m.insert_pairs("hub,v", hub);
+        m.insert_pairs("probe,v", (0..12).map(|_| (0i64, "p")).collect());
+        m.insert_pairs("wide,v", (0..40).map(|i| (i as i64 % 20, "w")).collect());
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<hub, v>>; {k2, y} <- <<probe, v>>; k2 = k1; \
+             {k3, z} <- <<wide, v>>; k3 = k1]",
+        )
+        .unwrap();
+        (m, q)
+    }
+
+    /// The positions a stats list's bushy join nodes cover, innermost first —
+    /// the shape fingerprint the re-optimisation test pins.
+    fn bushy_shapes(stats: &[JoinStats]) -> Vec<Vec<usize>> {
+        stats
+            .iter()
+            .filter_map(|s| match &s.strategy {
+                JoinStrategy::Bushy { tree } => Some(tree.leaves()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    fn total_actual_rows(stats: &[JoinStats]) -> usize {
+        stats.iter().filter_map(|s| s.actual_output).sum()
+    }
+
+    #[test]
+    fn skewed_workload_reoptimises_to_a_cheaper_tree() {
+        let (m, q) = reopt_fixture();
+        // The plan a fresh (cache-free) evaluator picks: the estimate trusts
+        // sel(hub, probe) = 1/20, so (hub ⋈ probe) looks tiny (est 36) and is
+        // joined first — but key skew makes it 492 rows.
+        let initial = Evaluator::new(&m).explain(&q, &Env::new()).unwrap();
+        assert_eq!(
+            bushy_shapes(&initial),
+            vec![vec![0, 1], vec![0, 1, 2]],
+            "estimate-driven tree joins hub⋈probe first: {initial:?}"
+        );
+
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let naive = Evaluator::new(&m).with_nested_loops();
+        let want = naive.eval_closed(&q).unwrap();
+
+        // First execution: a miss; the 13.7× underestimate on hub⋈probe is
+        // recorded with the cached plan.
+        let first = ev.eval_closed(&q).unwrap();
+        assert_eq!(first, want);
+        assert_eq!(cache.reopt_count(), 0);
+
+        // Second execution: the feedback triggers re-enumeration with observed
+        // selectivities; the cheaper (hub ⋈ wide) ⋈ probe tree wins.
+        let second = ev.eval_closed(&q).unwrap();
+        assert_eq!(second, want, "re-optimised plan answers identically");
+        assert_eq!(cache.reopt_count(), 1, "one re-optimisation round");
+        assert_eq!(cache.hit_count(), 1, "the re-opt lookup still counts a hit");
+        let reopted = ev.explain(&q, &Env::new()).unwrap();
+        assert_eq!(
+            bushy_shapes(&reopted),
+            vec![vec![0, 2], vec![0, 1, 2]],
+            "observed selectivities flip the join order: {reopted:?}"
+        );
+        assert!(
+            total_actual_rows(&reopted) < total_actual_rows(&initial),
+            "new tree materialises fewer rows: {} vs {}",
+            total_actual_rows(&reopted),
+            total_actual_rows(&initial)
+        );
+
+        // Third execution: a plain hit — one feedback round per version, no
+        // oscillation.
+        ev.eval_closed(&q).unwrap();
+        assert_eq!(cache.reopt_count(), 1);
+    }
+
+    #[test]
+    fn reopt_keeps_the_previous_plan_when_replanning_is_not_cheaper() {
+        // Uniform data: estimates are accurate, divergence stays under the
+        // factor, and no re-optimisation round ever triggers.
+        let m = chain_fixture();
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<big, v>>; {k2, y} <- <<mid, v>>; k2 = k1; \
+             {k3, z} <- <<small, v>>; k3 = k1]",
+        )
+        .unwrap();
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&m).with_plan_cache(Arc::clone(&cache));
+        let first = ev.eval_closed(&q).unwrap();
+        let second = ev.eval_closed(&q).unwrap();
+        assert_eq!(first, second);
+        assert_eq!(cache.reopt_count(), 0, "accurate estimates never replan");
+        assert_eq!(cache.hit_count(), 1);
+    }
+
+    #[test]
+    fn histograms_refresh_incrementally_on_append_only_providers() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("l,v", (0..8).map(|i| (i as i64 % 4, "l")).collect());
+        provider.append_pairs("r,v", (0..6).map(|i| (i as i64 % 3, "r")).collect());
+        provider.append_pairs("m,v", (0..4).map(|i| (i as i64 % 2, "m")).collect());
+        let cache = Arc::new(PlanCache::new());
+        let ev = Evaluator::new(&provider).with_plan_cache(Arc::clone(&cache));
+        let q = parse(
+            "[{x, y, z} | {k1, x} <- <<l, v>>; {k2, y} <- <<r, v>>; k2 = k1; \
+             {k3, z} <- <<m, v>>; k3 = k1]",
+        )
+        .unwrap();
+        let naive = Evaluator::new(&provider).with_nested_loops();
+        assert_eq!(ev.eval_closed(&q).unwrap(), naive.eval_closed(&q).unwrap());
+        assert_eq!(cache.histogram_refresh_count(), 0);
+        assert!(cache.histogram_count() > 0, "histograms persisted");
+        // Append: replanning must *refresh* the stale histograms from the tail
+        // rather than recount, and answers must stay correct.
+        provider.append_pairs("l,v", vec![(0, "l9"), (5, "l10")]);
+        assert_eq!(ev.eval_closed(&q).unwrap(), naive.eval_closed(&q).unwrap());
+        assert!(
+            cache.histogram_refresh_count() > 0,
+            "stale histograms refreshed copy-on-write"
         );
     }
 }

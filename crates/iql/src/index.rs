@@ -1,0 +1,297 @@
+//! A persistent store of secondary point-lookup indexes.
+//!
+//! The prepared-query path (see [`crate::PlanCache`]) caches one plan per query
+//! shape, but a residual equality filter — `x = ?p` over a generator's bound
+//! variable — still rescanned its extent on every execution: the filter is not
+//! an equi-*join*, so the hash-join machinery never indexed it. The
+//! [`IndexStore`] closes that gap. When the planner meets a generator followed
+//! by `var = ?param` / `var = literal` filters over a closed source, it builds
+//! (or fetches) a hash index from the filtered variables to the matching source
+//! elements and emits an `IndexLookup` step: each execution evaluates the key
+//! expressions under the current parameter bindings and probes in O(1) instead
+//! of scanning.
+//!
+//! The store lives *beside* the plan cache rather than inside it, because the
+//! two have different lifetimes: a version bump invalidates every cached plan,
+//! but an append-only provider (the relational store, whose inserts only ever
+//! push to extent tails — see [`crate::eval::ExtentProvider::extents_append_only`])
+//! can refresh an index copy-on-write by scanning just the appended tail.
+//! Replanning after an insert therefore finds a warm, refreshed index instead
+//! of rebuilding from scratch.
+//!
+//! Entries are LRU-bounded by count *and* by estimated bytes (see
+//! [`crate::lru::LruMap::with_weight_budget`]): one index over a large extent
+//! can dwarf hundreds over small ones, so eviction weighs entries by their
+//! bucket and row footprint. Hits, misses, builds, copy-on-write refreshes and
+//! evictions are all counted, surfacing in `Dataspace::stats()`.
+
+use crate::ast::{Expr, Pattern};
+use crate::lru::LruMap;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+/// Default maximum number of indexes held.
+pub const DEFAULT_INDEX_CAPACITY: usize = 256;
+
+/// Default byte budget across all held indexes (64 MiB of estimated footprint).
+pub const DEFAULT_INDEX_BYTES: u64 = 64 << 20;
+
+/// A built point-lookup index: composite filter key → matching source elements,
+/// each bucket preserving source order so probes reproduce nested-loop output
+/// order exactly.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PointIndex {
+    /// Composite key (see `eval::composite_key`) → source elements, in order.
+    pub(crate) buckets: HashMap<Value, Vec<Value>>,
+    /// Total elements indexed (sum of bucket lengths).
+    pub(crate) rows: usize,
+    /// Size of the largest bucket.
+    pub(crate) max_bucket: usize,
+}
+
+impl PointIndex {
+    /// Append one pattern-matched element under its key, maintaining counts.
+    pub(crate) fn push(&mut self, key: Value, element: Value) {
+        let bucket = self.buckets.entry(key).or_default();
+        bucket.push(element);
+        self.max_bucket = self.max_bucket.max(bucket.len());
+        self.rows += 1;
+    }
+
+    /// Estimated resident bytes: a shallow per-row and per-bucket cost.
+    /// Values are `Arc`-shared with the source bag, so the dominant footprint
+    /// is map/vec structure, not payload.
+    pub(crate) fn approx_bytes(&self) -> u64 {
+        (self.rows as u64) * 72 + (self.buckets.len() as u64) * 96 + 128
+    }
+}
+
+/// Identity of one index: the generator's source expression and pattern plus
+/// the filtered variable names (in filter order, duplicates kept).
+pub(crate) type IndexKey = (Expr, Pattern, Vec<String>);
+
+#[derive(Debug)]
+struct IndexEntry {
+    /// Provider version the index was built (or last refreshed) at.
+    version: u64,
+    /// Source-bag length at build time: an append-only provider refreshes by
+    /// indexing only `bag[scanned..]`.
+    scanned: usize,
+    index: Arc<PointIndex>,
+}
+
+/// A bounded, version-guarded store of point-lookup indexes shared across
+/// plans and (re)planning rounds. See the module docs for the design.
+///
+/// All methods take `&self`; the store is internally locked and may be shared
+/// across threads behind an `Arc`.
+#[derive(Debug)]
+pub struct IndexStore {
+    entries: RwLock<LruMap<IndexKey, IndexEntry>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    builds: AtomicU64,
+    refreshes: AtomicU64,
+}
+
+fn read_lock<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(|poison| poison.into_inner())
+}
+
+fn write_lock<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(|poison| poison.into_inner())
+}
+
+impl IndexStore {
+    /// A store with the default entry and byte bounds.
+    pub fn new() -> Self {
+        IndexStore::with_capacity_and_bytes(DEFAULT_INDEX_CAPACITY, DEFAULT_INDEX_BYTES)
+    }
+
+    /// A store holding at most `capacity` indexes (default byte budget).
+    pub fn with_capacity(capacity: usize) -> Self {
+        IndexStore::with_capacity_and_bytes(capacity, DEFAULT_INDEX_BYTES)
+    }
+
+    /// A store bounded by both index count and estimated total bytes.
+    pub fn with_capacity_and_bytes(capacity: usize, byte_budget: u64) -> Self {
+        IndexStore {
+            entries: RwLock::new(LruMap::with_weight_budget(capacity, byte_budget)),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            builds: AtomicU64::new(0),
+            refreshes: AtomicU64::new(0),
+        }
+    }
+
+    /// Probes that found a current index.
+    pub fn hit_count(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Probes that found no usable index (absent or stale).
+    pub fn miss_count(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Indexes built from a full source scan.
+    pub fn build_count(&self) -> u64 {
+        self.builds.load(Ordering::Relaxed)
+    }
+
+    /// Stale indexes refreshed copy-on-write from an appended tail.
+    pub fn refresh_count(&self) -> u64 {
+        self.refreshes.load(Ordering::Relaxed)
+    }
+
+    /// Indexes evicted for capacity or byte budget.
+    pub fn eviction_count(&self) -> u64 {
+        read_lock(&self.entries).evictions()
+    }
+
+    /// Number of indexes currently held.
+    pub fn len(&self) -> usize {
+        read_lock(&self.entries).len()
+    }
+
+    /// Whether the store holds no indexes.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Estimated resident bytes across all held indexes.
+    pub fn approx_bytes(&self) -> u64 {
+        read_lock(&self.entries).total_weight()
+    }
+
+    /// Drop every index (counters are retained).
+    pub fn invalidate_all(&self) {
+        write_lock(&self.entries).clear();
+    }
+
+    /// A current index for `key` at `version`, counting a hit or miss.
+    pub(crate) fn lookup(&self, key: &IndexKey, version: u64) -> Option<Arc<PointIndex>> {
+        let guard = read_lock(&self.entries);
+        match guard.get(key) {
+            Some(entry) if entry.version == version => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(&entry.index))
+            }
+            _ => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// A stale entry usable for copy-on-write refresh: the index plus the
+    /// source-bag length it covered. Does not count as a hit or miss (the
+    /// preceding [`IndexStore::lookup`] already counted the miss).
+    pub(crate) fn stale(&self, key: &IndexKey) -> Option<(usize, Arc<PointIndex>)> {
+        let guard = read_lock(&self.entries);
+        guard
+            .get(key)
+            .map(|entry| (entry.scanned, Arc::clone(&entry.index)))
+    }
+
+    /// Store a freshly built or refreshed index, weighted by estimated bytes.
+    pub(crate) fn store(
+        &self,
+        key: IndexKey,
+        version: u64,
+        scanned: usize,
+        index: Arc<PointIndex>,
+        refreshed: bool,
+    ) {
+        if refreshed {
+            self.refreshes.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.builds.fetch_add(1, Ordering::Relaxed);
+        }
+        let weight = index.approx_bytes();
+        write_lock(&self.entries).insert_weighted(
+            key,
+            IndexEntry {
+                version,
+                scanned,
+                index,
+            },
+            weight,
+        );
+    }
+}
+
+impl Default for IndexStore {
+    fn default() -> Self {
+        IndexStore::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::Pattern;
+
+    fn key(n: &str) -> IndexKey {
+        (
+            Expr::scheme([n]),
+            Pattern::Var("x".into()),
+            vec!["x".into()],
+        )
+    }
+
+    fn sample_index(rows: usize) -> Arc<PointIndex> {
+        let mut idx = PointIndex::default();
+        for i in 0..rows {
+            idx.push(Value::Int(i as i64 % 3), Value::Int(i as i64));
+        }
+        Arc::new(idx)
+    }
+
+    #[test]
+    fn lookup_is_version_guarded() {
+        let store = IndexStore::new();
+        store.store(key("a"), 7, 10, sample_index(10), false);
+        assert!(store.lookup(&key("a"), 7).is_some());
+        assert!(store.lookup(&key("a"), 8).is_none());
+        assert_eq!(store.hit_count(), 1);
+        assert_eq!(store.miss_count(), 1);
+        assert_eq!(store.build_count(), 1);
+    }
+
+    #[test]
+    fn stale_entries_remain_reachable_for_refresh() {
+        let store = IndexStore::new();
+        store.store(key("a"), 7, 10, sample_index(10), false);
+        assert!(store.lookup(&key("a"), 8).is_none());
+        let (scanned, index) = store.stale(&key("a")).expect("stale entry kept");
+        assert_eq!(scanned, 10);
+        assert_eq!(index.rows, 10);
+        store.store(key("a"), 8, 12, sample_index(12), true);
+        assert_eq!(store.refresh_count(), 1);
+        assert_eq!(store.lookup(&key("a"), 8).unwrap().rows, 12);
+    }
+
+    #[test]
+    fn byte_budget_bounds_the_store() {
+        // Each sample index weighs ~1k bytes; a 2.5k budget holds two.
+        let store = IndexStore::with_capacity_and_bytes(16, 2_500);
+        store.store(key("a"), 1, 9, sample_index(9), false);
+        store.store(key("b"), 1, 9, sample_index(9), false);
+        store.store(key("c"), 1, 9, sample_index(9), false);
+        assert!(store.len() <= 2);
+        assert!(store.eviction_count() >= 1);
+        assert!(store.approx_bytes() <= 2_500);
+    }
+
+    #[test]
+    fn invalidate_all_drops_entries() {
+        let store = IndexStore::new();
+        store.store(key("a"), 1, 4, sample_index(4), false);
+        store.invalidate_all();
+        assert!(store.is_empty());
+        assert_eq!(store.approx_bytes(), 0);
+    }
+}

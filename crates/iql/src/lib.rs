@@ -34,6 +34,8 @@
 //!   subgraphs) behind [`JoinStrategy::Bushy`] plans;
 //! * [`fetch`] — the process-wide [`FetchPool`] semaphore budgeting every fetch
 //!   fan-out in the process;
+//! * [`index`] — the LRU/byte-bounded [`IndexStore`] of secondary point-lookup
+//!   indexes serving prepared `var = ?param` filters as O(1) probes;
 //! * [`lru`] — the bounded [`lru::LruMap`] behind the engine's memos;
 //! * [`builtins`] — the built-in function library (`count`, `sum`, `distinct`, …);
 //! * [`rewrite`] — query rewriting utilities used by GAV unfolding and pathway
@@ -60,6 +62,7 @@ pub mod env;
 pub mod error;
 pub mod eval;
 pub mod fetch;
+pub mod index;
 pub mod lexer;
 pub mod lru;
 pub mod parser;
@@ -77,6 +80,7 @@ pub use eval::{
     StepProbe,
 };
 pub use fetch::FetchPool;
+pub use index::IndexStore;
 pub use value::{Bag, Value};
 
 use std::collections::BTreeMap;

@@ -17,6 +17,14 @@
 //!   planner-level (not per-row) events, so the scan is cheaper than the
 //!   linked-list bookkeeping (and unsafe code) of a classic LRU.
 //!
+//! Entries may also carry a *weight* (an estimated byte footprint): besides the
+//! entry-count capacity, a map built with [`LruMap::with_weight_budget`] evicts
+//! until the total weight fits its budget. Two cached plans are rarely the same
+//! size — one may pin a few hundred materialised rows, another a multi-thousand
+//! row join index — so counting entries alone would let a handful of heavy
+//! plans dwarf the nominal bound. [`LruMap::insert`] assigns weight 1, keeping
+//! count-bounded users (parse memo, extent memo) unchanged.
+//!
 //! ```
 //! use iql::lru::LruMap;
 //!
@@ -28,6 +36,13 @@
 //! assert!(cache.get(&"b").is_none());
 //! assert_eq!(cache.len(), 2);
 //! assert_eq!(cache.evictions(), 1);
+//!
+//! // A byte-budgeted map evicts by total weight, not entry count alone.
+//! let mut sized: LruMap<&str, Vec<u8>> = LruMap::with_weight_budget(16, 100);
+//! sized.insert_weighted("small", vec![0; 10], 10);
+//! sized.insert_weighted("big", vec![0; 95], 95);   // 10 + 95 > 100: "small" goes
+//! assert!(sized.get(&"small").is_none());
+//! assert_eq!(sized.total_weight(), 95);
 //! ```
 
 use std::collections::HashMap;
@@ -41,6 +56,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub struct LruMap<K, V> {
     entries: HashMap<K, Slot<V>>,
     capacity: usize,
+    weight_budget: u64,
+    total_weight: u64,
     tick: AtomicU64,
     evictions: u64,
 }
@@ -48,6 +65,7 @@ pub struct LruMap<K, V> {
 #[derive(Debug)]
 struct Slot<V> {
     value: V,
+    weight: u64,
     last_used: AtomicU64,
 }
 
@@ -55,9 +73,20 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// An empty map holding at most `capacity` entries. A capacity of zero is
     /// clamped to one (a cache that can hold nothing would evict every insert).
     pub fn new(capacity: usize) -> Self {
+        LruMap::with_weight_budget(capacity, u64::MAX)
+    }
+
+    /// An empty map bounded both by entry count and by total entry weight.
+    /// Weights are supplied per entry through [`LruMap::insert_weighted`]
+    /// (typically an estimated byte footprint); inserts evict stalest-first
+    /// until both bounds hold. A single entry heavier than the whole budget is
+    /// still admitted — alone — mirroring the capacity clamp.
+    pub fn with_weight_budget(capacity: usize, weight_budget: u64) -> Self {
         LruMap {
             entries: HashMap::new(),
             capacity: capacity.max(1),
+            weight_budget: weight_budget.max(1),
+            total_weight: 0,
             tick: AtomicU64::new(0),
             evictions: 0,
         }
@@ -66,6 +95,16 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// The configured capacity.
     pub fn capacity(&self) -> usize {
         self.capacity
+    }
+
+    /// The configured total-weight budget (`u64::MAX` when count-bounded only).
+    pub fn weight_budget(&self) -> u64 {
+        self.weight_budget
+    }
+
+    /// The summed weight of all held entries.
+    pub fn total_weight(&self) -> u64 {
+        self.total_weight
     }
 
     /// Number of entries currently held.
@@ -98,25 +137,43 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
         })
     }
 
-    /// Insert (or refresh) an entry, evicting the least recently used one first
-    /// when the map is full and the key is new.
+    /// Insert (or refresh) an entry with weight 1, evicting the least recently
+    /// used one first when the map is full and the key is new.
     pub fn insert(&mut self, key: K, value: V) {
+        self.insert_weighted(key, value, 1);
+    }
+
+    /// Insert (or refresh) an entry carrying an explicit weight, evicting
+    /// stalest-first until both the entry-count capacity and the total-weight
+    /// budget hold. Refreshing an existing key replaces its weight; it only
+    /// evicts others if the new weight overflows the budget.
+    pub fn insert_weighted(&mut self, key: K, value: V, weight: u64) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
-        if self.entries.len() >= self.capacity && !self.entries.contains_key(&key) {
+        if let Some(old) = self.entries.remove(&key) {
+            self.total_weight -= old.weight;
+        }
+        while !self.entries.is_empty()
+            && (self.entries.len() >= self.capacity
+                || self.total_weight.saturating_add(weight) > self.weight_budget)
+        {
             if let Some(stalest) = self
                 .entries
                 .iter()
                 .min_by_key(|(_, slot)| slot.last_used.load(Ordering::Relaxed))
                 .map(|(k, _)| k.clone())
             {
-                self.entries.remove(&stalest);
+                if let Some(evicted) = self.entries.remove(&stalest) {
+                    self.total_weight -= evicted.weight;
+                }
                 self.evictions += 1;
             }
         }
+        self.total_weight += weight;
         self.entries.insert(
             key,
             Slot {
                 value,
+                weight,
                 last_used: AtomicU64::new(tick),
             },
         );
@@ -125,6 +182,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     /// Remove every entry (the eviction counter is retained).
     pub fn clear(&mut self) {
         self.entries.clear();
+        self.total_weight = 0;
     }
 }
 
@@ -182,6 +240,59 @@ mod tests {
         }
         m.clear();
         assert!(m.is_empty());
+    }
+
+    #[test]
+    fn weight_budget_evicts_until_total_fits() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 40);
+        m.insert_weighted(2, 20, 40);
+        m.get(&1); // 2 is now stalest
+        m.insert_weighted(3, 30, 50); // 40+40+50 > 100: evict 2
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.get(&1), Some(&10));
+        assert_eq!(m.total_weight(), 90);
+        assert_eq!(m.evictions(), 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_admitted_alone() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 30);
+        m.insert_weighted(2, 20, 500); // heavier than the whole budget
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(&2), Some(&20));
+        assert_eq!(m.total_weight(), 500);
+    }
+
+    #[test]
+    fn refresh_replaces_weight_in_place() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 60);
+        m.insert_weighted(2, 20, 30);
+        m.insert_weighted(1, 11, 20); // refresh: 60 -> 20, no eviction needed
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total_weight(), 50);
+        assert_eq!(m.evictions(), 0);
+        assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn clear_resets_total_weight() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(4, 100);
+        m.insert_weighted(1, 10, 50);
+        m.clear();
+        assert_eq!(m.total_weight(), 0);
+        assert!(m.is_empty());
+    }
+
+    #[test]
+    fn unweighted_inserts_count_one_each() {
+        let mut m: LruMap<i32, i32> = LruMap::new(3);
+        m.insert(1, 10);
+        m.insert(2, 20);
+        assert_eq!(m.total_weight(), 2);
+        assert_eq!(m.weight_budget(), u64::MAX);
     }
 
     #[test]

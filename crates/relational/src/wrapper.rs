@@ -139,6 +139,15 @@ impl ExtentProvider for Database {
     fn version(&self) -> u64 {
         self.data_version()
     }
+
+    /// Inserts only ever append to a table — and the extent memo is maintained
+    /// by pushing each new row's contribution onto the cached bags — so extent
+    /// prefixes are stable across versions. This unlocks copy-on-write refresh
+    /// of point-lookup indexes and key histograms (only the appended tail is
+    /// scanned; see [`iql::eval::ExtentProvider::extents_append_only`]).
+    fn extents_append_only(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

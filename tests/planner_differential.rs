@@ -1,7 +1,9 @@
 //! Differential testing of the comprehension planner: for randomly generated
 //! extents and randomly shaped comprehensions, **planned** (bushy enumeration
 //! on), **nested-loop**, **statistics-reordered**, **bushy-disabled** (greedy
-//! chain reorder only), **sequentially fetched** and **plan-cached** evaluation
+//! chain reorder only), **sequentially fetched**, **plan-cached**,
+//! **secondary-indexed** (point filters served by an attached `IndexStore`) and
+//! **index-disabled** evaluation
 //! must all agree — bag equality including multiplicities *and order*, since
 //! every planned strategy is required to preserve the nested-loop output order.
 //!
@@ -30,7 +32,7 @@ use automed::qp::Contribution;
 use automed::wrapper::SourceRegistry;
 use iql::env::Env;
 use iql::value::{Bag, Value};
-use iql::{parse, Evaluator, JoinStrategy, MapExtents, PlanCache, StepKind, StepProbe};
+use iql::{parse, Evaluator, IndexStore, JoinStrategy, MapExtents, PlanCache, StepKind, StepProbe};
 use proptest::prelude::*;
 use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
 use relational::Database;
@@ -70,9 +72,11 @@ fn map_extents(rows: &[Vec<(i64, usize)>]) -> MapExtents {
 
 /// One generator of a random comprehension: which scheme it ranges over
 /// (modulo its position's allowance), which earlier generator it equi-joins to
-/// in free mode (modulo its position), and an optional literal filter on its
-/// value variable (which also splits the reorderable chain).
-type GenSpec = (usize, usize, Option<usize>);
+/// in free mode (modulo its position), an optional literal filter on its
+/// value variable (which also splits the reorderable chain), and an optional
+/// *point* filter — `k<i> = lit` or `v<i> = 'w<w>'` — the shape the secondary
+/// index store serves as an `IndexLookup` when one is attached.
+type GenSpec = (usize, usize, Option<usize>, Option<(bool, usize)>);
 
 /// A query shape: the join-graph topology mode (line/star/clique/free), 1–6
 /// generators, and optional correlated tail and let-binding.
@@ -86,6 +90,7 @@ fn query_shape() -> impl Strategy<Value = QueryShape> {
                 0usize..6,
                 0usize..6,
                 prop_oneof![Just(None), (0usize..5).prop_map(Some)],
+                prop_oneof![Just(None), (any::<bool>(), 0usize..5).prop_map(Some)],
             ),
             1..7,
         ),
@@ -104,7 +109,7 @@ fn query_shape() -> impl Strategy<Value = QueryShape> {
 /// the satellites (repeats allowed — self-joins stay covered).
 fn render_query((mode, gens, correlated_tail, with_let): &QueryShape) -> String {
     let mut quals: Vec<String> = Vec::new();
-    for (i, (scheme_sel, join_to, lit)) in gens.iter().enumerate() {
+    for (i, (scheme_sel, join_to, lit, point)) in gens.iter().enumerate() {
         let scheme = if i == 0 {
             scheme_sel % 6
         } else {
@@ -122,6 +127,16 @@ fn render_query((mode, gens, correlated_tail, with_let): &QueryShape) -> String 
                     }
                 }
                 _ => quals.push(format!("k{i} = k{}", join_to % i)), // free
+            }
+        }
+        // A point filter directly after the leading generator is the
+        // index-servable shape; after a joined generator it lands behind the
+        // equi-filters and stays a residual filter.
+        if let Some((on_key, w)) = point {
+            if *on_key {
+                quals.push(format!("k{i} = {w}"));
+            } else {
+                quals.push(format!("v{i} = 'w{w}'"));
             }
         }
         if let Some(w) = lit {
@@ -191,6 +206,33 @@ proptest! {
         prop_assert_eq!(items(&no_bushy), items(&naive), "no-bushy vs naive: {}", &text);
         prop_assert_eq!(items(&sequential), items(&naive), "sequential vs naive: {}", &text);
 
+        // Secondary-index leg: with a shared index store attached, point filters
+        // execute as O(1) index probes; answers (order included) must be
+        // indistinguishable from the index-disabled evaluator and the oracle.
+        // Evaluating twice drives both the build path and the probe-hit path.
+        let store = Arc::new(IndexStore::new());
+        let indexed_ev = Evaluator::new(&extents).with_index_store(Arc::clone(&store));
+        let indexed = indexed_ev.eval_closed(&query).expect("indexed evaluation");
+        let indexed_again = indexed_ev.eval_closed(&query).expect("re-indexed evaluation");
+        let no_index = Evaluator::new(&extents)
+            .with_index_store(Arc::new(IndexStore::new()))
+            .without_index()
+            .eval_closed(&query)
+            .expect("index-disabled evaluation");
+        prop_assert_eq!(items(&indexed), items(&naive), "indexed vs naive: {}", &text);
+        prop_assert_eq!(
+            items(&indexed_again),
+            items(&naive),
+            "indexed re-run vs naive: {}",
+            &text
+        );
+        prop_assert_eq!(
+            items(&no_index),
+            items(&naive),
+            "index-disabled vs naive: {}",
+            &text
+        );
+
         // Plan-cached re-run: second evaluation must reuse the plan and agree.
         let cache = Arc::new(PlanCache::new());
         let cached_ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
@@ -207,17 +249,26 @@ proptest! {
         // Explain consistency: these queries hold exactly one comprehension, so
         // the top-level plan is the only plan the probe can see — each join
         // strategy `explain` reports must appear as an executed step kind, and
-        // no join step may execute without its strategy being reported.
+        // no join step may execute without its strategy being reported. Both
+        // evaluators share the index store above so point filters plan (and
+        // execute) as IndexLookup steps.
         let stats = Evaluator::new(&extents)
+            .with_index_store(Arc::clone(&store))
             .explain(&query, &Env::new())
             .expect("explain");
         let probe = Arc::new(StepProbe::new());
         let probed = Evaluator::new(&extents)
+            .with_index_store(Arc::clone(&store))
             .with_step_probe(Arc::clone(&probe))
             .eval_closed(&query)
             .expect("probed evaluation");
         prop_assert_eq!(items(&probed), items(&naive), "probed vs naive: {}", &text);
-        let pairs: [(&str, bool, StepKind); 4] = [
+        let pairs: [(&str, bool, StepKind); 5] = [
+            (
+                "index",
+                stats.iter().any(|s| s.strategy == JoinStrategy::IndexLookup),
+                StepKind::IndexLookup,
+            ),
             (
                 "bushy",
                 stats.iter().any(|s| matches!(s.strategy, JoinStrategy::Bushy { .. })),
@@ -369,6 +420,7 @@ proptest! {
                             | JoinStrategy::Reordered
                             | JoinStrategy::Multiway
                             | JoinStrategy::Bushy { .. }
+                            | JoinStrategy::IndexLookup
                     ),
                     "unexpected strategy for {}: {:?}",
                     text,
