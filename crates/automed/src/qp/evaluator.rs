@@ -430,6 +430,41 @@ impl<'a> VirtualExtents<'a> {
         Ok(self.answer(query)?.expect_bag()?)
     }
 
+    /// Build a [`iql::StandingPlan`] for `query` over the virtual schema under
+    /// fixed parameter bindings, or `None` when the shape is not incrementally
+    /// maintainable (see [`Evaluator::standing_plan`] for the contract).
+    pub fn standing_plan(
+        &self,
+        query: &Expr,
+        params: &iql::Params,
+    ) -> Result<Option<iql::StandingPlan>, AutomedError> {
+        let env = iql::env::Env::new().with_params(params.clone());
+        Ok(self.evaluator().standing_plan(query, &env)?)
+    }
+
+    /// Execute a standing plan in full (initial answer / re-synchronisation).
+    pub fn execute_standing(
+        &self,
+        plan: &iql::StandingPlan,
+        params: &iql::Params,
+    ) -> Result<Bag, AutomedError> {
+        let env = iql::env::Env::new().with_params(params.clone());
+        Ok(self.evaluator().execute_standing(plan, &env)?)
+    }
+
+    /// Delta-evaluate a standing plan against rows appended to its lead
+    /// scheme's extent (see [`Evaluator::delta_standing`] for the soundness
+    /// contract the caller's version bookkeeping must enforce).
+    pub fn delta_standing(
+        &self,
+        plan: &iql::StandingPlan,
+        appended: &[iql::Value],
+        params: &iql::Params,
+    ) -> Result<Bag, AutomedError> {
+        let env = iql::env::Env::new().with_params(params.clone());
+        Ok(self.evaluator().delta_standing(plan, appended, &env)?)
+    }
+
     /// Evaluate one contribution to a scheme's extent.
     fn eval_contribution(
         &self,

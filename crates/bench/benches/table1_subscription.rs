@@ -1,0 +1,124 @@
+//! Standing-subscription maintenance vs per-insert re-execution.
+//!
+//! A standing subscription promises O(delta) upkeep: when a row lands in the
+//! extent its standing plan *leads* with, the engine drives just that row
+//! through the retained plan instead of re-running the query. This bench
+//! measures what that promise is worth, per insert, across a source-size
+//! sweep:
+//!
+//! * **subscription**: one live subscription on a selection over the inserted
+//!   table; each iteration is a single `Dataspace::insert`, whose cost
+//!   *includes* keeping the subscription current through the delta path;
+//! * **reexecute**: no subscription; each iteration is the same insert
+//!   followed by a from-scratch execution of the same query — what a client
+//!   without standing queries must do to keep a live result fresh;
+//! * **insert_only**: the same insert with nothing to maintain — the floor
+//!   both legs sit on.
+//!
+//! Expectation: `subscription` stays near the `insert_only` floor at every
+//! scale (per-insert maintenance is near-constant in the extent size), while
+//! `reexecute` grows linearly with the extent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataspace_core::dataspace::Dataspace;
+use iql::Params;
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+use std::cell::Cell;
+use std::time::Duration;
+
+const QUERY: &str = "[x | {k, x} <- <<SRC_t, SRC_label>>; k >= 0]";
+
+fn populated(rows: i64) -> Dataspace {
+    let mut schema = RelSchema::new("src");
+    schema
+        .add_table(
+            RelTable::new("t")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .expect("schema builds");
+    let mut db = Database::new(schema);
+    let batch: Vec<Vec<iql::Value>> = (0..rows)
+        .map(|i| vec![i.into(), format!("w{}", i % 97).into()])
+        .collect();
+    db.insert_many("t", batch).expect("seed rows");
+    let mut ds = Dataspace::new();
+    ds.add_source(db).expect("add source");
+    ds.federate().expect("federate");
+    ds
+}
+
+fn table1_subscription(c: &mut Criterion) {
+    // The harness shim takes no warmup samples, and the first benchmark in a
+    // process otherwise absorbs the CPU's frequency ramp: spin the exact
+    // workload for a second before measuring anything.
+    let mut warm = populated(2_000);
+    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+    let mut i = 2_000i64;
+    while std::time::Instant::now() < deadline {
+        warm.insert("src", "t", vec![i.into(), "w".into()])
+            .expect("warmup insert");
+        warm.query(QUERY).expect("warmup query");
+        i += 1;
+    }
+    drop(warm);
+
+    let mut group = c.benchmark_group("table1_subscription");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    for rows in [500i64, 2_000, 8_000] {
+        // Subscription leg: the insert itself maintains the standing result.
+        let mut ds = populated(rows);
+        let sub = ds
+            .prepare(QUERY)
+            .expect("query prepares")
+            .subscribe(&Params::new())
+            .expect("query subscribes");
+        assert!(sub.is_incremental(), "bench shape must take the delta path");
+        let ticks = Cell::new(rows);
+        group.bench_with_input(BenchmarkId::new("subscription", rows), &rows, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                    .expect("insert maintains");
+            })
+        });
+        let stats = ds.stats();
+        assert!(stats.delta_evals > 0 && stats.fallback_reexecs == 0);
+        drop(sub);
+
+        // Re-execution leg: insert, then run the query from scratch.
+        let mut ds = populated(rows);
+        let ticks = Cell::new(rows);
+        group.bench_with_input(BenchmarkId::new("reexecute", rows), &rows, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                    .expect("insert");
+                ds.query(QUERY).expect("reexecution answers")
+            })
+        });
+
+        // Floor: the bare insert with nothing subscribed.
+        let mut ds = populated(rows);
+        let ticks = Cell::new(rows);
+        group.bench_with_input(BenchmarkId::new("insert_only", rows), &rows, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                    .expect("insert");
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_subscription);
+criterion_main!(benches);

@@ -21,14 +21,21 @@ use crate::global::{derive_global, GlobalDerivation};
 use crate::intersection::{build_intersection, IntersectionResult};
 use crate::mapping::IntersectionSpec;
 use crate::metrics::{EffortReport, IterationEffort};
+use crate::subscriptions::{
+    global_scheme_delta, DepContext, SubState, Subscription, SubscriptionRegistry,
+    SubscriptionUpdate,
+};
 use automed::qp::evaluator::{ExtentMemo, SharedExtentCache, VirtualExtents};
 use automed::wrapper::SourceRegistry;
 use automed::{Repository, Schema};
+use iql::eval::ExtentProvider;
 use iql::lru::LruMap;
 use iql::value::{Bag, Value};
 use iql::{IndexStore, Params, PlanCache};
+use relational::store::TableDelta;
 use relational::Database;
 use std::collections::BTreeSet;
+use std::sync::atomic::Ordering;
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// Configuration of a dataspace.
@@ -127,6 +134,9 @@ pub struct Dataspace {
     /// Bumped whenever the queryable definitions change; folded into the provider
     /// version so stale plans can never serve.
     generation: u64,
+    /// Standing subscriptions maintained across [`Dataspace::insert`] /
+    /// [`Dataspace::insert_many`] (see [`crate::subscriptions`]).
+    subscriptions: SubscriptionRegistry,
 }
 
 impl Default for Dataspace {
@@ -167,6 +177,7 @@ impl Dataspace {
             index_store,
             parse_cache,
             generation: 0,
+            subscriptions: SubscriptionRegistry::default(),
         }
     }
 
@@ -257,6 +268,7 @@ impl Dataspace {
         self.federation = Some(federation);
         self.rederive_global()?;
         self.bump_generation();
+        self.refresh_subscriptions();
         let size = self.global_schema()?.len();
         self.effort.iterations.push(IterationEffort {
             iteration: 0,
@@ -287,6 +299,7 @@ impl Dataspace {
         self.intersections.push(result);
         self.rederive_global()?;
         self.bump_generation();
+        self.refresh_subscriptions();
 
         let latest = self.intersections.last().expect("just pushed");
         let cumulative = self.effort.total_manual() + latest.manual_transformations;
@@ -636,6 +649,256 @@ impl Dataspace {
                 .unwrap_or_else(PoisonError::into_inner)
                 .len(),
             fetch_pool_capacity: iql::FetchPool::global().capacity(),
+            subscriptions: self.subscriptions.live_count(),
+            delta_evals: self.subscriptions.delta_eval_count(),
+            fallback_reexecs: self.subscriptions.fallback_reexec_count(),
+        }
+    }
+
+    /// Register a standing subscription on a prepared query: the query is
+    /// executed once to seed [`Subscription::result`], and from then on every
+    /// [`Dataspace::insert`] / [`Dataspace::insert_many`] that can affect it
+    /// keeps the result current — incrementally, by evaluating just the new
+    /// rows' contribution against the cached standing plan, whenever the
+    /// query's shape and the insert's footprint allow it (see
+    /// [`crate::subscriptions`] for the exact conditions), and by transparent
+    /// re-execution otherwise.
+    ///
+    /// The returned handle is independent of the dataspace borrow: it can be
+    /// cloned, sent to another thread, and read while the dataspace itself is
+    /// behind a lock. Dropping every handle unregisters the subscription (the
+    /// registry prunes dead entries lazily).
+    pub fn subscribe(
+        &self,
+        query: &PreparedQuery<'_>,
+        params: &Params,
+    ) -> Result<Subscription, CoreError> {
+        query.validate(params)?;
+        let state = Arc::new(SubState::new(
+            Arc::clone(&query.parsed.expr),
+            params.clone(),
+        ));
+        self.resync_subscription(&state, false)?;
+        let deps = SubState::flat_deps(&state.lock());
+        self.subscriptions.register(&state, deps.as_ref());
+        Ok(Subscription::from_state(state))
+    }
+
+    /// Insert one row into a wrapped source table, keeping every affected
+    /// subscription current. Equivalent to a one-row
+    /// [`Dataspace::insert_many`].
+    pub fn insert(&mut self, source: &str, table: &str, row: Vec<Value>) -> Result<(), CoreError> {
+        self.insert_many(source, table, vec![row])
+    }
+
+    /// Insert a batch of rows into a wrapped source table (atomically, with
+    /// one version bump — see [`Database::insert_many`]), then bring every
+    /// affected subscription up to date. Subscriptions whose standing plan is
+    /// led by the inserted table's (sole changed) global extent are maintained
+    /// incrementally from the appended rows alone; the rest transparently
+    /// re-execute. Subscription maintenance never fails the insert itself.
+    pub fn insert_many(
+        &mut self,
+        source: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> Result<(), CoreError> {
+        let pre_version = self.provider().ok().map(|p| ExtentProvider::version(&p));
+        let delta = self
+            .registry
+            .database_mut(source)?
+            .insert_many_with_delta(table, rows)?;
+        if delta.appended.is_empty() {
+            return Ok(());
+        }
+        self.notify_subscriptions(source, &delta, pre_version);
+        Ok(())
+    }
+
+    /// (Re-)execute a subscription's query from scratch and reset its
+    /// incremental state: standing plan, synced version stamp and per-scheme
+    /// source dependencies. With `push_refresh`, the new result is also pushed
+    /// as a [`SubscriptionUpdate::Refreshed`] (initial seeding skips the push:
+    /// the first result is a baseline, not an update).
+    fn resync_subscription(&self, state: &SubState, push_refresh: bool) -> Result<(), CoreError> {
+        let provider = self.provider()?;
+        let version = ExtentProvider::version(&provider);
+        let standing = provider.standing_plan(&state.expr, &state.params)?;
+        let global = self
+            .global
+            .as_ref()
+            .expect("provider() implies a global schema");
+        let ctx = DepContext {
+            definitions: &global.definitions,
+            registry: &self.registry,
+        };
+        let (result, touched) = match &standing {
+            Some(plan) => (
+                Value::Bag(provider.execute_standing(plan, &state.params)?),
+                plan.touched().clone(),
+            ),
+            None => (
+                provider.answer_with(&state.expr, &state.params)?,
+                iql::rewrite::collect_schemes(&state.expr),
+            ),
+        };
+        let scheme_deps = touched
+            .iter()
+            .map(|s| (s.key(), ctx.scheme_deps(s)))
+            .collect();
+        let mut inner = state.lock();
+        inner.result = result.clone();
+        inner.standing = standing;
+        inner.synced = Some(version);
+        inner.scheme_deps = scheme_deps;
+        if push_refresh {
+            inner.updates.push(SubscriptionUpdate::Refreshed(result));
+        }
+        Ok(())
+    }
+
+    /// Fan an insert's [`TableDelta`] out to the subscriptions indexed under
+    /// `(source, table)`: each either takes the incremental path
+    /// ([`Dataspace::apply_insert`]) or falls back to re-execution. A
+    /// subscription whose fallback re-execution itself fails is marked stale
+    /// (`synced = None`) and retried on the next affecting insert.
+    fn notify_subscriptions(&self, source: &str, delta: &TableDelta, pre_version: Option<u64>) {
+        let live = self.subscriptions.all_live();
+        if live.is_empty() {
+            return;
+        }
+        let affected = self.subscriptions.affected(source, &delta.table);
+        let Ok(provider) = self.provider() else {
+            return;
+        };
+        let post_version = ExtentProvider::version(&provider);
+        let global = self
+            .global
+            .as_ref()
+            .expect("provider() implies a global schema");
+        let ctx = DepContext {
+            definitions: &global.definitions,
+            registry: &self.registry,
+        };
+        for state in live {
+            if !affected.iter().any(|a| Arc::ptr_eq(a, &state)) {
+                // The dependency index proves this insert cannot change any
+                // extent the query touches: just advance the version stamp so
+                // the standing plan survives for the next affecting insert.
+                let mut inner = state.lock();
+                if pre_version.is_some() && inner.synced == pre_version {
+                    inner.synced = Some(post_version);
+                }
+                continue;
+            }
+            if !self.apply_insert(
+                &provider,
+                &ctx,
+                &state,
+                source,
+                delta,
+                pre_version,
+                post_version,
+            ) {
+                self.subscriptions
+                    .fallback_reexecs
+                    .fetch_add(1, Ordering::Relaxed);
+                if self.resync_subscription(&state, true).is_err() {
+                    state.lock().synced = None;
+                }
+            }
+        }
+    }
+
+    /// Try the O(delta) incremental path for one subscription and one insert.
+    /// Returns `false` (without mutating the result) when any gate fails and
+    /// the caller must fall back to re-execution: the subscription is stale,
+    /// has no standing plan, the insert changed a global extent other than the
+    /// plan's lead, or the appended rows' contribution to the lead extent
+    /// cannot be isolated.
+    #[allow(clippy::too_many_arguments)]
+    fn apply_insert(
+        &self,
+        provider: &VirtualExtents<'_>,
+        ctx: &DepContext<'_>,
+        state: &SubState,
+        source: &str,
+        delta: &TableDelta,
+        pre_version: Option<u64>,
+        post_version: u64,
+    ) -> bool {
+        let mut inner = state.lock();
+        if pre_version.is_none() || inner.synced != pre_version {
+            return false;
+        }
+        let Some(plan) = &inner.standing else {
+            return false;
+        };
+        let dep = (source.to_string(), delta.table.clone());
+        // Which of the query's global schemes can this insert have changed? An
+        // unresolved dependency set (`None`) means "assume changed".
+        let changed: Vec<&String> = inner
+            .scheme_deps
+            .iter()
+            .filter(|(_, deps)| deps.as_ref().is_none_or(|d| d.contains(&dep)))
+            .map(|(k, _)| k)
+            .collect();
+        if changed.is_empty() {
+            // The insert is a proven no-op for this query (e.g. another table
+            // of a shared source): just advance the version stamp.
+            inner.synced = Some(post_version);
+            return true;
+        }
+        let lead_key = plan.lead_scheme().key();
+        if changed.len() != 1 || *changed[0] != lead_key {
+            return false;
+        }
+        let Some(appended) = global_scheme_delta(ctx, provider, plan.lead_scheme(), source, delta)
+        else {
+            return false;
+        };
+        let delta_bag = if appended.is_empty() {
+            Bag::empty()
+        } else {
+            let Ok(bag) = provider.delta_standing(plan, &appended, &state.params) else {
+                return false;
+            };
+            bag
+        };
+        let Value::Bag(result) = &mut inner.result else {
+            return false;
+        };
+        for v in delta_bag.iter() {
+            result.push(v.clone());
+        }
+        inner.synced = Some(post_version);
+        if !delta_bag.is_empty() {
+            inner.updates.push(SubscriptionUpdate::Delta(delta_bag));
+        }
+        self.subscriptions
+            .delta_evals
+            .fetch_add(1, Ordering::Relaxed);
+        true
+    }
+
+    /// Re-execute every live subscription after a schema change
+    /// ([`Dataspace::federate`] / [`Dataspace::integrate`]): the global schema
+    /// the query was planned against has been re-derived, so standing plans
+    /// and dependency indexes are rebuilt from scratch. A subscription whose
+    /// query no longer evaluates is marked stale rather than failing the
+    /// schema operation.
+    fn refresh_subscriptions(&self) {
+        for state in self.subscriptions.all_live() {
+            self.subscriptions
+                .fallback_reexecs
+                .fetch_add(1, Ordering::Relaxed);
+            match self.resync_subscription(&state, true) {
+                Ok(()) => {
+                    let deps = SubState::flat_deps(&state.lock());
+                    self.subscriptions.reindex(&state, deps.as_ref());
+                }
+                Err(_) => state.lock().synced = None,
+            }
         }
     }
 }
@@ -680,6 +943,14 @@ pub struct DataspaceStats {
     pub parse_memo_len: usize,
     /// Worker budget of the process-wide [`iql::FetchPool`].
     pub fetch_pool_capacity: usize,
+    /// Standing subscriptions currently live (with at least one handle).
+    pub subscriptions: usize,
+    /// Inserts absorbed by a subscription through the O(delta) incremental
+    /// path (including proven no-ops that only advanced the version stamp).
+    pub delta_evals: u64,
+    /// Subscription refreshes that fell back to full re-execution (inserts
+    /// outside the incremental gate, and schema changes).
+    pub fallback_reexecs: u64,
 }
 
 /// A query parsed and validated once, executable many times under different
@@ -815,6 +1086,12 @@ impl PreparedQuery<'_> {
             })
             .collect();
         self.dataspace.answer_bound_batch(items)
+    }
+
+    /// Register a standing subscription on this query under the given
+    /// bindings — a convenience for [`Dataspace::subscribe`].
+    pub fn subscribe(&self, params: &Params) -> Result<Subscription, CoreError> {
+        self.dataspace.subscribe(self, params)
     }
 }
 
@@ -1085,5 +1362,232 @@ mod tests {
         assert!(matches!(ds.query("[oops"), Err(CoreError::Parse(_))));
         assert!(ds.query("count <<NoSuchThing>>").is_err());
         assert!(!ds.can_answer("count <<NoSuchThing>>"));
+    }
+
+    #[test]
+    fn subscriptions_absorb_federated_inserts_incrementally() {
+        let mut ds = dataspace();
+        let q = "[x | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>]";
+        let sub = ds.prepare(q).unwrap().subscribe(&Params::new()).unwrap();
+        assert!(sub.is_incremental());
+        assert_eq!(
+            sub.result_bag().unwrap(),
+            Bag::from_values(vec![Value::str("ACC1"), Value::str("ACC2")])
+        );
+        assert!(sub.drain_updates().is_empty(), "seeding is not an update");
+        let before = ds.stats();
+        assert_eq!(before.subscriptions, 1);
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        let after = ds.stats();
+        assert_eq!(after.delta_evals, before.delta_evals + 1);
+        assert_eq!(after.fallback_reexecs, before.fallback_reexecs);
+        assert_eq!(sub.result_bag().unwrap(), ds.query(q).unwrap());
+        assert_eq!(
+            sub.drain_updates(),
+            vec![SubscriptionUpdate::Delta(Bag::from_values(vec![
+                Value::str("ACC3")
+            ]))]
+        );
+    }
+
+    #[test]
+    fn parameterised_subscriptions_filter_the_delta() {
+        let mut ds = dataspace();
+        let sub = ds
+            .prepare("[k | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>; x = ?acc]")
+            .unwrap()
+            .subscribe(&Params::new().with("acc", "ACC9"))
+            .unwrap();
+        assert!(sub.is_incremental());
+        assert!(sub.result_bag().unwrap().is_empty());
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![8.into(), "ACC8".into(), "Rat".into()],
+        )
+        .unwrap();
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![9.into(), "ACC9".into(), "Rat".into()],
+        )
+        .unwrap();
+        assert_eq!(
+            sub.result_bag().unwrap(),
+            Bag::from_values(vec![Value::Int(9)])
+        );
+        // The non-matching insert was absorbed silently; only the match pushed.
+        assert_eq!(
+            sub.drain_updates(),
+            vec![SubscriptionUpdate::Delta(Bag::from_values(vec![
+                Value::Int(9)
+            ]))]
+        );
+        assert_eq!(ds.stats().delta_evals, 2);
+    }
+
+    #[test]
+    fn inserts_into_the_last_contribution_take_the_delta_path() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let q = "[s | {s, k} <- <<UProtein>>]";
+        let sub = ds.prepare(q).unwrap().subscribe(&Params::new()).unwrap();
+        assert!(sub.is_incremental());
+        let before = ds.stats();
+        // gpmdb contributes the *last* (tail) slice of UProtein's extent, so
+        // its inserts append at the global tail: O(delta) maintenance.
+        ds.insert("gpmdb", "proseq", vec![12.into(), "ACC4".into()])
+            .unwrap();
+        let after = ds.stats();
+        assert_eq!(after.delta_evals, before.delta_evals + 1);
+        assert_eq!(after.fallback_reexecs, before.fallback_reexecs);
+        assert_eq!(sub.result_bag().unwrap(), ds.query(q).unwrap());
+        assert_eq!(
+            sub.drain_updates(),
+            vec![SubscriptionUpdate::Delta(Bag::from_values(vec![
+                Value::str("gpmDB")
+            ]))]
+        );
+    }
+
+    #[test]
+    fn inserts_into_an_earlier_contribution_fall_back_to_reexecution() {
+        let mut ds = dataspace();
+        ds.integrate(uprotein_spec()).unwrap();
+        let q = "[s | {s, k} <- <<UProtein>>]";
+        let sub = ds.prepare(q).unwrap().subscribe(&Params::new()).unwrap();
+        let before = ds.stats();
+        // pedro's slice sits *before* gpmdb's in UProtein's extent, so its
+        // inserts are mid-bag, not tail appends: transparent re-execution.
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        let after = ds.stats();
+        assert_eq!(after.fallback_reexecs, before.fallback_reexecs + 1);
+        assert_eq!(after.delta_evals, before.delta_evals);
+        assert_eq!(sub.result_bag().unwrap(), ds.query(q).unwrap());
+        let updates = sub.drain_updates();
+        assert_eq!(updates.len(), 1);
+        assert!(matches!(&updates[0], SubscriptionUpdate::Refreshed(_)));
+    }
+
+    #[test]
+    fn aggregate_subscriptions_fall_back_transparently() {
+        let mut ds = dataspace();
+        let sub = ds
+            .prepare("count <<PEDRO_protein>>")
+            .unwrap()
+            .subscribe(&Params::new())
+            .unwrap();
+        assert!(!sub.is_incremental());
+        assert_eq!(sub.result(), Value::Int(2));
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        assert_eq!(sub.result(), Value::Int(3));
+        assert_eq!(
+            sub.drain_updates(),
+            vec![SubscriptionUpdate::Refreshed(Value::Int(3))]
+        );
+        assert_eq!(ds.stats().fallback_reexecs, 1);
+    }
+
+    #[test]
+    fn unrelated_inserts_do_not_desync_the_standing_plan() {
+        let mut ds = dataspace();
+        let q = "[x | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>]";
+        let sub = ds.prepare(q).unwrap().subscribe(&Params::new()).unwrap();
+        // An insert into a table the query provably does not depend on...
+        ds.insert("gpmdb", "proseq", vec![12.into(), "ACC4".into()])
+            .unwrap();
+        assert!(sub.drain_updates().is_empty());
+        // ...must not force the next relevant insert off the O(delta) path.
+        let before = ds.stats();
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        let after = ds.stats();
+        assert_eq!(after.delta_evals, before.delta_evals + 1);
+        assert_eq!(after.fallback_reexecs, before.fallback_reexecs);
+        assert_eq!(sub.result_bag().unwrap(), ds.query(q).unwrap());
+    }
+
+    #[test]
+    fn dropped_subscription_handles_are_pruned() {
+        let mut ds = dataspace();
+        let sub = ds
+            .prepare("[k | k <- <<PEDRO_protein>>]")
+            .unwrap()
+            .subscribe(&Params::new())
+            .unwrap();
+        assert_eq!(ds.stats().subscriptions, 1);
+        drop(sub);
+        assert_eq!(ds.stats().subscriptions, 0);
+        // Inserting after every handle is gone must not maintain (or panic).
+        let before = ds.stats();
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        let after = ds.stats();
+        assert_eq!(after.delta_evals, before.delta_evals);
+        assert_eq!(after.fallback_reexecs, before.fallback_reexecs);
+    }
+
+    #[test]
+    fn integrate_refreshes_surviving_subscriptions_and_strands_dropped_ones() {
+        let mut ds = dataspace();
+        let organism_q = "[x | {k, x} <- <<PEDRO_protein, PEDRO_organism>>]";
+        // organism is not covered by the intersection, so its scheme survives
+        // integration; accession_num is covered and gets dropped as redundant.
+        let survivor = ds
+            .prepare(organism_q)
+            .unwrap()
+            .subscribe(&Params::new())
+            .unwrap();
+        let stranded = ds
+            .prepare("[x | {k, x} <- <<PEDRO_protein, PEDRO_accession_num>>]")
+            .unwrap()
+            .subscribe(&Params::new())
+            .unwrap();
+        let stranded_before = stranded.result();
+        ds.integrate(uprotein_spec()).unwrap();
+        // The survivor was re-executed against the new global schema...
+        let updates = survivor.drain_updates();
+        assert_eq!(updates.len(), 1);
+        assert!(matches!(&updates[0], SubscriptionUpdate::Refreshed(_)));
+        assert_eq!(
+            survivor.result_bag().unwrap(),
+            ds.query(organism_q).unwrap()
+        );
+        // ...and is still maintained on later inserts.
+        ds.insert(
+            "pedro",
+            "protein",
+            vec![3.into(), "ACC3".into(), "Rattus norvegicus".into()],
+        )
+        .unwrap();
+        assert_eq!(
+            survivor.result_bag().unwrap(),
+            ds.query(organism_q).unwrap()
+        );
+        // The stranded subscription keeps serving its last good result.
+        assert_eq!(stranded.result(), stranded_before);
     }
 }

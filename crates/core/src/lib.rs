@@ -111,6 +111,7 @@ pub mod global;
 pub mod intersection;
 pub mod mapping;
 pub mod metrics;
+pub mod subscriptions;
 pub mod tool;
 pub mod workflow;
 
@@ -118,3 +119,4 @@ pub use dataspace::{Dataspace, DataspaceStats, PreparedQuery};
 pub use error::CoreError;
 pub use mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
 pub use metrics::{EffortReport, IterationEffort, MethodologyComparison};
+pub use subscriptions::{Subscription, SubscriptionUpdate};

@@ -48,6 +48,11 @@ use std::fmt;
 /// grows as `3^n` partitions, and chains that long are rare in practice).
 pub const MAX_DP_RELATIONS: usize = 6;
 
+/// Ceiling for subset cardinality estimates. A cost is a sum of at most
+/// `2 · (MAX_DP_RELATIONS - 1)` build/output terms, so clamping each term here
+/// keeps every cost finite and the DP's `<` comparisons totally ordered.
+const EST_CEILING: f64 = 1e300;
+
 /// The shape of a planned join over a generator chain, reported through
 /// [`crate::JoinStrategy::Bushy`]. Leaves are chain positions in **textual
 /// generator order** (0 = the leading generator); internal nodes join the
@@ -173,15 +178,24 @@ pub(crate) fn enumerate(cards: &[usize], edges: &[EdgeSel]) -> Option<Enumerated
     }
     let full: u64 = (1u64 << n) - 1;
 
-    // Pairwise combined selectivity and adjacency.
+    // Pairwise combined selectivity and adjacency. Selectivities are sanitised
+    // to the meaningful `(0, 1]` range: histogram estimates are `1/distinct`
+    // and observed-feedback ratios are fractions of a cross product, so a NaN,
+    // infinite, negative or > 1 value can only come from degenerate feedback
+    // (e.g. a ratio over a zero estimate) and is treated as "keeps everything".
     let mut sel = vec![vec![1.0f64; n]; n];
     let mut adj = vec![vec![false; n]; n];
     for e in edges {
         if e.a >= n || e.b >= n || e.a == e.b {
             continue;
         }
-        sel[e.a][e.b] *= e.selectivity;
-        sel[e.b][e.a] *= e.selectivity;
+        let s = if e.selectivity.is_finite() && e.selectivity >= 0.0 {
+            e.selectivity.min(1.0)
+        } else {
+            1.0
+        };
+        sel[e.a][e.b] *= s;
+        sel[e.b][e.a] *= s;
         adj[e.a][e.b] = true;
         adj[e.b][e.a] = true;
     }
@@ -203,7 +217,11 @@ pub(crate) fn enumerate(cards: &[usize], edges: &[EdgeSel]) -> Option<Enumerated
                 e *= s_low;
             }
         }
-        est[s as usize] = e;
+        // Clamp to a finite ceiling: huge cardinality products overflow `f64`
+        // to ∞, and an infinite estimate poisons every cost that includes it
+        // (`cost < ∞` never orders candidates). The ceiling is large enough
+        // that sums over a ≤ MAX_DP_RELATIONS tree stay finite.
+        est[s as usize] = e.min(EST_CEILING);
     }
 
     let crosses = |l: u64, r: u64| -> bool {
@@ -237,7 +255,10 @@ pub(crate) fn enumerate(cards: &[usize], edges: &[EdgeSel]) -> Option<Enumerated
                     if crosses(l, r) {
                         let build = est[l as usize].min(est[r as usize]);
                         let cost = cl + cr + build + est[s as usize];
-                        if chosen.is_none_or(|(c, _)| cost < c) {
+                        // A non-finite cost must never be *held*: `cost < NaN`
+                        // and `cost < ∞` comparisons would let an arbitrary
+                        // first candidate survive against every cheaper one.
+                        if cost.is_finite() && chosen.is_none_or(|(c, _)| cost < c) {
                             chosen = Some((cost, l));
                         }
                     }
@@ -395,6 +416,73 @@ mod tests {
         let out = enumerate(&[10, 10], &[edge(0, 1, 0.1), edge(0, 1, 0.1)]).expect("connected");
         assert!((out.est_rows - 1.0).abs() < 1e-9);
         assert_eq!(out.tree.join_count(), 1);
+    }
+
+    #[test]
+    fn overflowing_cardinalities_still_pick_the_cheapest_tree() {
+        // Cardinalities near usize::MAX: the {0,1} product alone is ~3e38, and
+        // before estimates were clamped a poisoned (∞) first candidate was
+        // never displaced — `cost < ∞` is false only for other infinities, and
+        // `cost < NaN` is false for everything — so the DP kept the arbitrary
+        // first partition, which builds the catastrophic {0,1} pair first.
+        let out = enumerate(
+            &[usize::MAX, usize::MAX, 3],
+            &[edge(0, 1, 1.0), edge(1, 2, 1e-18)],
+        )
+        .expect("connected");
+        assert!(
+            out.cost.is_finite(),
+            "clamped costs must be finite: {out:?}"
+        );
+        let JoinTree::Join { left, right } = &out.tree else {
+            panic!("expected a join at the root");
+        };
+        let inner = if matches!(**left, JoinTree::Join { .. }) {
+            left
+        } else {
+            right
+        };
+        assert_eq!(
+            inner.leaves(),
+            vec![1, 2],
+            "the selective pair must join first, not the arbitrary first partition"
+        );
+    }
+
+    #[test]
+    fn non_finite_selectivities_are_neutralised() {
+        // Degenerate feedback (a ratio over a zero estimate) can hand the
+        // enumerator NaN or ∞ selectivities; they must not poison the DP or
+        // leak into the cost. Structure as in `chain_of_three_orders_by_cost`:
+        // with the bad edges neutralised to 1.0 the selective 1-2 edge still
+        // decides the shape.
+        for bad in [f64::INFINITY, f64::NAN, -3.0] {
+            let out = enumerate(&[120, 30, 3], &[edge(0, 1, bad), edge(1, 2, 1.0 / 60.0)])
+                .unwrap_or_else(|| panic!("connected (bad = {bad})"));
+            assert!(out.cost.is_finite(), "bad = {bad}: {out:?}");
+            let JoinTree::Join { left, right } = &out.tree else {
+                panic!("expected a join at the root");
+            };
+            let inner = if matches!(**left, JoinTree::Join { .. }) {
+                left
+            } else {
+                right
+            };
+            assert_eq!(inner.leaves(), vec![1, 2], "bad = {bad}");
+        }
+    }
+
+    #[test]
+    fn selectivities_above_one_are_clamped() {
+        // Selectivity is a kept-fraction; > 1 can only be feedback noise. A
+        // huge "selectivity" used to let est overflow to ∞ even for modest
+        // cardinalities.
+        let out = enumerate(&[10, 10], &[edge(0, 1, 1e200)]).expect("connected");
+        assert!(out.cost.is_finite());
+        assert!(
+            (out.est_rows - 100.0).abs() < 1e-9,
+            "clamped to 1.0: {out:?}"
+        );
     }
 
     #[test]

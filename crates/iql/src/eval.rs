@@ -472,6 +472,57 @@ struct Plan {
     feedback: Option<PlanFeedback>,
 }
 
+/// A retained plan for **incremental maintenance** of one comprehension: the
+/// step list (planned without reordering, so textual output order is a
+/// structural property of the steps), the position of the *lead generator* —
+/// the first generator, which must iterate a scheme extent directly — and the
+/// schemes the whole expression touches.
+///
+/// The soundness contract the caller must uphold (see
+/// [`Evaluator::delta_standing`]): between building the plan and delta-applying
+/// an append, **only the lead scheme's extent may change, and only by appending
+/// at the tail**. Under that contract, the rows a full re-execution would add
+/// are exactly the rows obtained by driving the appended lead elements through
+/// the remaining steps — and they appear at the tail of the previous result, in
+/// order, with multiplicities intact. Any other change (a non-lead extent
+/// moved, a non-append mutation) invalidates the plan: rebuild it and
+/// re-execute. Build with [`Evaluator::standing_plan`], which returns `None`
+/// for shapes where the contract cannot be established (no leading scheme
+/// iteration, or the lead scheme referenced more than once).
+pub struct StandingPlan {
+    head: Expr,
+    steps: Vec<Step>,
+    /// Index of the lead generator in `steps` (preceded only by filters/binds).
+    lead: usize,
+    lead_scheme: SchemeRef,
+    touched: BTreeSet<SchemeRef>,
+}
+
+impl std::fmt::Debug for StandingPlan {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("StandingPlan")
+            .field("head", &self.head)
+            .field("steps", &self.steps.len())
+            .field("lead", &self.lead)
+            .field("lead_scheme", &self.lead_scheme)
+            .field("touched", &self.touched)
+            .finish()
+    }
+}
+
+impl StandingPlan {
+    /// The scheme whose tail-appends this plan can absorb incrementally.
+    pub fn lead_scheme(&self) -> &SchemeRef {
+        &self.lead_scheme
+    }
+
+    /// Every scheme the expression references (lead included) — the
+    /// registration index for "which subscriptions does this insert affect".
+    pub fn touched(&self) -> &BTreeSet<SchemeRef> {
+        &self.touched
+    }
+}
+
 /// Per-edge observed join selectivities, keyed by the normalised
 /// `(min, max)` chain-position pair the edge connects.
 type ObservedSelectivities = Vec<((usize, usize), f64)>;
@@ -2207,6 +2258,139 @@ impl<P: ExtentProvider> Evaluator<P> {
                 Ok(())
             }
         }
+    }
+
+    /// Build a [`StandingPlan`] for `expr`, or `None` when the shape is not
+    /// incrementally maintainable.
+    ///
+    /// The plan is built with reordering, bushy enumeration and point-lookup
+    /// indexes all disabled, so the step list is exactly the textual qualifier
+    /// order (`Iterate`/`HashJoin`/`Filter`/`Bind` steps only) and output
+    /// order is structural rather than restored by a plan-time sort. Hash-join
+    /// build sides are evaluated **now** and retained behind `Arc`s; deltas
+    /// probe those retained indexes instead of rebuilding them — which is
+    /// sound precisely while the non-lead extents stay unchanged (the
+    /// [`StandingPlan`] contract).
+    ///
+    /// Returns `None` when:
+    /// - `expr` is not a comprehension (aggregations like `count(…)`,
+    ///   `distinct(…)` wrap the comprehension in an `Apply` and must observe
+    ///   the whole bag — the caller falls back to re-execution);
+    /// - the first generator does not iterate a scheme extent directly;
+    /// - the lead scheme is referenced more than once in the whole expression
+    ///   (a self-join: appended rows would also need to join against
+    ///   themselves and the old rows, which a single tail pass cannot produce
+    ///   in nested-loop order).
+    pub fn standing_plan(&self, expr: &Expr, env: &Env) -> Result<Option<StandingPlan>, EvalError> {
+        let Expr::Comp { head, qualifiers } = expr else {
+            return Ok(None);
+        };
+        let planner = Evaluator {
+            provider: &self.provider,
+            use_planner: true,
+            reorder: false,
+            bushy: false,
+            parallel: self.parallel,
+            use_index: false,
+            plan_cache: None,
+            index_store: None,
+            step_probe: None,
+            reopt_factor: self.reopt_factor,
+        };
+        let plan = planner.plan_comprehension(qualifiers, env, None)?;
+        let mut lead = None;
+        for (i, step) in plan.steps.iter().enumerate() {
+            match step {
+                Step::Filter(_) | Step::Bind { .. } => continue,
+                Step::Iterate {
+                    source: Expr::Scheme(s),
+                    ..
+                } => {
+                    lead = Some((i, s.clone()));
+                    break;
+                }
+                // First generator is a computed source or was fused into a
+                // hash join (its probe key comes from a preceding `let`):
+                // appends to an underlying scheme do not surface as a tail
+                // append of the iterated bag, so no delta contract holds.
+                _ => break,
+            }
+        }
+        let Some((lead, lead_scheme)) = lead else {
+            return Ok(None);
+        };
+        let mut occurrences = 0usize;
+        rewrite::visit(expr, &mut |e| {
+            if matches!(e, Expr::Scheme(s) if *s == lead_scheme) {
+                occurrences += 1;
+            }
+        });
+        if occurrences != 1 {
+            return Ok(None);
+        }
+        Ok(Some(StandingPlan {
+            head: (**head).clone(),
+            steps: plan.steps,
+            lead,
+            lead_scheme,
+            touched: rewrite::collect_schemes(expr),
+        }))
+    }
+
+    /// Execute a standing plan in full (the subscription's initial answer, and
+    /// the re-synchronisation path after a non-incrementalisable change).
+    pub fn execute_standing(&self, plan: &StandingPlan, env: &Env) -> Result<Bag, EvalError> {
+        let mut out = Bag::empty();
+        self.exec_plan(&plan.head, &plan.steps, env, &mut out)?;
+        Ok(out)
+    }
+
+    /// Delta-evaluate a standing plan against rows newly **appended to the
+    /// lead scheme's extent**: run the prefix filters/binds once, then drive
+    /// each appended element through the steps after the lead — probing the
+    /// retained hash-join indexes rather than rebuilding them. The returned
+    /// bag is exactly what a full re-execution would append at the tail of the
+    /// previous result (same order, same multiplicities), **provided** no
+    /// other touched extent changed since the plan was built or last verified
+    /// (the [`StandingPlan`] contract — the caller's version bookkeeping
+    /// enforces it and falls back to re-execution otherwise).
+    pub fn delta_standing(
+        &self,
+        plan: &StandingPlan,
+        appended: &[Value],
+        env: &Env,
+    ) -> Result<Bag, EvalError> {
+        let mut out = Bag::empty();
+        let mut env = env.clone();
+        for step in &plan.steps[..plan.lead] {
+            match step {
+                Step::Filter(cond) => {
+                    if !self.eval(cond, &env)?.as_bool()? {
+                        return Ok(out);
+                    }
+                }
+                Step::Bind { pattern, value } => {
+                    let v = self.eval(value, &env)?;
+                    let mut inner = env.clone();
+                    if !match_pattern(pattern, &v, &mut inner)? {
+                        return Ok(out);
+                    }
+                    env = inner;
+                }
+                _ => unreachable!("steps before the lead are filters and binds"),
+            }
+        }
+        let Step::Iterate { pattern, .. } = &plan.steps[plan.lead] else {
+            unreachable!("the lead step is a scheme iteration by construction");
+        };
+        let rest = &plan.steps[plan.lead + 1..];
+        for element in appended {
+            let mut inner = env.clone();
+            if match_pattern(pattern, element, &mut inner)? {
+                self.exec_plan(&plan.head, rest, &inner, &mut out)?;
+            }
+        }
+        Ok(out)
     }
 
     /// The naive nested-loop comprehension semantics (reference implementation).
@@ -4188,6 +4372,117 @@ mod tests {
         let bag = ev.eval(&q, &env3).unwrap().expect_bag().unwrap();
         assert_eq!(bag.items(), &[Value::str("e")]);
         assert_eq!(store.hit_count(), 1);
+    }
+
+    #[test]
+    fn standing_delta_matches_full_reexecution_tail() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("t,v", vec![(1, "a"), (2, "b"), (3, "c"), (2, "b")]);
+        let ev = Evaluator::new(&provider);
+        let q = parse("[x | {k, x} <- <<t, v>>; k >= 2]").unwrap();
+        let env = Env::new();
+        let plan = ev.standing_plan(&q, &env).unwrap().expect("maintainable");
+        assert_eq!(plan.lead_scheme().key(), "t,v");
+        assert_eq!(plan.touched().len(), 1);
+        let initial = ev.execute_standing(&plan, &env).unwrap();
+        assert_eq!(
+            initial.items(),
+            &[Value::str("b"), Value::str("c"), Value::str("b")]
+        );
+        // Append (with a duplicate and a filtered-out row), delta-evaluate just
+        // the appended elements, and check against a full re-execution: the
+        // delta is exactly the tail, order and multiplicity included.
+        let appended = vec![
+            Value::pair(Value::Int(5), Value::str("d")),
+            Value::pair(Value::Int(0), Value::str("x")),
+            Value::pair(Value::Int(5), Value::str("d")),
+        ];
+        provider.append_pairs("t,v", vec![(5, "d"), (0, "x"), (5, "d")]);
+        let delta = ev.delta_standing(&plan, &appended, &env).unwrap();
+        assert_eq!(delta.items(), &[Value::str("d"), Value::str("d")]);
+        let full = ev.eval(&q, &env).unwrap().expect_bag().unwrap();
+        let mut incremental = initial.clone();
+        for v in delta.iter() {
+            incremental.push(v.clone());
+        }
+        assert_eq!(incremental.items(), full.items());
+    }
+
+    #[test]
+    fn standing_delta_probes_the_retained_hash_join_index() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("t,v", vec![(1, "a"), (2, "b")]);
+        provider.append_pairs("u,w", vec![(1, "X"), (2, "Y"), (1, "Z")]);
+        let ev = Evaluator::new(&provider);
+        let q = parse("[{x, y} | {k, x} <- <<t, v>>; {k2, y} <- <<u, w>>; k2 = k]").unwrap();
+        let env = Env::new();
+        let plan = ev.standing_plan(&q, &env).unwrap().expect("maintainable");
+        assert_eq!(plan.lead_scheme().key(), "t,v");
+        assert_eq!(plan.touched().len(), 2, "lead + hash-join build side");
+        let initial = ev.execute_standing(&plan, &env).unwrap();
+        let full0 = ev.eval(&q, &env).unwrap().expect_bag().unwrap();
+        assert_eq!(initial.items(), full0.items());
+        // Appending to the *lead* extent only keeps the retained build-side
+        // index current: the delta probes it without rebuilding, and matches
+        // the nested-loop tail (both u-matches for key 1, in extent order).
+        let appended = vec![Value::pair(Value::Int(1), Value::str("c"))];
+        provider.append_pairs("t,v", vec![(1, "c")]);
+        let delta = ev.delta_standing(&plan, &appended, &env).unwrap();
+        assert_eq!(
+            delta.items(),
+            &[
+                Value::tuple(vec![Value::str("c"), Value::str("X")]),
+                Value::tuple(vec![Value::str("c"), Value::str("Z")]),
+            ]
+        );
+        let full = ev.eval(&q, &env).unwrap().expect_bag().unwrap();
+        let mut incremental = initial.clone();
+        for v in delta.iter() {
+            incremental.push(v.clone());
+        }
+        assert_eq!(incremental.items(), full.items());
+    }
+
+    #[test]
+    fn standing_delta_reruns_prefix_binds_and_filters() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("t,v", vec![(1, "a"), (4, "b")]);
+        let ev = Evaluator::new(&provider);
+        let q = parse("[{c, x} | let c = 3; {k, x} <- <<t, v>>; k > c]").unwrap();
+        let env = Env::new();
+        let plan = ev.standing_plan(&q, &env).unwrap().expect("maintainable");
+        let initial = ev.execute_standing(&plan, &env).unwrap();
+        assert_eq!(
+            initial.items(),
+            &[Value::tuple(vec![Value::Int(3), Value::str("b")])]
+        );
+        let appended = vec![Value::pair(Value::Int(9), Value::str("z"))];
+        provider.append_pairs("t,v", vec![(9, "z")]);
+        let delta = ev.delta_standing(&plan, &appended, &env).unwrap();
+        assert_eq!(
+            delta.items(),
+            &[Value::tuple(vec![Value::Int(3), Value::str("z")])]
+        );
+    }
+
+    #[test]
+    fn non_incrementalisable_shapes_get_no_standing_plan() {
+        let provider = AppendOnly::new();
+        provider.append_pairs("t,v", vec![(1, "a"), (2, "b")]);
+        let ev = Evaluator::new(&provider);
+        let env = Env::new();
+        // Self-join: the lead scheme is referenced twice — appended rows would
+        // have to join against themselves too, which one tail pass cannot do.
+        let q = parse("[{x, y} | {k, x} <- <<t, v>>; {k2, y} <- <<t, v>>; k2 = k]").unwrap();
+        assert!(ev.standing_plan(&q, &env).unwrap().is_none());
+        // Aggregation wraps the comprehension in an `Apply`: must observe the
+        // whole bag, not a delta.
+        let q = parse("count([x | {k, x} <- <<t, v>>])").unwrap();
+        assert!(ev.standing_plan(&q, &env).unwrap().is_none());
+        // Computed lead source: appends to underlying schemes are not a tail
+        // append of the iterated bag.
+        let q = parse("[x | x <- [1, 2, 3]]").unwrap();
+        assert!(ev.standing_plan(&q, &env).unwrap().is_none());
     }
 
     #[test]

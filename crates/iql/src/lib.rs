@@ -76,8 +76,8 @@ pub use bushy::JoinTree;
 pub use env::Params;
 pub use error::{EvalError, ParseError};
 pub use eval::{
-    Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, StepKind,
-    StepProbe,
+    Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, StandingPlan,
+    StepKind, StepProbe,
 };
 pub use fetch::FetchPool;
 pub use index::IndexStore;

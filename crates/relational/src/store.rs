@@ -3,12 +3,59 @@
 use crate::error::RelError;
 use crate::schema::{DataType, RelSchema, RelTable};
 use iql::value::{Bag, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// A row of a table: one IQL value per column, in declaration order.
 pub type Row = Vec<Value>;
+
+/// The extent-level contribution one insert (or one batch of inserts) made,
+/// reported by [`Database::insert_with_delta`] / [`Database::insert_many_with_delta`]
+/// so downstream consumers (standing-query fan-out, cache maintenance) can see
+/// *what* changed without diffing extents.
+///
+/// Keys follow the wrapper's canonical short form (`"t"` for the table scheme,
+/// `"t,c"` per column scheme); every appended element is listed in insert
+/// order, exactly as it lands at the tail of the corresponding extent. Columns
+/// whose inserted values were all null contribute no entry (the paper's extents
+/// list only present values).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TableDelta {
+    /// The table the rows went into.
+    pub table: String,
+    /// Scheme key → elements appended to that scheme's extent, in insert order.
+    pub appended: BTreeMap<String, Vec<Value>>,
+}
+
+impl TableDelta {
+    fn new(table: &str) -> Self {
+        TableDelta {
+            table: table.to_string(),
+            appended: BTreeMap::new(),
+        }
+    }
+
+    /// Record one row's contributions, mirroring [`crate::wrapper::extent_of`]:
+    /// the table scheme gains the primary-key value, each column scheme gains a
+    /// `{key, value}` pair unless the value is null.
+    fn push_row(&mut self, table: &RelTable, row: &Row) {
+        let key = key_of(table, row);
+        self.appended
+            .entry(table.name.clone())
+            .or_default()
+            .push(key.clone());
+        for (idx, col) in table.columns.iter().enumerate() {
+            if matches!(row[idx], Value::Null) {
+                continue;
+            }
+            self.appended
+                .entry(format!("{},{}", table.name, col.name))
+                .or_default()
+                .push(Value::pair(key.clone(), row[idx].clone()));
+        }
+    }
+}
 
 /// An in-memory relational database: a schema plus rows per table.
 ///
@@ -31,6 +78,11 @@ pub struct Database {
     schema: RelSchema,
     rows: BTreeMap<String, Vec<Row>>,
     extent_cache: RwLock<BTreeMap<String, Arc<Bag>>>,
+    /// Per-table primary-key sets, seeded lazily from the existing rows on a
+    /// table's first keyed insert and maintained on every later one. The store
+    /// is append-only, so once seeded a set never goes stale — uniqueness
+    /// checks are O(batch), not O(table).
+    pk_index: BTreeMap<String, HashSet<Value>>,
     version: AtomicU64,
 }
 
@@ -47,6 +99,7 @@ impl Clone for Database {
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone(),
             ),
+            pk_index: self.pk_index.clone(),
             version: AtomicU64::new(self.version.load(Ordering::Relaxed)),
         }
     }
@@ -81,6 +134,7 @@ impl Database {
             schema,
             rows,
             extent_cache: RwLock::new(BTreeMap::new()),
+            pk_index: BTreeMap::new(),
             version: AtomicU64::new(0),
         }
     }
@@ -166,47 +220,91 @@ impl Database {
     /// Insert a row into a table, validating arity, types, nullability and key
     /// uniqueness.
     pub fn insert(&mut self, table: &str, row: Row) -> Result<(), RelError> {
+        self.insert_with_delta(table, row).map(drop)
+    }
+
+    /// Insert a row and report the [`TableDelta`] it appended to the table's
+    /// extents — the fan-out hook standing-query maintenance consumes. Bumps
+    /// the data version by exactly one.
+    pub fn insert_with_delta(&mut self, table: &str, row: Row) -> Result<TableDelta, RelError> {
+        self.insert_many_with_delta(table, vec![row])
+    }
+
+    /// Insert many rows as **one batch**: all rows are validated up front (on
+    /// any error nothing is inserted), the primary-key uniqueness check uses a
+    /// hash set over existing + in-batch keys (O(N + M), not O(N·M) rescans),
+    /// cached extents gain the whole batch's contributions in one append round,
+    /// and the data version bumps **once per call** — so downstream
+    /// version-guarded machinery (plan caches, point-lookup indexes, key
+    /// histograms) pays one invalidation/refresh round per bulk load instead of
+    /// one per row.
+    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> Result<(), RelError> {
+        self.insert_many_with_delta(table, rows).map(drop)
+    }
+
+    /// Batched insert reporting the combined [`TableDelta`] (see
+    /// [`Database::insert_many`] for the batch semantics). An empty batch is a
+    /// no-op: nothing is appended and the version does not move.
+    pub fn insert_many_with_delta(
+        &mut self,
+        table: &str,
+        rows: Vec<Row>,
+    ) -> Result<TableDelta, RelError> {
         let t = self
             .schema
             .table(table)
             .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
-        if row.len() != t.columns.len() {
-            return Err(RelError::ArityMismatch {
-                table: table.to_string(),
-                expected: t.columns.len(),
-                found: row.len(),
-            });
+        let mut delta = TableDelta::new(table);
+        if rows.is_empty() {
+            return Ok(delta);
         }
-        for (col, val) in t.columns.iter().zip(row.iter()) {
-            check_type(t, col.name.as_str(), col.data_type, col.nullable, val)?;
-        }
-        if !t.primary_key.is_empty() {
-            let key = key_of(t, &row);
-            if self
-                .rows
-                .get(table)
-                .map(|rows| rows.iter().any(|r| key_of(t, r) == key))
-                .unwrap_or(false)
-            {
-                return Err(RelError::DuplicateKey {
+        // Validate the whole batch before mutating anything (all-or-nothing).
+        for row in &rows {
+            if row.len() != t.columns.len() {
+                return Err(RelError::ArityMismatch {
                     table: table.to_string(),
-                    key: format!("{key:?}"),
+                    expected: t.columns.len(),
+                    found: row.len(),
                 });
             }
+            for (col, val) in t.columns.iter().zip(row.iter()) {
+                check_type(t, col.name.as_str(), col.data_type, col.nullable, val)?;
+            }
         }
-        let deltas = self.extent_deltas(t, &row);
-        self.rows.entry(table.to_string()).or_default().push(row);
-        self.apply_extent_deltas(deltas);
+        if !t.primary_key.is_empty() {
+            // The persistent key set makes the uniqueness check O(batch): it
+            // seeds from the existing rows once per table (first keyed insert)
+            // and is maintained incrementally forever after — the store is
+            // append-only, so it never goes stale. The batch validates against
+            // a side set first so a mid-batch duplicate leaves it untouched.
+            let seen = self.pk_index.entry(table.to_string()).or_insert_with(|| {
+                self.rows
+                    .get(table)
+                    .map(|existing| existing.iter().map(|r| key_of(t, r)).collect())
+                    .unwrap_or_default()
+            });
+            let mut fresh: HashSet<Value> = HashSet::with_capacity(rows.len());
+            for row in &rows {
+                let key = key_of(t, row);
+                if seen.contains(&key) || !fresh.insert(key.clone()) {
+                    return Err(RelError::DuplicateKey {
+                        table: table.to_string(),
+                        key: format!("{key:?}"),
+                    });
+                }
+            }
+            seen.extend(fresh);
+        }
+        // One cache-delta round and one version bump for the whole batch.
+        let mut cache_deltas = Vec::new();
+        for row in &rows {
+            cache_deltas.extend(self.extent_deltas(t, row));
+            delta.push_row(t, row);
+        }
+        self.rows.entry(table.to_string()).or_default().extend(rows);
+        self.apply_extent_deltas(cache_deltas);
         self.version.fetch_add(1, Ordering::AcqRel);
-        Ok(())
-    }
-
-    /// Insert many rows, stopping at the first error.
-    pub fn insert_many(&mut self, table: &str, rows: Vec<Row>) -> Result<(), RelError> {
-        for row in rows {
-            self.insert(table, row)?;
-        }
-        Ok(())
+        Ok(delta)
     }
 
     /// All rows of a table (empty if the table has no rows or does not exist).
@@ -589,6 +687,211 @@ mod tests {
                 .unwrap()
                 .items(),
             "incrementally maintained extent equals a fresh recompute"
+        );
+    }
+
+    #[test]
+    fn insert_many_bumps_version_once_per_batch() {
+        let mut db = Database::new(schema());
+        let v0 = db.data_version();
+        db.insert_many(
+            "protein",
+            vec![
+                vec![1.into(), "P100".into(), Value::Null],
+                vec![2.into(), "P200".into(), "human".into()],
+                vec![3.into(), "P300".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        assert_eq!(db.data_version(), v0 + 1, "one version delta per batch");
+        assert_eq!(db.row_count("protein"), 3);
+        // An empty batch is a no-op and must not move the version either.
+        db.insert_many("protein", vec![]).unwrap();
+        assert_eq!(db.data_version(), v0 + 1);
+    }
+
+    #[test]
+    fn insert_many_is_atomic() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        let v1 = db.data_version();
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "protein".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        // Second row collides with the existing key: the whole batch must be
+        // rejected with nothing inserted, no version bump, caches untouched.
+        let err = db.insert_many(
+            "protein",
+            vec![
+                vec![2.into(), "P200".into(), Value::Null],
+                vec![1.into(), "P999".into(), Value::Null],
+            ],
+        );
+        assert!(matches!(err, Err(RelError::DuplicateKey { .. })));
+        assert_eq!(db.row_count("protein"), 1);
+        assert_eq!(db.data_version(), v1);
+        assert_eq!(db.cached_extent("protein").unwrap().items(), &[sentinel]);
+        // Same for a mid-batch validation error.
+        assert!(matches!(
+            db.insert_many(
+                "protein",
+                vec![
+                    vec![2.into(), "P200".into(), Value::Null],
+                    vec![3.into(), Value::Null, Value::Null],
+                ],
+            ),
+            Err(RelError::NullViolation { .. })
+        ));
+        assert_eq!(db.row_count("protein"), 1);
+        assert_eq!(db.data_version(), v1);
+    }
+
+    #[test]
+    fn insert_many_rejects_intra_batch_duplicate_keys() {
+        let mut db = Database::new(schema());
+        assert!(matches!(
+            db.insert_many(
+                "protein",
+                vec![
+                    vec![1.into(), "P100".into(), Value::Null],
+                    vec![1.into(), "P999".into(), Value::Null],
+                ],
+            ),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        assert_eq!(db.row_count("protein"), 0);
+    }
+
+    #[test]
+    fn persistent_key_index_stays_coherent_across_calls_failures_and_clones() {
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![1.into(), "P100".into(), Value::Null])
+            .unwrap();
+        // A rejected batch must leave no trace in the maintained key set: the
+        // fresh key 2 from the failed batch stays insertable afterwards.
+        assert!(matches!(
+            db.insert_many(
+                "protein",
+                vec![
+                    vec![2.into(), "P200".into(), Value::Null],
+                    vec![1.into(), "P999".into(), Value::Null],
+                ],
+            ),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        db.insert("protein", vec![2.into(), "P200".into(), Value::Null])
+            .unwrap();
+        // Duplicates are caught across separate calls (through the index, not
+        // a rescan) and after cloning (the clone carries the index along).
+        assert!(matches!(
+            db.insert("protein", vec![1.into(), "again".into(), Value::Null]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        let mut copy = db.clone();
+        assert!(matches!(
+            copy.insert("protein", vec![2.into(), "again".into(), Value::Null]),
+            Err(RelError::DuplicateKey { .. })
+        ));
+        copy.insert("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        assert_eq!(copy.row_count("protein"), 3);
+        assert_eq!(db.row_count("protein"), 2);
+    }
+
+    #[test]
+    fn insert_many_maintains_cached_extents_in_one_round() {
+        let mut db = Database::new(schema());
+        let sentinel = Value::str("sentinel");
+        db.store_extent(
+            "protein".into(),
+            Arc::new(Bag::from_values(vec![sentinel.clone()])),
+        );
+        db.insert_many(
+            "protein",
+            vec![
+                vec![1.into(), "P100".into(), Value::Null],
+                vec![2.into(), "P200".into(), Value::Null],
+            ],
+        )
+        .unwrap();
+        assert_eq!(
+            db.cached_extent("protein").unwrap().items(),
+            &[sentinel, Value::Int(1), Value::Int(2)],
+            "cached extent gains the whole batch by append, in batch order"
+        );
+    }
+
+    #[test]
+    fn insert_with_delta_reports_appended_extent_contributions() {
+        let mut db = Database::new(schema());
+        let delta = db
+            .insert_many_with_delta(
+                "protein",
+                vec![
+                    vec![1.into(), "P100".into(), "human".into()],
+                    vec![2.into(), "P200".into(), Value::Null],
+                ],
+            )
+            .unwrap();
+        assert_eq!(delta.table, "protein");
+        assert_eq!(
+            delta.appended["protein"],
+            vec![Value::Int(1), Value::Int(2)]
+        );
+        assert_eq!(
+            delta.appended["protein,accession_num"],
+            vec![
+                Value::pair(Value::Int(1), Value::str("P100")),
+                Value::pair(Value::Int(2), Value::str("P200")),
+            ]
+        );
+        assert_eq!(
+            delta.appended["protein,organism"],
+            vec![Value::pair(Value::Int(1), Value::str("human"))],
+            "null column values contribute nothing to the column extent"
+        );
+        let single = db
+            .insert_with_delta("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        assert_eq!(single.appended["protein"], vec![Value::Int(3)]);
+        assert!(!single.appended.contains_key("protein,organism"));
+    }
+
+    #[test]
+    fn insert_many_refreshes_point_lookup_indexes_once_per_batch() {
+        use iql::env::Env;
+        use iql::eval::Evaluator;
+        use iql::index::IndexStore;
+        let mut db = Database::new(schema());
+        db.insert("protein", vec![0.into(), "P0".into(), Value::Null])
+            .unwrap();
+        let store = Arc::new(IndexStore::new());
+        let q = iql::parse("[x | {k, x} <- <<protein, accession_num>>; k = ?k]").unwrap();
+        let env = Env::new().with_params(iql::Params::new().with("k", 0));
+        {
+            let ev = Evaluator::new(&db).with_index_store(Arc::clone(&store));
+            ev.eval(&q, &env).unwrap();
+        }
+        assert_eq!(store.build_count(), 1);
+        db.insert_many(
+            "protein",
+            (1..50i64)
+                .map(|i| vec![i.into(), format!("P{i}").into(), Value::Null])
+                .collect(),
+        )
+        .unwrap();
+        let ev = Evaluator::new(&db).with_index_store(Arc::clone(&store));
+        let env49 = Env::new().with_params(iql::Params::new().with("k", 49));
+        let bag = ev.eval(&q, &env49).unwrap().expect_bag().unwrap();
+        assert_eq!(bag.items(), &[Value::str("P49")]);
+        assert_eq!(store.build_count(), 1, "no full rebuild after a batch");
+        assert_eq!(
+            store.refresh_count(),
+            1,
+            "one copy-on-write index refresh per batch, not one per row"
         );
     }
 

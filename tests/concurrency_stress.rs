@@ -239,6 +239,149 @@ fn plan_cache_invalidated_by_insert() {
     assert!(cache.hit_count() > hits);
 }
 
+/// Standing subscriptions racing inserts on a shared `RwLock<Dataspace>`:
+/// writer threads interleave inserts into both sources (each maintaining every
+/// subscription — O(delta) or fallback) while reader threads check, under a
+/// read guard, that each subscription's held result is byte-identical to
+/// re-executing its query from scratch. Subscription handles are also read
+/// **without** any dataspace lock — maintenance swaps results under the
+/// handle's own mutex, so lock-free readers see a consistent (possibly
+/// slightly stale, never torn) bag whose size only grows. At the end, every
+/// drained update stream must replay the seeded baseline into the final
+/// result: no lost and no duplicated deltas despite the races.
+#[test]
+fn subscriptions_race_inserts_without_losing_or_duplicating_deltas() {
+    use dataspace_core::dataspace::Dataspace;
+    use dataspace_core::{Subscription, SubscriptionUpdate};
+    use iql::Params;
+
+    const WRITERS: i64 = 3;
+    const READERS: usize = 3;
+    const ITERS: i64 = 20;
+
+    let mut inner = Dataspace::new();
+    inner.add_source(seeded_db("alpha", 5)).unwrap();
+    inner.add_source(seeded_db("beta", 5)).unwrap();
+    inner.federate().unwrap();
+
+    // One incremental shape, one join chain (delta on alpha, fallback on
+    // beta), one aggregate (always fallback).
+    let shapes = [
+        "[x | {k, x} <- <<ALPHA_t, ALPHA_label>>]",
+        "[{a, b} | {k, a} <- <<ALPHA_t, ALPHA_label>>; {j, b} <- <<BETA_t, BETA_label>>; j = k]",
+        "count <<ALPHA_t>>",
+    ];
+    let panel: Vec<(&str, Subscription, Value)> = shapes
+        .iter()
+        .map(|text| {
+            let sub = inner
+                .prepare(text)
+                .unwrap()
+                .subscribe(&Params::new())
+                .unwrap();
+            let baseline = sub.result();
+            (*text, sub, baseline)
+        })
+        .collect();
+    let ds = RwLock::new(inner);
+
+    thread::scope(|scope| {
+        for wid in 0..WRITERS {
+            let ds = &ds;
+            scope.spawn(move || {
+                for iter in 0..ITERS {
+                    let (source, table) = if iter % 2 == 0 {
+                        ("alpha", "t")
+                    } else {
+                        ("beta", "t")
+                    };
+                    let key = 1000 + wid * ITERS + iter;
+                    ds.write()
+                        .unwrap()
+                        .insert(
+                            source,
+                            table,
+                            vec![
+                                key.into(),
+                                (iter % 5).into(),
+                                format!("w{}", iter % 7).into(),
+                            ],
+                        )
+                        .unwrap();
+                }
+            });
+        }
+        for _ in 0..READERS {
+            let ds = &ds;
+            let panel = &panel;
+            scope.spawn(move || {
+                let mut last_len = 0;
+                for _ in 0..ITERS {
+                    // Lock-free read: no dataspace guard held at all. The
+                    // incremental shape's bag must never shrink and never tear.
+                    let lock_free = panel[0].1.result_bag().unwrap().len();
+                    assert!(lock_free >= last_len, "subscription result shrank");
+                    last_len = lock_free;
+                    // Guarded read: with writers excluded, every subscription
+                    // must agree exactly with from-scratch re-execution.
+                    let guard = ds.read().unwrap();
+                    for (text, sub, _) in panel {
+                        let expected = guard
+                            .prepare(text)
+                            .unwrap()
+                            .execute_value(&Params::new())
+                            .unwrap();
+                        match (sub.result(), expected) {
+                            (Value::Bag(g), Value::Bag(e)) => assert_eq!(
+                                g.items(),
+                                e.items(),
+                                "subscription diverged under read guard for `{text}`"
+                            ),
+                            (got, expected) => assert_eq!(got, expected),
+                        }
+                    }
+                }
+            });
+        }
+    });
+
+    // Post-race: results converged and the update streams replay exactly.
+    let ds = ds.read().unwrap();
+    let stats = ds.stats();
+    assert!(stats.delta_evals > 0, "no insert took the O(delta) path");
+    assert!(stats.fallback_reexecs > 0, "no insert fell back");
+    for (text, sub, baseline) in &panel {
+        let mut replayed = baseline.clone();
+        for update in sub.drain_updates() {
+            match update {
+                SubscriptionUpdate::Delta(delta) => {
+                    let Value::Bag(bag) = &mut replayed else {
+                        panic!("Delta against non-bag result");
+                    };
+                    for v in delta.iter() {
+                        bag.push(v.clone());
+                    }
+                }
+                SubscriptionUpdate::Refreshed(value) => replayed = value,
+            }
+        }
+        assert_eq!(
+            replayed,
+            sub.result(),
+            "lost or duplicated delta for `{text}`"
+        );
+        let expected = ds
+            .prepare(text)
+            .unwrap()
+            .execute_value(&Params::new())
+            .unwrap();
+        match (sub.result(), expected) {
+            (Value::Bag(g), Value::Bag(e)) => assert_eq!(g.items(), e.items()),
+            (got, expected) => assert_eq!(got, expected),
+        }
+    }
+}
+
 /// Racing N threads through the *same* cold plan cache: exactly one plan per
 /// comprehension survives, every thread's answer is identical, and no thread
 /// deadlocks between the plan-cache and extent-cache locks.
