@@ -240,6 +240,12 @@ pub struct VirtualExtents<'a> {
     use_index: bool,
     /// Override for the evaluators' re-optimisation divergence factor.
     reopt_factor: Option<f64>,
+    /// Run eligible planned comprehensions on the vectorised columnar engine
+    /// (on by default; off is the row-engine differential/bench leg).
+    columnar: bool,
+    /// Engine-selection counters attached to spawned evaluators (see
+    /// [`iql::EngineStats`]).
+    engine_stats: Option<Arc<iql::EngineStats>>,
     /// Folded into [`ExtentProvider::version`] so the owner can invalidate plan
     /// caches on definition changes the registry's versions cannot see.
     version_salt: u64,
@@ -260,6 +266,8 @@ impl<'a> VirtualExtents<'a> {
             index_store: None,
             use_index: true,
             reopt_factor: None,
+            columnar: true,
+            engine_stats: None,
             version_salt: 0,
         }
     }
@@ -332,6 +340,22 @@ impl<'a> VirtualExtents<'a> {
         self
     }
 
+    /// Force every execution in the evaluators this provider spawns onto the
+    /// row-at-a-time engine (see [`Evaluator::with_columnar`]). The row-engine
+    /// differential-test and benchmarking leg; results are identical either way.
+    pub fn without_columnar(mut self) -> Self {
+        self.columnar = false;
+        self
+    }
+
+    /// Attach engine-selection counters to the evaluators this provider spawns
+    /// (see [`iql::EngineStats`]): columnar completions and row-engine
+    /// fallbacks accumulate there across every query answered.
+    pub fn with_engine_stats(mut self, stats: Arc<iql::EngineStats>) -> Self {
+        self.engine_stats = Some(stats);
+        self
+    }
+
     /// Fold an owner-managed generation counter into this provider's version, so
     /// view-definition changes invalidate plan caches (see
     /// [`ExtentProvider::version`]).
@@ -369,6 +393,12 @@ impl<'a> VirtualExtents<'a> {
         }
         if let Some(factor) = self.reopt_factor {
             ev = ev.with_reopt_factor(factor);
+        }
+        if !self.columnar {
+            ev = ev.with_columnar(false);
+        }
+        if let Some(stats) = &self.engine_stats {
+            ev = ev.with_engine_stats(Arc::clone(stats));
         }
         match &self.plan_cache {
             Some(cache) => ev.with_plan_cache(Arc::clone(cache)),

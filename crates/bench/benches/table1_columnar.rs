@@ -1,0 +1,108 @@
+//! Columnar vs row engine on the Table-1 workload: Q1 (selection), Q4 and Q6
+//! (join-heavy) executed over two otherwise identical integrated dataspaces —
+//! one with the vectorised columnar executor (the default), one with
+//! `columnar: false` forcing every plan onto the recursive row engine — at two
+//! data scales. Both run the *same* cached plans; the measured gap is purely
+//! the executor.
+
+use bench::integrated_dataspace_with;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataspace_core::dataspace::DataspaceConfig;
+use proteomics::queries::priority_queries;
+use proteomics::sources::CaseStudyScale;
+use std::time::Duration;
+
+/// A case-study scale sized so the generated sources hold roughly `rows`
+/// peptide-hit rows (the workload's dominant extent).
+fn scale_for(rows: usize) -> CaseStudyScale {
+    CaseStudyScale {
+        proteins: rows / 3,
+        protein_hits: (rows * 2) / 3,
+        peptide_hits: rows,
+        searches: (rows / 50).max(4),
+        overlap: 0.6,
+        seed: 42,
+    }
+}
+
+fn table1_columnar(c: &mut Criterion) {
+    let queries = priority_queries();
+    let picked: Vec<_> = queries
+        .iter()
+        .filter(|q| matches!(q.name.as_str(), "Q1" | "Q4" | "Q6"))
+        .collect();
+
+    let mut group = c.benchmark_group("table1_columnar");
+    group
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2));
+    for rows in [400usize, 1600] {
+        let scale = scale_for(rows);
+        let columnar = integrated_dataspace_with(&scale, DataspaceConfig::default());
+        let row_only = integrated_dataspace_with(
+            &scale,
+            DataspaceConfig {
+                columnar: false,
+                ..DataspaceConfig::default()
+            },
+        );
+        for q in &picked {
+            let expr = iql::parse(&q.iql).expect("query parses");
+            // Sanity: both engines agree before anything is timed.
+            let a = columnar
+                .provider()
+                .expect("provider")
+                .answer_bag_with(&expr, &q.params)
+                .expect("columnar answers");
+            let b = row_only
+                .provider()
+                .expect("provider")
+                .answer_bag_with(&expr, &q.params)
+                .expect("row answers");
+            assert_eq!(
+                a.items(),
+                b.items(),
+                "{} diverges between engines at {rows} rows",
+                q.name
+            );
+
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_columnar", q.name), rows),
+                &rows,
+                |bch, _| {
+                    bch.iter(|| {
+                        let provider = columnar.provider().expect("provider");
+                        provider
+                            .answer_bag_with(&expr, &q.params)
+                            .expect("query answers")
+                    })
+                },
+            );
+            group.bench_with_input(
+                BenchmarkId::new(format!("{}_row", q.name), rows),
+                &rows,
+                |bch, _| {
+                    bch.iter(|| {
+                        let provider = row_only.provider().expect("provider");
+                        provider
+                            .answer_bag_with(&expr, &q.params)
+                            .expect("query answers")
+                    })
+                },
+            );
+        }
+        let stats = columnar.stats();
+        assert!(
+            stats.columnar_execs > 0,
+            "the columnar leg never ran the columnar engine at {rows} rows"
+        );
+        eprintln!(
+            "[table1_columnar] {rows} rows: columnar_execs={} row_fallbacks={}",
+            stats.columnar_execs, stats.row_fallbacks
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_columnar);
+criterion_main!(benches);

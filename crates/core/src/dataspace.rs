@@ -74,6 +74,12 @@ pub struct DataspaceConfig {
     /// re-optimises on its next execution (see
     /// [`iql::eval::Evaluator::with_reopt_factor`]).
     pub reopt_divergence_factor: f64,
+    /// Whether eligible planned comprehensions run on the vectorised columnar
+    /// executor (see [`iql::eval::Evaluator::with_columnar`]). On by default;
+    /// disable to force every execution onto the row-at-a-time engine — the
+    /// differential oracle leg. Either way results are identical; standing
+    /// subscriptions always stay on the row path.
+    pub columnar: bool,
 }
 
 impl Default for DataspaceConfig {
@@ -89,6 +95,7 @@ impl Default for DataspaceConfig {
             plan_cache_bytes: iql::eval::DEFAULT_PLAN_CACHE_BYTES,
             index_cache_bytes: iql::index::DEFAULT_INDEX_BYTES,
             reopt_divergence_factor: iql::eval::DEFAULT_REOPT_FACTOR,
+            columnar: true,
         }
     }
 }
@@ -137,6 +144,10 @@ pub struct Dataspace {
     /// Standing subscriptions maintained across [`Dataspace::insert`] /
     /// [`Dataspace::insert_many`] (see [`crate::subscriptions`]).
     subscriptions: SubscriptionRegistry,
+    /// Execution-engine counters shared by every provider this dataspace hands
+    /// out (columnar completions and row-engine fallbacks; see
+    /// [`iql::EngineStats`]).
+    engine_stats: Arc<iql::EngineStats>,
 }
 
 impl Default for Dataspace {
@@ -178,6 +189,7 @@ impl Dataspace {
             parse_cache,
             generation: 0,
             subscriptions: SubscriptionRegistry::default(),
+            engine_stats: Arc::new(iql::EngineStats::new()),
         }
     }
 
@@ -354,11 +366,15 @@ impl Dataspace {
             .global
             .as_ref()
             .ok_or_else(|| CoreError::WorkflowOrder("no global schema yet".into()))?;
-        let provider = VirtualExtents::new(&self.registry, &global.definitions)
+        let mut provider = VirtualExtents::new(&self.registry, &global.definitions)
             .with_shared_cache(Arc::clone(&self.extent_cache))
             .with_plan_cache(Arc::clone(&self.plan_cache))
             .with_reopt_factor(self.config.reopt_divergence_factor)
-            .with_version_salt(self.generation);
+            .with_version_salt(self.generation)
+            .with_engine_stats(Arc::clone(&self.engine_stats));
+        if !self.config.columnar {
+            provider = provider.without_columnar();
+        }
         Ok(if self.config.point_lookup_indexes {
             provider.with_index_store(Arc::clone(&self.index_store))
         } else {
@@ -652,6 +668,8 @@ impl Dataspace {
             subscriptions: self.subscriptions.live_count(),
             delta_evals: self.subscriptions.delta_eval_count(),
             fallback_reexecs: self.subscriptions.fallback_reexec_count(),
+            columnar_execs: self.engine_stats.columnar_execs(),
+            row_fallbacks: self.engine_stats.row_fallbacks(),
         }
     }
 
@@ -951,6 +969,16 @@ pub struct DataspaceStats {
     /// Subscription refreshes that fell back to full re-execution (inserts
     /// outside the incremental gate, and schema changes).
     pub fallback_reexecs: u64,
+    /// Planned comprehension executions the vectorised columnar engine
+    /// completed (see [`iql::EngineStats::columnar_execs`]). Standing
+    /// subscriptions never contribute: delta maintenance stays on the row
+    /// engine.
+    pub columnar_execs: u64,
+    /// Executions that fell back to the row engine while the columnar engine
+    /// was enabled — ineligible plans (open or parameter-dependent generator
+    /// sources) or aborted columnar runs (see
+    /// [`iql::EngineStats::row_fallbacks`]).
+    pub row_fallbacks: u64,
 }
 
 /// A query parsed and validated once, executable many times under different

@@ -66,6 +66,8 @@ pub mod index;
 pub mod lexer;
 pub mod lru;
 pub mod parser;
+pub mod physical;
+pub mod plan;
 pub mod pretty;
 pub mod rewrite;
 pub mod token;
@@ -81,6 +83,7 @@ pub use eval::{
 };
 pub use fetch::FetchPool;
 pub use index::IndexStore;
+pub use physical::{EngineStats, ExecEngine, BATCH_SIZE};
 pub use value::{Bag, Value};
 
 use std::collections::BTreeMap;

@@ -1,0 +1,407 @@
+//! The columnar batch representation: typed column vectors, selection
+//! bitmaps, and the batches that flow between physical operators.
+//!
+//! A [`Column`] stores one bound variable's values across a run of rows in a
+//! typed vector when the values are homogeneous — `i64`s for ints, `f64`s for
+//! floats, `Arc<str>`s for strings, one sub-column per slot for uniform-arity
+//! tuples — and falls back to a boxed [`Value`] vector for mixed types (and
+//! for types with no typed representation: bools, bags, `Null`). Filters and
+//! hash-key extraction read the typed vectors directly instead of dispatching
+//! on a `Value` enum per row; values are only materialised ("late") when a row
+//! survives to the head projection or to a per-row fallback expression.
+//!
+//! Numeric columns are **never** widened across variants: a column holding
+//! `Int`s that meets a `Float` degrades to [`Column::Boxed`], because the
+//! engine must reproduce the row engine's output values bit for bit
+//! (`Int(1)`, not `Float(1.0)`), not merely compare equal.
+
+use crate::value::Value;
+use std::sync::Arc;
+
+/// Number of source rows per streamed batch: the first generator of a plan is
+/// fed to the remaining operators in morsels of this many rows.
+pub const BATCH_SIZE: usize = 1024;
+
+/// A typed vector of one variable's values across a run of rows.
+#[derive(Debug, Clone)]
+pub(crate) enum Column {
+    /// All values were `Value::Int`.
+    Int(Vec<i64>),
+    /// All values were `Value::Float`.
+    Float(Vec<f64>),
+    /// All values were `Value::Str`.
+    Str(Vec<Arc<str>>),
+    /// All values were tuples of the same arity: one sub-column per slot.
+    /// Row count lives with the owning table/batch, not the column.
+    Tuple { fields: Vec<Column> },
+    /// Mixed types (or types with no typed column): boxed values.
+    Boxed(Vec<Value>),
+}
+
+impl Column {
+    /// Materialise the value at row `i` (late materialisation: only called for
+    /// rows that survive to an output or a per-row fallback).
+    pub(crate) fn value(&self, i: usize) -> Value {
+        match self {
+            Column::Int(v) => Value::Int(v[i]),
+            Column::Float(v) => Value::Float(v[i]),
+            Column::Str(v) => Value::Str(Arc::clone(&v[i])),
+            Column::Tuple { fields } => Value::tuple(fields.iter().map(|f| f.value(i)).collect()),
+            Column::Boxed(v) => v[i].clone(),
+        }
+    }
+
+    /// A new column holding `base + idx[j]` for each `j` (the join-expansion
+    /// gather; `base` offsets indices into a sliced view).
+    pub(crate) fn gather(&self, base: usize, idx: &[u32]) -> Column {
+        match self {
+            Column::Int(v) => Column::Int(idx.iter().map(|&i| v[base + i as usize]).collect()),
+            Column::Float(v) => Column::Float(idx.iter().map(|&i| v[base + i as usize]).collect()),
+            Column::Str(v) => Column::Str(
+                idx.iter()
+                    .map(|&i| Arc::clone(&v[base + i as usize]))
+                    .collect(),
+            ),
+            Column::Tuple { fields } => Column::Tuple {
+                fields: fields.iter().map(|f| f.gather(base, idx)).collect(),
+            },
+            Column::Boxed(v) => {
+                Column::Boxed(idx.iter().map(|&i| v[base + i as usize].clone()).collect())
+            }
+        }
+    }
+}
+
+/// Builds a [`Column`] incrementally, starting typed and degrading to
+/// [`Column::Boxed`] the moment a value of a different shape arrives.
+#[derive(Debug)]
+pub(crate) enum ColumnBuilder {
+    Empty,
+    Int(Vec<i64>),
+    Float(Vec<f64>),
+    Str(Vec<Arc<str>>),
+    Tuple {
+        len: usize,
+        fields: Vec<ColumnBuilder>,
+    },
+    Boxed(Vec<Value>),
+}
+
+impl ColumnBuilder {
+    pub(crate) fn new() -> Self {
+        ColumnBuilder::Empty
+    }
+
+    pub(crate) fn push(&mut self, v: &Value) {
+        match (&mut *self, v) {
+            (ColumnBuilder::Empty, Value::Int(i)) => *self = ColumnBuilder::Int(vec![*i]),
+            (ColumnBuilder::Empty, Value::Float(f)) => *self = ColumnBuilder::Float(vec![*f]),
+            (ColumnBuilder::Empty, Value::Str(s)) => {
+                *self = ColumnBuilder::Str(vec![Arc::clone(s)])
+            }
+            (ColumnBuilder::Empty, Value::Tuple(items)) => {
+                let mut fields: Vec<ColumnBuilder> =
+                    (0..items.len()).map(|_| ColumnBuilder::new()).collect();
+                for (f, item) in fields.iter_mut().zip(items.iter()) {
+                    f.push(item);
+                }
+                *self = ColumnBuilder::Tuple { len: 1, fields };
+            }
+            (ColumnBuilder::Empty, other) => *self = ColumnBuilder::Boxed(vec![other.clone()]),
+            (ColumnBuilder::Int(acc), Value::Int(i)) => acc.push(*i),
+            (ColumnBuilder::Float(acc), Value::Float(f)) => acc.push(*f),
+            (ColumnBuilder::Str(acc), Value::Str(s)) => acc.push(Arc::clone(s)),
+            (ColumnBuilder::Tuple { len, fields }, Value::Tuple(items))
+                if items.len() == fields.len() =>
+            {
+                for (f, item) in fields.iter_mut().zip(items.iter()) {
+                    f.push(item);
+                }
+                *len += 1;
+            }
+            _ => {
+                self.degrade().push(v.clone());
+            }
+        }
+    }
+
+    /// Convert to [`ColumnBuilder::Boxed`] in place, materialising everything
+    /// pushed so far, and return the boxed vector for the pending push.
+    fn degrade(&mut self) -> &mut Vec<Value> {
+        if !matches!(self, ColumnBuilder::Boxed(_)) {
+            let values = std::mem::replace(self, ColumnBuilder::Empty).into_values();
+            *self = ColumnBuilder::Boxed(values);
+        }
+        match self {
+            ColumnBuilder::Boxed(values) => values,
+            _ => unreachable!("just degraded to Boxed"),
+        }
+    }
+
+    fn into_values(self) -> Vec<Value> {
+        match self {
+            ColumnBuilder::Empty => Vec::new(),
+            ColumnBuilder::Int(v) => v.into_iter().map(Value::Int).collect(),
+            ColumnBuilder::Float(v) => v.into_iter().map(Value::Float).collect(),
+            ColumnBuilder::Str(v) => v.into_iter().map(Value::Str).collect(),
+            ColumnBuilder::Tuple { len, fields } => {
+                let cols: Vec<Vec<Value>> = fields.into_iter().map(Self::into_values).collect();
+                (0..len)
+                    .map(|i| Value::tuple(cols.iter().map(|c| c[i].clone()).collect()))
+                    .collect()
+            }
+            ColumnBuilder::Boxed(v) => v,
+        }
+    }
+
+    pub(crate) fn finish(self) -> Column {
+        match self {
+            ColumnBuilder::Empty => Column::Boxed(Vec::new()),
+            ColumnBuilder::Int(v) => Column::Int(v),
+            ColumnBuilder::Float(v) => Column::Float(v),
+            ColumnBuilder::Str(v) => Column::Str(v),
+            ColumnBuilder::Tuple { fields, .. } => Column::Tuple {
+                fields: fields.into_iter().map(Self::finish).collect(),
+            },
+            ColumnBuilder::Boxed(v) => Column::Boxed(v),
+        }
+    }
+}
+
+/// A selection bitmap over a batch's rows: filters clear bits instead of
+/// rewriting columns, and chained filters AND into the same bitmap. Rows are
+/// compacted (gathered dense) only when a downstream operator needs aligned
+/// columns again (a join expansion or a `let` binding).
+#[derive(Debug, Clone)]
+pub(crate) struct Bitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl Bitmap {
+    pub(crate) fn all_set(len: usize) -> Bitmap {
+        let mut words = vec![u64::MAX; len.div_ceil(64)];
+        if !len.is_multiple_of(64) {
+            if let Some(last) = words.last_mut() {
+                *last = (1u64 << (len % 64)) - 1;
+            }
+        }
+        Bitmap { words, len }
+    }
+
+    #[cfg(test)]
+    pub(crate) fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    pub(crate) fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1u64 << (i % 64));
+    }
+
+    /// Number of selected rows.
+    pub(crate) fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    pub(crate) fn is_all_set(&self) -> bool {
+        self.count() == self.len
+    }
+
+    /// Clear every selected bit whose index fails `keep` (the filter-kernel
+    /// primitive: rejections AND into the existing selection).
+    pub(crate) fn retain(&mut self, mut keep: impl FnMut(usize) -> bool) {
+        for wi in 0..self.words.len() {
+            let mut word = self.words[wi];
+            let mut bits = word;
+            while bits != 0 {
+                let bit = bits.trailing_zeros() as usize;
+                bits &= bits - 1;
+                if !keep(wi * 64 + bit) {
+                    word &= !(1u64 << bit);
+                }
+            }
+            self.words[wi] = word;
+        }
+    }
+
+    /// Indices of the selected rows, in row order.
+    pub(crate) fn ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            let mut w = word;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let bit = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + bit)
+                }
+            })
+        })
+    }
+}
+
+/// A view of one column over a contiguous row range (`start..start + len` of
+/// the underlying column). Slicing a decomposed source into morsels is a
+/// refcount bump; only join expansions gather fresh columns.
+#[derive(Debug, Clone)]
+pub(crate) struct ColRef {
+    pub(crate) col: Arc<Column>,
+    pub(crate) start: usize,
+}
+
+impl ColRef {
+    pub(crate) fn whole(col: Arc<Column>) -> ColRef {
+        ColRef { col, start: 0 }
+    }
+
+    pub(crate) fn value(&self, i: usize) -> Value {
+        self.col.value(self.start + i)
+    }
+
+    pub(crate) fn gather(&self, idx: &[u32]) -> ColRef {
+        ColRef::whole(Arc::new(self.col.gather(self.start, idx)))
+    }
+}
+
+/// A batch of rows flowing through the physical operators: named columns in
+/// **binding order** (a later column shadows an earlier one of the same name,
+/// and all of them shadow the incoming environment) plus the selection bitmap.
+#[derive(Debug, Clone)]
+pub(crate) struct Batch {
+    pub(crate) len: usize,
+    pub(crate) cols: Vec<(Arc<str>, ColRef)>,
+    pub(crate) sel: Bitmap,
+}
+
+impl Batch {
+    /// The single-row, zero-column batch every plan starts from: it stands for
+    /// the incoming environment (whose bindings resolve through the `Env`).
+    pub(crate) fn unit() -> Batch {
+        Batch {
+            len: 1,
+            cols: Vec::new(),
+            sel: Bitmap::all_set(1),
+        }
+    }
+
+    /// The visible column for `name`: the **last** binding wins, mirroring
+    /// environment shadowing.
+    pub(crate) fn col(&self, name: &str) -> Option<&ColRef> {
+        self.cols
+            .iter()
+            .rev()
+            .find(|(n, _)| n.as_ref() == name)
+            .map(|(_, c)| c)
+    }
+
+    /// Indices of the selected rows.
+    pub(crate) fn selected(&self) -> Vec<u32> {
+        self.sel.ones().map(|i| i as u32).collect()
+    }
+
+    /// Gather the selected rows into a dense batch (all bits set), so every
+    /// column is aligned again for expansion or appending.
+    pub(crate) fn compact(self) -> Batch {
+        if self.sel.is_all_set() {
+            return self;
+        }
+        let idx = self.selected();
+        let cols = self
+            .cols
+            .into_iter()
+            .map(|(name, col)| (name, col.gather(&idx)))
+            .collect();
+        Batch {
+            len: idx.len(),
+            cols,
+            sel: Bitmap::all_set(idx.len()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_keeps_int_columns_typed() {
+        let mut b = ColumnBuilder::new();
+        for i in 0..5 {
+            b.push(&Value::Int(i));
+        }
+        let col = b.finish();
+        assert!(matches!(col, Column::Int(_)));
+        assert_eq!(col.value(3), Value::Int(3));
+    }
+
+    #[test]
+    fn builder_degrades_mixed_types_to_boxed() {
+        let mut b = ColumnBuilder::new();
+        b.push(&Value::Int(1));
+        b.push(&Value::str("x"));
+        let col = b.finish();
+        assert!(matches!(col, Column::Boxed(_)));
+        assert_eq!(col.value(0), Value::Int(1));
+        assert_eq!(col.value(1), Value::str("x"));
+    }
+
+    #[test]
+    fn builder_degrades_int_meeting_float_to_boxed() {
+        // Int + Float must not widen: output values keep their variants.
+        let mut b = ColumnBuilder::new();
+        b.push(&Value::Int(1));
+        b.push(&Value::Float(2.5));
+        let col = b.finish();
+        assert!(matches!(col, Column::Boxed(_)));
+        assert_eq!(col.value(0), Value::Int(1));
+        assert_eq!(col.value(1), Value::Float(2.5));
+    }
+
+    #[test]
+    fn builder_splits_uniform_tuples_into_field_columns() {
+        let mut b = ColumnBuilder::new();
+        b.push(&Value::pair(Value::Int(1), Value::str("a")));
+        b.push(&Value::pair(Value::Int(2), Value::str("b")));
+        let col = b.finish();
+        let Column::Tuple { fields } = &col else {
+            panic!("expected a tuple column");
+        };
+        assert!(matches!(fields[0], Column::Int(_)));
+        assert!(matches!(fields[1], Column::Str(_)));
+        assert_eq!(col.value(1), Value::pair(Value::Int(2), Value::str("b")));
+    }
+
+    #[test]
+    fn builder_degrades_mixed_arity_tuples() {
+        let mut b = ColumnBuilder::new();
+        b.push(&Value::pair(Value::Int(1), Value::Int(2)));
+        b.push(&Value::tuple(vec![Value::Int(3)]));
+        let col = b.finish();
+        assert!(matches!(col, Column::Boxed(_)));
+        assert_eq!(col.value(0), Value::pair(Value::Int(1), Value::Int(2)));
+        assert_eq!(col.value(1), Value::tuple(vec![Value::Int(3)]));
+    }
+
+    #[test]
+    fn bitmap_tracks_partial_last_word() {
+        let mut bm = Bitmap::all_set(70);
+        assert_eq!(bm.count(), 70);
+        bm.clear(0);
+        bm.clear(69);
+        assert_eq!(bm.count(), 68);
+        assert!(!bm.get(69));
+        assert_eq!(bm.ones().next(), Some(1));
+        assert_eq!(bm.ones().last(), Some(68));
+    }
+
+    #[test]
+    fn gather_respects_slice_offsets() {
+        let col = Arc::new(Column::Int((0..10).collect()));
+        let slice = ColRef { col, start: 4 };
+        let gathered = slice.gather(&[0, 2, 3]);
+        assert_eq!(gathered.value(0), Value::Int(4));
+        assert_eq!(gathered.value(1), Value::Int(6));
+        assert_eq!(gathered.value(2), Value::Int(7));
+    }
+}

@@ -2,10 +2,16 @@
 //! extents and randomly shaped comprehensions, **planned** (bushy enumeration
 //! on), **nested-loop**, **statistics-reordered**, **bushy-disabled** (greedy
 //! chain reorder only), **sequentially fetched**, **plan-cached**,
-//! **secondary-indexed** (point filters served by an attached `IndexStore`) and
-//! **index-disabled** evaluation
+//! **secondary-indexed** (point filters served by an attached `IndexStore`),
+//! **index-disabled**, **columnar** (the vectorised default) and
+//! **columnar-disabled** (row-at-a-time) evaluation
 //! must all agree — bag equality including multiplicities *and order*, since
 //! every planned strategy is required to preserve the nested-loop output order.
+//! An engine-consistency check rides along: the engine
+//! [`Evaluator::execution_engine`] predicts must be the engine the execution
+//! records in [`StepProbe`], in both directions and under both engine
+//! configurations, and a `?param`-filtered variant of every query must agree
+//! across engines too (parameters bind at execution time on both paths).
 //!
 //! Query shapes cover every join-graph topology the planner distinguishes:
 //! **lines** (each generator joins its predecessor), **stars** (every
@@ -32,7 +38,10 @@ use automed::qp::Contribution;
 use automed::wrapper::SourceRegistry;
 use iql::env::Env;
 use iql::value::{Bag, Value};
-use iql::{parse, Evaluator, IndexStore, JoinStrategy, MapExtents, PlanCache, StepKind, StepProbe};
+use iql::{
+    parse, Evaluator, ExecEngine, IndexStore, JoinStrategy, MapExtents, Params, PlanCache,
+    StepKind, StepProbe,
+};
 use proptest::prelude::*;
 use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
 use relational::Database;
@@ -233,6 +242,82 @@ proptest! {
             &text
         );
 
+        // Columnar ≡ row: the vectorised engine (the default — `planned` above
+        // already ran on it where eligible) against the engine forced off.
+        // Probes assert which engine actually produced each result, and
+        // `execution_engine`'s prediction must match it in both directions.
+        let col_probe = Arc::new(StepProbe::new());
+        let col_ev = Evaluator::new(&extents).with_step_probe(Arc::clone(&col_probe));
+        let predicted = col_ev
+            .execution_engine(&query, &Env::new())
+            .expect("engine prediction");
+        let columnar = col_ev.eval_closed(&query).expect("columnar-side evaluation");
+        prop_assert_eq!(items(&columnar), items(&naive), "columnar vs naive: {}", &text);
+        prop_assert_eq!(
+            col_probe.engine_count(predicted) >= 1,
+            true,
+            "predicted engine {:?} did not execute for {}",
+            predicted,
+            &text
+        );
+        let other = match predicted {
+            ExecEngine::Columnar => ExecEngine::Row,
+            ExecEngine::Row => ExecEngine::Columnar,
+        };
+        prop_assert_eq!(
+            col_probe.engine_count(other),
+            0,
+            "unpredicted engine {:?} executed for {}",
+            other,
+            &text
+        );
+
+        let row_probe = Arc::new(StepProbe::new());
+        let row_ev = Evaluator::new(&extents)
+            .with_columnar(false)
+            .with_step_probe(Arc::clone(&row_probe));
+        prop_assert_eq!(
+            row_ev.execution_engine(&query, &Env::new()).expect("row prediction"),
+            ExecEngine::Row,
+            "columnar-disabled evaluators must predict the row engine: {}",
+            &text
+        );
+        let row_only = row_ev.eval_closed(&query).expect("columnar-disabled evaluation");
+        prop_assert_eq!(items(&row_only), items(&naive), "row-engine vs naive: {}", &text);
+        prop_assert_eq!(
+            row_probe.engine_count(ExecEngine::Columnar),
+            0,
+            "columnar-disabled evaluation ran the columnar engine: {}",
+            &text
+        );
+        prop_assert!(
+            row_probe.engine_count(ExecEngine::Row) >= 1,
+            "columnar-disabled evaluation recorded no row execution: {}",
+            &text
+        );
+
+        // ?param leg: the same shape with a parameterised point filter on the
+        // hub key must agree across engines under the same binding (parameters
+        // reach filter kernels — and, with the store attached, IndexLookup key
+        // evaluation — on the columnar path).
+        let ptext = format!("{}; k0 = ?hub]", &text[..text.len() - 1]);
+        let pquery = parse(&ptext).unwrap_or_else(|e| panic!("{ptext} does not parse: {e}"));
+        let penv = Env::new().with_params(Params::new().with("hub", Value::Int(2)));
+        let prow = Evaluator::new(&extents)
+            .with_columnar(false)
+            .eval(&pquery, &penv)
+            .expect("param row evaluation");
+        let pcol = Evaluator::new(&extents)
+            .with_index_store(Arc::clone(&store))
+            .eval(&pquery, &penv)
+            .expect("param columnar evaluation");
+        prop_assert_eq!(
+            items(&pcol),
+            items(&prow),
+            "param columnar vs param row: {}",
+            &ptext
+        );
+
         // Plan-cached re-run: second evaluation must reuse the plan and agree.
         let cache = Arc::new(PlanCache::new());
         let cached_ev = Evaluator::new(&extents).with_plan_cache(Arc::clone(&cache));
@@ -398,6 +483,27 @@ proptest! {
                 .sequential()
                 .answer_with_nested_loops(&query)
                 .expect("naive answer");
+            // Columnar-disabled leg through the automed pass-through, with
+            // engine counters attached: the row engine must agree and the
+            // columnar engine must never have run.
+            let row_stats = Arc::new(iql::EngineStats::new());
+            let row_engine = VirtualExtents::new(&registry, &defs)
+                .without_columnar()
+                .with_engine_stats(Arc::clone(&row_stats))
+                .answer(&query)
+                .expect("columnar-disabled answer");
+            prop_assert_eq!(
+                row_stats.columnar_execs(),
+                0,
+                "columnar-disabled provider ran the columnar engine: {}",
+                text
+            );
+            prop_assert_eq!(
+                row_stats.row_fallbacks(),
+                0,
+                "columnar-disabled runs are configuration, not fallbacks: {}",
+                text
+            );
             match (&parallel, &naive) {
                 (Value::Bag(p), Value::Bag(n)) => {
                     prop_assert_eq!(p.items(), n.items(), "parallel vs naive order: {}", text);
@@ -406,6 +512,7 @@ proptest! {
             }
             prop_assert_eq!(&parallel, &sequential, "parallel vs sequential: {}", text);
             prop_assert_eq!(&parallel, &no_bushy, "parallel vs bushy-disabled: {}", text);
+            prop_assert_eq!(&parallel, &row_engine, "parallel vs columnar-disabled: {}", text);
 
             // The explain pass-through plans without executing and never
             // reports a strategy the evaluator below it cannot run.

@@ -230,6 +230,42 @@ fn mixed_workloads_use_both_maintenance_paths() {
     }
 }
 
+/// Standing plans stay on the row engine: the O(delta) incremental path
+/// executes cached standing plans directly through the row executor, so
+/// delta maintenance must never register a columnar execution — the
+/// dataspace-wide `columnar_execs` counter stays exactly where the seed
+/// execution left it while `delta_evals` advances.
+#[test]
+fn delta_maintenance_stays_on_the_row_engine() {
+    let mut ds = integrated(&[(0, "a"), (1, "b")], &[(0, "c"), (1, "d")]);
+    let text =
+        "[{x, y} | {k, x} <- <<ALPHA_t, ALPHA_label>>; {j, y} <- <<BETA_u, BETA_label>>; j = k]";
+    let sub = ds.prepare(text).unwrap().subscribe(&Params::new()).unwrap();
+    assert!(sub.is_incremental());
+    let seeded = ds.stats();
+    // Append to the chain's lead only: probed-side inserts are allowed to
+    // fall back to re-execution, which would legitimately run columnar.
+    for i in 2..6i64 {
+        ds.insert("alpha", "t", vec![i.into(), "x".into()]).unwrap();
+    }
+    let after = ds.stats();
+    assert!(
+        after.delta_evals > seeded.delta_evals,
+        "the inserts must travel the O(delta) path"
+    );
+    assert_eq!(
+        after.fallback_reexecs, seeded.fallback_reexecs,
+        "these inserts must not fall back to re-execution"
+    );
+    assert_eq!(
+        after.columnar_execs, seeded.columnar_execs,
+        "delta maintenance must not run the columnar engine"
+    );
+    // The row-path result still matches a fresh (columnar-default)
+    // re-execution, which is itself allowed to run columnar.
+    assert_matches_reexecution(&ds, text, &Params::new(), &sub);
+}
+
 /// Bag results accumulate appends in extent order: the delta of a join chain
 /// lands at the tail exactly where re-execution would put it (order *and*
 /// multiplicity, duplicates included).
