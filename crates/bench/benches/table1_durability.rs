@@ -1,0 +1,133 @@
+//! What durability costs per insert: in-memory vs commit-log vs fsync.
+//!
+//! Every committed batch appends one checksummed record to the attached
+//! commit log ([`Dataspace::open`]), so the write path gains a serialisation
+//! plus a buffered file write — and, with `wal_fsync` on, a synchronous
+//! flush to the device. This bench prices the three configurations against
+//! each other on the same single-row insert workload, per source size:
+//!
+//! * **in_memory**: no log attached — the floor the durable legs sit on;
+//! * **wal**: log attached, `wal_fsync: false` (OS-buffered appends; crash
+//!   loses at most the unflushed tail, which recovery truncates away);
+//! * **wal_fsync**: log attached, `wal_fsync: true` (every commit reaches
+//!   the device before `insert` returns).
+//!
+//! Expectation: `wal` stays within a small constant of `in_memory` (the
+//! record encode + buffered write), while `wal_fsync` is dominated by the
+//! device flush and dwarfs both — the knob exists precisely because that
+//! cost is workload-dependent.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+use std::cell::Cell;
+use std::path::PathBuf;
+use std::time::Duration;
+
+fn wal_path(tag: &str) -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "dataspace-bench-durability-{}-{tag}.wal",
+        std::process::id()
+    ))
+}
+
+fn populated(rows: i64, fsync: bool) -> Dataspace {
+    let mut schema = RelSchema::new("src");
+    schema
+        .add_table(
+            RelTable::new("t")
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .expect("schema builds");
+    let mut db = Database::new(schema);
+    let batch: Vec<Vec<iql::Value>> = (0..rows)
+        .map(|i| vec![i.into(), format!("w{}", i % 97).into()])
+        .collect();
+    db.insert_many("t", batch).expect("seed rows");
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        wal_fsync: fsync,
+        ..DataspaceConfig::default()
+    });
+    ds.add_source(db).expect("add source");
+    ds.federate().expect("federate");
+    ds
+}
+
+fn table1_durability(c: &mut Criterion) {
+    // The harness shim takes no warmup samples; spin the exact workload for a
+    // second so the first group doesn't absorb the CPU's frequency ramp.
+    let mut warm = populated(2_000, false);
+    let deadline = std::time::Instant::now() + Duration::from_secs(1);
+    let mut i = 2_000i64;
+    while std::time::Instant::now() < deadline {
+        warm.insert("src", "t", vec![i.into(), "w".into()])
+            .expect("warmup insert");
+        i += 1;
+    }
+    drop(warm);
+
+    let mut group = c.benchmark_group("table1_durability");
+    group
+        .sample_size(20)
+        .measurement_time(Duration::from_secs(2));
+
+    for rows in [500i64, 2_000, 8_000] {
+        // Floor: the bare in-memory insert.
+        let mut ds = populated(rows, false);
+        let ticks = Cell::new(rows);
+        group.bench_with_input(BenchmarkId::new("in_memory", rows), &rows, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                    .expect("insert");
+            })
+        });
+
+        // Durable, OS-buffered: each insert also appends one log record.
+        let path = wal_path(&format!("buffered-{rows}"));
+        std::fs::remove_file(&path).ok();
+        let mut ds = populated(rows, false);
+        ds.open(&path).expect("attach log");
+        let ticks = Cell::new(rows);
+        group.bench_with_input(BenchmarkId::new("wal", rows), &rows, |b, _| {
+            b.iter(|| {
+                let i = ticks.get();
+                ticks.set(i + 1);
+                ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                    .expect("logged insert");
+            })
+        });
+        assert!(ds.stats().wal_appends > 0, "the durable leg must log");
+        drop(ds);
+        std::fs::remove_file(&path).ok();
+
+        // Durable, synchronous: every commit reaches the device. Priced at
+        // the smallest scale only — the flush dominates regardless of extent
+        // size, and a full sweep would just repeat the same number slowly.
+        if rows == 500 {
+            let path = wal_path("fsync");
+            std::fs::remove_file(&path).ok();
+            let mut ds = populated(rows, true);
+            ds.open(&path).expect("attach log");
+            let ticks = Cell::new(rows);
+            group.bench_with_input(BenchmarkId::new("wal_fsync", rows), &rows, |b, _| {
+                b.iter(|| {
+                    let i = ticks.get();
+                    ticks.set(i + 1);
+                    ds.insert("src", "t", vec![i.into(), format!("w{}", i % 97).into()])
+                        .expect("fsynced insert");
+                })
+            });
+            drop(ds);
+            std::fs::remove_file(&path).ok();
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, table1_durability);
+criterion_main!(benches);

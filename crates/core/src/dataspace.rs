@@ -32,9 +32,12 @@ use iql::eval::ExtentProvider;
 use iql::lru::LruMap;
 use iql::value::{Bag, Value};
 use iql::{IndexStore, Params, PlanCache};
+use relational::storage::{BatchCommit, StorageEngine};
 use relational::store::TableDelta;
+use relational::wal::{CommitLog, CompactionReport, LogRecord};
 use relational::Database;
 use std::collections::BTreeSet;
+use std::path::Path;
 use std::sync::atomic::Ordering;
 use std::sync::{Arc, PoisonError, RwLock};
 
@@ -80,6 +83,13 @@ pub struct DataspaceConfig {
     /// differential oracle leg. Either way results are identical; standing
     /// subscriptions always stay on the row path.
     pub columnar: bool,
+    /// Whether every append to an attached commit log ([`Dataspace::open`]) is
+    /// `fsync`'d before the insert returns. Off by default: the OS page cache
+    /// decides when bytes hit disk, so a crash may lose the newest batches but
+    /// recovery still replays a consistent prefix (the log's checksummed
+    /// framing truncates any torn tail). Turn it on when an acknowledged
+    /// insert must survive power loss; `table1_durability` benches the cost.
+    pub wal_fsync: bool,
 }
 
 impl Default for DataspaceConfig {
@@ -96,6 +106,7 @@ impl Default for DataspaceConfig {
             index_cache_bytes: iql::index::DEFAULT_INDEX_BYTES,
             reopt_divergence_factor: iql::eval::DEFAULT_REOPT_FACTOR,
             columnar: true,
+            wal_fsync: false,
         }
     }
 }
@@ -148,6 +159,14 @@ pub struct Dataspace {
     /// out (columnar completions and row-engine fallbacks; see
     /// [`iql::EngineStats`]).
     engine_stats: Arc<iql::EngineStats>,
+    /// The attached durable commit log, if any (see [`Dataspace::open`]):
+    /// every committed batch is appended as one [`LogRecord`].
+    wal: Option<CommitLog>,
+    /// Committed batches appended to the attached log over this dataspace's
+    /// lifetime (recovery replays excluded).
+    wal_appends: u64,
+    /// Batches replayed from the log by [`Dataspace::open`].
+    recovery_replays: u64,
 }
 
 impl Default for Dataspace {
@@ -190,6 +209,9 @@ impl Dataspace {
             generation: 0,
             subscriptions: SubscriptionRegistry::default(),
             engine_stats: Arc::new(iql::EngineStats::new()),
+            wal: None,
+            wal_appends: 0,
+            recovery_replays: 0,
         }
     }
 
@@ -670,6 +692,14 @@ impl Dataspace {
             fallback_reexecs: self.subscriptions.fallback_reexec_count(),
             columnar_execs: self.engine_stats.columnar_execs(),
             row_fallbacks: self.engine_stats.row_fallbacks(),
+            snapshots_active: self
+                .member_names
+                .iter()
+                .filter_map(|n| self.registry.database(n).ok())
+                .map(StorageEngine::snapshots_active)
+                .sum(),
+            wal_appends: self.wal_appends,
+            recovery_replays: self.recovery_replays,
         }
     }
 
@@ -721,16 +751,145 @@ impl Dataspace {
         table: &str,
         rows: Vec<Vec<Value>>,
     ) -> Result<(), CoreError> {
-        let pre_version = self.provider().ok().map(|p| ExtentProvider::version(&p));
-        let delta = self
+        self.apply_batch(source, table, rows, true)
+    }
+
+    /// The shared commit path: validate and apply the batch as one storage
+    /// commit, append it to the attached commit log (unless this *is* a replay
+    /// — `log: false`), and fan the delta out to subscriptions. The pre/post
+    /// stamps subscriptions sync on derive from the [`BatchCommit`] — i.e.
+    /// from inside the storage engine's critical section — not from a provider
+    /// snapshot taken before the write (see [`Dataspace::notify_subscriptions`]).
+    fn apply_batch(
+        &mut self,
+        source: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+        log: bool,
+    ) -> Result<(), CoreError> {
+        // Clone the raw rows for the log record up front (cheap: values are
+        // `Arc`-backed scalars); the commit consumes the originals.
+        let logged = (log && self.wal.is_some()).then(|| rows.clone());
+        let commit = self
             .registry
             .database_mut(source)?
-            .insert_many_with_delta(table, rows)?;
-        if delta.appended.is_empty() {
+            .commit_batch(table, rows)?;
+        if !commit.appended() {
+            // Empty batch: the snapshot did not move, nothing to log, and no
+            // subscription may be touched (no update pushed, no
+            // delta-eligibility stamp burned).
             return Ok(());
         }
-        self.notify_subscriptions(source, &delta, pre_version);
+        if let (Some(rows), Some(wal)) = (logged, self.wal.as_mut()) {
+            wal.append(&LogRecord {
+                snapshot: commit.post_snapshot,
+                source: source.to_string(),
+                table: table.to_string(),
+                rows,
+            })
+            .map_err(|e| CoreError::Storage(format!("commit-log append failed: {e}")))?;
+            self.wal_appends += 1;
+        }
+        self.notify_subscriptions(source, &commit);
         Ok(())
+    }
+
+    /// Attach the durable commit log at `path`, replaying any existing records
+    /// first: each logged batch re-runs through the normal validated insert
+    /// path ([`Dataspace::insert_many`] semantics — same checks, same extent
+    /// and cache maintenance, same subscription fan-out), so after `open`
+    /// returns the dataspace answers exactly as the one that wrote the log,
+    /// and standing subscriptions registered before the call are re-armed at
+    /// the recovered snapshot. From then on every committed batch is appended
+    /// to the log (`fsync` per [`DataspaceConfig::wal_fsync`]).
+    ///
+    /// Call it after registering the same sources (and deriving the same
+    /// schemas) as the dataspace that wrote the log — the log records data,
+    /// not schema. A torn or corrupt tail (crash mid-append) is truncated
+    /// away and reported, never replayed.
+    ///
+    /// ```
+    /// use dataspace_core::dataspace::Dataspace;
+    /// use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+    /// use relational::Database;
+    ///
+    /// let path = std::env::temp_dir().join(format!("dataspace-doc-{}.wal", std::process::id()));
+    /// # std::fs::remove_file(&path).ok();
+    /// let schema = {
+    ///     let mut s = RelSchema::new("pedro");
+    ///     s.add_table(
+    ///         RelTable::new("protein")
+    ///             .with_column(RelColumn::new("id", DataType::Int))
+    ///             .with_column(RelColumn::new("accession_num", DataType::Text))
+    ///             .with_primary_key(["id"]),
+    ///     )
+    ///     .unwrap();
+    ///     s
+    /// };
+    ///
+    /// // First life: attach an empty log, write through it, then "crash".
+    /// let mut ds = Dataspace::new();
+    /// ds.add_source(Database::new(schema.clone())).unwrap();
+    /// ds.federate().unwrap();
+    /// ds.open(&path).unwrap();
+    /// ds.insert("pedro", "protein", vec![1.into(), "ACC1".into()]).unwrap();
+    /// ds.insert("pedro", "protein", vec![2.into(), "ACC2".into()]).unwrap();
+    /// drop(ds);
+    ///
+    /// // Second life: same source and schemas, then replay the log.
+    /// let mut ds = Dataspace::new();
+    /// ds.add_source(Database::new(schema)).unwrap();
+    /// ds.federate().unwrap();
+    /// let report = ds.open(&path).unwrap();
+    /// assert_eq!((report.batches_replayed, report.rows_replayed), (2, 2));
+    /// let n = ds.query_value("count <<PEDRO_protein>>").unwrap();
+    /// assert_eq!(n, iql::Value::Int(2));
+    /// # std::fs::remove_file(&path).ok();
+    /// ```
+    pub fn open(&mut self, path: impl AsRef<Path>) -> Result<RecoveryReport, CoreError> {
+        if self.wal.is_some() {
+            return Err(CoreError::WorkflowOrder(
+                "a commit log is already attached to this dataspace".into(),
+            ));
+        }
+        let recovered = CommitLog::open(path.as_ref(), self.config.wal_fsync)
+            .map_err(|e| CoreError::Storage(format!("commit-log open failed: {e}")))?;
+        let mut report = RecoveryReport {
+            batches_replayed: 0,
+            rows_replayed: 0,
+            truncated_bytes: recovered.truncated_bytes,
+        };
+        for record in recovered.records {
+            let rows = record.rows.len() as u64;
+            self.apply_batch(&record.source, &record.table, record.rows, false)
+                .map_err(|e| {
+                    CoreError::Storage(format!(
+                        "commit-log replay failed for `{}.{}` (was the dataspace \
+                         rebuilt with the same sources and schemas?): {e}",
+                        record.source, record.table
+                    ))
+                })?;
+            self.recovery_replays += 1;
+            report.batches_replayed += 1;
+            report.rows_replayed += rows;
+        }
+        self.wal = Some(recovered.log);
+        Ok(report)
+    }
+
+    /// Compact the attached commit log: merge its records into one batch per
+    /// (source, table) — replaying the compacted log rebuilds the same
+    /// dataspace, the file just stops growing with history — and fsync the
+    /// result (a durability point even with [`DataspaceConfig::wal_fsync`]
+    /// off). Errors if no log is attached.
+    pub fn checkpoint(&mut self) -> Result<CompactionReport, CoreError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Err(CoreError::WorkflowOrder(
+                "no commit log attached; call Dataspace::open first".into(),
+            ));
+        };
+        wal.compact()
+            .map_err(|e| CoreError::Storage(format!("commit-log compaction failed: {e}")))
     }
 
     /// (Re-)execute a subscription's query from scratch and reset its
@@ -775,12 +934,25 @@ impl Dataspace {
         Ok(())
     }
 
-    /// Fan an insert's [`TableDelta`] out to the subscriptions indexed under
+    /// Fan a commit's [`TableDelta`] out to the subscriptions indexed under
     /// `(source, table)`: each either takes the incremental path
     /// ([`Dataspace::apply_insert`]) or falls back to re-execution. A
     /// subscription whose fallback re-execution itself fails is marked stale
     /// (`synced = None`) and retried on the next affecting insert.
-    fn notify_subscriptions(&self, source: &str, delta: &TableDelta, pre_version: Option<u64>) {
+    ///
+    /// The pre-commit provider stamp subscriptions compare their `synced`
+    /// stamp against is **derived from the commit itself**, not read from a
+    /// provider before the write: the provider version is the sum of the
+    /// source snapshot ids (plus a constant generation salt), and this commit
+    /// moved exactly one source by `post_snapshot - pre_snapshot`, so
+    /// subtracting that distance from the post-commit provider version
+    /// reconstructs the exact pre-commit stamp. A writer that raced its way
+    /// between a pre-read and the apply can therefore never make
+    /// `synced == pre_version` misjudge delta-eligibility (the old
+    /// read-then-apply order could — see the regression test in
+    /// `tests/subscriptions.rs`).
+    fn notify_subscriptions(&self, source: &str, commit: &BatchCommit) {
+        let delta = &commit.delta;
         let live = self.subscriptions.all_live();
         if live.is_empty() {
             return;
@@ -790,6 +962,8 @@ impl Dataspace {
             return;
         };
         let post_version = ExtentProvider::version(&provider);
+        let pre_version =
+            post_version.wrapping_sub(commit.post_snapshot.wrapping_sub(commit.pre_snapshot));
         let global = self
             .global
             .as_ref()
@@ -804,7 +978,7 @@ impl Dataspace {
                 // extent the query touches: just advance the version stamp so
                 // the standing plan survives for the next affecting insert.
                 let mut inner = state.lock();
-                if pre_version.is_some() && inner.synced == pre_version {
+                if inner.synced == Some(pre_version) {
                     inner.synced = Some(post_version);
                 }
                 continue;
@@ -842,11 +1016,11 @@ impl Dataspace {
         state: &SubState,
         source: &str,
         delta: &TableDelta,
-        pre_version: Option<u64>,
+        pre_version: u64,
         post_version: u64,
     ) -> bool {
         let mut inner = state.lock();
-        if pre_version.is_none() || inner.synced != pre_version {
+        if inner.synced != Some(pre_version) {
             return false;
         }
         let Some(plan) = &inner.standing else {
@@ -979,6 +1153,26 @@ pub struct DataspaceStats {
     /// sources) or aborted columnar runs (see
     /// [`iql::EngineStats::row_fallbacks`]).
     pub row_fallbacks: u64,
+    /// Live MVCC [`relational::Snapshot`] pins across every member source
+    /// (readers currently holding a pinned snapshot view).
+    pub snapshots_active: usize,
+    /// Committed batches appended to the attached commit log (0 when no log
+    /// is attached; recovery replays are not re-appended and don't count).
+    pub wal_appends: u64,
+    /// Batches replayed from the commit log by [`Dataspace::open`].
+    pub recovery_replays: u64,
+}
+
+/// What [`Dataspace::open`] recovered from the commit log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Whole log records replayed through the insert path.
+    pub batches_replayed: u64,
+    /// Rows those batches carried.
+    pub rows_replayed: u64,
+    /// Bytes truncated from a torn or corrupt tail (crash mid-append); 0 for
+    /// a cleanly closed log.
+    pub truncated_bytes: u64,
 }
 
 /// A query parsed and validated once, executable many times under different

@@ -25,6 +25,9 @@ pub enum CoreError {
     /// A prepared query was executed with a binding for a name that does not
     /// occur in the query (almost always a typo in the binding set).
     UnknownParam(String),
+    /// The durable storage layer failed: the commit log could not be opened,
+    /// appended to, compacted, or replayed (carries the I/O or replay detail).
+    Storage(String),
 }
 
 impl fmt::Display for CoreError {
@@ -45,6 +48,7 @@ impl fmt::Display for CoreError {
                     "binding for `?{p}` does not match any parameter of the query"
                 )
             }
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
         }
     }
 }

@@ -147,6 +147,17 @@ use crate::value::{Bag, Value};
 use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::sync::Arc;
 
+/// The identifier of one consistent point in a provider's commit history.
+///
+/// [`ExtentProvider::version`] returns a `SnapshotId`: the storage layer
+/// (`relational::storage`) assigns one per committed write batch, and every
+/// version-guarded memo in the engine — the [`PlanCache`], the
+/// [`crate::IndexStore`], key histograms, extent memos, subscription `synced`
+/// stamps — pins to a snapshot id rather than an opaque counter. Kept as a
+/// plain `u64` so pre-snapshot providers (and persisted stamps) remain
+/// compatible.
+pub type SnapshotId = u64;
+
 /// A source of extents for scheme references.
 ///
 /// The evaluator is agnostic about where extents come from: the `relational` crate
@@ -192,15 +203,22 @@ pub trait ExtentProvider: Sync {
     /// Return the extent (a shared bag) of the schema object named by `scheme`.
     fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError>;
 
-    /// A version stamp for the provider's data, used to guard [`PlanCache`] entries.
+    /// The snapshot the provider's data currently sits at, used to guard
+    /// [`PlanCache`] entries (and every other version-stamped memo downstream).
     ///
-    /// The contract: any mutation that can change the result of *any* `extent` call
-    /// must change the version (monotonically increasing counters are the easy way).
-    /// Immutable providers can keep the default constant `0`. A [`PlanCache`] must
-    /// only ever be shared between evaluators over the *same logical provider*: the
-    /// version guards staleness within one provider's lifetime, not identity across
-    /// different providers.
-    fn version(&self) -> u64 {
+    /// Since the storage layer grew MVCC snapshots, this stamp carries
+    /// **snapshot-id semantics**: it identifies a consistent point in the
+    /// provider's commit history, every committed write batch moves it to a new
+    /// id, and a provider pinned to an immutable snapshot returns that
+    /// snapshot's id for its whole lifetime. The original, weaker contract is
+    /// unchanged and still sufficient for simple providers: any mutation that
+    /// can change the result of *any* `extent` call must change the stamp
+    /// (monotonically increasing counters are the easy way). Immutable
+    /// providers can keep the default constant `0`. A [`PlanCache`] must only
+    /// ever be shared between evaluators over the *same logical provider*: the
+    /// stamp guards staleness within one provider's lifetime, not identity
+    /// across different providers.
+    fn version(&self) -> SnapshotId {
         0
     }
 
@@ -240,7 +258,7 @@ impl<P: ExtentProvider + ?Sized> ExtentProvider for &P {
         (**self).extent(scheme)
     }
 
-    fn version(&self) -> u64 {
+    fn version(&self) -> SnapshotId {
         (**self).version()
     }
 

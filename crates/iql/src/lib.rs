@@ -78,8 +78,8 @@ pub use bushy::JoinTree;
 pub use env::Params;
 pub use error::{EvalError, ParseError};
 pub use eval::{
-    Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, StandingPlan,
-    StepKind, StepProbe,
+    Evaluator, ExtentProvider, JoinStats, JoinStrategy, KeyHistogram, PlanCache, SnapshotId,
+    StandingPlan, StepKind, StepProbe,
 };
 pub use fetch::FetchPool;
 pub use index::IndexStore;

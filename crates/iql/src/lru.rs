@@ -150,7 +150,10 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn insert_weighted(&mut self, key: K, value: V, weight: u64) {
         let tick = self.tick.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(old) = self.entries.remove(&key) {
-            self.total_weight -= old.weight;
+            // Re-insert under a new weight: retire the old weight *before* the
+            // eviction loop below, so the budget check sees neither a phantom
+            // copy of this key nor a double-counted weight.
+            self.total_weight = self.release_weight(old.weight);
         }
         while !self.entries.is_empty()
             && (self.entries.len() >= self.capacity
@@ -163,7 +166,7 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
                 .map(|(k, _)| k.clone())
             {
                 if let Some(evicted) = self.entries.remove(&stalest) {
-                    self.total_weight -= evicted.weight;
+                    self.total_weight = self.release_weight(evicted.weight);
                 }
                 self.evictions += 1;
             }
@@ -183,6 +186,20 @@ impl<K: Eq + Hash + Clone, V> LruMap<K, V> {
     pub fn clear(&mut self) {
         self.entries.clear();
         self.total_weight = 0;
+    }
+
+    /// `total_weight` minus a removed entry's weight, guarded against
+    /// underflow: the sum of held weights can never exceed `total_weight`, so
+    /// a would-be wrap is a bookkeeping bug — loud in debug builds, clamped to
+    /// zero (instead of wrapping to ~`u64::MAX`, which would pin the budget
+    /// check at "over" and evict the whole map) in release builds.
+    fn release_weight(&self, removed: u64) -> u64 {
+        debug_assert!(
+            removed <= self.total_weight,
+            "LRU weight accounting underflow: releasing {removed} of {}",
+            self.total_weight
+        );
+        self.total_weight.saturating_sub(removed)
     }
 }
 
@@ -275,6 +292,56 @@ mod tests {
         assert_eq!(m.total_weight(), 50);
         assert_eq!(m.evictions(), 0);
         assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn replace_heavier_subtracts_the_old_weight_first() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 40);
+        m.insert_weighted(2, 20, 30);
+        // Re-insert key 1 at 60: accounting must be 30 + 60 = 90, NOT
+        // 40 + 30 + 60 (double-counting the replaced entry would evict 2).
+        m.insert_weighted(1, 11, 60);
+        assert_eq!(m.total_weight(), 90);
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.evictions(), 0, "old weight retired before budget check");
+        assert_eq!(m.get(&2), Some(&20));
+        assert_eq!(m.get(&1), Some(&11));
+    }
+
+    #[test]
+    fn replace_lighter_frees_budget_for_later_inserts() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 80);
+        m.insert_weighted(1, 11, 10); // 80 -> 10: 70 units come free
+        assert_eq!(m.total_weight(), 10);
+        m.insert_weighted(2, 20, 85); // fits exactly because the 80 was retired
+        assert_eq!(m.len(), 2);
+        assert_eq!(m.total_weight(), 95);
+        assert_eq!(m.evictions(), 0);
+    }
+
+    #[test]
+    fn evict_after_replace_keeps_total_weight_exact() {
+        let mut m: LruMap<i32, i32> = LruMap::with_weight_budget(16, 100);
+        m.insert_weighted(1, 10, 30);
+        m.insert_weighted(2, 20, 30);
+        m.insert_weighted(1, 11, 50); // replace-heavier: total now 80
+        m.get(&1); // 2 is stalest
+        m.insert_weighted(3, 30, 40); // 80 + 40 > 100: evict 2 (its 30, once)
+        assert_eq!(m.get(&2), None);
+        assert_eq!(m.evictions(), 1);
+        assert_eq!(
+            m.total_weight(),
+            90,
+            "50 + 40 after 2's 30 left exactly once"
+        );
+        // No underflow residue: draining the map returns the ledger to zero.
+        m.insert_weighted(4, 40, 100); // evicts 1 and 3
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.total_weight(), 100);
+        m.clear();
+        assert_eq!(m.total_weight(), 0);
     }
 
     #[test]

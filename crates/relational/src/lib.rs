@@ -3,7 +3,14 @@
 //! This crate provides the *data source* side of the reproduction:
 //!
 //! * [`schema`] — relational schema descriptions (tables, columns, keys, foreign keys);
-//! * [`store`] — a small in-memory relational database holding rows of IQL values;
+//! * [`store`] — a small in-memory relational database holding rows of IQL values —
+//!   the in-memory [`storage::StorageEngine`];
+//! * [`storage`] — the MVCC storage layer beneath [`iql::ExtentProvider`]:
+//!   snapshot-stamped append-only batches, pinned [`storage::Snapshot`] handles,
+//!   and the [`storage::StorageEngine`] trait;
+//! * [`wal`] — the file-backed, checksummed commit log that makes a storage
+//!   engine's history durable (one record per committed batch, replayed on
+//!   recovery by `core::Dataspace::open`);
 //! * [`datagen`] — seeded synthetic data generation with controllable cross-database
 //!   value overlap (used to stand in for the proteomics databases of the case study);
 //! * [`wrapper`] — the AutoMed-style wrapper view of a database: schema objects are
@@ -50,9 +57,13 @@ pub mod datagen;
 pub mod error;
 pub mod hdm_lowering;
 pub mod schema;
+pub mod storage;
 pub mod store;
+pub mod wal;
 pub mod wrapper;
 
 pub use error::RelError;
 pub use schema::{DataType, ForeignKey, RelColumn, RelSchema, RelTable};
+pub use storage::{BatchCommit, Snapshot, SnapshotId, StorageEngine};
 pub use store::{Database, Row};
+pub use wal::{CommitLog, LogRecord};

@@ -2,9 +2,10 @@
 
 use crate::error::RelError;
 use crate::schema::{DataType, RelSchema, RelTable};
+use crate::storage::{BatchCommit, Snapshot, SnapshotId, StorageEngine};
 use iql::value::{Bag, Value};
 use std::collections::{BTreeMap, HashSet};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, PoisonError, RwLock};
 
 /// A row of a table: one IQL value per column, in declaration order.
@@ -77,13 +78,23 @@ impl TableDelta {
 pub struct Database {
     schema: RelSchema,
     rows: BTreeMap<String, Vec<Row>>,
+    /// Per-table MVCC stamps, parallel to `rows`: `row_stamps[t][i]` is the
+    /// [`SnapshotId`] of the commit that appended `rows[t][i]`. The store is
+    /// append-only and commits are monotone, so each vector is non-decreasing
+    /// and the rows visible at any snapshot are a stable prefix
+    /// ([`StorageEngine::visible_rows`]).
+    row_stamps: BTreeMap<String, Vec<SnapshotId>>,
     extent_cache: RwLock<BTreeMap<String, Arc<Bag>>>,
     /// Per-table primary-key sets, seeded lazily from the existing rows on a
     /// table's first keyed insert and maintained on every later one. The store
     /// is append-only, so once seeded a set never goes stale — uniqueness
     /// checks are O(batch), not O(table).
     pk_index: BTreeMap<String, HashSet<Value>>,
+    /// The current snapshot id: 0 for the empty store, advanced by exactly one
+    /// per committed non-empty batch. Doubles as the provider version stamp.
     version: AtomicU64,
+    /// Live [`Snapshot`] pins handed out by [`StorageEngine::begin_snapshot`].
+    active_snapshots: Arc<AtomicUsize>,
 }
 
 impl Clone for Database {
@@ -93,6 +104,7 @@ impl Clone for Database {
         Database {
             schema: self.schema.clone(),
             rows: self.rows.clone(),
+            row_stamps: self.row_stamps.clone(),
             extent_cache: RwLock::new(
                 self.extent_cache
                     .read()
@@ -101,6 +113,10 @@ impl Clone for Database {
             ),
             pk_index: self.pk_index.clone(),
             version: AtomicU64::new(self.version.load(Ordering::Relaxed)),
+            // Snapshot pins are per-engine liveness tokens, not data: pins on
+            // the original must not count against (or keep alive reads on) the
+            // clone, so the clone starts with zero active snapshots.
+            active_snapshots: Arc::new(AtomicUsize::new(0)),
         }
     }
 }
@@ -126,16 +142,19 @@ enum Delta {
 impl Database {
     /// Create an empty database over the given schema.
     pub fn new(schema: RelSchema) -> Self {
-        let rows = schema
+        let rows: BTreeMap<String, Vec<Row>> = schema
             .tables()
             .map(|t| (t.name.clone(), Vec::new()))
             .collect();
+        let row_stamps = rows.keys().map(|t| (t.clone(), Vec::new())).collect();
         Database {
             schema,
             rows,
+            row_stamps,
             extent_cache: RwLock::new(BTreeMap::new()),
             pk_index: BTreeMap::new(),
             version: AtomicU64::new(0),
+            active_snapshots: Arc::new(AtomicUsize::new(0)),
         }
     }
 
@@ -250,13 +269,28 @@ impl Database {
         table: &str,
         rows: Vec<Row>,
     ) -> Result<TableDelta, RelError> {
+        self.commit_batch_inner(table, rows).map(|c| c.delta)
+    }
+
+    /// The commit path shared by [`Database::insert_many_with_delta`] and the
+    /// [`StorageEngine`] impl: validate the whole batch, apply it, stamp every
+    /// appended row with the new snapshot id, and report the pre/post snapshot
+    /// pair **from inside the critical section** (`&mut self` spans the whole
+    /// commit, so no concurrent writer can move the stamp between the
+    /// pre-read and the apply).
+    fn commit_batch_inner(&mut self, table: &str, rows: Vec<Row>) -> Result<BatchCommit, RelError> {
+        let pre_snapshot = self.version.load(Ordering::Acquire);
         let t = self
             .schema
             .table(table)
             .ok_or_else(|| RelError::UnknownTable(table.to_string()))?;
         let mut delta = TableDelta::new(table);
         if rows.is_empty() {
-            return Ok(delta);
+            return Ok(BatchCommit {
+                delta,
+                pre_snapshot,
+                post_snapshot: pre_snapshot,
+            });
         }
         // Validate the whole batch before mutating anything (all-or-nothing).
         for row in &rows {
@@ -295,16 +329,26 @@ impl Database {
             }
             seen.extend(fresh);
         }
-        // One cache-delta round and one version bump for the whole batch.
+        // One cache-delta round and one snapshot advance for the whole batch.
         let mut cache_deltas = Vec::new();
         for row in &rows {
             cache_deltas.extend(self.extent_deltas(t, row));
             delta.push_row(t, row);
         }
+        let post_snapshot = pre_snapshot + 1;
+        let appended = rows.len();
         self.rows.entry(table.to_string()).or_default().extend(rows);
+        self.row_stamps
+            .entry(table.to_string())
+            .or_default()
+            .extend(std::iter::repeat_n(post_snapshot, appended));
         self.apply_extent_deltas(cache_deltas);
-        self.version.fetch_add(1, Ordering::AcqRel);
-        Ok(delta)
+        self.version.store(post_snapshot, Ordering::Release);
+        Ok(BatchCommit {
+            delta,
+            pre_snapshot,
+            post_snapshot,
+        })
     }
 
     /// All rows of a table (empty if the table has no rows or does not exist).
@@ -357,6 +401,40 @@ impl Database {
                 .collect(),
             None => Vec::new(),
         }
+    }
+}
+
+impl StorageEngine for Database {
+    fn schema(&self) -> &RelSchema {
+        Database::schema(self)
+    }
+
+    /// The current snapshot id *is* the data version: both advance by exactly
+    /// one per committed non-empty batch.
+    fn current_snapshot(&self) -> SnapshotId {
+        self.data_version()
+    }
+
+    fn begin_snapshot(&self) -> Snapshot {
+        Snapshot::pin(self.data_version(), Arc::clone(&self.active_snapshots))
+    }
+
+    fn snapshots_active(&self) -> usize {
+        self.active_snapshots.load(Ordering::Acquire)
+    }
+
+    fn commit_batch(&mut self, table: &str, rows: Vec<Row>) -> Result<BatchCommit, RelError> {
+        self.commit_batch_inner(table, rows)
+    }
+
+    /// The stable prefix of `table` visible at `snapshot`. Stamps are
+    /// non-decreasing (commits are monotone and only ever append), so the
+    /// boundary is a binary search, not a scan.
+    fn visible_rows(&self, table: &str, snapshot: SnapshotId) -> &[Row] {
+        let rows = self.rows.get(table).map(Vec::as_slice).unwrap_or(&[]);
+        let stamps = self.row_stamps.get(table).map(Vec::as_slice).unwrap_or(&[]);
+        let visible = stamps.partition_point(|&s| s <= snapshot).min(rows.len());
+        &rows[..visible]
     }
 }
 

@@ -12,6 +12,7 @@
 //!   extents list only present values).
 
 use crate::schema::RelSchema;
+use crate::storage::{Snapshot, SnapshotId, StorageEngine};
 use crate::store::{key_of, Database};
 use iql::ast::SchemeRef;
 use iql::error::EvalError;
@@ -75,22 +76,35 @@ pub fn covers(schema: &RelSchema, scheme: &SchemeRef) -> bool {
 }
 
 /// Compute the extent of a scheme against a database, following the wrapper
-/// conventions described in the module documentation.
+/// conventions described in the module documentation. Reads at the engine's
+/// current snapshot; [`extent_of_at`] reads at a pinned one.
 pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
+    extent_of_at(db, scheme, db.data_version())
+}
+
+/// Compute the extent of a scheme against any [`StorageEngine`] **as of** a
+/// snapshot: only rows committed at or before `snapshot` contribute. This is
+/// the wrapper's MVCC read path — a reader holding a [`Snapshot`] pin sees an
+/// immutable, consistent extent however many batches writers append meanwhile.
+pub fn extent_of_at<S: StorageEngine + ?Sized>(
+    engine: &S,
+    scheme: &SchemeRef,
+    snapshot: SnapshotId,
+) -> Result<Bag, EvalError> {
     match scheme.parts.as_slice() {
         [table] => {
-            let t = db
+            let t = engine
                 .schema()
                 .table(table)
                 .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
             let mut bag = Bag::empty();
-            for row in db.rows(table) {
+            for row in engine.visible_rows(table, snapshot) {
                 bag.push(key_of(t, row));
             }
             Ok(bag)
         }
         [table, column] => {
-            let t = db
+            let t = engine
                 .schema()
                 .table(table)
                 .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
@@ -98,7 +112,7 @@ pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
                 .column_index(column)
                 .ok_or_else(|| EvalError::UnknownScheme(scheme.clone()))?;
             let mut bag = Bag::empty();
-            for row in db.rows(table) {
+            for row in engine.visible_rows(table, snapshot) {
                 let value = &row[idx];
                 if matches!(value, Value::Null) {
                     continue;
@@ -112,9 +126,64 @@ pub fn extent_of(db: &Database, scheme: &SchemeRef) -> Result<Bag, EvalError> {
         [lang, construct, rest @ ..] if lang == "sql" && !rest.is_empty() => {
             let stripped = SchemeRef::new(rest.iter().cloned());
             let _ = construct;
-            extent_of(db, &stripped)
+            extent_of_at(engine, &stripped, snapshot)
         }
         _ => Err(EvalError::UnknownScheme(scheme.clone())),
+    }
+}
+
+/// An [`ExtentProvider`] pinned to one MVCC snapshot of a database.
+///
+/// Every `extent` call answers **as of** the pinned snapshot, and
+/// [`ExtentProvider::version`] reports the snapshot's id for the view's whole
+/// lifetime — so plans, indexes and histograms built against a view stay valid
+/// however many batches are committed to the underlying database meanwhile,
+/// and a query evaluated through it can never observe a torn, mid-batch state.
+#[derive(Debug)]
+pub struct SnapshotView<'a> {
+    db: &'a Database,
+    snapshot: Snapshot,
+}
+
+impl Database {
+    /// Pin the current snapshot and return a provider view over it (counted in
+    /// [`StorageEngine::snapshots_active`] until the view drops).
+    pub fn snapshot_view(&self) -> SnapshotView<'_> {
+        self.view_at(self.begin_snapshot())
+    }
+
+    /// A provider view over an already-pinned snapshot (for sharing one pin
+    /// across several readers).
+    pub fn view_at(&self, snapshot: Snapshot) -> SnapshotView<'_> {
+        SnapshotView { db: self, snapshot }
+    }
+}
+
+impl SnapshotView<'_> {
+    /// The pinned snapshot's id.
+    pub fn snapshot_id(&self) -> SnapshotId {
+        self.snapshot.id()
+    }
+}
+
+impl ExtentProvider for SnapshotView<'_> {
+    fn extent(&self, scheme: &SchemeRef) -> Result<Arc<Bag>, EvalError> {
+        if self.snapshot.id() >= self.db.data_version() {
+            // The view pins the latest snapshot: serve (and populate) the
+            // database's shared extent memo instead of rebuilding.
+            return self.db.extent(scheme);
+        }
+        Ok(Arc::new(extent_of_at(self.db, scheme, self.snapshot.id())?))
+    }
+
+    /// The pinned snapshot id — constant for the view's lifetime, as an
+    /// immutable provider's stamp should be.
+    fn version(&self) -> SnapshotId {
+        self.snapshot.id()
+    }
+
+    fn extents_append_only(&self) -> bool {
+        true
     }
 }
 
@@ -233,6 +302,67 @@ mod tests {
         let a = database.extent(&SchemeRef::table("protein")).unwrap();
         let b = database.extent(&SchemeRef::table("protein")).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn snapshot_view_reads_are_immutable_under_later_inserts() {
+        let mut database = db();
+        let view_snapshot = database.begin_snapshot();
+        let before = extent_of(&database, &SchemeRef::table("protein")).unwrap();
+        database
+            .insert("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        // A view pinned before the insert answers the old extent; the live
+        // database (and a freshly pinned view) answer the new one.
+        let view = database.view_at(view_snapshot);
+        assert_eq!(view.extent(&SchemeRef::table("protein")).unwrap().len(), 2);
+        assert_eq!(
+            view.extent(&SchemeRef::table("protein")).unwrap().items(),
+            before.items()
+        );
+        assert_eq!(
+            view.extent(&SchemeRef::column("protein", "organism"))
+                .unwrap()
+                .len(),
+            1
+        );
+        assert_eq!(
+            database.extent(&SchemeRef::table("protein")).unwrap().len(),
+            3
+        );
+        assert_eq!(
+            database
+                .snapshot_view()
+                .extent(&SchemeRef::table("protein"))
+                .unwrap()
+                .len(),
+            3
+        );
+    }
+
+    #[test]
+    fn snapshot_view_version_is_the_pinned_id_and_stays_put() {
+        let mut database = db();
+        let view_snapshot = database.begin_snapshot();
+        let pinned = view_snapshot.id();
+        database
+            .insert("protein", vec![3.into(), "P300".into(), Value::Null])
+            .unwrap();
+        let view = database.view_at(view_snapshot);
+        assert_eq!(ExtentProvider::version(&view), pinned);
+        assert_ne!(ExtentProvider::version(&database), pinned);
+        assert_eq!(database.snapshots_active(), 1);
+        drop(view);
+        assert_eq!(database.snapshots_active(), 0);
+    }
+
+    #[test]
+    fn current_snapshot_view_serves_the_shared_memo() {
+        let database = db();
+        let scheme = SchemeRef::table("protein");
+        let through_db = database.extent(&scheme).unwrap();
+        let through_view = database.snapshot_view().extent(&scheme).unwrap();
+        assert!(Arc::ptr_eq(&through_db, &through_view));
     }
 
     #[test]

@@ -294,3 +294,94 @@ fn join_chain_deltas_append_in_reexecution_order() {
     );
     assert_eq!(replayed, sub.result());
 }
+
+/// An empty `insert_many` batch is a no-op from every observable angle: no
+/// update is pushed, no maintenance counter moves, and — crucially — the
+/// subscription's delta eligibility is *not* burned, so the next real insert
+/// still travels the O(delta) path. (A buggy implementation that stamped the
+/// subscription or pushed a spurious `Refreshed` for the empty commit would
+/// fail one of these asserts.)
+#[test]
+fn empty_batches_push_no_updates_and_keep_delta_eligibility() {
+    let mut ds = integrated(&[(0, "a")], &[(0, "b")]);
+    let text = "[x | {k, x} <- <<ALPHA_t, ALPHA_label>>]";
+    let sub = ds.prepare(text).unwrap().subscribe(&Params::new()).unwrap();
+    assert!(sub.is_incremental());
+    let seeded = ds.stats();
+
+    ds.insert_many("alpha", "t", vec![]).unwrap();
+    ds.insert_many("beta", "u", vec![]).unwrap();
+
+    let after_empty = ds.stats();
+    assert!(
+        sub.drain_updates().is_empty(),
+        "an empty batch must not push subscription updates"
+    );
+    assert_eq!(
+        (after_empty.delta_evals, after_empty.fallback_reexecs),
+        (seeded.delta_evals, seeded.fallback_reexecs),
+        "an empty batch must not run any maintenance"
+    );
+
+    // The empty batches must not have burned the sync stamp: the next real
+    // insert is still absorbed incrementally, not via fallback.
+    ds.insert("alpha", "t", vec![1.into(), "c".into()]).unwrap();
+    let after_real = ds.stats();
+    assert_eq!(
+        after_real.delta_evals,
+        after_empty.delta_evals + 1,
+        "the insert after the empty batches must still take the O(delta) path"
+    );
+    assert_eq!(
+        after_real.fallback_reexecs, after_empty.fallback_reexecs,
+        "the insert after the empty batches must not fall back"
+    );
+    assert_matches_reexecution(&ds, text, &Params::new(), &sub);
+    let updates = sub.drain_updates();
+    assert!(
+        matches!(updates.as_slice(), [SubscriptionUpdate::Delta(_)]),
+        "expected exactly one Delta update, got {updates:?}"
+    );
+}
+
+/// Pins the version-stamp fix: the pre/post stamps a commit fans out to
+/// subscriptions both derive from the commit's own critical section, so the
+/// delta-eligibility judgment (`synced == pre_version`) is exact across a
+/// run of consecutive commits — every lead-table insert is absorbed through
+/// the O(delta) path with the sync stamp advancing in lockstep. A racy
+/// `pre_version` read (the old code read the provider version *before* the
+/// write applied, i.e. potentially out of sync with the commit it describes)
+/// would break the chain and surface here as a fallback re-execution.
+#[test]
+fn commit_derived_stamps_keep_consecutive_deltas_on_the_incremental_path() {
+    let mut ds = integrated(&[(0, "a")], &[(0, "b")]);
+    let text = "[x | {k, x} <- <<ALPHA_t, ALPHA_label>>]";
+    let sub = ds.prepare(text).unwrap().subscribe(&Params::new()).unwrap();
+    assert!(sub.is_incremental());
+    let seeded = ds.stats();
+    const N: u64 = 5;
+    for i in 0..N as i64 {
+        ds.insert("alpha", "t", vec![(i + 1).into(), "x".into()])
+            .unwrap();
+    }
+    let after = ds.stats();
+    assert_eq!(
+        after.delta_evals,
+        seeded.delta_evals + N,
+        "every consecutive insert must be absorbed through the delta path"
+    );
+    assert_eq!(
+        after.fallback_reexecs, seeded.fallback_reexecs,
+        "a stale pre-commit stamp would force a fallback re-execution"
+    );
+    assert_matches_reexecution(&ds, text, &Params::new(), &sub);
+    // And the update stream is pure deltas — one per commit, replayable.
+    let updates = sub.drain_updates();
+    assert_eq!(updates.len() as u64, N);
+    assert!(
+        updates
+            .iter()
+            .all(|u| matches!(u, SubscriptionUpdate::Delta(_))),
+        "commit-derived stamps must never downgrade a lead insert to Refreshed"
+    );
+}
