@@ -121,6 +121,12 @@ fn write<T>(lock: &RwLock<T>) -> std::sync::RwLockWriteGuard<'_, T> {
 /// Default number of extents an [`ExtentMemo`] holds before evicting.
 pub const DEFAULT_EXTENT_CAPACITY: usize = 1024;
 
+/// Default byte budget for an [`ExtentMemo`]'s materialised bags (64 MiB).
+/// Entry *count* alone is a poor residency bound — one memoised extent can be
+/// a million-row bag — so eviction also weighs entries by
+/// [`iql::value::Bag::approx_bytes`] against this budget.
+pub const DEFAULT_EXTENT_BYTES: u64 = 64 * 1024 * 1024;
+
 /// A version-stamped scheme-key → extent memo, shareable across provider
 /// instances (e.g. by a dataspace handing out one provider per query over the
 /// same definitions). Self-invalidating: every provider access first syncs the
@@ -128,12 +134,15 @@ pub const DEFAULT_EXTENT_CAPACITY: usize = 1024;
 /// when the underlying source data (or the owner's version salt) moved — a
 /// rebuilt plan can therefore never be constructed from stale memoised extents.
 ///
-/// The memo is **bounded**: at most [`ExtentMemo::capacity`] extents are held
-/// and the least recently used is evicted on overflow
-/// ([`ExtentMemo::with_capacity`] configures the bound, default
-/// [`DEFAULT_EXTENT_CAPACITY`]), so a long-lived dataspace serving an unbounded
-/// query stream keeps bounded memory. An evicted extent is simply recomputed on
-/// next use — eviction can never serve stale data.
+/// The memo is **bounded** two ways: at most [`ExtentMemo::capacity`] extents
+/// are held, and their estimated resident bytes ([`Bag::approx_bytes`]) stay
+/// within [`ExtentMemo::byte_budget`] — the least recently used extent is
+/// evicted when either bound overflows ([`ExtentMemo::with_capacity_and_bytes`]
+/// configures both; defaults [`DEFAULT_EXTENT_CAPACITY`] /
+/// [`DEFAULT_EXTENT_BYTES`]). A long-lived dataspace serving an unbounded
+/// query stream therefore keeps bounded memory even when individual extents
+/// are huge. An evicted extent is simply recomputed on next use — eviction can
+/// never serve stale data.
 #[derive(Debug)]
 pub struct ExtentMemo {
     stamp: RwLock<u64>,
@@ -142,27 +151,47 @@ pub struct ExtentMemo {
 
 impl Default for ExtentMemo {
     fn default() -> Self {
-        Self::with_capacity(DEFAULT_EXTENT_CAPACITY)
+        Self::with_capacity_and_bytes(DEFAULT_EXTENT_CAPACITY, DEFAULT_EXTENT_BYTES)
     }
 }
 
 impl ExtentMemo {
-    /// An empty memo (stamp 0) with the default capacity.
+    /// An empty memo (stamp 0) with the default capacity and byte budget.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// An empty memo bounded to `capacity` extents (LRU eviction past that).
+    /// An empty memo bounded to `capacity` extents with the default byte
+    /// budget (LRU eviction past either bound).
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_capacity_and_bytes(capacity, DEFAULT_EXTENT_BYTES)
+    }
+
+    /// An empty memo bounded to `capacity` extents **and** `byte_budget`
+    /// estimated resident bytes: inserting weighs each bag by
+    /// [`Bag::approx_bytes`], evicting least-recently-used extents until both
+    /// bounds hold. An evicted extent is recomputed on next use, so neither
+    /// bound ever affects answers.
+    pub fn with_capacity_and_bytes(capacity: usize, byte_budget: u64) -> Self {
         ExtentMemo {
             stamp: RwLock::new(0),
-            extents: RwLock::new(LruMap::new(capacity)),
+            extents: RwLock::new(LruMap::with_weight_budget(capacity, byte_budget)),
         }
     }
 
     /// The maximum number of extents held before LRU eviction.
     pub fn capacity(&self) -> usize {
         read(&self.extents).capacity()
+    }
+
+    /// The estimated-byte budget for memoised bags.
+    pub fn byte_budget(&self) -> u64 {
+        read(&self.extents).weight_budget()
+    }
+
+    /// Estimated resident bytes of the currently memoised bags.
+    pub fn total_bytes(&self) -> u64 {
+        read(&self.extents).total_weight()
     }
 
     /// How many extents have been evicted for capacity so far.
@@ -190,7 +219,8 @@ impl ExtentMemo {
     }
 
     fn insert(&self, key: String, bag: Arc<Bag>) {
-        write(&self.extents).insert(key, bag);
+        let weight = bag.approx_bytes();
+        write(&self.extents).insert_weighted(key, bag, weight);
     }
 
     /// Number of memoised extents.
@@ -1065,5 +1095,54 @@ mod tests {
         assert_eq!(a.contribution_count(), before + 1);
         assert!(a.defines(&SchemeRef::table("UPeptideHit")));
         assert_eq!(a.iter().count(), a.defined_scheme_count());
+    }
+
+    /// A bag of `rows` strings of `width` chars each.
+    fn wide_bag(rows: usize, width: usize) -> Arc<Bag> {
+        Arc::new(Bag::from_values(
+            (0..rows)
+                .map(|i| iql::value::Value::str(format!("{i:0width$}")))
+                .collect(),
+        ))
+    }
+
+    #[test]
+    fn byte_budget_evicts_heavy_extents_before_count_bound() {
+        // Room for 100 entries by count, but only ~one wide bag by bytes.
+        let one_bag_bytes = wide_bag(50, 64).approx_bytes();
+        let memo = ExtentMemo::with_capacity_and_bytes(100, one_bag_bytes + 16);
+        memo.insert("a".into(), wide_bag(50, 64));
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.eviction_count(), 0);
+        memo.insert("b".into(), wide_bag(50, 64));
+        // The second bag can't fit alongside the first: LRU eviction by bytes.
+        assert_eq!(memo.len(), 1);
+        assert_eq!(memo.eviction_count(), 1);
+        assert!(memo.get("b").is_some(), "newest entry survives");
+        assert!(memo.get("a").is_none(), "stalest entry evicted");
+        assert!(memo.total_bytes() <= memo.byte_budget());
+    }
+
+    #[test]
+    fn count_bound_still_applies_under_a_generous_byte_budget() {
+        let memo = ExtentMemo::with_capacity_and_bytes(2, u64::MAX);
+        memo.insert("a".into(), wide_bag(1, 4));
+        memo.insert("b".into(), wide_bag(1, 4));
+        memo.insert("c".into(), wide_bag(1, 4));
+        assert_eq!(memo.len(), 2);
+        assert_eq!(memo.eviction_count(), 1);
+    }
+
+    #[test]
+    fn byte_weights_release_on_clear_and_version_sync() {
+        let memo = ExtentMemo::with_capacity_and_bytes(8, u64::MAX);
+        memo.insert("a".into(), wide_bag(10, 32));
+        assert!(memo.total_bytes() > 0);
+        memo.clear();
+        assert_eq!(memo.total_bytes(), 0);
+        memo.insert("b".into(), wide_bag(10, 32));
+        memo.sync_to(7); // version moved: memo clears, weights released
+        assert_eq!(memo.total_bytes(), 0);
+        assert_eq!(memo.len(), 0);
     }
 }

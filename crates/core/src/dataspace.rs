@@ -60,6 +60,11 @@ pub struct DataspaceConfig {
     /// recently used extent is evicted past this bound (and recomputed on next
     /// use — eviction never affects answers).
     pub extent_cache_capacity: usize,
+    /// Byte budget for the extent memo's materialised bags: eviction also
+    /// weighs each memoised extent by its estimated resident bytes
+    /// ([`iql::value::Bag::approx_bytes`]), so one million-row extent can't
+    /// hide behind a generous entry count.
+    pub extent_cache_bytes: u64,
     /// Whether residual point-equality filters (`x = ?p` / `x = literal`) in
     /// prepared queries are served by secondary hash indexes from the shared
     /// [`iql::IndexStore`] instead of per-execution extent scans. On by
@@ -100,6 +105,7 @@ impl Default for DataspaceConfig {
             global_prefix: "G".into(),
             plan_cache_capacity: iql::eval::DEFAULT_PLAN_CAPACITY,
             extent_cache_capacity: automed::qp::evaluator::DEFAULT_EXTENT_CAPACITY,
+            extent_cache_bytes: automed::qp::evaluator::DEFAULT_EXTENT_BYTES,
             point_lookup_indexes: true,
             index_cache_capacity: iql::index::DEFAULT_INDEX_CAPACITY,
             plan_cache_bytes: iql::eval::DEFAULT_PLAN_CACHE_BYTES,
@@ -183,7 +189,10 @@ impl Dataspace {
 
     /// A dataspace with a custom configuration.
     pub fn with_config(config: DataspaceConfig) -> Self {
-        let extent_cache = Arc::new(ExtentMemo::with_capacity(config.extent_cache_capacity));
+        let extent_cache = Arc::new(ExtentMemo::with_capacity_and_bytes(
+            config.extent_cache_capacity,
+            config.extent_cache_bytes,
+        ));
         let plan_cache = Arc::new(PlanCache::with_capacity_and_bytes(
             config.plan_cache_capacity,
             config.plan_cache_bytes,
@@ -701,6 +710,20 @@ impl Dataspace {
             wal_appends: self.wal_appends,
             recovery_replays: self.recovery_replays,
         }
+    }
+
+    /// Pin the latest committed MVCC snapshot of every member source for
+    /// reading. Holding the returned pins keeps each source's snapshot
+    /// reference counted — [`DataspaceStats::snapshots_active`] counts them —
+    /// which is how a service layer marks "a request/stream is reading right
+    /// now" without holding any dataspace lock across its lifetime. The pins
+    /// release on drop.
+    pub fn pin_snapshots(&self) -> Vec<relational::Snapshot> {
+        self.member_names
+            .iter()
+            .filter_map(|n| self.registry.database(n).ok())
+            .map(StorageEngine::begin_snapshot)
+            .collect()
     }
 
     /// Register a standing subscription on a prepared query: the query is

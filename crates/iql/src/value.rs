@@ -98,6 +98,25 @@ impl Value {
         }
     }
 
+    /// Estimated resident bytes of this value tree — the cache-weighting
+    /// heuristic shared by the byte-budgeted LRU stores. Deliberately rough:
+    /// a flat per-node overhead (enum + allocation headers) plus string
+    /// payloads; `Arc`-sharing is *not* discounted, so a value counted in two
+    /// caches is budgeted in both (over-, never under-estimating residency).
+    pub fn approx_bytes(&self) -> u64 {
+        match self {
+            Value::Null
+            | Value::Bool(_)
+            | Value::Int(_)
+            | Value::Float(_)
+            | Value::Void
+            | Value::Any => 32,
+            Value::Str(s) => 48 + s.len() as u64,
+            Value::Tuple(items) => 48 + items.iter().map(Value::approx_bytes).sum::<u64>(),
+            Value::Bag(bag) => bag.approx_bytes(),
+        }
+    }
+
     /// A short tag describing the value's type, used in error messages.
     pub fn type_name(&self) -> &'static str {
         match self {
@@ -323,6 +342,12 @@ impl Bag {
     /// Consume the bag, returning its elements (no copy when unshared).
     pub fn into_items(self) -> Vec<Value> {
         Arc::try_unwrap(self.items).unwrap_or_else(|shared| (*shared).clone())
+    }
+
+    /// Estimated resident bytes of the bag and its elements (see
+    /// [`Value::approx_bytes`] for the heuristic).
+    pub fn approx_bytes(&self) -> u64 {
+        64 + self.items.iter().map(Value::approx_bytes).sum::<u64>()
     }
 
     /// Multiplicity counts of every element, built in one pass.

@@ -1,0 +1,575 @@
+//! Per-connection session: the dispatch loop that turns request frames into
+//! engine calls and responses, drains subscription pushes between polls, and
+//! tears everything down (streams, subscriptions, snapshot pins) when the
+//! client goes away — cleanly or not.
+
+use std::collections::HashMap;
+use std::io::Write;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, PoisonError, RwLock};
+
+use dataspace_core::dataspace::{Dataspace, DataspaceStats};
+use dataspace_core::error::CoreError;
+use dataspace_core::subscriptions::{Subscription, SubscriptionUpdate};
+use iql::value::{Bag, Value};
+use iql::Params;
+
+use wire::frame::{write_frame, FrameError, FrameReader, SERVER_ORIGIN_ID};
+use wire::proto::{ErrorCode, PushUpdate, Request, Response};
+
+use crate::server::{Semaphore, ServerConfig};
+use crate::stats::ServerStats;
+
+/// A materialised result mid-stream. The rows are already computed (under the
+/// execution permit that produced them); what remains is pacing them out at
+/// the client's ack rate. The snapshot pins mark the member sources as "being
+/// read" for the stream's whole life.
+struct StreamState {
+    rows: Vec<Value>,
+    cursor: usize,
+    chunk_rows: usize,
+    _pins: Vec<relational::Snapshot>,
+}
+
+/// One live subscription held on behalf of the client.
+struct SubEntry {
+    subscription: Subscription,
+}
+
+pub(crate) fn run_session(
+    stream: TcpStream,
+    dataspace: Arc<RwLock<Dataspace>>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    permits: Arc<Semaphore>,
+) {
+    let mut session = Session {
+        stream,
+        reader: FrameReader::new(),
+        consumed_in: 0,
+        dataspace,
+        stats,
+        config,
+        shutdown,
+        permits,
+        handles: HashMap::new(),
+        next_handle: 1,
+        streams: HashMap::new(),
+        subs: HashMap::new(),
+        next_sub: 1,
+    };
+    session.run();
+    // Dropping the session drops every Subscription handle (unregistering the
+    // standing queries) and every stream's snapshot pins.
+}
+
+struct Session {
+    stream: TcpStream,
+    reader: FrameReader,
+    /// Frame bytes already credited to the server's `bytes_in` counter.
+    consumed_in: u64,
+    dataspace: Arc<RwLock<Dataspace>>,
+    stats: Arc<ServerStats>,
+    config: ServerConfig,
+    shutdown: Arc<AtomicBool>,
+    permits: Arc<Semaphore>,
+    /// Prepared handles: id → query text, re-prepared per request through the
+    /// dataspace's parse memo (a `PreparedQuery` borrows the dataspace, so
+    /// the text is the only thing a session can hold across lock releases —
+    /// and re-preparing a memoised text is a few `Arc` bumps, not a re-parse).
+    handles: HashMap<u64, String>,
+    next_handle: u64,
+    /// Open result streams, keyed by the request id that opened them.
+    streams: HashMap<u64, StreamState>,
+    subs: HashMap<u64, SubEntry>,
+    next_sub: u64,
+}
+
+impl Session {
+    fn run(&mut self) {
+        if self
+            .stream
+            .set_read_timeout(Some(self.config.poll_interval))
+            .is_err()
+        {
+            return;
+        }
+        self.stream.set_nodelay(true).ok();
+        loop {
+            if self.shutdown.load(Ordering::SeqCst) {
+                self.send(
+                    SERVER_ORIGIN_ID,
+                    &Response::Error {
+                        code: ErrorCode::ShuttingDown,
+                        message: "server is shutting down".into(),
+                    },
+                );
+                return;
+            }
+            if !self.flush_pushes() {
+                return;
+            }
+            match self.reader.poll(&mut self.stream) {
+                Ok(None) => continue,
+                Ok(Some(frame)) => {
+                    let fresh = self.reader.bytes_in() - self.consumed_in;
+                    self.consumed_in = self.reader.bytes_in();
+                    self.stats.add_bytes_in(fresh);
+                    if !self.handle_frame(frame.request_id, frame.opcode, &frame.body) {
+                        return;
+                    }
+                }
+                // Clean close between frames: the client vanished without a
+                // `Close`; tear down silently.
+                Err(FrameError::Closed) => return,
+                // Framing is lost (corruption, oversize, bad version, or a
+                // disconnect mid-frame): answer with a typed error where a
+                // write can still succeed, then drop the connection — no
+                // later byte boundary can be trusted.
+                Err(e) => {
+                    self.stats.frame_error();
+                    let code = match &e {
+                        FrameError::TooLarge { .. } => ErrorCode::FrameTooLarge,
+                        FrameError::Version { .. } => ErrorCode::VersionMismatch,
+                        _ => ErrorCode::MalformedBody,
+                    };
+                    self.send(
+                        SERVER_ORIGIN_ID,
+                        &Response::Error {
+                            code,
+                            message: e.to_string(),
+                        },
+                    );
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Drain pending updates from every subscription into push frames.
+    /// Returns `false` if the client is unreachable.
+    fn flush_pushes(&mut self) -> bool {
+        let mut pushes: Vec<(u64, Vec<SubscriptionUpdate>)> = Vec::new();
+        for (id, entry) in &self.subs {
+            let updates = entry.subscription.drain_updates();
+            if !updates.is_empty() {
+                pushes.push((*id, updates));
+            }
+        }
+        // Deliver in subscription order; updates within one subscription keep
+        // their push order.
+        pushes.sort_by_key(|(id, _)| *id);
+        for (sub_id, updates) in pushes {
+            for update in updates {
+                let update = match update {
+                    SubscriptionUpdate::Delta(bag) => PushUpdate::Delta(bag.into_items()),
+                    SubscriptionUpdate::Refreshed(value) => PushUpdate::Refreshed(value),
+                };
+                if !self.send(SERVER_ORIGIN_ID, &Response::Push { sub_id, update }) {
+                    return false;
+                }
+                self.stats.push_sent();
+            }
+        }
+        true
+    }
+
+    /// Dispatch one frame. Returns `false` when the session should end.
+    fn handle_frame(&mut self, request_id: u64, opcode: u8, body: &[u8]) -> bool {
+        let request = match Request::decode(opcode, body) {
+            Ok(Some(request)) => request,
+            Ok(None) => {
+                // Unknown opcode: framing is intact, so answer and carry on.
+                return self.send_error(
+                    request_id,
+                    ErrorCode::UnknownOpcode,
+                    format!("unknown request opcode 0x{opcode:02x}"),
+                );
+            }
+            Err(e) => {
+                // The frame passed its checksum but the body does not match
+                // the opcode's shape — a client bug, not lost framing.
+                return self.send_error(request_id, ErrorCode::MalformedBody, e.to_string());
+            }
+        };
+        self.stats.request(request.opcode());
+        match request {
+            Request::Prepare { text } => self.on_prepare(request_id, &text),
+            Request::Execute {
+                handle,
+                params,
+                chunk_rows,
+            } => self.on_execute(request_id, handle, &params, chunk_rows),
+            Request::ExecuteValue { handle, params } => {
+                self.on_execute_value(request_id, handle, &params)
+            }
+            Request::Query { text, chunk_rows } => self.on_query(request_id, &text, chunk_rows),
+            Request::NextChunk { stream_id } => self.on_next_chunk(request_id, stream_id),
+            Request::CancelStream { stream_id } => {
+                self.streams.remove(&stream_id);
+                self.send(
+                    request_id,
+                    &Response::Chunk {
+                        rows: Vec::new(),
+                        done: true,
+                    },
+                )
+            }
+            Request::Subscribe { handle, params } => self.on_subscribe(request_id, handle, &params),
+            Request::Unsubscribe { sub_id } => {
+                if self.subs.remove(&sub_id).is_some() {
+                    self.send(request_id, &Response::Unsubscribed)
+                } else {
+                    self.send_error(
+                        request_id,
+                        ErrorCode::BadSubscription,
+                        format!("no live subscription {sub_id}"),
+                    )
+                }
+            }
+            Request::Insert {
+                source,
+                table,
+                rows,
+            } => self.on_insert(request_id, &source, &table, rows),
+            Request::Checkpoint => self.on_checkpoint(request_id),
+            Request::Stats => self.on_stats(request_id),
+            Request::Close => {
+                self.send(request_id, &Response::Closed);
+                false
+            }
+        }
+    }
+
+    fn on_prepare(&mut self, request_id: u64, text: &str) -> bool {
+        let prepared = {
+            let ds = self.read_ds();
+            match ds.prepare(text) {
+                Ok(q) => Ok(q.param_names().map(str::to_string).collect::<Vec<_>>()),
+                Err(e) => Err(e),
+            }
+        };
+        match prepared {
+            Ok(param_names) => {
+                let handle = self.next_handle;
+                self.next_handle += 1;
+                self.handles.insert(handle, text.to_string());
+                self.send(
+                    request_id,
+                    &Response::Prepared {
+                        handle,
+                        param_names,
+                    },
+                )
+            }
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    /// Run a bag-producing execution and open a stream over its rows.
+    fn run_bag(&mut self, request_id: u64, text: &str, params: &Params, chunk_rows: u32) -> bool {
+        if self.streams.len() + self.subs.len() >= self.config.max_session_handles {
+            self.stats.busy_rejection();
+            return self.send_error(
+                request_id,
+                ErrorCode::ServerBusy,
+                format!(
+                    "session holds {} open streams/subscriptions (limit {})",
+                    self.streams.len() + self.subs.len(),
+                    self.config.max_session_handles
+                ),
+            );
+        }
+        if !self.permits.acquire(self.config.request_timeout) {
+            self.stats.timeout();
+            return self.send_error(
+                request_id,
+                ErrorCode::Timeout,
+                format!("no execution slot within {:?}", self.config.request_timeout),
+            );
+        }
+        let outcome: Result<(Bag, Vec<relational::Snapshot>), CoreError> = {
+            let ds = self.read_ds();
+            let pins = ds.pin_snapshots();
+            ds.prepare(text)
+                .and_then(|q| q.execute(params))
+                .map(|bag| (bag, pins))
+        };
+        self.permits.release();
+        match outcome {
+            Ok((bag, pins)) => self.open_stream(request_id, bag.into_items(), chunk_rows, pins),
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    fn on_execute(
+        &mut self,
+        request_id: u64,
+        handle: u64,
+        params: &Params,
+        chunk_rows: u32,
+    ) -> bool {
+        let Some(text) = self.handles.get(&handle).cloned() else {
+            return self.send_error(
+                request_id,
+                ErrorCode::BadHandle,
+                format!("no prepared handle {handle}"),
+            );
+        };
+        self.run_bag(request_id, &text, params, chunk_rows)
+    }
+
+    fn on_query(&mut self, request_id: u64, text: &str, chunk_rows: u32) -> bool {
+        self.run_bag(request_id, text, &Params::new(), chunk_rows)
+    }
+
+    fn on_execute_value(&mut self, request_id: u64, handle: u64, params: &Params) -> bool {
+        let Some(text) = self.handles.get(&handle).cloned() else {
+            return self.send_error(
+                request_id,
+                ErrorCode::BadHandle,
+                format!("no prepared handle {handle}"),
+            );
+        };
+        if !self.permits.acquire(self.config.request_timeout) {
+            self.stats.timeout();
+            return self.send_error(
+                request_id,
+                ErrorCode::Timeout,
+                format!("no execution slot within {:?}", self.config.request_timeout),
+            );
+        }
+        let outcome = {
+            let ds = self.read_ds();
+            ds.prepare(&text).and_then(|q| q.execute_value(params))
+        };
+        self.permits.release();
+        match outcome {
+            Ok(value) => self.send(request_id, &Response::ValueResult { value }),
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    /// Send the first chunk; park the rest as a stream if anything remains.
+    fn open_stream(
+        &mut self,
+        request_id: u64,
+        rows: Vec<Value>,
+        chunk_rows: u32,
+        pins: Vec<relational::Snapshot>,
+    ) -> bool {
+        let chunk = if chunk_rows == 0 {
+            self.config.default_chunk_rows
+        } else {
+            (chunk_rows as usize).min(self.config.max_chunk_rows)
+        }
+        .max(1);
+        if rows.len() <= chunk {
+            self.stats.chunk_sent();
+            return self.send(request_id, &Response::Chunk { rows, done: true });
+        }
+        let first: Vec<Value> = rows[..chunk].to_vec();
+        self.streams.insert(
+            request_id,
+            StreamState {
+                rows,
+                cursor: chunk,
+                chunk_rows: chunk,
+                _pins: pins,
+            },
+        );
+        self.stats.stream_opened();
+        self.stats.chunk_sent();
+        self.send(
+            request_id,
+            &Response::Chunk {
+                rows: first,
+                done: false,
+            },
+        )
+    }
+
+    fn on_next_chunk(&mut self, request_id: u64, stream_id: u64) -> bool {
+        let Some(state) = self.streams.get_mut(&stream_id) else {
+            return self.send_error(
+                request_id,
+                ErrorCode::BadStream,
+                format!("no open stream {stream_id}"),
+            );
+        };
+        let end = (state.cursor + state.chunk_rows).min(state.rows.len());
+        let rows: Vec<Value> = state.rows[state.cursor..end].to_vec();
+        state.cursor = end;
+        let done = end == state.rows.len();
+        if done {
+            self.streams.remove(&stream_id);
+        }
+        self.stats.chunk_sent();
+        self.send(request_id, &Response::Chunk { rows, done })
+    }
+
+    fn on_subscribe(&mut self, request_id: u64, handle: u64, params: &Params) -> bool {
+        let Some(text) = self.handles.get(&handle).cloned() else {
+            return self.send_error(
+                request_id,
+                ErrorCode::BadHandle,
+                format!("no prepared handle {handle}"),
+            );
+        };
+        if self.streams.len() + self.subs.len() >= self.config.max_session_handles {
+            self.stats.busy_rejection();
+            return self.send_error(
+                request_id,
+                ErrorCode::ServerBusy,
+                format!(
+                    "session holds {} open streams/subscriptions (limit {})",
+                    self.streams.len() + self.subs.len(),
+                    self.config.max_session_handles
+                ),
+            );
+        }
+        let outcome = {
+            let ds = self.read_ds();
+            ds.prepare(&text).and_then(|q| q.subscribe(params))
+        };
+        match outcome {
+            Ok(subscription) => {
+                let sub_id = self.next_sub;
+                self.next_sub += 1;
+                let initial = subscription.result();
+                self.subs.insert(sub_id, SubEntry { subscription });
+                self.stats.subscription_opened();
+                self.send(request_id, &Response::Subscribed { sub_id, initial })
+            }
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    fn on_insert(
+        &mut self,
+        request_id: u64,
+        source: &str,
+        table: &str,
+        rows: Vec<Vec<Value>>,
+    ) -> bool {
+        if !self.permits.acquire(self.config.request_timeout) {
+            self.stats.timeout();
+            return self.send_error(
+                request_id,
+                ErrorCode::Timeout,
+                format!("no execution slot within {:?}", self.config.request_timeout),
+            );
+        }
+        let count = rows.len() as u64;
+        let outcome = self.write_ds().insert_many(source, table, rows);
+        self.permits.release();
+        match outcome {
+            Ok(()) => self.send(request_id, &Response::Inserted { rows: count }),
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    fn on_checkpoint(&mut self, request_id: u64) -> bool {
+        if !self.permits.acquire(self.config.request_timeout) {
+            self.stats.timeout();
+            return self.send_error(
+                request_id,
+                ErrorCode::Timeout,
+                format!("no execution slot within {:?}", self.config.request_timeout),
+            );
+        }
+        let outcome = self.write_ds().checkpoint();
+        self.permits.release();
+        match outcome {
+            Ok(report) => self.send(
+                request_id,
+                &Response::CheckpointDone {
+                    records_before: report.records_before as u64,
+                    records_after: report.records_after as u64,
+                },
+            ),
+            Err(e) => self.send_core_error(request_id, &e),
+        }
+    }
+
+    fn on_stats(&mut self, request_id: u64) -> bool {
+        let ds_stats = self.read_ds().stats();
+        let mut counters = self.stats.snapshot();
+        counters.extend(dataspace_counters(&ds_stats));
+        self.send(request_id, &Response::StatsResult { counters })
+    }
+
+    fn read_ds(&self) -> std::sync::RwLockReadGuard<'_, Dataspace> {
+        self.dataspace
+            .read()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write_ds(&self) -> std::sync::RwLockWriteGuard<'_, Dataspace> {
+        self.dataspace
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Write one response frame; `false` means the client is unreachable.
+    fn send(&mut self, request_id: u64, response: &Response) -> bool {
+        let body = response.encode_body();
+        match write_frame(&mut self.stream, request_id, response.opcode() as u8, &body) {
+            Ok(n) => {
+                self.stats.add_bytes_out(n);
+                if matches!(response, Response::Error { .. }) {
+                    self.stats.error_sent();
+                }
+                self.stream.flush().is_ok()
+            }
+            Err(_) => false,
+        }
+    }
+
+    fn send_error(&mut self, request_id: u64, code: ErrorCode, message: String) -> bool {
+        self.send(request_id, &Response::Error { code, message })
+    }
+
+    fn send_core_error(&mut self, request_id: u64, e: &CoreError) -> bool {
+        let code = match e {
+            CoreError::Parse(_) => ErrorCode::Parse,
+            CoreError::UnboundParam(_) => ErrorCode::UnboundParam,
+            CoreError::UnknownParam(_) => ErrorCode::UnknownParam,
+            CoreError::Storage(_) => ErrorCode::Storage,
+            CoreError::Relational(_) => ErrorCode::Rejected,
+            CoreError::Automed(_)
+            | CoreError::Query(_)
+            | CoreError::InvalidSpec(_)
+            | CoreError::WorkflowOrder(_) => ErrorCode::Query,
+        };
+        self.send_error(request_id, code, e.to_string())
+    }
+}
+
+/// Flatten the dataspace's stats snapshot into `ds_`-prefixed counters.
+fn dataspace_counters(s: &DataspaceStats) -> Vec<(String, u64)> {
+    vec![
+        ("ds_plan_cache_hits".into(), s.plan_cache_hits),
+        ("ds_plan_cache_misses".into(), s.plan_cache_misses),
+        ("ds_plan_cache_evictions".into(), s.plan_cache_evictions),
+        ("ds_plan_cache_len".into(), s.plan_cache_len as u64),
+        ("ds_plan_reopts".into(), s.plan_reopts),
+        ("ds_index_hits".into(), s.index_hits),
+        ("ds_index_misses".into(), s.index_misses),
+        ("ds_index_builds".into(), s.index_builds),
+        ("ds_index_evictions".into(), s.index_evictions),
+        ("ds_extent_memo_len".into(), s.extent_memo_len as u64),
+        ("ds_extent_memo_evictions".into(), s.extent_memo_evictions),
+        ("ds_parse_memo_len".into(), s.parse_memo_len as u64),
+        ("ds_subscriptions".into(), s.subscriptions as u64),
+        ("ds_delta_evals".into(), s.delta_evals),
+        ("ds_fallback_reexecs".into(), s.fallback_reexecs),
+        ("ds_columnar_execs".into(), s.columnar_execs),
+        ("ds_row_fallbacks".into(), s.row_fallbacks),
+        ("ds_snapshots_active".into(), s.snapshots_active as u64),
+        ("ds_wal_appends".into(), s.wal_appends),
+        ("ds_recovery_replays".into(), s.recovery_replays),
+    ]
+}

@@ -1,0 +1,271 @@
+//! Concurrent clients vs an in-process differential oracle.
+//!
+//! N client threads hammer one server with a mix of prepares, executes
+//! (point and streamed), subscribes and inserts. An identically seeded
+//! in-process dataspace mirrors every insert (applied under one lock so both
+//! sides see the same commit order); when the dust settles, every query
+//! answered over the wire must equal in-process execution — rows **and
+//! order** — and every standing subscription must have received exactly one
+//! push per delta.
+
+#[path = "wire_support/mod.rs"]
+mod wire_support;
+
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+use iql::{Params, Value};
+use server::ServerConfig;
+use wire::{Client, PushUpdate};
+
+use wire_support::{eventually, integrated, serve_with, ALPHA_SEED, BETA_SEED, INCREMENTAL_SHAPE};
+
+const POINT_SHAPE: &str = "[{s, k} | {s, k, x} <- <<UAcc, label>>; x = ?label]";
+const SCAN_SHAPE: &str = "[{s, k, x} | {s, k, x} <- <<UAcc, label>>]";
+
+#[test]
+fn concurrent_clients_match_in_process_execution() {
+    const THREADS: i64 = 4;
+    const ROUNDS: i64 = 6;
+
+    let (handle, addr, _ds) = serve_with(ServerConfig {
+        exec_permits: 2, // contended on purpose
+        ..ServerConfig::default()
+    });
+    // The oracle: an identically seeded dataspace, mirrored insert-for-insert.
+    let oracle = Arc::new(RwLock::new(integrated(ALPHA_SEED, BETA_SEED)));
+    // One lock serialises each wire insert with its oracle mirror, so both
+    // dataspaces commit the same rows in the same order.
+    let insert_order = Arc::new(Mutex::new(()));
+
+    let workers: Vec<_> = (0..THREADS)
+        .map(|t| {
+            let oracle = Arc::clone(&oracle);
+            let insert_order = Arc::clone(&insert_order);
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                let (point, _) = client.prepare(POINT_SHAPE).unwrap();
+                let (scan, _) = client.prepare(SCAN_SHAPE).unwrap();
+                for round in 0..ROUNDS {
+                    // Disjoint id ranges per thread keep the primary key happy.
+                    let id = 1000 + t * 100 + round;
+                    let label = format!("T{t}R{round}");
+                    {
+                        let _serialised = insert_order.lock().unwrap();
+                        client
+                            .insert("alpha", "t", vec![vec![id.into(), label.as_str().into()]])
+                            .unwrap();
+                        oracle
+                            .write()
+                            .unwrap()
+                            .insert("alpha", "t", vec![id.into(), label.as_str().into()])
+                            .unwrap();
+                    }
+                    // Point lookup for the row just inserted: committed before
+                    // the insert reply, so it must be visible.
+                    let hits = client
+                        .execute(point, &Params::new().with("label", label.as_str()))
+                        .unwrap();
+                    assert_eq!(hits.len(), 1, "thread {t} round {round}");
+                    // Streamed scan with a small chunk to exercise ack-paced
+                    // chunking under concurrency.
+                    let (rows, chunks) = client.execute_chunked(scan, &Params::new(), 3).unwrap();
+                    assert!(chunks >= 2);
+                    assert!(rows.len() >= ALPHA_SEED.len() + BETA_SEED.len());
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+
+    // Differential check: the full scan and every point lookup agree with the
+    // oracle exactly (both sides committed the same rows in the same order).
+    let mut client = Client::connect(addr).unwrap();
+    let wire_rows = client.query(SCAN_SHAPE).unwrap();
+    let oracle_rows = oracle.read().unwrap().query(SCAN_SHAPE).unwrap();
+    assert_eq!(wire_rows, oracle_rows.into_items());
+    assert_eq!(
+        wire_rows.len(),
+        ALPHA_SEED.len() + BETA_SEED.len() + (THREADS * ROUNDS) as usize
+    );
+
+    let (point, _) = client.prepare(POINT_SHAPE).unwrap();
+    for t in 0..THREADS {
+        for round in 0..ROUNDS {
+            let label = format!("T{t}R{round}");
+            let params = Params::new().with("label", label.as_str());
+            let via_wire = client.execute(point, &params).unwrap();
+            let via_oracle = oracle
+                .read()
+                .unwrap()
+                .prepare(POINT_SHAPE)
+                .unwrap()
+                .execute(&params)
+                .unwrap();
+            assert_eq!(via_wire, via_oracle.into_items(), "label {label}");
+        }
+    }
+
+    assert_eq!(handle.stats().session_panics(), 0);
+    client.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn standing_subscription_pushes_arrive_exactly_once_per_delta() {
+    const INSERTS: usize = 8;
+
+    let (handle, addr, ds) = serve_with(ServerConfig::default());
+
+    // Subscriber client: standing query on the O(delta)-maintained shape.
+    let mut subscriber = Client::connect(addr).unwrap();
+    let (h, _) = subscriber.prepare(INCREMENTAL_SHAPE).unwrap();
+    let (sub_id, initial) = subscriber.subscribe(h, &Params::new()).unwrap();
+    let Value::Bag(initial) = initial else {
+        panic!("bag-shaped standing result")
+    };
+    assert_eq!(initial.len(), ALPHA_SEED.len());
+    eventually("subscription registered", || {
+        ds.read().unwrap().stats().subscriptions == 1
+    });
+
+    // Writer client: one single-row batch per delta.
+    let mut writer = Client::connect(addr).unwrap();
+    for i in 0..INSERTS {
+        let id = 500 + i as i64;
+        writer
+            .insert(
+                "alpha",
+                "t",
+                vec![vec![id.into(), format!("PUSH{i}").as_str().into()]],
+            )
+            .unwrap();
+    }
+
+    // Exactly one Delta push per insert, each carrying exactly its one row,
+    // in commit order.
+    let mut pushed = Vec::new();
+    while pushed.len() < INSERTS {
+        match subscriber.recv_push(Duration::from_secs(5)).unwrap() {
+            Some((got_sub, PushUpdate::Delta(rows))) => {
+                assert_eq!(got_sub, sub_id);
+                assert_eq!(rows.len(), 1, "one row per single-row delta");
+                pushed.extend(rows);
+            }
+            Some((_, PushUpdate::Refreshed(_))) => {
+                panic!("identity-extent shape must take the O(delta) path")
+            }
+            None => panic!("missing push: got {} of {INSERTS}", pushed.len()),
+        }
+    }
+    assert_eq!(
+        pushed,
+        (0..INSERTS)
+            .map(|i| Value::str(format!("PUSH{i}")))
+            .collect::<Vec<_>>()
+    );
+    // ... and not a single push more.
+    assert!(
+        subscriber
+            .recv_push(Duration::from_millis(300))
+            .unwrap()
+            .is_none(),
+        "exactly once means no extras"
+    );
+
+    // Folding initial + deltas reproduces re-execution.
+    let mut folded: Vec<Value> = initial.into_items();
+    folded.extend(pushed);
+    let reexecuted = writer.query(INCREMENTAL_SHAPE).unwrap();
+    assert_eq!(folded, reexecuted);
+
+    assert!(handle.stats().pushes_sent() >= INSERTS as u64);
+
+    // Unsubscribe stops the flow: a further insert pushes nothing.
+    subscriber.unsubscribe(sub_id).unwrap();
+    eventually("subscription dropped", || {
+        ds.read().unwrap().stats().subscriptions == 0
+    });
+    writer
+        .insert("alpha", "t", vec![vec![900.into(), "AFTER".into()]])
+        .unwrap();
+    assert!(subscriber
+        .recv_push(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
+
+    subscriber.close().unwrap();
+    writer.close().unwrap();
+    handle.shutdown();
+}
+
+#[test]
+fn mixed_subscribers_and_writers_stay_consistent() {
+    const WRITERS: i64 = 3;
+    const ROUNDS: i64 = 5;
+
+    let (handle, addr, _ds) = serve_with(ServerConfig::default());
+
+    let mut subscriber = Client::connect(addr).unwrap();
+    let (h, _) = subscriber.prepare(INCREMENTAL_SHAPE).unwrap();
+    let (sub_id, initial) = subscriber.subscribe(h, &Params::new()).unwrap();
+    let initial_len = match &initial {
+        Value::Bag(b) => b.len(),
+        other => panic!("expected bag, got {other:?}"),
+    };
+
+    let writers: Vec<_> = (0..WRITERS)
+        .map(|t| {
+            std::thread::spawn(move || {
+                let mut client = Client::connect(addr).unwrap();
+                for round in 0..ROUNDS {
+                    let id = 2000 + t * 100 + round;
+                    client
+                        .insert(
+                            "alpha",
+                            "t",
+                            vec![vec![id.into(), format!("W{t}R{round}").as_str().into()]],
+                        )
+                        .unwrap();
+                }
+                client.close().unwrap();
+            })
+        })
+        .collect();
+    for w in writers {
+        w.join().expect("writer thread");
+    }
+
+    // Every committed delta arrives exactly once: the pushed rows (in some
+    // commit order) plus the initial result must equal re-execution.
+    let expected = (WRITERS * ROUNDS) as usize;
+    let mut pushed = Vec::new();
+    while pushed.len() < expected {
+        match subscriber.recv_push(Duration::from_secs(5)).unwrap() {
+            Some((got_sub, PushUpdate::Delta(rows))) => {
+                assert_eq!(got_sub, sub_id);
+                pushed.extend(rows);
+            }
+            Some((_, PushUpdate::Refreshed(_))) => panic!("unexpected fallback refresh"),
+            None => panic!("missing pushes: got {} of {expected}", pushed.len()),
+        }
+    }
+    assert!(subscriber
+        .recv_push(Duration::from_millis(300))
+        .unwrap()
+        .is_none());
+    assert_eq!(pushed.len(), expected);
+
+    let final_rows = subscriber.query(INCREMENTAL_SHAPE).unwrap();
+    assert_eq!(final_rows.len(), initial_len + expected);
+    // Same rows, and the pushes replay the commit order exactly: the stream
+    // tail equals the final result's tail.
+    assert_eq!(final_rows[initial_len..], pushed[..]);
+
+    assert_eq!(handle.stats().session_panics(), 0);
+    subscriber.close().unwrap();
+    handle.shutdown();
+}

@@ -1,0 +1,99 @@
+//! Shared fixture for the wire/server integration suites: a small two-source
+//! integrated dataspace (the same alpha/beta + `UAcc` shape the subscription
+//! suites use) behind a running TCP server.
+
+use std::sync::{Arc, RwLock};
+
+use dataspace_core::dataspace::{Dataspace, DataspaceConfig};
+use dataspace_core::mapping::{IntersectionSpec, ObjectMapping, SourceContribution};
+use relational::schema::{DataType, RelColumn, RelSchema, RelTable};
+use relational::Database;
+use server::{ServerConfig, ServerHandle};
+
+pub fn source(name: &str, table: &str, rows: &[(i64, &str)]) -> Database {
+    let mut schema = RelSchema::new(name);
+    schema
+        .add_table(
+            RelTable::new(table)
+                .with_column(RelColumn::new("id", DataType::Int))
+                .with_column(RelColumn::new("label", DataType::Text))
+                .with_primary_key(["id"]),
+        )
+        .unwrap();
+    let mut db = Database::new(schema);
+    for (k, v) in rows {
+        db.insert(table, vec![(*k).into(), (*v).into()]).unwrap();
+    }
+    db
+}
+
+fn uacc_spec() -> IntersectionSpec {
+    IntersectionSpec::new("I1").with_mapping(
+        ObjectMapping::column("UAcc", "label")
+            .with_contribution(
+                SourceContribution::parsed(
+                    "alpha",
+                    "[{'ALPHA', k, x} | {k, x} <- <<t, label>>]",
+                    ["t,label"],
+                )
+                .unwrap(),
+            )
+            .with_contribution(
+                SourceContribution::parsed(
+                    "beta",
+                    "[{'BETA', k, x} | {k, x} <- <<u, label>>]",
+                    ["u,label"],
+                )
+                .unwrap(),
+            ),
+    )
+}
+
+/// Federate alpha + beta and integrate `UAcc`, keeping redundant federated
+/// objects queryable (identity extents give the incremental-subscription
+/// shape, `UAcc` the integrated one).
+pub fn integrated(alpha_rows: &[(i64, &str)], beta_rows: &[(i64, &str)]) -> Dataspace {
+    let mut ds = Dataspace::with_config(DataspaceConfig {
+        drop_redundant: false,
+        ..DataspaceConfig::default()
+    });
+    ds.add_source(source("alpha", "t", alpha_rows)).unwrap();
+    ds.add_source(source("beta", "u", beta_rows)).unwrap();
+    ds.federate().unwrap();
+    ds.integrate(uacc_spec()).unwrap();
+    ds
+}
+
+/// The query shape whose standing plan is maintained O(delta) on alpha
+/// inserts — one `Delta` push per committed batch.
+pub const INCREMENTAL_SHAPE: &str = "[x | {k, x} <- <<ALPHA_t, ALPHA_label>>]";
+
+/// Rows seeded into alpha / beta by [`serve_default`].
+pub const ALPHA_SEED: &[(i64, &str)] = &[(1, "ACC1"), (2, "ACC2"), (3, "ACC3")];
+pub const BETA_SEED: &[(i64, &str)] = &[(10, "ACC2"), (11, "ACC4")];
+
+/// Start a server over a freshly integrated dataspace on an OS-assigned port.
+pub fn serve_with(
+    config: ServerConfig,
+) -> (ServerHandle, std::net::SocketAddr, Arc<RwLock<Dataspace>>) {
+    let ds = Arc::new(RwLock::new(integrated(ALPHA_SEED, BETA_SEED)));
+    let handle = server::serve(Arc::clone(&ds), ("127.0.0.1", 0), config).expect("bind");
+    let addr = handle.local_addr();
+    (handle, addr, ds)
+}
+
+#[allow(dead_code)] // not every suite sharing this fixture uses the default config
+pub fn serve_default() -> (ServerHandle, std::net::SocketAddr, Arc<RwLock<Dataspace>>) {
+    serve_with(ServerConfig::default())
+}
+
+/// Poll `probe` for up to ~2 s; panics with `what` if it never returns true.
+pub fn eventually(what: &str, mut probe: impl FnMut() -> bool) {
+    for _ in 0..200 {
+        if probe() {
+            return;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    panic!("timed out waiting for {what}");
+}
